@@ -1,0 +1,80 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+Each ``test_figNN_*`` module regenerates one table/figure of the paper:
+it runs the relevant experiment on the simulated devices, prints the
+same rows/series the paper reports (side by side with the paper's
+values), asserts the *shape* — who wins, by roughly what factor, where
+crossovers fall — and times the experiment through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the paper-vs-measured tables; results are also appended
+to ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+RESULTS_JSON_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+
+class ResultSink:
+    """Collects report output: prints it, appends the text form to
+    ``results.txt``, and accumulates machine-readable records into
+    ``results.json``."""
+
+    def __init__(self) -> None:
+        self._fh = open(RESULTS_PATH, "a", encoding="utf-8")
+        self._records: Dict[str, object] = {}
+
+    def emit(self, title: str, body: str) -> None:
+        text = f"\n=== {title} ===\n{body}\n"
+        print(text)
+        self._fh.write(text)
+        self._fh.flush()
+
+    def record(self, key: str, payload) -> None:
+        """Store a JSON-safe payload (e.g. ``RegionResult.to_dict()``)."""
+        self._records[key] = payload
+
+    def close(self) -> None:
+        self._fh.close()
+        if self._records:
+            existing = {}
+            if os.path.exists(RESULTS_JSON_PATH):
+                try:
+                    with open(RESULTS_JSON_PATH, encoding="utf-8") as fh:
+                        existing = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    existing = {}
+            existing.update(self._records)
+            with open(RESULTS_JSON_PATH, "w", encoding="utf-8") as fh:
+                json.dump(existing, fh, indent=1, sort_keys=True)
+
+
+@pytest.fixture(scope="session")
+def report() -> ResultSink:
+    sink = ResultSink()
+    yield sink
+    sink.close()
+
+
+@pytest.fixture(scope="session")
+def cache() -> Dict[str, object]:
+    """Session-wide memo so expensive sweeps run once per session."""
+    return {}
+
+
+def memo(cache: Dict[str, object], key: str, fn: Callable[[], object]):
+    """Compute-once helper for session fixtures."""
+    if key not in cache:
+        cache[key] = fn()
+    return cache[key]

@@ -1,0 +1,65 @@
+"""Ablation — one shared DMA engine vs dual (per-direction) engines.
+
+DESIGN.md commits to modelling the host<->device link as **one** DMA
+resource shared by both directions, arguing PCIe bandwidth is
+effectively shared and that the paper's observed speedup ceiling
+(1.41x-1.65x, approaching but never nearing 2x even for transfer-heavy
+codes) rules out independent full-speed H2D and D2H engines.
+
+This bench substantiates that choice: with the same calibration but
+``dma_engines = 2``, the transfer-bound 3-D convolution's
+speedup jumps far above the paper's measured band (and above the 2x
+bound the paper derives from perfect overlap) — the dual-engine model would have required
+re-calibrating every kernel, and would still mispredict the
+transfer-bound regimes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.apps import conv3d as cv
+from repro.sim import NVIDIA_K40M
+
+from conftest import memo
+
+DUAL_K40M = dataclasses.replace(NVIDIA_K40M, dma_engines=2)
+
+
+def run_ablation(cache):
+    def compute():
+        out = {}
+        for tag, profile in (("shared", NVIDIA_K40M), ("dual", DUAL_K40M)):
+            cfg = cv.Conv3dConfig(num_streams=3)
+            out[tag] = cv.run_all(cfg, device=profile, virtual=True)
+        return out
+
+    return memo(cache, "ablation_dma", compute)
+
+
+def test_ablation_dma_engines(benchmark, cache, report):
+    data = run_ablation(cache)
+    benchmark.pedantic(
+        lambda: cv.run_all(cv.Conv3dConfig(num_streams=3), device=DUAL_K40M,
+                           virtual=True),
+        rounds=3, iterations=1,
+    )
+
+    rows = [
+        [tag, vs.speedup("pipelined"), vs.speedup("pipelined-buffer")]
+        for tag, vs in data.items()
+    ]
+    report.emit(
+        "Ablation: DMA engine model (3dconv, K40m calibration)",
+        format_table(["model", "Pipelined", "Pipelined-buffer"], rows)
+        + "\npaper band for 3dconv: 1.45x-1.46x",
+    )
+
+    shared = data["shared"].speedup("pipelined")
+    dual = data["dual"].speedup("pipelined")
+    # dual engines overlap H2D with D2H, inflating the speedup well
+    # beyond what the paper measures anywhere
+    assert dual > shared + 0.5
+    assert dual > 2.0          # impossible under the paper's 2x bound
+    assert 1.3 <= shared <= 1.65

@@ -1,0 +1,79 @@
+"""Ablation — static schedule vs the adaptive extension.
+
+The paper ships ``pipeline(static[...])`` and defers adaptive
+scheduling to future work.  Our adaptive schedule (small chunks to fill
+the pipeline, doubling afterwards; see :mod:`repro.core.scheduler`)
+targets the AMD failure mode: many small chunks pay per-call overhead
+and sub-saturation bandwidth, few huge chunks pay pipeline-fill
+latency.  On the HD 7970 the adaptive ramp recovers most of the
+hand-tuned sweet spot without choosing a chunk size; on the K40m (flat
+cost landscape) it simply matches static.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.apps import conv3d as cv
+
+from conftest import memo
+
+
+def amd_cfg(cs, schedule="static"):
+    return cv.Conv3dConfig(
+        nz=384, ny=384, nx=384, chunk_size=cs, num_streams=2, schedule=schedule
+    )
+
+
+def run_ablation(cache):
+    def compute():
+        out = {
+            "naive": cv.run_model("naive", amd_cfg(1), "hd7970", virtual=True),
+            "static-1": cv.run_model("pipelined-buffer", amd_cfg(1), "hd7970", virtual=True),
+            "static-8": cv.run_model("pipelined-buffer", amd_cfg(8), "hd7970", virtual=True),
+            "static-48": cv.run_model("pipelined-buffer", amd_cfg(48), "hd7970", virtual=True),
+            "adaptive-4": cv.run_model(
+                "pipelined-buffer", amd_cfg(4, "adaptive"), "hd7970", virtual=True
+            ),
+        }
+        # K40m comparison: adaptive should match static
+        out["k40m-static"] = cv.run_model(
+            "pipelined-buffer", cv.Conv3dConfig(chunk_size=1), virtual=True
+        )
+        out["k40m-adaptive"] = cv.run_model(
+            "pipelined-buffer", cv.Conv3dConfig(chunk_size=1, schedule="adaptive"),
+            virtual=True,
+        )
+        return out
+
+    return memo(cache, "ablation_sched", compute)
+
+
+def test_ablation_scheduler(benchmark, cache, report):
+    data = run_ablation(cache)
+    benchmark.pedantic(
+        lambda: cv.run_model(
+            "pipelined-buffer", amd_cfg(4, "adaptive"), "hd7970", virtual=True
+        ),
+        rounds=3, iterations=1,
+    )
+
+    naive = data["naive"]
+    rows = [
+        [name, data[name].nchunks, naive.elapsed / data[name].elapsed]
+        for name in ("static-1", "static-8", "static-48", "adaptive-4")
+    ]
+    report.emit(
+        "Ablation: scheduler (3dconv 384^3, HD 7970)",
+        format_table(["schedule", "chunks", "speedup vs naive"], rows),
+    )
+
+    # adaptive beats the pathological static choices on AMD...
+    assert data["adaptive-4"].elapsed < data["static-1"].elapsed
+    # ...and comes within ~10% of a well-tuned static chunk size
+    assert data["adaptive-4"].elapsed < 1.10 * data["static-48"].elapsed
+    # fewer chunks than an equivalent static schedule at its base size
+    assert data["adaptive-4"].nchunks < data["static-8"].nchunks
+
+    # on the K40m the two schedules are equivalent (flat landscape)
+    k_gap = data["k40m-adaptive"].elapsed / data["k40m-static"].elapsed
+    assert 0.9 <= k_gap <= 1.1

@@ -1,0 +1,108 @@
+"""Figure 5 — speedup of the three models across the benchmarks (K40m).
+
+Paper values (speedup over Naive):
+
+=========== =========== ================
+benchmark   Pipelined   Pipelined-buffer
+=========== =========== ================
+3dconv      1.45        1.46
+stencil     1.57 (8 st) faster than Pipelined
+qcd-small   ~1.4        ~1.4
+qcd-medium  ~1.5        ~1.5
+qcd-large   1.54+       1.54
+=========== =========== ================
+
+Notes: the hand-coded Pipelined stencil uses OpenACC's *default* eight
+streams (the paper calls this out explicitly — "the Pipelined version
+uses eight (8) streams by default, which explains its execution time");
+the proposed runtime uses two.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, ratio_band
+from repro.apps import conv3d as cv
+from repro.apps import qcd as qc
+from repro.apps import stencil as st
+from repro.apps.common import VersionSet
+
+from conftest import memo
+
+
+def run_fig5(cache):
+    def compute():
+        out = {}
+        out["3dconv"] = cv.run_all(cv.Conv3dConfig(), virtual=True)
+        # stencil: Pipelined on the OpenACC default of 8 streams,
+        # buffer on 2 (what the prototype picks)
+        s_naive = st.run_model("naive", st.StencilConfig(), virtual=True)
+        s_pipe = st.run_model(
+            "pipelined", st.StencilConfig(num_streams=8), virtual=True
+        )
+        s_buf = st.run_model(
+            "pipelined-buffer", st.StencilConfig(num_streams=2), virtual=True
+        )
+        out["stencil"] = VersionSet(
+            "stencil", "512x512x64", "k40m", s_naive, s_pipe, s_buf
+        )
+        for d in ("small", "medium", "large"):
+            out[f"qcd{d}"] = qc.run_all(qc.QcdConfig.dataset(d), virtual=True)
+        return out
+
+    return memo(cache, "fig5", compute)
+
+
+PAPER = {
+    # benchmark: (paper pipelined, paper buffer, band lo, band hi)
+    "3dconv": (1.45, 1.46, 1.30, 1.65),
+    "stencil": (1.57, 1.60, 1.40, 1.95),
+    "qcdsmall": (1.40, 1.40, 1.20, 1.70),
+    "qcdmedium": (1.50, 1.50, 1.35, 1.90),
+    "qcdlarge": (1.54, 1.54, 1.40, 1.95),
+}
+
+
+def test_fig5_speedups(benchmark, cache, report):
+    sets = run_fig5(cache)
+    benchmark.pedantic(
+        lambda: cv.run_all(cv.Conv3dConfig(), virtual=True), rounds=3, iterations=1
+    )
+
+    rows = []
+    lines = []
+    for name, vs in sets.items():
+        sp_p = vs.speedup("pipelined")
+        sp_b = vs.speedup("pipelined-buffer")
+        paper_p, paper_b, lo, hi = PAPER[name]
+        rows.append([name, 1.0, sp_p, sp_b])
+        lines.append(ratio_band(f"{name} Pipelined", paper_p, lo, hi).row(sp_p))
+        lines.append(ratio_band(f"{name} Pipelined-buffer", paper_b, lo, hi).row(sp_b))
+    report.emit(
+        "Figure 5: normalized speedup over Naive (K40m)",
+        format_table(["benchmark", "Naive", "Pipelined", "Pipelined-buffer"], rows)
+        + "\n" + "\n".join(lines),
+    )
+    for name, vs in sets.items():
+        report.record(
+            f"fig5/{name}",
+            {
+                "pipelined_speedup": vs.speedup("pipelined"),
+                "buffer_speedup": vs.speedup("pipelined-buffer"),
+                "naive": vs.naive.to_dict(),
+                "buffer": vs.buffer.to_dict(),
+            },
+        )
+
+    for name, vs in sets.items():
+        _, _, lo, hi = PAPER[name]
+        assert lo <= vs.speedup("pipelined") <= hi, name
+        assert lo <= vs.speedup("pipelined-buffer") <= hi, name
+
+    # paper-specific orderings
+    conv = sets["3dconv"]
+    assert abs(conv.speedup("pipelined-buffer") - conv.speedup("pipelined")) < 0.05
+    sten = sets["stencil"]
+    assert sten.speedup("pipelined-buffer") > sten.speedup("pipelined")
+    # buffer trails hand-coded slightly for QCD (index translation)
+    big = sets["qcdlarge"]
+    assert big.speedup("pipelined-buffer") <= big.speedup("pipelined")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Chunk-count tuning on the AMD HD 7970 (the paper's Figure 8).
+
+On the Radeon, chunked transfers fall well below peak bandwidth and
+per-call overheads are an order of magnitude above NVIDIA's, so the
+default fine-grained pipelining *loses* to the Naive offload.  This
+example sweeps the chunk count, prints the speedup curve (rise, peak,
+collapse), and shows two remedies the library offers:
+
+* an explicit coarse ``chunk_size``, and
+* the ``adaptive`` schedule extension, which ramps the chunk size
+  automatically.
+
+Run::
+
+    python examples/amd_tuning.py
+"""
+
+from repro.analysis.report import ascii_bar_chart
+from repro.apps import conv3d as cv
+
+NZ = 384  # the HD 7970's 3 GB bounds the dataset
+
+
+def cfg_for(nchunks: int, schedule: str = "static") -> cv.Conv3dConfig:
+    cs = max(1, (NZ - 2) // nchunks)
+    return cv.Conv3dConfig(
+        nz=NZ, ny=384, nx=384, chunk_size=cs, num_streams=2, schedule=schedule
+    )
+
+
+def main() -> None:
+    labels, speeds = [], []
+    for nchunks in (2, 4, 6, 9, 12, 20, 50, 382):
+        vs = cv.run_all(cfg_for(nchunks), device="hd7970", virtual=True)
+        labels.append(f"{nchunks:>3} chunks")
+        speeds.append(vs.speedup("pipelined"))
+    print(
+        ascii_bar_chart(
+            labels,
+            speeds,
+            unit="x",
+            title="HD 7970: Pipelined speedup over Naive vs chunk count "
+            "(3dconv 384^3)",
+        )
+    )
+    print(
+        "\nThe default (chunk per plane, 382 chunks) transfers at ~2 GB/s "
+        "instead of ~6.5 GB/s and pays 382x the enqueue overhead — worse "
+        "than not pipelining at all, exactly the paper's AMD finding."
+    )
+
+    adaptive = cv.run_model(
+        "pipelined-buffer", cfg_for(96, schedule="adaptive"), "hd7970", virtual=True
+    )
+    naive = cv.run_model("naive", cfg_for(2), "hd7970", virtual=True)
+    best = max(speeds)
+    print(
+        f"\nadaptive schedule (no hand tuning): "
+        f"{naive.elapsed / adaptive.elapsed:.2f}x with {adaptive.nchunks} chunks "
+        f"(hand-tuned best: {best:.2f}x)"
+    )
+
+    limited = cv.run_model(
+        "pipelined-buffer",
+        cv.Conv3dConfig(nz=NZ, ny=384, nx=384, chunk_size=64, num_streams=2,
+                        mem_limit="64MB"),
+        "hd7970",
+        virtual=True,
+    )
+    print(
+        f"pipeline_mem_limit(64MB): runtime shrank chunk size to "
+        f"{limited.chunk_size}, buffer peak {limited.data_peak / 1e6:.0f} MB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Out-of-core matrix multiplication: beyond device memory.
+
+The paper's Figure 9/10 punchline: at n = 20480 and 24576 the
+full-footprint versions (baseline and block-shared) raise device OOM on
+the 12 GB K40m, while the ring-buffered pipeline streams A/B reduction
+bands through a small buffer, keeps only C resident, and completes with
+no performance loss versus the tiled kernel.
+
+This example (1) validates the pipelined GEMM numerically at a small
+size, then (2) reruns the paper's size sweep in metadata-only virtual
+mode (timing and memory accounting are exact; see DESIGN.md).
+
+Run::
+
+    python examples/out_of_core_matmul.py
+"""
+
+import numpy as np
+
+from repro.apps import matmul as mm
+from repro.kernels.matmul import init_matrices
+
+
+def main() -> None:
+    # 1. numerical validation at a small size (real arrays)
+    n_small = 96
+    cfg = mm.MatmulConfig(n=n_small, block=16, num_streams=2)
+    a, b, _ = init_matrices(n_small)
+    _, c = mm.run_checked("pipeline-buffer", cfg)
+    assert np.allclose(c, a @ b, rtol=1e-12)
+    print(f"pipelined GEMM validated against NumPy at n={n_small}\n")
+
+    # 2. the paper's sweep (virtual mode)
+    sizes = (8192, 14336, 20480, 24576)
+    print(f"{'n':>6} {'baseline':>14} {'block_shared':>14} {'pipeline-buffer':>16}")
+    for n in sizes:
+        row = [f"{n:>6}"]
+        for model in mm.MATMUL_MODELS:
+            res = mm.run_model(model, mm.MatmulConfig(n=n), virtual=True)
+            if res is None:
+                row.append(f"{'OOM':>14}")
+            else:
+                cell = f"{res.elapsed:6.1f}s/{res.memory_peak / 1e9:4.1f}GB"
+                row.append(f"{cell:>14}")
+        print(" ".join(row))
+
+    full = 3 * 24576**2 * 8 / 1e9
+    print(
+        f"\nAt n=24576 the full footprint would be {full:.1f} GB "
+        f"(> 10 GB usable on the K40m): only the ring-buffered runtime "
+        f"completes, holding C resident and streaming A/B bands."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Lattice QCD offload study (the paper's Figures 3 and 5/6 for QCD).
+
+Runs the Wilson-style Dslash application on the simulated K40m:
+
+* validates the pipelined execution against NumPy on a small lattice,
+* reproduces the Naive time-distribution breakdown (transfers ~50%),
+* shows speedup and memory savings growing with problem size
+  (O(C n^4) -> O(C n^3) per chunk).
+
+Run::
+
+    python examples/qcd_offload.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_bar_chart
+from repro.apps import qcd as qc
+
+
+def main() -> None:
+    # numerical validation on a small lattice (real arrays)
+    small = qc.QcdConfig(n=6, num_streams=2)
+    ref = qc.reference(small)
+    _, eta = qc.run_checked("pipelined-buffer", small)
+    assert np.allclose(eta, ref, atol=1e-10)
+    print("Dslash pipelined execution validated against NumPy at n=6\n")
+
+    print("Naive time distribution (virtual mode, paper Figure 3 left):")
+    for name in ("small", "medium", "large"):
+        vs = qc.run_all(qc.QcdConfig.dataset(name), virtual=True)
+        d = vs.naive.time_distribution
+        total = sum(d.values())
+        print(
+            f"  qcd-{name:<7} HtoD {100 * d['h2d'] / total:4.1f}%  "
+            f"DtoH {100 * d['d2h'] / total:4.1f}%  "
+            f"kernel {100 * d['kernel'] / total:4.1f}%"
+        )
+
+    print("\nSpeedup over Naive and memory (paper Figures 5/6):")
+    names, speeds = [], []
+    for name in ("small", "medium", "large"):
+        vs = qc.run_all(qc.QcdConfig.dataset(name), virtual=True)
+        names.append(f"qcd-{name}")
+        speeds.append(vs.speedup("pipelined-buffer"))
+        print(
+            f"  qcd-{name:<7} buffer {vs.speedup('pipelined-buffer'):4.2f}x  "
+            f"mem {vs.naive.memory_peak / 1e6:7.0f} -> "
+            f"{vs.buffer.memory_peak / 1e6:6.0f} MB "
+            f"(-{100 * vs.memory_saving():.0f}%)"
+        )
+    print()
+    print(ascii_bar_chart(names, speeds, unit="x", title="Pipelined-buffer speedup"))
+    print(
+        "\nSplitting the time dimension reduces the footprint from "
+        "O(C n^4) to O(C n^3): savings grow with lattice size, as the "
+        "paper reports (up to ~79-82% for n=36)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: pipeline a halo'd loop through the directive runtime.
+
+This is the smallest end-to-end use of the public API:
+
+1. write the pragma (the paper's Figure 1 grammar),
+2. define a kernel: a cost model plus a NumPy body over translated
+   chunk views,
+3. run it under the three execution models and compare.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Loop, NVIDIA_K40M, RegionKernel, Runtime, TargetRegion
+
+N, COLS = 512, 32768  # 512 rows of 256 KB
+
+
+class BlurKernel(RegionKernel):
+    """out[k] = (in[k-1] + in[k] + in[k+1]) / 3 over rows."""
+
+    name = "blur"
+    index_penalty = 0.01
+
+    def cost(self, profile, t0, t1):
+        # memory-bound streaming kernel: ~2 arrays of traffic
+        return (t1 - t0) * COLS * 8 * 2 / 12e9
+
+    def run(self, views, t0, t1):
+        src = views["IN"].take(t0 - 1, t1 + 1)   # halo'd window
+        dst = views["OUT"].take(t0, t1)          # own rows
+        dst[...] = (src[:-2] + src[1:-1] + src[2:]) / 3.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    a = rng.random((N, COLS))
+    arrays = {"IN": a, "OUT": np.zeros_like(a)}
+
+    region = TargetRegion.parse(
+        f"""
+        #pragma omp target \\
+            pipeline(static[16,3]) \\
+            pipeline_map(to: IN[k-1:3][0:{COLS}]) \\
+            pipeline_map(from: OUT[k:1][0:{COLS}]) \\
+            pipeline_mem_limit(256MB)
+        """,
+        loop=Loop("k", 1, N - 1),
+    )
+
+    # reference for validation
+    expect = np.zeros_like(a)
+    expect[1:-1] = (a[:-2] + a[1:-1] + a[2:]) / 3.0
+
+    print(f"{'model':<18} {'elapsed':>10} {'peak mem':>10} {'overlap':>8}  correct")
+    results = {}
+    for model, runner in (
+        ("naive", TargetRegion.run_naive),
+        ("pipelined", TargetRegion.run_pipelined),
+        ("pipelined-buffer", TargetRegion.run),
+    ):
+        rt = Runtime(NVIDIA_K40M)
+        arrays["OUT"][:] = 0
+        res = runner(region, rt, arrays, BlurKernel())
+        ok = np.allclose(arrays["OUT"], expect)
+        results[model] = res
+        print(
+            f"{model:<18} {res.elapsed * 1e3:8.2f}ms {res.memory_peak / 1e6:8.1f}MB "
+            f"{res.overlap:8.2f}  {ok}"
+        )
+
+    naive = results["naive"]
+    buf = results["pipelined-buffer"]
+    print(
+        f"\npipelined-buffer: {naive.elapsed / buf.elapsed:.2f}x speedup, "
+        f"{100 * (1 - buf.memory_peak / naive.memory_peak):.0f}% less device memory "
+        f"({buf.nchunks} chunks on {buf.num_streams} streams)"
+    )
+
+    from repro.analysis import ascii_gantt
+
+    print("\nnaive timeline (no overlap):")
+    print(ascii_gantt(naive.timeline, width=72))
+    print("\npipelined-buffer timeline (transfers under kernels):")
+    print(ascii_gantt(buf.timeline, width=72))
+
+
+if __name__ == "__main__":
+    main()

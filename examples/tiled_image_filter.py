@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""2-D block data regions: filtering an image larger than the buffer.
+
+The paper's runtime "handles non-contiguous copies for 2D arrays, which
+means buffering a 'Block' of a matrix" with recorded
+``x_offset``/``y_offset`` passed to the kernels.  This example streams
+a large image through a tiny tile buffer — each tile moves with a
+pitched 2-D copy — applying a contrast-stretch filter per tile, and
+compares device memory against the whole-image footprint.
+
+Run::
+
+    python examples/tiled_image_filter.py
+"""
+
+import numpy as np
+
+from repro.core import Block2DRegion, TileKernel
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+
+class ContrastStretch(TileKernel):
+    """out = clip(1.5 * (in - 0.5) + 0.5, 0, 1) — pointwise filter."""
+
+    name = "contrast"
+
+    def cost(self, profile, rows, cols):
+        # a heavier filter: ~16 B of traffic per pixel at 5 GB/s effective
+        return rows * cols * 16 / 5e9
+
+    def run(self, ins, outs):
+        a = ins["IN"].data
+        outs["OUT"].data[...] = np.clip(1.5 * (a - 0.5) + 0.5, 0.0, 1.0)
+
+
+def main() -> None:
+    h, w = 2048, 2048
+    rng = np.random.default_rng(5)
+    image = rng.random((h, w))
+    out = np.zeros_like(image)
+
+    region = Block2DRegion((h, w), tile=(256, 1024), num_streams=3)
+    rt = Runtime(NVIDIA_K40M)
+    res = region.run(rt, {"IN": image}, {"OUT": out}, ContrastStretch())
+
+    expect = np.clip(1.5 * (image - 0.5) + 0.5, 0, 1)
+    assert np.allclose(out, expect)
+
+    full = image.nbytes + out.nbytes
+    print(f"image:          {h}x{w} float64 ({image.nbytes / 1e6:.0f} MB each way)")
+    print(f"tiles:          {res.nchunks} of 256x1024 on {res.num_streams} streams")
+    print(f"device buffers: {res.data_peak / 1e6:.1f} MB "
+          f"(vs {full / 1e6:.0f} MB whole-image footprint)")
+    print(f"elapsed:        {res.elapsed * 1e3:.1f} ms, "
+          f"transfer overlap {res.overlap:.0%}")
+    print("result validated against NumPy")
+    print(
+        "note: pitched (row-by-row) tile copies run far below peak PCIe\n"
+        "bandwidth — the paper's non-contiguous-transfer observation; wide\n"
+        "tiles keep the rows long."
+    )
+
+
+if __name__ == "__main__":
+    main()

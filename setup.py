@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable
+installs work on minimal/offline environments where the ``wheel``
+package (required for PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Directive-Based Partitioning and Pipelining for "
+        "Graphics Processing Units' (IPDPS 2017) on a simulated GPU substrate"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,60 @@
+"""Reproduction of *Directive-Based Partitioning and Pipelining for
+Graphics Processing Units* (Cui, Scogland, de Supinski, Feng — IEEE
+IPDPS 2017) on a simulated-GPU substrate.
+
+Layer map (bottom to top):
+
+* :mod:`repro.sim` — deterministic discrete-event GPU simulator
+  (streams, DMA/compute engines, device memory allocator, host clock).
+* :mod:`repro.gpu` — CUDA-like host runtime facade
+  (``malloc``/``memcpy_*_async``/streams/events/kernel launch).
+* :mod:`repro.directives` — the proposed pragma extension's front end
+  (``pipeline`` / ``pipeline_map`` / ``pipeline_mem_limit`` parsing).
+* :mod:`repro.core` — the proposed runtime: chunk planning, device
+  ring buffers with modular slot mapping and index translation, memory
+  -limit tuning, the pipelined executor, and the Naive / hand-coded
+  Pipelined baselines.
+* :mod:`repro.kernels` / :mod:`repro.apps` — the paper's four
+  evaluation applications (3-D convolution, Parboil stencil, matrix
+  multiplication, Lattice QCD) in all three execution models.
+* :mod:`repro.analysis` — report/expectation helpers for the benchmark
+  harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TargetRegion, Loop, Runtime, NVIDIA_K40M
+
+    rt = Runtime(NVIDIA_K40M)
+    region = TargetRegion.parse(
+        "pipeline(static[1,3]) "
+        "pipeline_map(to: A[k-1:3][0:256][0:256]) "
+        "pipeline_map(from: B[k:1][0:256][0:256])",
+        loop=Loop("k", 1, 255),
+    )
+    result = region.run(rt, {"A": a, "B": b}, kernel)
+
+See ``examples/quickstart.py`` for the complete version.
+"""
+
+from repro.core import RegionKernel, RegionResult, TargetRegion
+from repro.core.kernel import ChunkView
+from repro.directives import Loop, parse_pragma
+from repro.gpu import Runtime
+from repro.sim import AMD_HD7970, NVIDIA_K40M, profile_by_name
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AMD_HD7970",
+    "ChunkView",
+    "Loop",
+    "NVIDIA_K40M",
+    "RegionKernel",
+    "RegionResult",
+    "Runtime",
+    "TargetRegion",
+    "parse_pragma",
+    "profile_by_name",
+    "__version__",
+]

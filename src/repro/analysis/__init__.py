@@ -1,0 +1,21 @@
+"""Reporting and experiment helpers for the evaluation harness."""
+
+from repro.analysis.gantt import ascii_gantt, to_chrome_trace, write_chrome_trace
+from repro.analysis.report import (
+    Expectation,
+    ascii_bar_chart,
+    check_band,
+    format_table,
+    ratio_band,
+)
+
+__all__ = [
+    "Expectation",
+    "ascii_bar_chart",
+    "ascii_gantt",
+    "check_band",
+    "format_table",
+    "ratio_band",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

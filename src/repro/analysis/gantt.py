@@ -1,0 +1,107 @@
+"""Timeline visualization: Chrome-trace export and ASCII Gantt charts.
+
+The paper's analysis relies on profilers (NVIDIA Visual Profiler, AMD
+APP Profiler) to see how transfers and kernels interleave.  The
+simulator's timelines carry the same information; these helpers render
+it:
+
+* :func:`to_chrome_trace` — the Chrome/Perfetto ``chrome://tracing``
+  JSON format (one row per engine, one slice per command), viewable in
+  any Chromium browser or https://ui.perfetto.dev;
+* :func:`ascii_gantt` — a terminal Gantt chart, one row per engine,
+  good enough to *see* the pipelining (or its absence) in a test log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.sim.trace import Timeline
+
+__all__ = ["ascii_gantt", "to_chrome_trace", "write_chrome_trace"]
+
+_KIND_CHAR = {"h2d": "<", "d2h": ">", "kernel": "#", "marker": "|"}
+
+
+def to_chrome_trace(timeline: Timeline, *, time_unit: float = 1e6) -> Dict:
+    """Convert a timeline to Chrome-trace JSON (dict form).
+
+    Parameters
+    ----------
+    timeline:
+        The retired-command timeline.
+    time_unit:
+        Multiplier from virtual seconds to trace microseconds (the
+        trace format's native unit); the default maps 1 s -> 1e6 us.
+    """
+    events: List[Dict] = []
+    engines = sorted({r.engine for r in timeline.records})
+    for tid, engine in enumerate(engines):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": engine},
+            }
+        )
+    tid_of = {e: i for i, e in enumerate(engines)}
+    for r in timeline.records:
+        events.append(
+            {
+                "name": r.label or r.kind,
+                "cat": r.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid_of[r.engine],
+                "ts": r.start * time_unit,
+                "dur": max(r.duration * time_unit, 0.001),
+                "args": {"stream": r.stream, "bytes": r.nbytes},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(timeline: Timeline, path: str) -> None:
+    """Write a timeline as a ``chrome://tracing`` JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(timeline), fh)
+
+
+def ascii_gantt(
+    timeline: Timeline,
+    *,
+    width: int = 100,
+    engines: Optional[List[str]] = None,
+) -> str:
+    """Render a timeline as an ASCII Gantt chart.
+
+    One row per engine; ``<`` marks H2D occupancy, ``>`` D2H, ``#``
+    kernels.  Later commands overwrite earlier glyphs in a cell, which
+    is fine at this resolution — the point is seeing overlap.
+    """
+    if not timeline.records:
+        return "(empty timeline)"
+    t0 = min(r.start for r in timeline.records)
+    t1 = max(r.finish for r in timeline.records)
+    span = max(t1 - t0, 1e-15)
+    engines = engines or sorted({r.engine for r in timeline.records})
+    rows = {e: [" "] * width for e in engines}
+    for r in timeline.records:
+        if r.engine not in rows:
+            continue
+        a = int((r.start - t0) / span * (width - 1))
+        b = max(a + 1, int((r.finish - t0) / span * (width - 1)) + 1)
+        ch = _KIND_CHAR.get(r.kind, "?")
+        for i in range(a, min(b, width)):
+            rows[r.engine][i] = ch
+    label_w = max(len(e) for e in engines)
+    out = [
+        f"{'':{label_w}} 0{'':{width - 12}}{span * 1e3:8.3f} ms",
+    ]
+    for e in engines:
+        out.append(f"{e:{label_w}} {''.join(rows[e])}")
+    out.append(f"{'':{label_w}} legend: < h2d   > d2h   # kernel")
+    return "\n".join(out)

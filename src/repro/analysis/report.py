@@ -1,0 +1,115 @@
+"""Tables, ASCII charts, and paper-expectation records.
+
+The benchmark harness prints, for every figure/table in the paper, the
+same rows or series the paper reports, side by side with the paper's
+values, and asserts *shape* properties (who wins, rough factors,
+crossovers).  These helpers keep that output uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "Expectation",
+    "ascii_bar_chart",
+    "check_band",
+    "format_table",
+    "ratio_band",
+]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """A paper-reported value with a tolerance band for the repro.
+
+    Attributes
+    ----------
+    name:
+        What is being compared ("3dconv pipelined speedup").
+    paper:
+        The paper's value.
+    lo, hi:
+        Acceptance band for the measured value.  Bands are generous by
+        design: the substrate is a simulator and only the shape must
+        hold.
+    """
+
+    name: str
+    paper: float
+    lo: float
+    hi: float
+
+    def check(self, measured: float) -> bool:
+        """Whether the measured value falls in the band."""
+        return self.lo <= measured <= self.hi
+
+    def row(self, measured: float) -> str:
+        """A formatted paper-vs-measured report line."""
+        mark = "ok" if self.check(measured) else "OUT-OF-BAND"
+        return (
+            f"{self.name:<44} paper={self.paper:8.3f}  "
+            f"measured={measured:8.3f}  band=[{self.lo:.2f},{self.hi:.2f}]  {mark}"
+        )
+
+
+def check_band(name: str, paper: float, measured: float, rel: float = 0.25) -> Expectation:
+    """Build an expectation with a symmetric relative band."""
+    return Expectation(name, paper, paper * (1 - rel), paper * (1 + rel))
+
+
+def ratio_band(name: str, paper: float, lo: float, hi: float) -> Expectation:
+    """Build an expectation with explicit bounds."""
+    return Expectation(name, paper, lo, hi)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table."""
+    srows: List[List[str]] = []
+    for row in rows:
+        srows.append(
+            [
+                floatfmt.format(c) if isinstance(c, float) else str(c)
+                for c in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """A horizontal bar chart for terminal output."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    vmax = max(values) if values else 1.0
+    vmax = vmax or 1.0
+    lw = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * max(1, int(round(width * v / vmax))) if v > 0 else ""
+        lines.append(f"{label.ljust(lw)} |{bar.ljust(width)}| {v:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""The paper's four evaluation applications, each in all three models.
+
+Every module exposes a ``Config`` dataclass, ``run_model(model, cfg,
+...)`` returning a :class:`~repro.core.executor.RegionResult`, and
+``run_all`` returning a :class:`~repro.apps.common.VersionSet` with the
+Naive / Pipelined / Pipelined-buffer trio the figures compare.
+
+* :mod:`repro.apps.stencil` — Parboil stencil (iterated Jacobi sweeps)
+* :mod:`repro.apps.conv3d` — Polybench 3-D convolution
+* :mod:`repro.apps.matmul` — Polybench matrix multiplication
+  (baseline / block-shared / pipeline-buffer)
+* :mod:`repro.apps.qcd` — Lattice QCD (small/medium/large datasets)
+"""
+
+from repro.apps.common import VersionSet, new_runtime
+
+__all__ = ["VersionSet", "new_runtime"]

@@ -1,0 +1,75 @@
+"""Shared scaffolding for the evaluation applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.executor import RegionResult
+from repro.gpu.runtime import Runtime
+from repro.sim.device import Device
+from repro.sim.profiles import DeviceProfile, profile_by_name
+
+__all__ = ["MODELS", "VersionSet", "new_runtime", "resolve_profile"]
+
+#: The paper's three execution models, in figure order.
+MODELS = ("naive", "pipelined", "pipelined-buffer")
+
+
+def resolve_profile(device) -> DeviceProfile:
+    """Accept a profile object or a short name (``"k40m"``/``"hd7970"``)."""
+    if isinstance(device, DeviceProfile):
+        return device
+    return profile_by_name(str(device))
+
+
+def new_runtime(device="k40m", *, virtual: bool = False) -> Runtime:
+    """A fresh runtime on a fresh simulated device.
+
+    Each measured version runs on its own device so timelines, clocks,
+    and memory peaks never bleed between versions — the equivalent of
+    the paper running each configuration as a separate process.
+    """
+    return Runtime(Device(resolve_profile(device)), virtual=virtual)
+
+
+@dataclass
+class VersionSet:
+    """Results of one benchmark under the paper's three models."""
+
+    app: str
+    dataset: str
+    device: str
+    naive: RegionResult
+    pipelined: RegionResult
+    buffer: RegionResult
+
+    @property
+    def results(self) -> Dict[str, RegionResult]:
+        """Model-name -> result mapping."""
+        return {
+            "naive": self.naive,
+            "pipelined": self.pipelined,
+            "pipelined-buffer": self.buffer,
+        }
+
+    def speedup(self, model: str) -> float:
+        """Speedup of ``model`` over Naive (Figure 5's quantity)."""
+        return self.naive.elapsed / self.results[model].elapsed
+
+    def memory_saving(self) -> float:
+        """Fractional peak-memory saving of Pipelined-buffer vs Naive
+        (Figure 6's quantity)."""
+        return 1.0 - self.buffer.memory_peak / self.naive.memory_peak
+
+    def summary_row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.app:<10} {self.dataset:<10} "
+            f"naive={self.naive.elapsed:9.4f}s  "
+            f"pipelined={self.pipelined.elapsed:9.4f}s ({self.speedup('pipelined'):4.2f}x)  "
+            f"buffer={self.buffer.elapsed:9.4f}s ({self.speedup('pipelined-buffer'):4.2f}x)  "
+            f"mem {self.naive.memory_peak / 1e6:8.1f}->"
+            f"{self.buffer.memory_peak / 1e6:8.1f} MB "
+            f"(-{100 * self.memory_saving():.0f}%)"
+        )

@@ -1,0 +1,148 @@
+"""Polybench matrix-multiplication application driver.
+
+Versions (paper Section V-E):
+
+* ``baseline`` — naive offload + naive kernel,
+* ``block_shared`` — naive offload + tiled kernel (~3x faster kernel),
+* ``pipeline-buffer`` — the proposed runtime: the reduction dimension
+  is partitioned into blocks; each chunk streams a **column band of A**
+  (non-contiguous, pitched 2-D copies) and a row band of ``B`` through
+  ring buffers while ``C`` stays resident and accumulates.
+
+Because the full-footprint versions need ``3 n^2 * 8`` bytes, the two
+largest paper sizes (20480, 24576) raise device OOM for them but run
+under the ring-buffered version — reproduced by
+:func:`run_model` returning ``None`` on OOM (Figures 9/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.apps.common import new_runtime
+from repro.core.executor import RegionResult
+from repro.core.memlimit import MemLimitError
+from repro.core.region import TargetRegion
+from repro.directives.clauses import Loop
+from repro.gpu.errors import OutOfMemoryError
+from repro.kernels.matmul import (
+    MatmulChunkKernel,
+    MatmulWholeKernel,
+    init_matrices,
+)
+from repro.sim.varray import VirtualArray
+
+__all__ = ["MatmulConfig", "MATMUL_MODELS", "make_arrays", "make_region", "run_model", "run_sweep"]
+
+MATMUL_MODELS = ("baseline", "block_shared", "pipeline-buffer")
+
+
+@dataclass
+class MatmulConfig:
+    """Problem + pipeline parameters.
+
+    ``block`` is the reduction-block width (columns of A / rows of B
+    per loop iteration).
+    """
+
+    n: int = 4096
+    block: int = 512
+    chunk_size: int = 1
+    num_streams: int = 2
+    schedule: str = "static"
+    halo_mode: str = "dedup"
+    mem_limit: str = ""
+
+    def __post_init__(self) -> None:
+        self.block = min(self.block, self.n)
+
+    @property
+    def nblocks(self) -> int:
+        """Number of reduction blocks (ceil division)."""
+        return -(-self.n // self.block)
+
+    @property
+    def dataset(self) -> str:
+        """Human-readable dataset label."""
+        return str(self.n)
+
+
+def make_arrays(cfg: MatmulConfig, *, virtual: bool = False) -> Dict[str, np.ndarray]:
+    """Host matrices; virtual mode carries shapes only."""
+    if virtual:
+        shape = (cfg.n, cfg.n)
+        return {
+            "A": VirtualArray(shape, np.float64),
+            "B": VirtualArray(shape, np.float64),
+            "C": VirtualArray(shape, np.float64),
+        }
+    a, b, c = init_matrices(cfg.n)
+    return {"A": a, "B": b, "C": c}
+
+
+def make_region(cfg: MatmulConfig) -> TargetRegion:
+    """Pipeline region over reduction blocks ``kb``.
+
+    ``A``'s split is its *second* dimension — the clause's bracket
+    position selects it — producing non-contiguous transfers.
+    """
+    mem = f"pipeline_mem_limit({cfg.mem_limit})" if cfg.mem_limit else ""
+    pragma = f"""
+        #pragma omp target \\
+            pipeline({cfg.schedule}[{cfg.chunk_size},{cfg.num_streams}]) \\
+            pipeline_map(to: A[0:{cfg.n}][kb*{cfg.block}:{cfg.block}]) \\
+            pipeline_map(to: B[kb*{cfg.block}:{cfg.block}][0:{cfg.n}]) \\
+            map(tofrom: C) \\
+            {mem}
+    """
+    return TargetRegion.parse(
+        pragma, loop=Loop("kb", 0, cfg.nblocks), halo_mode=cfg.halo_mode
+    )
+
+
+def run_checked(
+    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False
+):
+    """Run one version; returns ``(result_or_None_on_OOM, C_or_None)``."""
+    rt = new_runtime(device, virtual=virtual)
+    arrays = make_arrays(cfg, virtual=virtual)
+    region = make_region(cfg)
+    try:
+        if model == "pipeline-buffer":
+            kernel = MatmulChunkKernel(cfg.n, cfg.block)
+            res = region.run(rt, arrays, kernel)
+        elif model in ("baseline", "block_shared"):
+            kernel = MatmulWholeKernel(cfg.n, variant=model, trips=cfg.nblocks)
+            res = region.run_naive(rt, arrays, kernel)
+        else:
+            raise ValueError(f"unknown matmul model {model!r}")
+    except (OutOfMemoryError, MemLimitError):
+        # allocation failed outright, or the memory-limit tuner proved
+        # no pipeline setting can fit (e.g. the resident C alone
+        # exceeds the card) — either way the version cannot run
+        return None, None
+    return res, (None if virtual else arrays["C"])
+
+
+def run_model(
+    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False
+) -> Optional[RegionResult]:
+    """Run one version; ``None`` signals device OOM (as in Figure 9,
+    where the two largest sizes have no baseline/block-shared bars)."""
+    return run_checked(model, cfg, device, virtual=virtual)[0]
+
+
+def run_sweep(
+    sizes, device="k40m", *, virtual: bool = True, **cfg_kwargs
+) -> Dict[int, Dict[str, Optional[RegionResult]]]:
+    """The Figure 9/10 sweep: every version at every size."""
+    out: Dict[int, Dict[str, Optional[RegionResult]]] = {}
+    for n in sizes:
+        cfg = MatmulConfig(n=n, **cfg_kwargs)
+        out[n] = {
+            m: run_model(m, cfg, device, virtual=virtual) for m in MATMUL_MODELS
+        }
+    return out

@@ -1,0 +1,291 @@
+"""Command-line harness: regenerate the paper's experiments.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro run fig5            # one figure
+    python -m repro run all             # everything
+    python -m repro run fig8 --device hd7970
+    python -m repro compare stencil     # three models on one app
+    python -m repro trace stencil -o stencil.json   # chrome://tracing
+
+The figure experiments mirror ``benchmarks/`` (which additionally
+asserts shape bands under pytest); the CLI is for interactive
+exploration and report generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.gantt import ascii_gantt, write_chrome_trace
+from repro.analysis.report import ascii_bar_chart, format_table
+
+__all__ = ["main"]
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+def _fig3(device: str) -> str:
+    from repro.apps import qcd as qc
+
+    rows = []
+    bars: List[float] = []
+    names = []
+    for d in ("small", "medium", "large"):
+        vs = qc.run_all(qc.QcdConfig.dataset(d), device, virtual=True)
+        dist = vs.naive.time_distribution
+        total = sum(dist.values())
+        rows.append(
+            [d, dist["h2d"] / total, dist["d2h"] / total, dist["kernel"] / total]
+        )
+        names.append(d)
+        bars.append(vs.speedup("pipelined"))
+    return (
+        format_table(["dataset", "HtoD", "DtoH", "kernel"], rows,
+                     title="Naive QCD time distribution")
+        + "\n\n"
+        + ascii_bar_chart(names, bars, unit="x", title="Pipelined speedup over Naive")
+    )
+
+
+def _fig4(device: str) -> str:
+    from repro.apps import qcd as qc
+
+    streams = (1, 2, 3, 4, 5)
+    rows = []
+    for cs in (1, 2, 4, 8):
+        row = [f"chunk={cs}"]
+        for ns in streams:
+            r = qc.run_model(
+                "pipelined-buffer",
+                qc.QcdConfig(n=36, chunk_size=cs, num_streams=ns),
+                device,
+                virtual=True,
+            )
+            row.append(f"{r.elapsed * 1e3:.1f}")
+        rows.append(row)
+    return format_table(
+        [""] + [f"{s} stream" for s in streams], rows,
+        title="QCD-large execution time (ms)",
+    )
+
+
+def _fig5_fig6(device: str) -> str:
+    from repro.apps import conv3d as cv
+    from repro.apps import qcd as qc
+    from repro.apps import stencil as st
+
+    sets = {
+        "3dconv": cv.run_all(cv.Conv3dConfig(), device, virtual=True),
+        "stencil": st.run_all(st.StencilConfig(), device, virtual=True),
+    }
+    for d in ("small", "medium", "large"):
+        sets[f"qcd-{d}"] = qc.run_all(qc.QcdConfig.dataset(d), device, virtual=True)
+    rows = [
+        [
+            name,
+            vs.speedup("pipelined"),
+            vs.speedup("pipelined-buffer"),
+            vs.naive.memory_peak / 1e6,
+            vs.buffer.memory_peak / 1e6,
+            f"{100 * vs.memory_saving():.0f}%",
+        ]
+        for name, vs in sets.items()
+    ]
+    return format_table(
+        ["benchmark", "pipelined x", "buffer x", "naive MB", "buffer MB", "saved"],
+        rows,
+        title="Speedup and memory by benchmark (Figures 5 & 6)",
+        floatfmt="{:.2f}",
+    )
+
+
+def _fig7(device: str) -> str:
+    from repro.apps import conv3d as cv
+    from repro.apps import stencil as st
+
+    out = []
+    for app, mod, cfg in (
+        ("3dconv", cv, lambda ns: cv.Conv3dConfig(num_streams=ns)),
+        ("stencil", st, lambda ns: st.StencilConfig(num_streams=ns)),
+    ):
+        naive = mod.run_model("naive", cfg(2), device, virtual=True)
+        rows = []
+        for ns in (2, 3, 4, 5, 6, 7, 8):
+            p = mod.run_model("pipelined", cfg(ns), device, virtual=True)
+            b = mod.run_model("pipelined-buffer", cfg(ns), device, virtual=True)
+            rows.append([ns, naive.elapsed / p.elapsed, naive.elapsed / b.elapsed])
+        out.append(
+            format_table(
+                ["streams", "Pipelined", "Pipelined-buffer"], rows,
+                title=f"{app}: speedup vs stream count",
+            )
+        )
+    return "\n\n".join(out)
+
+
+def _fig8(device: str) -> str:
+    from repro.apps import conv3d as cv
+
+    rows = []
+    for nchunks in (2, 3, 4, 6, 9, 12, 20, 30, 50, 382):
+        cs = max(1, 382 // nchunks)
+        vs = cv.run_all(
+            cv.Conv3dConfig(nz=384, ny=384, nx=384, chunk_size=cs, num_streams=2),
+            device,
+            virtual=True,
+        )
+        rows.append([nchunks, vs.speedup("pipelined")])
+    return format_table(
+        ["chunks", "speedup"], rows,
+        title=f"3dconv: speedup vs chunk count ({device})",
+    )
+
+
+def _fig9_fig10(device: str) -> str:
+    from repro.apps import matmul as mm
+
+    sweep = mm.run_sweep(
+        (1024, 2048, 4096, 8192, 10240, 12288, 14336, 20480, 24576),
+        device,
+        virtual=True,
+    )
+    rows = []
+    for n, r in sweep.items():
+        base = r["baseline"]
+        cells = [n]
+        for model in mm.MATMUL_MODELS:
+            res = r[model]
+            if res is None:
+                cells.append("OOM")
+            else:
+                sp = f"{base.elapsed / res.elapsed:.2f}x" if base else "runs"
+                cells.append(f"{sp}/{res.memory_peak / 1e6:.0f}MB")
+        rows.append(cells)
+    return format_table(
+        ["n", "baseline", "block_shared", "pipeline-buffer"], rows,
+        title="Matmul speedup/memory (Figures 9 & 10)",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[str], str]] = {
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5_fig6,
+    "fig6": _fig5_fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9_fig10,
+    "fig10": _fig9_fig10,
+}
+
+_APPS = ("stencil", "3dconv", "qcd", "matmul")
+
+
+def _compare(app: str, device: str) -> str:
+    if app == "stencil":
+        from repro.apps import stencil as st
+
+        return st.run_all(st.StencilConfig(), device, virtual=True).summary_row()
+    if app == "3dconv":
+        from repro.apps import conv3d as cv
+
+        return cv.run_all(cv.Conv3dConfig(), device, virtual=True).summary_row()
+    if app == "qcd":
+        from repro.apps import qcd as qc
+
+        return "\n".join(
+            qc.run_all(qc.QcdConfig.dataset(d), device, virtual=True).summary_row()
+            for d in ("small", "medium", "large")
+        )
+    if app == "matmul":
+        return _fig9_fig10(device)
+    raise SystemExit(f"unknown app {app!r}; know {_APPS}")
+
+
+def _trace(app: str, device: str, out: Optional[str], width: int) -> str:
+    from repro.apps import stencil as st
+    from repro.apps import conv3d as cv
+
+    if app == "stencil":
+        res = st.run_model(
+            "pipelined-buffer", st.StencilConfig(nz=16, ny=64, nx=64, iters=1),
+            device,
+        )
+    elif app == "3dconv":
+        res = cv.run_model(
+            "pipelined-buffer", cv.Conv3dConfig(nz=16, ny=64, nx=64), device
+        )
+    else:
+        raise SystemExit(f"trace supports stencil/3dconv, not {app!r}")
+    if out:
+        write_chrome_trace(res.timeline, out)
+        return f"wrote {out} (open in chrome://tracing or ui.perfetto.dev)"
+    return ascii_gantt(res.timeline, width=width)
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'Directive-Based "
+        "Partitioning and Pipelining for GPUs' (IPDPS 2017)",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one figure experiment (or 'all')")
+    run.add_argument("experiment", help="fig3..fig10 or 'all'")
+    run.add_argument("--device", default="k40m", help="k40m (default) or hd7970")
+
+    cmp_ = sub.add_parser("compare", help="three models on one application")
+    cmp_.add_argument("app", help="/".join(_APPS))
+    cmp_.add_argument("--device", default="k40m")
+
+    tr = sub.add_parser("trace", help="timeline of a pipelined run")
+    tr.add_argument("app", help="stencil or 3dconv")
+    tr.add_argument("--device", default="k40m")
+    tr.add_argument("-o", "--out", default=None, help="write chrome-trace JSON here")
+    tr.add_argument("--width", type=int, default=100, help="ascii gantt width")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.cmd == "list":
+        for name in sorted(set(EXPERIMENTS)):
+            print(name)
+        return 0
+    if args.cmd == "run":
+        names = sorted(set(EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
+        seen = set()
+        for name in names:
+            fn = EXPERIMENTS.get(name)
+            if fn is None:
+                print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+                return 2
+            if fn in seen:  # fig5/fig6 and fig9/fig10 share a generator
+                continue
+            seen.add(fn)
+            print(f"\n===== {name} ({args.device}) =====")
+            print(fn(args.device))
+        return 0
+    if args.cmd == "compare":
+        print(_compare(args.app, args.device))
+        return 0
+    if args.cmd == "trace":
+        print(_trace(args.app, args.device, args.out, args.width))
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

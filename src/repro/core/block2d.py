@@ -1,0 +1,232 @@
+"""2-D block data regions: streaming matrix tiles through the device.
+
+The paper's prototype "handles non-contiguous copies for 2D arrays,
+which means buffering a 'Block' of a matrix.  If split_iter is applied
+to both dimensions of a 2D array, we mark it as a 2D data region and
+record the corresponding information, e.g., ``x_offset`` and
+``y_offset``.  Depending on the data dependencies of each subtask, we
+map the required data to this buffer and then pass the offsets in the
+buffer to the corresponding computation kernels."
+
+This module is that 2-D data-region machinery: a matrix is processed
+tile by tile, each tile moved with pitched (``cudaMemcpy2DAsync``-
+priced) transfers into a slot of a pre-allocated tile buffer
+(slot ``index % num_streams`` — the same modular rule as the 1-D
+rings), the per-tile kernel receives the buffer view plus the tile's
+``(row_offset, col_offset)``, and results stream back the same way.
+Device memory is bounded by ``num_streams`` tiles per array instead of
+the full matrices.
+
+Tiles are disjoint, so unlike the 1-D pipeline there is no halo or
+transfer de-duplication; slot reuse is safe by in-order stream
+semantics (slot == stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.executor import RegionResult, _Measurer
+from repro.directives.clauses import DirectiveError
+from repro.gpu.runtime import Runtime
+from repro.sim.profiles import DeviceProfile
+from repro.sim.varray import is_virtual
+
+__all__ = ["Block2DRegion", "TileKernel", "TileView"]
+
+
+@dataclass
+class TileView:
+    """A kernel's window onto one array's current tile.
+
+    Attributes
+    ----------
+    data:
+        The device-buffer view holding the tile (``None`` in virtual
+        mode).  Shape is the tile's actual (possibly ragged) shape.
+    row_offset, col_offset:
+        Global coordinates of the tile's top-left element — the
+        ``x_offset``/``y_offset`` the paper passes to its kernels.
+    """
+
+    data: Optional[np.ndarray]
+    row_offset: int
+    col_offset: int
+
+
+class TileKernel:
+    """Per-tile kernel: cost model + functional NumPy body."""
+
+    name = "tile-kernel"
+
+    def cost(self, profile: DeviceProfile, rows: int, cols: int) -> float:
+        """Modelled execution seconds for one ``rows x cols`` tile."""
+        raise NotImplementedError
+
+    def run(self, ins: Dict[str, TileView], outs: Dict[str, TileView]) -> None:
+        """Compute output tiles from input tiles (same grid position)."""
+        raise NotImplementedError
+
+
+class Block2DRegion:
+    """A tiled 2-D offload region.
+
+    Parameters
+    ----------
+    shape:
+        The (rows, cols) of every mapped matrix (all must match).
+    tile:
+        The (tile_rows, tile_cols) block size; edge tiles are ragged.
+    num_streams:
+        GPU streams / buffer slots per array.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        tile: Tuple[int, int],
+        num_streams: int = 2,
+    ) -> None:
+        rows, cols = int(shape[0]), int(shape[1])
+        trows, tcols = int(tile[0]), int(tile[1])
+        if rows < 1 or cols < 1:
+            raise DirectiveError("matrix shape must be positive")
+        if not (1 <= trows <= rows and 1 <= tcols <= cols):
+            raise DirectiveError("tile must fit within the matrix")
+        if num_streams < 1:
+            raise DirectiveError("num_streams must be >= 1")
+        self.shape = (rows, cols)
+        self.tile = (trows, tcols)
+        self.num_streams = num_streams
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        """Tiles per dimension (ceil division)."""
+        return (
+            -(-self.shape[0] // self.tile[0]),
+            -(-self.shape[1] // self.tile[1]),
+        )
+
+    def tiles(self):
+        """Yield ``(index, r0, r1, c0, c1)`` in row-major order."""
+        gr, gc = self.grid
+        idx = 0
+        for i in range(gr):
+            for j in range(gc):
+                r0 = i * self.tile[0]
+                c0 = j * self.tile[1]
+                yield (
+                    idx,
+                    r0,
+                    min(r0 + self.tile[0], self.shape[0]),
+                    c0,
+                    min(c0 + self.tile[1], self.shape[1]),
+                )
+                idx += 1
+
+    def buffer_bytes(self, dtypes: Dict[str, np.dtype]) -> int:
+        """Device bytes the region pre-allocates."""
+        per_tile = self.tile[0] * self.tile[1]
+        return sum(
+            self.num_streams * per_tile * np.dtype(dt).itemsize
+            for dt in dtypes.values()
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        runtime: Runtime,
+        inputs: Dict[str, np.ndarray],
+        outputs: Dict[str, np.ndarray],
+        kernel: TileKernel,
+    ) -> RegionResult:
+        """Stream every tile through the device buffer.
+
+        ``inputs`` are copied host->device per tile; ``outputs`` are
+        produced per tile and copied back.  All arrays must share the
+        region's shape.
+        """
+        for name, arr in {**inputs, **outputs}.items():
+            if tuple(arr.shape) != self.shape:
+                raise DirectiveError(
+                    f"{name}: shape {tuple(arr.shape)} != region {self.shape}"
+                )
+        meas = _Measurer(runtime)
+        streams = [runtime.create_stream(f"tile{i}") for i in range(self.num_streams)]
+        trows, tcols = self.tile
+
+        # slot buffers: num_streams tiles per array, shaped (S*trows, tcols)
+        in_buf = {
+            n: runtime.malloc((self.num_streams * trows, tcols), a.dtype, tag=f"{n}:tiles")
+            for n, a in inputs.items()
+        }
+        out_buf = {
+            n: runtime.malloc((self.num_streams * trows, tcols), a.dtype, tag=f"{n}:tiles")
+            for n, a in outputs.items()
+        }
+        virtual = runtime.virtual or any(
+            is_virtual(a) for a in list(inputs.values()) + list(outputs.values())
+        )
+
+        ntiles = 0
+        for idx, r0, r1, c0, c1 in self.tiles():
+            ntiles += 1
+            slot = idx % self.num_streams
+            st = streams[slot]
+            th, tw = r1 - r0, c1 - c0
+            srow = slot * trows
+
+            for name, host in inputs.items():
+                dview = in_buf[name][srow : srow + th, :tw]
+                runtime.memcpy_h2d_async(
+                    dview,
+                    host[r0:r1, c0:c1],
+                    st,
+                    rows=th,
+                    row_bytes=tw * host.dtype.itemsize,
+                    label=f"h2d:{name}[{r0}:{r1},{c0}:{c1}]",
+                )
+
+            payload = None
+            if not virtual:
+
+                def payload(r0=r0, c0=c0, th=th, tw=tw, srow=srow):
+                    ins = {
+                        n: TileView(
+                            in_buf[n].backing[srow : srow + th, :tw], r0, c0
+                        )
+                        for n in inputs
+                    }
+                    outs = {
+                        n: TileView(
+                            out_buf[n].backing[srow : srow + th, :tw], r0, c0
+                        )
+                        for n in outputs
+                    }
+                    kernel.run(ins, outs)
+
+            runtime.launch(
+                kernel.cost(runtime.profile, th, tw),
+                payload,
+                st,
+                label=f"{kernel.name}[{r0}:{r1},{c0}:{c1}]",
+            )
+
+            for name, host in outputs.items():
+                dview = out_buf[name][srow : srow + th, :tw]
+                runtime.memcpy_d2h_async(
+                    host[r0:r1, c0:c1],
+                    dview,
+                    st,
+                    rows=th,
+                    row_bytes=tw * host.dtype.itemsize,
+                    label=f"d2h:{name}[{r0}:{r1},{c0}:{c1}]",
+                )
+
+        runtime.synchronize()
+        for d in list(in_buf.values()) + list(out_buf.values()):
+            runtime.free(d)
+        return meas.finish("block2d", ntiles, trows * tcols, self.num_streams)

@@ -1,0 +1,167 @@
+"""Kernel protocol: cost model + functional body over translated views.
+
+On real hardware the paper keeps the OpenACC kernel body *identical*
+across versions and only swaps the base pointer/offsets ("the back-end
+runtime generates a new device base pointer and corresponding offsets,
+leaving the body identical").  Here a kernel is one object with two
+duties:
+
+* :meth:`RegionKernel.cost` — modelled device execution time for a
+  range of loop iterations (used by the simulator), and
+* :meth:`RegionKernel.run` — the NumPy functional body, which receives
+  a :class:`ChunkView` per mapped array and must use
+  :meth:`ChunkView.local` to translate global split-dimension indices —
+  exactly the index translation the paper's runtime performs.
+
+Because every execution model calls the *same* ``run`` with different
+views (whole arrays for Naive, array slices for Pipelined, ring-buffer
+slots for Pipelined-buffer), a single reference comparison validates
+all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.profiles import DeviceProfile
+
+__all__ = ["ChunkView", "RegionKernel", "make_kernel"]
+
+
+@dataclass
+class ChunkView:
+    """A kernel's window onto one mapped array for one chunk.
+
+    Attributes
+    ----------
+    data:
+        The backing NumPy view/array, or ``None`` in virtual mode
+        (kernels are not run then).
+    split_dim:
+        The split dimension, or ``None`` for resident (whole-array)
+        maps.
+    lo:
+        Global split-dimension index corresponding to local index 0.
+        For resident maps this is 0.
+    hi:
+        One past the last global split-dimension index in the view.
+    """
+
+    data: Optional[np.ndarray]
+    split_dim: Optional[int]
+    lo: int
+    hi: int
+
+    def local(self, global_index: int) -> int:
+        """Translate a global split-dim index into this view."""
+        return global_index - self.lo
+
+    def local_slice(self, g_lo: int, g_hi: int) -> slice:
+        """Translate a global half-open range into a local slice."""
+        if g_lo < self.lo or g_hi > self.hi:
+            raise IndexError(
+                f"chunk view covers [{self.lo}, {self.hi}); "
+                f"requested [{g_lo}, {g_hi})"
+            )
+        return slice(g_lo - self.lo, g_hi - self.lo)
+
+    def take(self, g_lo: int, g_hi: int) -> np.ndarray:
+        """The sub-view for a global split-dim range."""
+        if self.split_dim is None:
+            raise ValueError("take() on a resident view; index it directly")
+        idx = [slice(None)] * self.data.ndim
+        idx[self.split_dim] = self.local_slice(g_lo, g_hi)
+        return self.data[tuple(idx)]
+
+
+class RegionKernel:
+    """Base class for pipelined kernels.
+
+    Subclasses implement :meth:`cost` and :meth:`run` and may override
+    :attr:`index_penalty`.
+
+    Attributes
+    ----------
+    name:
+        Label used in traces.
+    index_penalty:
+        Relative kernel slowdown when array accesses go through the
+        ring-buffer offset translation (the "Pipelined-buffer" model).
+        The paper finds this negligible for simple kernels but
+        measurable for Lattice QCD's "huge indexing operation"; each
+        application calibrates its own value.
+    """
+
+    name: str = "kernel"
+    index_penalty: float = 0.01
+
+    def cost(self, profile: DeviceProfile, t0: int, t1: int) -> float:
+        """Modelled execution seconds for loop iterations ``[t0, t1)``.
+
+        Implementations are pure functions of the iteration range and
+        the device profile (roofline-style; see
+        :mod:`repro.kernels.cost`).
+        """
+        raise NotImplementedError
+
+    def run(self, views: Dict[str, ChunkView], t0: int, t1: int) -> None:
+        """Execute iterations ``[t0, t1)`` against the given views.
+
+        Must only touch, for each mapped array, the global index range
+        its ``pipeline_map`` clause declares — the property tests
+        enforce this by construction of the views.
+        """
+        raise NotImplementedError
+
+    def chunk_cost(
+        self, profile: DeviceProfile, t0: int, t1: int, *, translated: bool
+    ) -> float:
+        """Cost including the index-translation penalty if applicable."""
+        c = self.cost(profile, t0, t1)
+        return c * (1.0 + self.index_penalty) if translated else c
+
+
+def make_kernel(
+    cost,
+    body,
+    *,
+    name: str = "kernel",
+    index_penalty: float = 0.01,
+) -> RegionKernel:
+    """Build a :class:`RegionKernel` from two functions.
+
+    A convenience for the common case where a full class is ceremony:
+
+    >>> k = make_kernel(
+    ...     cost=lambda profile, t0, t1: (t1 - t0) * 1e-6,
+    ...     body=lambda views, t0, t1: None,
+    ...     name="noop",
+    ... )
+
+    Parameters
+    ----------
+    cost:
+        ``(profile, t0, t1) -> seconds``.
+    body:
+        ``(views, t0, t1) -> None`` — the functional NumPy body over
+        translated :class:`ChunkView` objects.
+    name, index_penalty:
+        Forwarded to the kernel attributes.
+    """
+    if not callable(cost) or not callable(body):
+        raise TypeError("cost and body must be callable")
+
+    class _FnKernel(RegionKernel):
+        def cost(self, profile, t0, t1):  # noqa: D102 - delegated
+            return cost(profile, t0, t1)
+
+        def run(self, views, t0, t1):  # noqa: D102 - delegated
+            body(views, t0, t1)
+
+    _FnKernel.name = name
+    _FnKernel.index_penalty = float(index_penalty)
+    _FnKernel.__name__ = f"FnKernel_{name}"
+    return _FnKernel()

@@ -1,0 +1,71 @@
+"""``pipeline_mem_limit`` — fitting the plan into a memory budget.
+
+The paper: "The ``num_stream`` and ``chunk_size`` parameters determine
+the size of the device buffer, which we tune before we allocate the
+buffer to fit total memory usage within available size."
+
+:func:`tune_plan` implements that tuning deterministically: it keeps
+the user's requested parameters when they fit, otherwise it shrinks
+``chunk_size`` (halving), then ``num_streams`` (decrementing, floor 1),
+and raises :class:`MemLimitError` when even ``(1, 1)`` exceeds the
+budget — the unrecoverable-OOM situation the paper argues the clause
+exists to prevent.
+
+When no explicit limit is given, the device's currently-free memory is
+the budget, making regions "resilient to changes in device memory
+sizes" as the paper puts it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.plan import RegionPlan
+
+__all__ = ["MemLimitError", "tune_plan"]
+
+
+class MemLimitError(MemoryError):
+    """The region cannot fit the memory budget at any pipeline setting."""
+
+    def __init__(self, needed: int, limit: int) -> None:
+        super().__init__(
+            f"pipeline region needs at least {needed} B of device memory, "
+            f"limit is {limit} B"
+        )
+        self.needed = needed
+        self.limit = limit
+
+
+def tune_plan(plan: RegionPlan, limit_bytes: Optional[int]) -> RegionPlan:
+    """Shrink pipeline parameters until the plan fits ``limit_bytes``.
+
+    Parameters
+    ----------
+    plan:
+        The requested plan.
+    limit_bytes:
+        The budget; ``None`` means "no limit" and returns the plan
+        unchanged.
+
+    Returns
+    -------
+    RegionPlan
+        The original plan if it fits, otherwise a copy with reduced
+        ``chunk_size``/``num_streams``.
+    """
+    if limit_bytes is None:
+        return plan
+    if plan.device_bytes() <= limit_bytes:
+        return plan
+    cs, ns = plan.chunk_size, plan.num_streams
+    candidate = plan
+    while candidate.device_bytes() > limit_bytes:
+        if cs > 1:
+            cs = max(1, cs // 2)
+        elif ns > 1:
+            ns -= 1
+        else:
+            raise MemLimitError(candidate.device_bytes(), limit_bytes)
+        candidate = plan.with_params(cs, ns)
+    return candidate

@@ -1,0 +1,202 @@
+"""Multi-device co-scheduling (the paper's future work).
+
+The paper's conclusion: "we will test and analyze our approach on
+other systems, such as Intel Xeon Phi co-processors, and even
+multi-nodes with different accelerators", building on the authors'
+CoreTSAR work which "divides computation across devices".
+
+This module combines the two ideas: the pipelined loop is *partitioned
+across devices* (CoreTSAR-style association of data to computation
+along the split dimension) and each device's share is then *pipelined*
+through its own ring buffer.  Because ``pipeline_map`` already states
+which array slice each iteration needs, the same clauses drive both
+levels — no new annotation is required.
+
+Device shares are chosen proportionally to measured device throughput:
+each device gets a virtual **dry-run probe** of a few chunks (the same
+simulator-as-performance-model trick the autotuner uses), and the loop
+is split by the resulting rates.  A heterogeneous pair (K40m + HD 7970)
+therefore gets an uneven split rather than a naive half/half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.executor import RegionResult, execute_pipeline
+from repro.core.kernel import RegionKernel
+from repro.core.plan import RegionPlan
+from repro.directives.clauses import DirectiveError, Loop
+from repro.directives.splitspec import SplitSpec
+from repro.gpu.runtime import Runtime
+from repro.sim.device import Device
+from repro.sim.varray import VirtualArray
+
+__all__ = ["MultiDeviceResult", "execute_multi_device", "probe_rates", "split_loop"]
+
+
+@dataclass
+class MultiDeviceResult:
+    """Outcome of one multi-device pipelined execution.
+
+    Attributes
+    ----------
+    per_device:
+        Each device's :class:`RegionResult`, in device order.
+    shares:
+        Iterations assigned per device.
+    elapsed:
+        Wall time: the devices run concurrently, so the slowest one
+        defines the region's end-to-end time.
+    """
+
+    per_device: List[RegionResult]
+    shares: List[int]
+
+    @property
+    def elapsed(self) -> float:
+        """Concurrent wall time (max over devices)."""
+        return max(r.elapsed for r in self.per_device)
+
+    @property
+    def total_memory_peak(self) -> int:
+        """Sum of per-device peaks (each device has its own memory)."""
+        return sum(r.memory_peak for r in self.per_device)
+
+    def imbalance(self) -> float:
+        """Relative gap between the slowest and fastest device."""
+        times = [r.elapsed for r in self.per_device]
+        return (max(times) - min(times)) / max(times)
+
+    def summary(self) -> str:
+        """Per-device digest plus the concurrent wall time."""
+        lines = [
+            f"device {i}: {share:5d} iters  {r.elapsed * 1e3:9.3f} ms  "
+            f"peak {r.memory_peak / 1e6:8.1f} MB"
+            for i, (share, r) in enumerate(zip(self.shares, self.per_device))
+        ]
+        lines.append(
+            f"wall (max): {self.elapsed * 1e3:.3f} ms  "
+            f"imbalance {self.imbalance():.1%}"
+        )
+        return "\n".join(lines)
+
+
+def _subloop_plan(plan: RegionPlan, t0: int, t1: int) -> RegionPlan:
+    """A plan restricted to iterations ``[t0, t1)``."""
+    sub = Loop(plan.loop.var, t0, t1)
+    specs = {
+        var: SplitSpec.derive(spec.clause, sub) for var, spec in plan.specs.items()
+    }
+    return RegionPlan(
+        loop=sub,
+        chunk_size=plan.chunk_size,
+        num_streams=plan.num_streams,
+        schedule=plan.schedule,
+        specs=specs,
+        residents=plan.residents,
+        dtypes=plan.dtypes,
+        shapes=plan.shapes,
+        halo_mode=plan.halo_mode,
+    )
+
+
+def probe_rates(
+    runtimes: Sequence[Runtime],
+    plan: RegionPlan,
+    arrays: Dict[str, np.ndarray],
+    kernel: RegionKernel,
+    *,
+    probe_iters: Optional[int] = None,
+) -> List[float]:
+    """Iterations/second each device sustains, from virtual dry runs.
+
+    The probe executes a short prefix of the loop on a scratch device
+    of each runtime's profile; rates feed :func:`split_loop`.
+    """
+    trip = plan.loop.trip_count
+    probe = probe_iters or max(plan.chunk_size * plan.num_streams * 2, trip // 8)
+    probe = min(probe, trip)
+    vsets = {n: VirtualArray(tuple(a.shape), a.dtype) for n, a in arrays.items()}
+    sub = _subloop_plan(plan, plan.loop.start, plan.loop.start + probe)
+    rates = []
+    for rt in runtimes:
+        scratch = Runtime(Device(rt.profile), virtual=True)
+        res = execute_pipeline(scratch, sub, vsets, kernel)
+        rates.append(probe / res.elapsed)
+    return rates
+
+
+def split_loop(loop: Loop, weights: Sequence[float]) -> List[Tuple[int, int]]:
+    """Partition the loop into contiguous shares proportional to
+    ``weights``; every device gets at least one iteration when
+    possible."""
+    if not weights or any(w <= 0 for w in weights):
+        raise DirectiveError("device weights must be positive")
+    trip = loop.trip_count
+    if trip < len(weights):
+        raise DirectiveError(
+            f"cannot split {trip} iterations over {len(weights)} devices"
+        )
+    total = sum(weights)
+    bounds = [loop.start]
+    acc = 0.0
+    for w in weights[:-1]:
+        acc += w
+        bounds.append(loop.start + round(trip * acc / total))
+    bounds.append(loop.stop)
+    # enforce at least one iteration per device
+    for i in range(1, len(bounds)):
+        if bounds[i] <= bounds[i - 1]:
+            bounds[i] = bounds[i - 1] + 1
+    bounds[-1] = loop.stop
+    for i in range(len(bounds) - 1, 0, -1):
+        if bounds[i] <= bounds[i - 1]:
+            bounds[i - 1] = bounds[i] - 1
+    return [(bounds[i], bounds[i + 1]) for i in range(len(weights))]
+
+
+def execute_multi_device(
+    runtimes: Sequence[Runtime],
+    region,
+    arrays: Dict[str, np.ndarray],
+    kernel: RegionKernel,
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> MultiDeviceResult:
+    """Run one pipelined region across several devices.
+
+    Parameters
+    ----------
+    runtimes:
+        One runtime per device.  Each must be freshly created (its
+        clocks define that device's wall time).
+    region:
+        A :class:`~repro.core.region.TargetRegion`.
+    arrays:
+        Host arrays, shared by all devices (each device reads the
+        slices its iterations depend on and writes its own outputs).
+    kernel:
+        The region kernel (shared).
+    weights:
+        Optional explicit split weights; by default device throughput
+        is probed via virtual dry runs.
+    """
+    if not runtimes:
+        raise DirectiveError("need at least one device")
+    plan = region.bind(arrays)
+    if weights is None:
+        weights = probe_rates(runtimes, plan, arrays, kernel)
+    if len(weights) != len(runtimes):
+        raise DirectiveError("one weight per device required")
+    shares = split_loop(plan.loop, weights)
+    results = []
+    for rt, (t0, t1) in zip(runtimes, shares):
+        sub = _subloop_plan(plan, t0, t1)
+        results.append(execute_pipeline(rt, sub, arrays, kernel))
+    return MultiDeviceResult(
+        per_device=results, shares=[t1 - t0 for t0, t1 in shares]
+    )

@@ -1,0 +1,231 @@
+"""``TargetRegion`` — the user-facing entry point of the extension.
+
+A region is one pipelined offload construct: a pragma (or equivalent
+clause objects), the loop it applies to, and — once bound to host
+arrays — a resolved :class:`~repro.core.plan.RegionPlan`.  Usage
+mirrors the paper's Figure 2:
+
+>>> import numpy as np
+>>> from repro.core import TargetRegion
+>>> from repro.directives import Loop
+>>> nz = ny = nx = 16
+>>> A0 = np.random.default_rng(0).random((nz, ny, nx)).astype(np.float32)
+>>> Anext = np.zeros_like(A0)
+>>> region = TargetRegion.parse(f'''
+...     #pragma omp target \\
+...         pipeline(static[1,3]) \\
+...         pipeline_map(to: A0[k-1:3][0:{ny}][0:{nx}]) \\
+...         pipeline_map(from: Anext[k:1][0:{ny}][0:{nx}]) \\
+...         pipeline_mem_limit(256MB)
+... ''', loop=Loop("k", 1, nz - 1))
+
+then ``region.run(rt, {"A0": A0, "Anext": Anext}, kernel)`` executes it
+with the proposed runtime, and ``run_naive`` / ``run_pipelined`` give
+the paper's two baselines on the *same* clauses and kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.executor import RegionResult, execute_pipeline
+from repro.core.kernel import RegionKernel
+from repro.core.memlimit import tune_plan
+from repro.core.offload import execute_manual_pipelined, execute_naive
+from repro.core.plan import RegionPlan
+from repro.directives.clauses import (
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+from repro.directives.parser import ParsedPragma, parse_pragma
+from repro.directives.splitspec import SplitSpec
+from repro.gpu.runtime import Runtime
+
+__all__ = ["TargetRegion", "RegionResult"]
+
+
+class TargetRegion:
+    """One pipelined offload region (pragma + loop).
+
+    Construct with :meth:`parse` from pragma text, or directly from
+    clause objects.  All three execution models share the clauses and
+    the kernel, differing only in how data moves — exactly the paper's
+    Naive / Pipelined / Pipelined-buffer comparison.
+
+    Parameters
+    ----------
+    pipeline:
+        The ``pipeline(...)`` clause.
+    pipeline_maps:
+        ``pipeline_map`` clauses (at least one).
+    maps:
+        Resident ``map`` clauses.
+    mem_limit:
+        Optional ``pipeline_mem_limit`` clause.
+    loop:
+        The pipelined loop.
+    halo_mode:
+        ``"dedup"`` (default) or ``"duplicate"`` — see
+        :class:`~repro.core.plan.RegionPlan`.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineClause,
+        pipeline_maps: List[PipelineMapClause],
+        loop: Loop,
+        maps: Optional[List[MapClause]] = None,
+        mem_limit: Optional[MemLimitClause] = None,
+        halo_mode: str = "dedup",
+        device_num: Optional[int] = None,
+        privates: tuple = (),
+    ) -> None:
+        if not pipeline_maps:
+            raise DirectiveError("a pipeline region needs at least one pipeline_map")
+        self.pipeline = pipeline
+        self.pipeline_maps = list(pipeline_maps)
+        self.maps = list(maps or [])
+        self.mem_limit = mem_limit
+        self.loop = loop
+        self.halo_mode = halo_mode
+        #: ``device(n)`` clause value; see :meth:`select_runtime`
+        self.device_num = device_num
+        #: ``private(...)`` variables — recorded for fidelity; the
+        #: functional NumPy kernels allocate per-chunk temporaries
+        #: naturally, so no runtime action is needed
+        self.privates = tuple(privates)
+
+    @classmethod
+    def parse(cls, pragma: str, loop: Loop, *, halo_mode: str = "dedup") -> "TargetRegion":
+        """Build a region from pragma text (see
+        :func:`repro.directives.parser.parse_pragma`)."""
+        parsed: ParsedPragma = parse_pragma(pragma, loop)
+        return cls(
+            pipeline=parsed.pipeline,
+            pipeline_maps=parsed.pipeline_maps,
+            maps=parsed.maps,
+            mem_limit=parsed.mem_limit,
+            loop=loop,
+            halo_mode=halo_mode,
+            device_num=parsed.device_num,
+            privates=parsed.privates,
+        )
+
+    def select_runtime(self, runtimes) -> Runtime:
+        """Pick the runtime named by the ``device(n)`` clause.
+
+        ``runtimes`` may be a single runtime (returned as-is when no
+        clause or device 0 is requested) or a sequence indexed by
+        device number.
+        """
+        if isinstance(runtimes, Runtime):
+            if self.device_num not in (None, 0):
+                raise DirectiveError(
+                    f"region requests device({self.device_num}) but only one "
+                    f"runtime was provided"
+                )
+            return runtimes
+        idx = self.device_num or 0
+        try:
+            return runtimes[idx]
+        except IndexError as exc:
+            raise DirectiveError(
+                f"device({idx}) requested but only {len(runtimes)} runtimes given"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, arrays: Dict[str, np.ndarray]) -> RegionPlan:
+        """Resolve clauses against host arrays into a
+        :class:`RegionPlan` (without memory tuning).
+
+        Split-dimension lengths left as ``-1`` placeholders by the
+        parser are bound to the arrays' actual extents here.
+        """
+        specs: Dict[str, SplitSpec] = {}
+        dtypes: Dict[str, np.dtype] = {}
+        shapes: Dict[str, tuple] = {}
+        for clause in self.pipeline_maps:
+            if clause.var not in arrays:
+                raise DirectiveError(f"no host array bound for {clause.var!r}")
+            host = arrays[clause.var]
+            dims = list(clause.dims)
+            lo, length = dims[clause.split_dim]
+            if length == -1:
+                dims[clause.split_dim] = (0, int(host.shape[clause.split_dim]))
+                clause = replace(clause, dims=tuple(dims))
+            spec = SplitSpec.derive(clause, self.loop)
+            spec.validate_shape(tuple(host.shape))
+            specs[clause.var] = spec
+            dtypes[clause.var] = np.dtype(host.dtype)
+            shapes[clause.var] = tuple(host.shape)
+        residents: Dict[str, MapClause] = {}
+        for m in self.maps:
+            if m.var not in arrays:
+                raise DirectiveError(f"no host array bound for {m.var!r}")
+            residents[m.var] = m
+            dtypes[m.var] = np.dtype(arrays[m.var].dtype)
+            shapes[m.var] = tuple(arrays[m.var].shape)
+        return RegionPlan(
+            loop=self.loop,
+            chunk_size=self.pipeline.chunk_size,
+            num_streams=self.pipeline.num_streams,
+            schedule=self.pipeline.schedule,
+            specs=specs,
+            residents=residents,
+            dtypes=dtypes,
+            shapes=shapes,
+            halo_mode=self.halo_mode,
+        )
+
+    def plan_for(self, runtime: Runtime, arrays: Dict[str, np.ndarray]) -> RegionPlan:
+        """Bind and apply memory tuning (explicit limit, else free
+        device memory)."""
+        plan = self.bind(arrays)
+        limit = (
+            self.mem_limit.limit_bytes
+            if self.mem_limit is not None
+            else runtime.device.memory.free
+        )
+        return tune_plan(plan, limit)
+
+    # ------------------------------------------------------------------
+    # execution models
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        runtime: Runtime,
+        arrays: Dict[str, np.ndarray],
+        kernel: RegionKernel,
+    ) -> RegionResult:
+        """Execute with the proposed runtime ("Pipelined-buffer")."""
+        plan = self.plan_for(runtime, arrays)
+        return execute_pipeline(runtime, plan, arrays, kernel)
+
+    def run_pipelined(
+        self,
+        runtime: Runtime,
+        arrays: Dict[str, np.ndarray],
+        kernel: RegionKernel,
+    ) -> RegionResult:
+        """Execute the hand-coded OpenACC baseline ("Pipelined")."""
+        plan = self.bind(arrays)  # full-footprint model: no buffer tuning
+        return execute_manual_pipelined(runtime, plan, arrays, kernel)
+
+    def run_naive(
+        self,
+        runtime: Runtime,
+        arrays: Dict[str, np.ndarray],
+        kernel: RegionKernel,
+    ) -> RegionResult:
+        """Execute the synchronous whole-array baseline ("Naive")."""
+        plan = self.bind(arrays)
+        return execute_naive(runtime, plan, arrays, kernel)

@@ -1,0 +1,200 @@
+"""Device ring buffers: modular slot mapping and index translation.
+
+The paper: "we use the mod operator (%) to get the offset of each chunk
+inside the buffer.  For example, if we have a buffer that can hold four
+chunks ... we copy chunk i to position (i % 4).  Once a data chunk is
+not needed for later partitions (kernels), we replace it."
+
+We generalize the modular rule from chunk granularity to split-dim
+*unit* granularity: global split-dim index ``g`` lives at buffer
+position ``g % capacity``.  Consequences:
+
+* a dependency range ``[lo, hi)`` maps to at most **two** contiguous
+  buffer pieces (one when it does not wrap) — each piece is one DMA
+  transfer, exactly like a real implementation would issue;
+* consecutive chunks with overlapping halos share buffer contents, so
+  de-duplicated transfers ("removes the data that only previous chunks
+  require") fall out naturally;
+* index translation for kernels is ``local = g % capacity`` — the
+  offset arithmetic the paper passes into its OpenACC kernels.
+
+Liveness (not overwriting data an in-flight chunk still needs) is the
+*executor's* job, enforced with event dependencies; the ring only does
+geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.darray import DeviceArray
+from repro.gpu.runtime import Runtime
+
+__all__ = ["DeviceRing", "RingPiece"]
+
+
+@dataclass(frozen=True)
+class RingPiece:
+    """One contiguous piece of a (possibly wrapping) ring range.
+
+    Attributes
+    ----------
+    g_lo, g_hi:
+        Global split-dim half-open range covered by the piece.
+    pos:
+        Buffer position of ``g_lo`` (``g_lo % capacity``).
+    """
+
+    g_lo: int
+    g_hi: int
+    pos: int
+
+    @property
+    def extent(self) -> int:
+        """Units covered."""
+        return self.g_hi - self.g_lo
+
+
+class DeviceRing:
+    """A pre-allocated device ring buffer for one pipelined array.
+
+    Parameters
+    ----------
+    runtime:
+        The host runtime (allocates the buffer).
+    shape:
+        Host array shape.
+    split_dim:
+        Dimension being split.
+    capacity:
+        Ring capacity in split-dim units; the buffer's shape equals the
+        host shape with ``shape[split_dim]`` replaced by ``capacity``.
+    dtype:
+        Element type.
+    tag:
+        Allocator debug tag.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        shape: Tuple[int, ...],
+        split_dim: int,
+        capacity: int,
+        dtype,
+        tag: str = "",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        if not (0 <= split_dim < len(shape)):
+            raise ValueError("split_dim out of range")
+        self.split_dim = split_dim
+        self.capacity = int(capacity)
+        self.host_shape = tuple(int(s) for s in shape)
+        buf_shape = list(self.host_shape)
+        buf_shape[split_dim] = self.capacity
+        self.darr: DeviceArray = runtime.malloc(buf_shape, dtype, tag=tag or "ring")
+        #: elements in one split-dim unit
+        self.unit_elems = 1
+        for i, s in enumerate(self.host_shape):
+            if i != split_dim:
+                self.unit_elems *= s
+        self.itemsize = np.dtype(dtype).itemsize
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def pieces(self, g_lo: int, g_hi: int) -> List[RingPiece]:
+        """Decompose a global range into contiguous buffer pieces.
+
+        Raises ``ValueError`` if the range is wider than the ring —
+        such a range can never be resident at once.
+        """
+        if g_hi <= g_lo:
+            return []
+        if g_hi - g_lo > self.capacity:
+            raise ValueError(
+                f"range [{g_lo}, {g_hi}) wider than ring capacity {self.capacity}"
+            )
+        out: List[RingPiece] = []
+        lo = g_lo
+        while lo < g_hi:
+            pos = lo % self.capacity
+            span = min(g_hi - lo, self.capacity - pos)
+            out.append(RingPiece(lo, lo + span, pos))
+            lo += span
+        return out
+
+    def _axis_slice(self, lo: int, hi: int):
+        idx = [slice(None)] * len(self.host_shape)
+        idx[self.split_dim] = slice(lo, hi)
+        return tuple(idx)
+
+    def device_view(self, piece: RingPiece) -> DeviceArray:
+        """Device-array view for one piece."""
+        return self.darr[self._axis_slice(piece.pos, piece.pos + piece.extent)]
+
+    def host_section(self, host: np.ndarray, piece: RingPiece) -> np.ndarray:
+        """Host view for one piece (global coordinates)."""
+        return host[self._axis_slice(piece.g_lo, piece.g_hi)]
+
+    # ------------------------------------------------------------------
+    # functional access (real mode only)
+    # ------------------------------------------------------------------
+    def gather(self, g_lo: int, g_hi: int) -> Optional[np.ndarray]:
+        """Contiguous copy of a global range, reading ring contents.
+
+        Returns ``None`` in virtual mode.  This is the functional
+        equivalent of a kernel reading the ring through modular index
+        translation; the copy is host-side machinery only and carries
+        no simulated cost (the translated access cost is modelled by
+        :attr:`~repro.core.kernel.RegionKernel.index_penalty`).
+        """
+        if self.darr.is_virtual:
+            return None
+        ps = self.pieces(g_lo, g_hi)
+        if len(ps) == 1:
+            p = ps[0]
+            return np.ascontiguousarray(self.darr.backing[self._axis_slice(p.pos, p.pos + p.extent)])
+        parts = [
+            self.darr.backing[self._axis_slice(p.pos, p.pos + p.extent)] for p in ps
+        ]
+        return np.concatenate(parts, axis=self.split_dim)
+
+    def scatter(self, data: np.ndarray, g_lo: int, g_hi: int) -> None:
+        """Write a contiguous block into the ring at a global range."""
+        if self.darr.is_virtual:
+            return
+        off = 0
+        for p in self.pieces(g_lo, g_hi):
+            src = data[self._axis_slice(off, off + p.extent)]
+            self.darr.backing[self._axis_slice(p.pos, p.pos + p.extent)] = src
+            off += p.extent
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Device bytes held by the ring."""
+        return self.capacity * self.unit_elems * self.itemsize
+
+    def transfer_geometry(self, piece: RingPiece) -> Tuple[Optional[int], Optional[int]]:
+        """(rows, row_bytes) for pricing one piece's DMA, or (None,
+        None) when the piece is contiguous in host memory.
+
+        A split along the outermost dimension is contiguous; splitting
+        an inner dimension (matmul's column bands) produces a strided
+        2-D copy of ``rows`` rows.
+        """
+        if self.split_dim == 0:
+            return None, None
+        rows = 1
+        for s in self.host_shape[: self.split_dim]:
+            rows *= s
+        inner = 1
+        for s in self.host_shape[self.split_dim + 1:]:
+            inner *= s
+        row_bytes = piece.extent * inner * self.itemsize
+        return rows, row_bytes

@@ -1,0 +1,67 @@
+"""Chunk schedules: ``static`` (the paper) and ``adaptive`` (extension).
+
+The paper's prototype supports only ``pipeline(static[c, s])`` — fixed
+chunk size ``c`` on ``s`` streams — and names adaptive scheduling as
+future work ("future work will support adaptive schedules ...
+integrate a performance model into an auto-tuning scheduler").
+
+We implement a deterministic adaptive schedule as that extension:
+
+* the first ``s`` chunks use the requested (small) chunk size, so the
+  pipeline fills quickly and the un-overlappable first transfer is
+  small;
+* after each full wave of ``s`` chunks the chunk size doubles, up to
+  ``ADAPTIVE_MAX_FACTOR`` times the base size, amortizing per-chunk API
+  and launch overhead in steady state — the exact trade-off the paper
+  measures in its chunk-count study (Figure 8).
+
+Ring buffers are sized for the *maximum* chunk extent, so the adaptive
+schedule trades some memory for fewer API calls; the memory-limit
+tuner accounts for that via :attr:`RegionPlan.max_chunk_size`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.directives.clauses import Loop
+
+from repro.core.plan import Chunk
+
+__all__ = ["ADAPTIVE_MAX_FACTOR", "adaptive_chunks", "schedule_chunks"]
+
+#: Upper bound on adaptive chunk growth relative to the base size.
+ADAPTIVE_MAX_FACTOR = 8
+
+
+def adaptive_chunks(loop: Loop, base_chunk: int, num_streams: int) -> List[Chunk]:
+    """Build the ramp-up adaptive schedule described in the module doc."""
+    if base_chunk < 1:
+        raise ValueError("chunk_size must be >= 1")
+    max_chunk = base_chunk * ADAPTIVE_MAX_FACTOR
+    chunks: List[Chunk] = []
+    t = loop.start
+    size = base_chunk
+    wave = max(1, num_streams)
+    i = 0
+    while t < loop.stop:
+        hi = min(t + size, loop.stop)
+        chunks.append(Chunk(i, t, hi))
+        t = hi
+        i += 1
+        if i % wave == 0 and size < max_chunk:
+            size = min(size * 2, max_chunk)
+    return chunks
+
+
+def schedule_chunks(
+    schedule: str, loop: Loop, chunk_size: int, num_streams: int
+) -> List[Chunk]:
+    """Dispatch on schedule kind; returns the ordered chunk list."""
+    if schedule == "static":
+        from repro.core.plan import make_chunks
+
+        return make_chunks(loop, chunk_size)
+    if schedule == "adaptive":
+        return adaptive_chunks(loop, chunk_size, num_streams)
+    raise ValueError(f"unknown schedule {schedule!r}")

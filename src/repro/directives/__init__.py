@@ -1,0 +1,49 @@
+"""The proposed directive extension — front end.
+
+This package implements the clause set of the paper's Figure 1:
+
+.. code-block:: text
+
+    #pragma omp target \\
+        pipeline(schedule_kind[chunk_size, num_stream]) \\
+        pipeline_map(map_type: array_split_list) \\
+        pipeline_mem_limit(mem_size)
+
+* :mod:`repro.directives.clauses` — typed clause objects
+  (:class:`PipelineClause`, :class:`PipelineMapClause`,
+  :class:`MapClause`, :class:`MemLimitClause`) and the affine
+  ``split_iter`` expressions (``k``, ``k-1``, ``64*k``...).
+* :mod:`repro.directives.splitspec` — the array-section semantics of
+  ``<var>[split_iter:size][lo:len]...``: which dimension is split, what
+  slice of it one loop iteration (and hence one chunk) depends on.
+* :mod:`repro.directives.parser` — a text parser so the pragma from the
+  paper's Figure 2 can be passed verbatim (as a Python string).
+
+The runtime that executes parsed regions lives in :mod:`repro.core`.
+"""
+
+from repro.directives.clauses import (
+    Affine,
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+from repro.directives.parser import parse_pragma
+from repro.directives.splitspec import SplitSpec, chunk_range, iter_range
+
+__all__ = [
+    "Affine",
+    "DirectiveError",
+    "Loop",
+    "MapClause",
+    "MemLimitClause",
+    "PipelineClause",
+    "PipelineMapClause",
+    "SplitSpec",
+    "chunk_range",
+    "iter_range",
+    "parse_pragma",
+]

@@ -1,0 +1,252 @@
+"""Typed clause objects for the pipeline directive.
+
+These are the semantic form of the paper's Figure 1 grammar.  They can
+be built programmatically or produced by
+:func:`repro.directives.parser.parse_pragma`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Affine",
+    "DirectiveError",
+    "Loop",
+    "MapClause",
+    "MemLimitClause",
+    "PipelineClause",
+    "PipelineMapClause",
+]
+
+
+class DirectiveError(ValueError):
+    """A malformed or semantically invalid directive."""
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine function ``a * k + b`` of the pipelined loop variable.
+
+    ``split_iter`` expressions in ``pipeline_map`` are restricted to
+    this form (the paper's examples are ``k-1``, ``k``, ``k*b``); the
+    coefficient ``a`` must be positive so chunk dependencies advance
+    monotonically with the loop.
+    """
+
+    a: int = 1
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise DirectiveError(f"split_iter coefficient must be positive, got {self.a}")
+
+    def __call__(self, k: int) -> int:
+        """Evaluate at loop value ``k``."""
+        return self.a * k + self.b
+
+    _TERM = re.compile(r"^\s*([+-]?\d+)?\s*\*?\s*([A-Za-z_]\w*)?\s*$")
+
+    @classmethod
+    def parse(cls, text: str, var: str) -> "Affine":
+        """Parse expressions like ``k``, ``k-1``, ``3*k+2``, ``k*3``.
+
+        ``var`` is the loop variable name; any other identifier is an
+        error (the paper ties each region to exactly one loop
+        variable).
+        """
+        s = text.replace(" ", "")
+        if not s:
+            raise DirectiveError("empty split_iter expression")
+        # normalize leading sign handling by splitting into +/- terms
+        a = 0
+        b = 0
+        token = ""
+        terms: List[str] = []
+        for ch in s:
+            if ch in "+-" and token and token[-1] not in "*+-":
+                terms.append(token)
+                token = ch
+            else:
+                token += ch
+        terms.append(token)
+        for term in terms:
+            if not term or term in "+-":
+                raise DirectiveError(f"malformed split_iter term in {text!r}")
+            if var in term:
+                rest = term.replace(var, "", 1)
+                rest = rest.replace("*", "")
+                if rest in ("", "+"):
+                    coeff = 1
+                elif rest == "-":
+                    coeff = -1
+                else:
+                    try:
+                        coeff = int(rest)
+                    except ValueError as exc:
+                        raise DirectiveError(
+                            f"bad coefficient {rest!r} in split_iter {text!r}"
+                        ) from exc
+                a += coeff
+            else:
+                try:
+                    b += int(term)
+                except ValueError as exc:
+                    raise DirectiveError(
+                        f"unknown identifier in split_iter {text!r} "
+                        f"(loop variable is {var!r})"
+                    ) from exc
+        if a == 0:
+            raise DirectiveError(
+                f"split_iter {text!r} does not reference loop variable {var!r}"
+            )
+        return cls(a, b)
+
+    def format(self, var: str = "k") -> str:
+        """Render as pragma text with the given loop-variable name."""
+        coeff = "" if self.a == 1 else f"{self.a}*"
+        off = "" if self.b == 0 else (f"+{self.b}" if self.b > 0 else str(self.b))
+        return f"{coeff}{var}{off}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass(frozen=True)
+class Loop:
+    """The pipelined loop: ``for (var = start; var < stop; var += step)``.
+
+    Only the outermost loop is split (the paper's current design);
+    nested loops stay inside the kernel.
+    """
+
+    var: str
+    start: int
+    stop: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step != 1:
+            raise DirectiveError("only unit-stride pipelined loops are supported")
+        if self.stop < self.start:
+            raise DirectiveError(f"empty loop [{self.start}, {self.stop})")
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations."""
+        return self.stop - self.start
+
+    def iterations(self) -> range:
+        """The iteration values."""
+        return range(self.start, self.stop, self.step)
+
+
+@dataclass(frozen=True)
+class PipelineClause:
+    """``pipeline(schedule_kind[chunk_size, num_stream])``.
+
+    ``schedule_kind`` is ``static`` (the paper's prototype) or
+    ``adaptive`` (listed as future work; implemented here as an
+    extension — see :mod:`repro.core.scheduler`).
+    """
+
+    schedule: str = "static"
+    chunk_size: int = 1
+    num_streams: int = 2
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("static", "adaptive"):
+            raise DirectiveError(f"unknown schedule kind {self.schedule!r}")
+        if self.chunk_size < 1:
+            raise DirectiveError("chunk_size must be >= 1")
+        if self.num_streams < 1:
+            raise DirectiveError("num_stream must be >= 1")
+
+
+@dataclass(frozen=True)
+class PipelineMapClause:
+    """``pipeline_map(map_type: var[split_iter:size][lo:len]...)``.
+
+    One bracket contains the loop variable: that bracket's *position*
+    selects the dimension being split, its :class:`Affine` offset and
+    ``size`` give the slice of that dimension a single loop iteration
+    depends on.  The remaining brackets are plain OpenMP-style array
+    sections ``[lower : length]`` describing the other dimensions.
+
+    **Function-based dependencies** (the paper's future work: "a
+    function-based extension that allows the developer to pass in a
+    function pointer"): supply ``dep_fn``, a callable mapping the loop
+    value ``k`` to the half-open split-dimension range ``(lo, hi)`` the
+    iteration depends on.  Both endpoints must be non-decreasing in
+    ``k`` (the runtime validates this when binding); ``split_iter`` and
+    ``size`` are ignored when ``dep_fn`` is set.
+
+    Note on array-section syntax: we follow OpenMP semantics where the
+    second number is a *length*.  The paper's Figure 2 writes
+    ``[0:ny-1]`` for a full ``ny``-extent dimension, reading more like
+    an inclusive upper bound; our parser accepts the same text but the
+    numbers must be the actual lengths.
+    """
+
+    direction: str  # "to" | "from" | "tofrom"
+    var: str
+    split_dim: int
+    split_iter: Affine
+    size: int
+    dims: Tuple[Tuple[int, int], ...]  # (lower, length) per dim, split dim too
+    dep_fn: Optional[object] = None  # Callable[[int], Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("to", "from", "tofrom"):
+            raise DirectiveError(f"bad map_type {self.direction!r}")
+        if self.size < 1:
+            raise DirectiveError("split size must be >= 1")
+        if not (0 <= self.split_dim < len(self.dims)):
+            raise DirectiveError("split_dim out of range")
+        if self.dep_fn is not None and not callable(self.dep_fn):
+            raise DirectiveError("dep_fn must be callable")
+
+    @property
+    def ndim(self) -> int:
+        """Rank of the mapped array."""
+        return len(self.dims)
+
+    @property
+    def is_input(self) -> bool:
+        """Whether data flows host -> device."""
+        return self.direction in ("to", "tofrom")
+
+    @property
+    def is_output(self) -> bool:
+        """Whether data flows device -> host."""
+        return self.direction in ("from", "tofrom")
+
+
+@dataclass(frozen=True)
+class MapClause:
+    """``map(map_type: var)`` — a resident (non-pipelined) array.
+
+    The whole array is placed on the device for the region's duration,
+    like a standard OpenMP/OpenACC ``map``/``data`` clause.  Matmul's
+    accumulated ``C`` uses ``map(tofrom: C)``.
+    """
+
+    direction: str
+    var: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("to", "from", "tofrom", "alloc"):
+            raise DirectiveError(f"bad map_type {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class MemLimitClause:
+    """``pipeline_mem_limit(mem_size)`` — max device bytes for the region."""
+
+    limit_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.limit_bytes <= 0:
+            raise DirectiveError("memory limit must be positive")

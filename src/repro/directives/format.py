@@ -1,0 +1,87 @@
+"""Formatting clause objects back into pragma text.
+
+The inverse of :func:`repro.directives.parser.parse_pragma`: given
+clause objects, produce a pragma string that parses back to equal
+clauses.  Useful for logging ("what did the memory-limit tuner actually
+run?"), for generating pragmas programmatically, and as the anchor of
+the parser's round-trip property tests.
+
+Function-based (``dep_fn``) clauses have no textual form — the paper's
+future-work extension is API-only — so formatting one raises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.directives.clauses import (
+    DirectiveError,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+from repro.directives.parser import ParsedPragma
+
+__all__ = ["format_clause", "format_pragma"]
+
+
+def _format_pipeline(c: PipelineClause) -> str:
+    return f"pipeline({c.schedule}[{c.chunk_size},{c.num_streams}])"
+
+
+def _format_pipeline_map(c: PipelineMapClause, var: str) -> str:
+    if c.dep_fn is not None:
+        raise DirectiveError(
+            f"{c.var}: function-based dependencies have no pragma form"
+        )
+    parts = []
+    for i, (lo, length) in enumerate(c.dims):
+        if i == c.split_dim:
+            parts.append(f"[{c.split_iter.format(var)}:{c.size}]")
+        else:
+            parts.append(f"[{lo}:{length}]")
+    return f"pipeline_map({c.direction}: {c.var}{''.join(parts)})"
+
+
+def _format_map(c: MapClause) -> str:
+    return f"map({c.direction}: {c.var})"
+
+
+def _format_mem_limit(c: MemLimitClause) -> str:
+    return f"pipeline_mem_limit({c.limit_bytes})"
+
+
+def format_clause(clause, *, loop_var: str = "k") -> str:
+    """Format a single clause object as pragma text."""
+    if isinstance(clause, PipelineClause):
+        return _format_pipeline(clause)
+    if isinstance(clause, PipelineMapClause):
+        return _format_pipeline_map(clause, loop_var)
+    if isinstance(clause, MapClause):
+        return _format_map(clause)
+    if isinstance(clause, MemLimitClause):
+        return _format_mem_limit(clause)
+    raise DirectiveError(f"not a clause: {clause!r}")
+
+
+def format_pragma(
+    parsed: ParsedPragma,
+    *,
+    loop_var: str = "k",
+    prefix: Optional[str] = "#pragma omp target",
+) -> str:
+    """Format a full parsed pragma back to text.
+
+    The output parses back (with a loop named ``loop_var``) to clause
+    objects equal to the originals, except that split-dimension extents
+    bound to arrays re-parse as the unbound ``-1`` placeholder; bind
+    again to restore them.
+    """
+    pieces = [_format_pipeline(parsed.pipeline)]
+    pieces += [_format_pipeline_map(m, loop_var) for m in parsed.pipeline_maps]
+    pieces += [_format_map(m) for m in parsed.maps]
+    if parsed.mem_limit is not None:
+        pieces.append(_format_mem_limit(parsed.mem_limit))
+    body = " ".join(pieces)
+    return f"{prefix} {body}" if prefix else body

@@ -1,0 +1,263 @@
+"""Text parser for the pipeline pragma.
+
+Accepts the paper's Figure 2 pragma verbatim (modulo being a Python
+string), e.g.::
+
+    #pragma omp target \\
+        pipeline(static[1,3]) \\
+        pipeline_map(to: A0[k-1:3][0:256][0:256]) \\
+        pipeline_map(from: Anext[k:1][0:256][0:256]) \\
+        pipeline_mem_limit(256MB)
+
+Supported clauses::
+
+    pipeline(<static|adaptive>[chunk_size, num_stream])
+    pipeline_map(<to|from|tofrom>: var[split_iter:size][lo:len]...)
+    pipeline_mem_limit(<int bytes | e.g. 256MB | MB_256>)
+    map(<to|from|tofrom|alloc>: var)         # resident arrays
+    device(<int>)                            # target device number
+    private(var, ...)                        # per-iteration privates
+
+The paper: "The other target clauses, for example, ``device`` or
+``private``, work as previously."  ``device(n)`` selects which runtime
+executes the region when several are registered; ``private`` is
+recorded but needs no action here — the functional NumPy kernels
+allocate their per-chunk temporaries naturally.
+
+Numbers must be literal integers — the paper's prototype likewise
+"allows all parameters to be passed explicitly" rather than relying on
+compiler analysis.  Format pragmas with f-strings to inject extents.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.directives.clauses import (
+    Affine,
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+
+__all__ = ["ParsedPragma", "parse_pragma", "parse_mem_size"]
+
+_CLAUSE_RE = re.compile(r"([A-Za-z_]\w*)\s*\(([^()]*)\)")
+_BRACKET_RE = re.compile(r"\[([^\[\]]*)\]")
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)\s*(B|KB|MB|GB|KiB|MiB|GiB)?$", re.IGNORECASE)
+_MACRO_RE = re.compile(r"^(B|KB|MB|GB)_(\d+)$", re.IGNORECASE)
+
+_UNITS = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+    "kib": 2**10,
+    "mib": 2**20,
+    "gib": 2**30,
+}
+
+
+def parse_mem_size(text: str) -> int:
+    """Parse a memory size: ``268435456``, ``256MB``, ``1.5GiB`` or the
+    paper's macro style ``MB_256``."""
+    s = text.strip()
+    m = _MACRO_RE.match(s)
+    if m:
+        return int(m.group(2)) * _UNITS[m.group(1).lower()]
+    m = _SIZE_RE.match(s)
+    if m:
+        value = float(m.group(1))
+        unit = (m.group(2) or "B").lower()
+        return int(value * _UNITS[unit])
+    raise DirectiveError(f"cannot parse memory size {text!r}")
+
+
+@dataclass
+class ParsedPragma:
+    """The result of :func:`parse_pragma`: clause objects by kind."""
+
+    pipeline: PipelineClause
+    pipeline_maps: List[PipelineMapClause] = field(default_factory=list)
+    maps: List[MapClause] = field(default_factory=list)
+    mem_limit: Optional[MemLimitClause] = None
+    #: ``device(n)`` clause value, or None
+    device_num: Optional[int] = None
+    #: variables named in ``private(...)`` clauses
+    privates: Tuple[str, ...] = ()
+
+    def map_for(self, var: str) -> PipelineMapClause:
+        """Look up the pipeline_map clause for a variable name."""
+        for m in self.pipeline_maps:
+            if m.var == var:
+                return m
+        raise KeyError(var)
+
+
+def _parse_int(text: str, what: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError as exc:
+        raise DirectiveError(f"{what}: expected integer, got {text.strip()!r}") from exc
+
+
+def _parse_pipeline(body: str) -> PipelineClause:
+    m = re.match(r"^\s*([A-Za-z_]\w*)\s*\[([^\]]*)\]\s*$", body)
+    if not m:
+        raise DirectiveError(
+            f"pipeline clause must be schedule[chunk,streams], got {body!r}"
+        )
+    kind = m.group(1)
+    parts = [p for p in m.group(2).split(",") if p.strip()]
+    if len(parts) != 2:
+        raise DirectiveError(f"pipeline({body!r}): need [chunk_size, num_stream]")
+    return PipelineClause(
+        schedule=kind,
+        chunk_size=_parse_int(parts[0], "chunk_size"),
+        num_streams=_parse_int(parts[1], "num_stream"),
+    )
+
+
+def _parse_pipeline_map(body: str, loop_var: str) -> PipelineMapClause:
+    if ":" not in body:
+        raise DirectiveError(f"pipeline_map needs 'map_type: sections', got {body!r}")
+    direction, rest = body.split(":", 1)
+    direction = direction.strip()
+    rest = rest.strip()
+    m = re.match(r"^([A-Za-z_]\w*)\s*((?:\[[^\[\]]*\]\s*)+)$", rest)
+    if not m:
+        raise DirectiveError(f"cannot parse array_split_list {rest!r}")
+    var = m.group(1)
+    brackets = _BRACKET_RE.findall(m.group(2))
+    split_dim = None
+    split_iter: Optional[Affine] = None
+    size = 0
+    dims: List[Tuple[int, int]] = []
+    ident = re.compile(r"[A-Za-z_]\w*")
+    for i, br in enumerate(brackets):
+        if ":" not in br:
+            raise DirectiveError(f"{var}: bracket [{br}] is not lo:len / iter:size")
+        left, right = br.split(":", 1)
+        has_var = any(tok == loop_var for tok in ident.findall(left))
+        if has_var:
+            if split_dim is not None:
+                raise DirectiveError(
+                    f"{var}: multiple split dimensions (only one split_iter allowed)"
+                )
+            split_dim = i
+            split_iter = Affine.parse(left, loop_var)
+            size = _parse_int(right, f"{var} split size")
+            # dimension length is unknown from this bracket alone; filled
+            # below from usage: we record (0, -1) placeholder and expect
+            # the caller/runtime to bind it to the array extent.
+            dims.append((0, -1))
+        else:
+            dims.append((_parse_int(left, f"{var} dim lower"),
+                         _parse_int(right, f"{var} dim length")))
+    if split_dim is None or split_iter is None:
+        raise DirectiveError(
+            f"{var}: no bracket references the loop variable {loop_var!r}"
+        )
+    return PipelineMapClause(
+        direction=direction,
+        var=var,
+        split_dim=split_dim,
+        split_iter=split_iter,
+        size=size,
+        dims=tuple(dims),
+    )
+
+
+def _parse_map(body: str) -> MapClause:
+    if ":" not in body:
+        raise DirectiveError(f"map needs 'map_type: var', got {body!r}")
+    direction, var = body.split(":", 1)
+    var = var.strip()
+    if not re.match(r"^[A-Za-z_]\w*$", var):
+        raise DirectiveError(f"map: bad variable name {var!r}")
+    return MapClause(direction=direction.strip(), var=var)
+
+
+def parse_pragma(text: str, loop: Loop) -> ParsedPragma:
+    """Parse a pipeline pragma against its loop.
+
+    Parameters
+    ----------
+    text:
+        The pragma text.  A leading ``#pragma omp target`` (or
+        ``#pragma acc ...``) prefix and backslash continuations are
+        tolerated and ignored.
+    loop:
+        The pipelined loop; its variable name resolves ``split_iter``
+        expressions.
+
+    Returns
+    -------
+    ParsedPragma
+        Clause objects.  Split-dimension lengths in ``pipeline_map``
+        clauses are left as ``-1`` placeholders; the runtime binds them
+        to the actual array extents (see
+        :meth:`repro.core.region.TargetRegion.bind`).
+    """
+    s = text.replace("\\\n", " ").replace("\\", " ").strip()
+    s = re.sub(r"^#\s*pragma\s+(omp|acc)\s+target\s*(data)?", "", s).strip()
+    clauses = _CLAUSE_RE.findall(s)
+    if not clauses:
+        raise DirectiveError(f"no clauses found in pragma {text!r}")
+    leftover = _CLAUSE_RE.sub("", s).replace(",", " ").strip()
+    if leftover:
+        raise DirectiveError(f"unparsed pragma text: {leftover!r}")
+
+    pipeline: Optional[PipelineClause] = None
+    pmaps: List[PipelineMapClause] = []
+    maps: List[MapClause] = []
+    mem_limit: Optional[MemLimitClause] = None
+    device_num: Optional[int] = None
+    privates: List[str] = []
+    for name, body in clauses:
+        if name == "pipeline":
+            if pipeline is not None:
+                raise DirectiveError("duplicate pipeline clause")
+            pipeline = _parse_pipeline(body)
+        elif name == "pipeline_map":
+            pmaps.append(_parse_pipeline_map(body, loop.var))
+        elif name == "pipeline_mem_limit":
+            mem_limit = MemLimitClause(parse_mem_size(body))
+        elif name == "map":
+            maps.append(_parse_map(body))
+        elif name == "device":
+            if device_num is not None:
+                raise DirectiveError("duplicate device clause")
+            device_num = _parse_int(body, "device number")
+            if device_num < 0:
+                raise DirectiveError("device number must be >= 0")
+        elif name == "private":
+            for v in body.split(","):
+                v = v.strip()
+                if not re.match(r"^[A-Za-z_]\w*$", v):
+                    raise DirectiveError(f"private: bad variable name {v!r}")
+                privates.append(v)
+        else:
+            raise DirectiveError(f"unknown clause {name!r}")
+    if pipeline is None:
+        raise DirectiveError("missing pipeline(...) clause")
+    if not pmaps:
+        raise DirectiveError("missing pipeline_map(...) clause")
+    seen = set()
+    for m in pmaps + maps:
+        if m.var in seen:
+            raise DirectiveError(f"variable {m.var!r} mapped twice")
+        seen.add(m.var)
+    return ParsedPragma(
+        pipeline=pipeline,
+        pipeline_maps=pmaps,
+        maps=maps,
+        mem_limit=mem_limit,
+        device_num=device_num,
+        privates=tuple(privates),
+    )

@@ -1,0 +1,29 @@
+"""CUDA-like host runtime facade over the simulated GPU.
+
+This is the call surface the paper's prototype programs against —
+``cudaMalloc`` / ``cudaHostAlloc`` / ``cudaMemcpyAsync`` /
+``cudaMemcpy2DAsync`` / streams / events / kernel launches — expressed
+as a small Python API:
+
+>>> from repro.gpu import Runtime
+>>> from repro.sim import NVIDIA_K40M
+>>> rt = Runtime(NVIDIA_K40M)
+>>> d_a = rt.malloc((1024,), "float32", tag="A")
+>>> s = rt.create_stream()
+
+Host time is charged per API call (asynchronous enqueues are cheap,
+synchronizations block), so issuing thousands of tiny copies has the
+cost the paper measures on the AMD platform.
+"""
+
+from repro.gpu.errors import GpuError, InvalidValueError, OutOfMemoryError
+from repro.gpu.darray import DeviceArray
+from repro.gpu.runtime import Runtime
+
+__all__ = [
+    "DeviceArray",
+    "GpuError",
+    "InvalidValueError",
+    "OutOfMemoryError",
+    "Runtime",
+]

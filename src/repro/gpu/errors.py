@@ -1,0 +1,20 @@
+"""Error types for the GPU host runtime."""
+
+from __future__ import annotations
+
+from repro.sim.memory import OutOfDeviceMemory
+
+__all__ = ["GpuError", "InvalidValueError", "OutOfMemoryError"]
+
+
+class GpuError(RuntimeError):
+    """Base class for host-runtime usage errors (``cudaError_t``-ish)."""
+
+
+class InvalidValueError(GpuError):
+    """A bad argument was passed to a runtime call (``cudaErrorInvalidValue``)."""
+
+
+#: Device allocation failure.  Alias of the simulator's exception so
+#: that ``except OutOfMemoryError`` works at every layer.
+OutOfMemoryError = OutOfDeviceMemory

@@ -1,0 +1,401 @@
+"""The host runtime: the CUDA-flavoured API the prototype targets.
+
+A :class:`Runtime` owns one simulated :class:`~repro.sim.device.Device`
+and a **host clock**.  Every API call advances the host clock by a
+profile-dependent overhead; asynchronously enqueued commands cannot
+start on the device before the host call that issued them returned.
+This reproduces the API-call/scheduling overheads that dominate the
+paper's AMD results and its stream-count sensitivity study.
+
+Mapping to the paper's implementation section:
+
+=====================================  ==================================
+paper (CUDA / OpenCL)                   here
+=====================================  ==================================
+``cudaMalloc`` / ``clCreateBuffer``     :meth:`Runtime.malloc`
+``cudaHostAlloc`` (pinned)              :meth:`Runtime.hostalloc`
+``cudaMemcpyAsync``                     :meth:`Runtime.memcpy_h2d_async`,
+                                        :meth:`Runtime.memcpy_d2h_async`
+``cudaMallocPitch``+``Memcpy2DAsync``   the same calls with ``rows=``
+``acc_get_cuda_stream`` interop         streams are first-class here
+events (``cudaEventRecord``/wait)       :meth:`Runtime.record_event` /
+                                        ``waits=`` arguments
+=====================================  ==================================
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpu.darray import DeviceArray
+from repro.gpu.errors import InvalidValueError
+from repro.sim.device import Device
+from repro.sim.engine import Command, EventToken
+from repro.sim.profiles import DeviceProfile
+from repro.sim.stream import SimStream
+from repro.sim.trace import Timeline
+from repro.sim.varray import VirtualArray, is_virtual, nbytes_of
+
+__all__ = ["Runtime"]
+
+HostArray = Union[np.ndarray, VirtualArray]
+
+
+class _PinRegistry:
+    """Identity-based registry of page-locked host arrays.
+
+    ``np.ndarray`` is unhashable, so a ``WeakSet`` cannot hold one; we
+    key weak references by ``id`` and drop entries when the referent is
+    collected, avoiding stale id-reuse hits.
+    """
+
+    def __init__(self) -> None:
+        self._refs: dict = {}
+
+    def add(self, arr) -> None:
+        """Register an array as pinned."""
+        key = id(arr)
+        try:
+            self._refs[key] = weakref.ref(arr, lambda _w, k=key: self._refs.pop(k, None))
+        except TypeError:  # pragma: no cover - non-weakrefable object
+            self._refs[key] = lambda: arr
+
+    def __contains__(self, arr) -> bool:
+        ref = self._refs.get(id(arr))
+        return ref is not None and ref() is arr
+
+
+def _copy_payload(dst, src) -> Optional[Callable[[], None]]:
+    """Build a functional copy payload, or ``None`` in virtual mode."""
+    if is_virtual(dst) or is_virtual(src):
+        return None
+
+    def run() -> None:
+        dst[...] = src
+
+    return run
+
+
+class Runtime:
+    """Host-side GPU runtime bound to one simulated device.
+
+    Parameters
+    ----------
+    device:
+        A :class:`DeviceProfile` (a fresh device is created) or an
+        existing :class:`Device`.
+    virtual:
+        If True, :meth:`malloc` and :meth:`hostalloc` create
+        metadata-only backings: timing and memory accounting are exact,
+        functional payloads are skipped.
+
+    Attributes
+    ----------
+    host_now:
+        Host wall clock (virtual seconds).
+    call_overhead_scale:
+        Multiplier on per-call overheads.  Higher layers (the vendor
+        OpenACC model, the pipeline runtime) set this to express their
+        per-stream bookkeeping costs.
+    default_pinned:
+        Whether unregistered host buffers are treated as page-locked.
+        True by default (the paper pins host memory in all measured
+        versions); the pinned-vs-pageable ablation flips it.
+    command_overhead:
+        Device-side seconds added to the duration of every transfer and
+        kernel submitted while set.  The execution models use it to
+        express their runtime's per-command stream-scheduling cost
+        (``acc_stream_contention`` / ``runtime_stream_contention``).
+    """
+
+    def __init__(self, device: Union[Device, DeviceProfile], *, virtual: bool = False) -> None:
+        self.device = device if isinstance(device, Device) else Device(device)
+        self.virtual = bool(virtual)
+        self.host_now = 0.0
+        self.call_overhead_scale = 1.0
+        self.command_overhead = 0.0
+        self.default_pinned = True
+        self._pinned = _PinRegistry()
+        self._streams: list = []
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> DeviceProfile:
+        """The device profile in use."""
+        return self.device.profile
+
+    @property
+    def device_time(self) -> float:
+        """Device virtual clock (latest simulated event time)."""
+        return self.device.now
+
+    @property
+    def elapsed(self) -> float:
+        """End-to-end elapsed virtual time seen by the application."""
+        return max(self.host_now, self.device.now)
+
+    def _charge_async(self) -> float:
+        """Charge one async API call; returns its completion time."""
+        dt = self.profile.api_overhead * self.call_overhead_scale
+        self.host_now += dt
+        return self.host_now
+
+    # ------------------------------------------------------------------
+    # streams and events
+    # ------------------------------------------------------------------
+    def create_stream(self, name: str = "") -> SimStream:
+        """Create an in-order stream (``cudaStreamCreate``)."""
+        self.host_now += self.profile.stream_create_overhead
+        s = SimStream(name)
+        self._streams.append(s)
+        return s
+
+    def event(self, name: str = "event") -> EventToken:
+        """Create an unrecorded event token (``cudaEventCreate``)."""
+        return EventToken(name)
+
+    def record_event(self, stream: SimStream, name: str = "event") -> EventToken:
+        """Record an event at the current tail of ``stream``.
+
+        Implemented as a zero-duration marker command, exactly like
+        ``cudaEventRecord``: the token completes when all work
+        previously enqueued on the stream has finished.
+        """
+        tok = EventToken(name)
+        t = self._charge_async()
+        self.device.submit_marker(
+            stream=stream, enqueue_time=t, records=[tok], label=f"record:{name}"
+        )
+        return tok
+
+    def stream_wait_event(self, stream: SimStream, token: EventToken, label: str = "") -> None:
+        """Make subsequent work on ``stream`` wait for ``token``
+        (``cudaStreamWaitEvent``)."""
+        t = self._charge_async()
+        self.device.submit_marker(
+            stream=stream, enqueue_time=t, waits=[token], label=label or f"wait:{token.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def malloc(self, shape: Sequence[int], dtype, tag: str = "") -> DeviceArray:
+        """Allocate device memory (``cudaMalloc``).
+
+        Raises :class:`~repro.gpu.errors.OutOfMemoryError` when the
+        request does not fit.
+        """
+        shape = tuple(int(s) for s in shape)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        rec = self.device.alloc(nbytes, tag)
+        if self.virtual:
+            backing: HostArray = VirtualArray(shape, dt)
+        else:
+            backing = np.zeros(shape, dtype=dt)
+        self.host_now += self.profile.api_overhead
+        return DeviceArray(backing, rec)
+
+    def free(self, arr: DeviceArray) -> None:
+        """Release device memory (``cudaFree``)."""
+        if arr.allocation is None:
+            raise InvalidValueError("cannot free a device-array view")
+        arr.mark_freed()
+        self.device.free(arr.allocation)
+        self.host_now += self.profile.api_overhead
+
+    def hostalloc(self, shape: Sequence[int], dtype) -> HostArray:
+        """Allocate pinned host memory (``cudaHostAlloc``)."""
+        shape = tuple(int(s) for s in shape)
+        if self.virtual:
+            arr: HostArray = VirtualArray(shape, np.dtype(dtype))
+        else:
+            arr = np.zeros(shape, dtype=dtype)
+        self._pinned.add(arr)
+        self.host_now += self.profile.api_overhead
+        return arr
+
+    def pin(self, arr: HostArray) -> HostArray:
+        """Register an existing host array as page-locked
+        (``cudaHostRegister``)."""
+        self._pinned.add(arr)
+        return arr
+
+    def is_pinned(self, arr: HostArray) -> bool:
+        """Whether a host array is treated as page-locked."""
+        return arr in self._pinned or self.default_pinned
+
+    @property
+    def memory_used(self) -> int:
+        """Current device memory usage in bytes (incl. context)."""
+        return self.device.memory.used
+
+    @property
+    def memory_peak(self) -> int:
+        """Peak device memory usage in bytes (incl. context)."""
+        return self.device.memory.peak
+
+    # ------------------------------------------------------------------
+    # copies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_copy(dst_shape: Tuple[int, ...], src_shape: Tuple[int, ...]) -> None:
+        if tuple(dst_shape) != tuple(src_shape):
+            raise InvalidValueError(
+                f"copy shape mismatch: dst {tuple(dst_shape)} vs src {tuple(src_shape)}"
+            )
+
+    def memcpy_h2d_async(
+        self,
+        dst: DeviceArray,
+        src: HostArray,
+        stream: SimStream,
+        *,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        rows: Optional[int] = None,
+        row_bytes: Optional[int] = None,
+        pinned: Optional[bool] = None,
+        label: str = "",
+    ) -> Command:
+        """Asynchronous host-to-device copy (``cudaMemcpyAsync``).
+
+        Passing ``rows``/``row_bytes`` makes this a pitched 2-D copy
+        (``cudaMemcpy2DAsync``); otherwise the transfer is contiguous.
+        """
+        dst._check_alive()
+        self._check_copy(dst.shape, src.shape)
+        t = self._charge_async()
+        return self.device.submit_copy(
+            "h2d",
+            nbytes_of(src),
+            stream=stream,
+            payload=_copy_payload(dst.backing, src),
+            enqueue_time=t,
+            waits=waits,
+            records=records,
+            pinned=self.is_pinned(src) if pinned is None else pinned,
+            rows=rows,
+            row_bytes=row_bytes,
+            extra_seconds=self.command_overhead,
+            label=label or "h2d",
+        )
+
+    def memcpy_d2h_async(
+        self,
+        dst: HostArray,
+        src: DeviceArray,
+        stream: SimStream,
+        *,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        rows: Optional[int] = None,
+        row_bytes: Optional[int] = None,
+        pinned: Optional[bool] = None,
+        label: str = "",
+    ) -> Command:
+        """Asynchronous device-to-host copy (``cudaMemcpyAsync``)."""
+        src._check_alive()
+        self._check_copy(dst.shape, src.shape)
+        t = self._charge_async()
+        return self.device.submit_copy(
+            "d2h",
+            nbytes_of(src.backing),
+            stream=stream,
+            payload=_copy_payload(dst, src.backing),
+            enqueue_time=t,
+            waits=waits,
+            records=records,
+            pinned=self.is_pinned(dst) if pinned is None else pinned,
+            rows=rows,
+            row_bytes=row_bytes,
+            extra_seconds=self.command_overhead,
+            label=label or "d2h",
+        )
+
+    def memcpy_h2d(self, dst: DeviceArray, src: HostArray, **kw) -> None:
+        """Blocking host-to-device copy (``cudaMemcpy``)."""
+        s = kw.pop("stream", None) or SimStream("sync-h2d")
+        cmd = self.memcpy_h2d_async(dst, src, s, **kw)
+        self._block_on(cmd)
+
+    def memcpy_d2h(self, dst: HostArray, src: DeviceArray, **kw) -> None:
+        """Blocking device-to-host copy (``cudaMemcpy``)."""
+        s = kw.pop("stream", None) or SimStream("sync-d2h")
+        cmd = self.memcpy_d2h_async(dst, src, s, **kw)
+        self._block_on(cmd)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        cost_seconds: float,
+        fn: Optional[Callable[[], None]],
+        stream: SimStream,
+        *,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        nbytes: int = 0,
+        label: str = "kernel",
+    ) -> Command:
+        """Launch a kernel asynchronously.
+
+        Parameters
+        ----------
+        cost_seconds:
+            Modelled execution time (see :mod:`repro.kernels.cost`);
+            the profile's launch overhead is added on top.
+        fn:
+            Functional payload run when the kernel retires (``None`` in
+            virtual mode).
+        """
+        t = self._charge_async()
+        return self.device.submit_kernel(
+            cost_seconds,
+            stream=stream,
+            payload=fn if not self.virtual else None,
+            enqueue_time=t,
+            waits=waits,
+            records=records,
+            nbytes=nbytes,
+            extra_seconds=self.command_overhead,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def _block_on(self, cmd: Command) -> None:
+        finish = self.device.wait(cmd)
+        self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+
+    def stream_synchronize(self, stream: SimStream) -> None:
+        """Block until all work enqueued on ``stream`` completed."""
+        tail = self.device.sim.stream_tail(stream)
+        if tail is not None and not tail.done:
+            self._block_on(tail)
+        else:
+            self.host_now += self.profile.sync_overhead
+
+    def event_synchronize(self, token: EventToken) -> None:
+        """Block until ``token`` completes (``cudaEventSynchronize``)."""
+        finish = self.device.sim.wait_event(token)
+        self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+
+    def synchronize(self) -> None:
+        """Block until the device is idle (``cudaDeviceSynchronize``)."""
+        finish = self.device.wait_all()
+        self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def timeline(self) -> Timeline:
+        """Timeline of all retired commands."""
+        return self.device.timeline()

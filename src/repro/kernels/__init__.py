@@ -1,0 +1,21 @@
+"""Application kernels: NumPy reference bodies + device cost models.
+
+One module per application from the paper's evaluation:
+
+* :mod:`repro.kernels.stencil3d` — Parboil's 7-point Jacobi heat stencil,
+* :mod:`repro.kernels.conv3d` — Polybench's 3-D convolution (27-point),
+* :mod:`repro.kernels.matmul` — Polybench matrix multiplication
+  (naive and block-shared/tiled kernels),
+* :mod:`repro.kernels.qcd` — a Lattice QCD Dslash-like operator on a
+  4-D lattice (the SciDAC application stand-in).
+
+Each module provides a pure-NumPy **reference** (the test oracle), a
+:class:`~repro.core.kernel.RegionKernel` whose ``run`` body works on
+translated chunk views, and an **effective-rate cost model** (see
+:mod:`repro.kernels.cost`) calibrated so kernel-vs-transfer ratios
+match the paper's measured behaviour.
+"""
+
+from repro.kernels.cost import effective_time, roofline_time
+
+__all__ = ["effective_time", "roofline_time"]

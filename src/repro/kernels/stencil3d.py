@@ -1,0 +1,109 @@
+"""Parboil 7-point Jacobi heat-equation stencil.
+
+The benchmark the paper takes from the Parboil suite: one Jacobi sweep
+computes, for every interior point of a 3-D grid,
+
+.. code-block:: c
+
+    Anext[Index3D(i, j, k)] =
+        (A0[i, j, k+1] + A0[i, j, k-1] +
+         A0[i, j+1, k] + A0[i, j-1, k] +
+         A0[i+1, j, k] + A0[i-1, j, k]) * c1
+        - A0[i, j, k] * c0;
+
+(the exact loop of the paper's Figure 2).  Our arrays are indexed
+``[z, y, x]``; the pipelined loop runs over interior ``z`` planes, so a
+chunk of iterations ``[t0, t1)`` reads ``A0`` planes ``[t0-1, t1+1)``
+(halo 1 each side — the ``pipeline_map(to: A0[k-1:3]...)`` clause) and
+writes ``Anext`` planes ``[t0, t1)`` (``pipeline_map(from:
+Anext[k:1]...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.kernel import ChunkView, RegionKernel
+from repro.kernels.cost import effective_time
+from repro.sim.profiles import DeviceProfile
+
+__all__ = ["C0", "C1", "StencilKernel", "reference_sweep", "init_grid"]
+
+#: Parboil's coefficients: ``c0 = 1/6`` scaled center, ``c1`` neighbours.
+C0 = np.float32(2.0)
+C1 = np.float32(1.0 / 6.0)
+
+#: Calibrated effective kernel bandwidth (bytes of A0+Anext traffic per
+#: second), per device.  Evidence (K40m): Figure 5 gives the hand-coded
+#: Pipelined stencil ~1.57x over Naive; with one shared PCIe DMA
+#: resource that places kernel time near the (H2D + D2H) time, i.e.
+#: ~8 bytes/voxel at ~9 GB/s effective against 10 GB/s PCIe.  Evidence
+#: (HD 7970): Figure 8 has the Naive stencil 56% faster than the
+#: default-chunked Pipelined version and a 1.35x win at two chunks —
+#: which requires the AMD kernel to run *faster* than the chunk-degraded
+#: link (the GCN stencil kernel is simple and compact), ~9 GB/s as well.
+EFFECTIVE_BW = {
+    "NVIDIA Tesla K40m": 9.0e9,
+    "AMD Radeon HD 7970": 9.0e9,
+}
+
+
+def init_grid(nz: int, ny: int, nx: int, seed: int = 1234) -> np.ndarray:
+    """A reproducible float32 grid with non-trivial interior values."""
+    rng = np.random.default_rng(seed)
+    return rng.random((nz, ny, nx), dtype=np.float32)
+
+
+def reference_sweep(a0: np.ndarray, anext: np.ndarray) -> None:
+    """One full Jacobi sweep (NumPy oracle); boundaries untouched."""
+    c = a0[1:-1, 1:-1, 1:-1]
+    anext[1:-1, 1:-1, 1:-1] = (
+        a0[2:, 1:-1, 1:-1]
+        + a0[:-2, 1:-1, 1:-1]
+        + a0[1:-1, 2:, 1:-1]
+        + a0[1:-1, :-2, 1:-1]
+        + a0[1:-1, 1:-1, 2:]
+        + a0[1:-1, 1:-1, :-2]
+    ) * C1 - c * C0
+
+
+class StencilKernel(RegionKernel):
+    """Chunked Jacobi sweep over ``z`` planes ``[t0, t1)``.
+
+    Mapped arrays: ``A0`` (input, halo 1) and ``Anext`` (output).
+    """
+
+    name = "stencil"
+    #: index translation is a modular offset on the outer plane index.
+    #: Calibrated so the buffer version trails the 2-stream hand-coded
+    #: Pipelined slightly and overtakes it past ~6 streams (Figure 7).
+    index_penalty = 0.05
+
+    def __init__(self, ny: int, nx: int) -> None:
+        self.ny = int(ny)
+        self.nx = int(nx)
+
+    def cost(self, profile: DeviceProfile, t0: int, t1: int) -> float:
+        """Effective-rate cost for the chunk's planes."""
+        planes = t1 - t0
+        voxels = planes * self.ny * self.nx
+        rate = EFFECTIVE_BW.get(profile.name, EFFECTIVE_BW["NVIDIA Tesla K40m"])
+        return effective_time(voxels * 8.0, rate)
+
+    def run(self, views: Dict[str, ChunkView], t0: int, t1: int) -> None:
+        """7-point Jacobi sweep over the translated chunk views."""
+        a0 = views["A0"]
+        anext = views["Anext"]
+        src = a0.take(t0 - 1, t1 + 1)
+        dst = anext.take(t0, t1)
+        c = src[1:-1, 1:-1, 1:-1]
+        dst[:, 1:-1, 1:-1] = (
+            src[2:, 1:-1, 1:-1]
+            + src[:-2, 1:-1, 1:-1]
+            + src[1:-1, 2:, 1:-1]
+            + src[1:-1, :-2, 1:-1]
+            + src[1:-1, 1:-1, 2:]
+            + src[1:-1, 1:-1, :-2]
+        ) * C1 - c * C0

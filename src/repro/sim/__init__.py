@@ -1,0 +1,61 @@
+"""Deterministic discrete-event GPU simulator.
+
+This subpackage is the hardware substrate for the reproduction: it stands
+in for the NVIDIA Tesla K40m and AMD Radeon HD 7970 used in the paper.
+It models the pieces of a GPU node that determine the paper's results:
+
+* in-order **streams** feeding a small set of exclusive **engines**
+  (DMA and compute),
+* a **device memory allocator** with live/peak accounting and
+  out-of-memory failures,
+* a **transfer cost model** with per-call latency and size-dependent
+  (saturating) bandwidth, for both contiguous (1-D) and pitched (2-D)
+  copies, and
+* a **host clock** charged per API call, so command streams issued from
+  the host cannot start earlier than they were enqueued.
+
+The simulator is *functional*: data-movement and kernel commands carry
+payloads that really execute on NumPy arrays in dependency order, so a
+pipelined execution can be validated bit-for-bit against a reference.
+A metadata-only :class:`~repro.sim.varray.VirtualArray` backend lets
+paper-scale workloads (multi-GB) run with identical timing/memory
+accounting but no host RAM cost.
+"""
+
+from repro.sim.engine import Command, Engine, EventToken, Simulator
+from repro.sim.memory import AllocationRecord, MemoryAllocator, OutOfDeviceMemory
+from repro.sim.varray import VirtualArray, as_backing, empty_like_backing, nbytes_of
+from repro.sim.bandwidth import LinkModel, transfer_time_1d, transfer_time_2d
+from repro.sim.profiles import (
+    AMD_HD7970,
+    DeviceProfile,
+    NVIDIA_K40M,
+    profile_by_name,
+)
+from repro.sim.device import Device
+from repro.sim.trace import Timeline, TimelineRecord, time_distribution
+
+__all__ = [
+    "AMD_HD7970",
+    "AllocationRecord",
+    "Command",
+    "Device",
+    "DeviceProfile",
+    "Engine",
+    "EventToken",
+    "LinkModel",
+    "MemoryAllocator",
+    "NVIDIA_K40M",
+    "OutOfDeviceMemory",
+    "Simulator",
+    "Timeline",
+    "TimelineRecord",
+    "VirtualArray",
+    "as_backing",
+    "empty_like_backing",
+    "nbytes_of",
+    "profile_by_name",
+    "time_distribution",
+    "transfer_time_1d",
+    "transfer_time_2d",
+]

@@ -1,0 +1,229 @@
+"""The simulated GPU: profile + engines + allocator + event loop.
+
+A :class:`Device` composes the pieces in this subpackage into one
+object the host runtime (:mod:`repro.gpu`) programs against.  It
+
+* owns a :class:`~repro.sim.engine.Simulator` with the profile's DMA
+  and compute engines registered,
+* owns the device :class:`~repro.sim.memory.MemoryAllocator`,
+* converts logical operations (an ``nbytes`` H2D copy, a kernel with a
+  given cost) into :class:`~repro.sim.engine.Command` objects with
+  durations from the profile's cost models, and
+* records every retired command into a :class:`~repro.sim.trace.Timeline`.
+
+The device knows nothing about arrays or pipelining — that is the job
+of :mod:`repro.gpu` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.sim.bandwidth import transfer_time_1d, transfer_time_2d
+from repro.sim.engine import Command, EventToken, Simulator
+from repro.sim.memory import AllocationRecord, MemoryAllocator
+from repro.sim.profiles import DeviceProfile
+from repro.sim.stream import SimStream
+from repro.sim.trace import Timeline, TimelineRecord
+
+__all__ = ["Device"]
+
+
+class Device:
+    """One simulated GPU.
+
+    Parameters
+    ----------
+    profile:
+        Static description and cost calibration (see
+        :mod:`repro.sim.profiles`).
+    """
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        self.profile = profile
+        self.sim = Simulator()
+        self._dma_names: List[str] = []
+        for i in range(profile.dma_engines):
+            self._dma_names.append(f"dma{i}")
+            self.sim.add_engine(f"dma{i}")
+        self._compute_names: List[str] = []
+        for i in range(profile.compute_engines):
+            self._compute_names.append(f"compute{i}")
+            self.sim.add_engine(f"compute{i}")
+        self.memory = MemoryAllocator(
+            capacity=profile.usable_memory_bytes,
+            context_overhead=profile.context_overhead_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+    def _dma_engine(self, direction: str) -> str:
+        """Pick the DMA engine for a transfer direction.
+
+        With one engine (the default; PCIe bandwidth is shared) both
+        directions contend.  With two, H2D uses ``dma0`` and D2H
+        ``dma1`` like the K40m's dual copy engines.
+        """
+        if len(self._dma_names) == 1:
+            return self._dma_names[0]
+        return self._dma_names[0] if direction == "h2d" else self._dma_names[1]
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, tag: str = "") -> AllocationRecord:
+        """Reserve device memory (raises ``OutOfDeviceMemory`` on OOM)."""
+        return self.memory.allocate(nbytes, tag)
+
+    def free(self, rec: AllocationRecord) -> None:
+        """Release a device allocation."""
+        self.memory.release(rec)
+
+    # ------------------------------------------------------------------
+    # command submission
+    # ------------------------------------------------------------------
+    def submit_copy(
+        self,
+        direction: str,
+        nbytes: int,
+        *,
+        stream: Optional[SimStream] = None,
+        payload: Optional[Callable[[], None]] = None,
+        enqueue_time: float = 0.0,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        pinned: bool = True,
+        rows: Optional[int] = None,
+        row_bytes: Optional[int] = None,
+        extra_seconds: float = 0.0,
+        label: str = "",
+    ) -> Command:
+        """Enqueue a host<->device transfer.
+
+        Parameters
+        ----------
+        direction:
+            ``"h2d"`` or ``"d2h"``.
+        nbytes:
+            Total bytes moved.
+        rows, row_bytes:
+            If both given, the transfer is a pitched 2-D copy of
+            ``rows`` rows of ``row_bytes`` bytes each (``rows *
+            row_bytes`` must equal ``nbytes``).
+        pinned:
+            Whether the host buffer is page-locked.
+        """
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"bad direction {direction!r}")
+        link = self.profile.h2d if direction == "h2d" else self.profile.d2h
+        if rows is not None and row_bytes is not None:
+            if rows * row_bytes != nbytes:
+                raise ValueError("rows * row_bytes must equal nbytes")
+            duration = transfer_time_2d(link, rows, row_bytes, pinned=pinned)
+        else:
+            duration = transfer_time_1d(link, nbytes, pinned=pinned)
+        duration += extra_seconds
+        cmd = Command(
+            direction,
+            self._dma_engine(direction),
+            duration,
+            stream=stream,
+            payload=payload,
+            label=label,
+            nbytes=nbytes,
+        )
+        return self.sim.enqueue(
+            cmd, enqueue_time=enqueue_time, waits=waits, records=records
+        )
+
+    def submit_kernel(
+        self,
+        cost_seconds: float,
+        *,
+        stream: Optional[SimStream] = None,
+        payload: Optional[Callable[[], None]] = None,
+        enqueue_time: float = 0.0,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        nbytes: int = 0,
+        extra_seconds: float = 0.0,
+        label: str = "",
+    ) -> Command:
+        """Enqueue a kernel with a modelled execution cost.
+
+        The profile's fixed launch overhead (plus any
+        ``extra_seconds`` of scheduling contention) is added to
+        ``cost_seconds``.
+        """
+        cmd = Command(
+            "kernel",
+            self._compute_names[0],
+            self.profile.kernel_launch_overhead + cost_seconds + extra_seconds,
+            stream=stream,
+            payload=payload,
+            label=label,
+            nbytes=nbytes,
+        )
+        return self.sim.enqueue(
+            cmd, enqueue_time=enqueue_time, waits=waits, records=records
+        )
+
+    def submit_marker(
+        self,
+        *,
+        stream: Optional[SimStream] = None,
+        enqueue_time: float = 0.0,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+        label: str = "marker",
+    ) -> Command:
+        """Enqueue a zero-duration marker (event record / barrier).
+
+        Markers run on the compute engine with zero duration; they are
+        used to implement ``eventRecord`` on an empty stream position
+        and stream-wide barriers.
+        """
+        cmd = Command(
+            "marker",
+            self._compute_names[0],
+            0.0,
+            stream=stream,
+            label=label,
+        )
+        return self.sim.enqueue(
+            cmd, enqueue_time=enqueue_time, waits=waits, records=records
+        )
+
+    # ------------------------------------------------------------------
+    # progress / results
+    # ------------------------------------------------------------------
+    def wait(self, cmd: Command) -> float:
+        """Advance virtual time until ``cmd`` completes; returns time."""
+        return self.sim.wait_command(cmd)
+
+    def wait_all(self) -> float:
+        """Drain all pending work; returns final virtual time."""
+        return self.sim.run_all()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.sim.now
+
+    def timeline(self) -> Timeline:
+        """Timeline of every retired command so far."""
+        recs = [
+            TimelineRecord(
+                kind=c.kind,
+                label=c.label,
+                stream=c.stream.name if isinstance(c.stream, SimStream) else "",
+                engine=c.engine,
+                enqueue=c.enqueue_time,
+                start=c.start_time,
+                finish=c.finish_time,
+                nbytes=c.nbytes,
+            )
+            for c in self.sim.completed
+        ]
+        return Timeline(recs)

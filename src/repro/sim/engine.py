@@ -1,0 +1,409 @@
+"""Discrete-event simulation core: commands, engines, and the event loop.
+
+The model is intentionally small and deterministic:
+
+* A :class:`Command` is one unit of device work (a transfer, a kernel,
+  an event record, ...).  It occupies exactly one :class:`Engine` for a
+  fixed ``duration`` of virtual time.
+* An :class:`Engine` is an exclusive resource (capacity one).  Commands
+  queue on it in ``(ready_time, sequence)`` order, so ties are broken by
+  enqueue order and the simulation is fully reproducible.
+* A command becomes *ready* when (a) its host ``enqueue_time`` has been
+  reached, (b) the previous command on its stream has finished (in-order
+  stream semantics), and (c) every explicit dependency (cross-stream
+  event) has completed.
+* When a command finishes, its functional ``payload`` runs.  Payloads
+  therefore execute in an order consistent with all declared
+  dependencies, which is what makes pipelined executions verifiable
+  against a sequential NumPy reference.
+
+Virtual time is in seconds (float).  The event loop is a single binary
+heap keyed by ``(time, sequence)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, List, Optional, Tuple
+
+__all__ = ["Command", "Engine", "EventToken", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used inconsistently.
+
+    Examples include running a command twice, waiting on a command that
+    was never enqueued, or a dependency cycle that leaves commands
+    unrunnable after the event heap drains.
+    """
+
+
+class EventToken:
+    """A CUDA-event-like completion token.
+
+    A token is *recorded* by attaching it to a command (usually via
+    :meth:`Simulator.enqueue` with ``records=[token]``); it completes
+    when that command finishes.  Other commands may *wait* on the token
+    by listing it in their ``waits``.
+
+    Attributes
+    ----------
+    name:
+        Debug label.
+    time:
+        Completion time in virtual seconds, or ``None`` while pending.
+    """
+
+    __slots__ = ("name", "time", "_waiters", "_recorded")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self.time: Optional[float] = None
+        self._waiters: List["Command"] = []
+        self._recorded = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the recording command has finished."""
+        return self.time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"done@{self.time:.6g}" if self.done else "pending"
+        return f"EventToken({self.name!r}, {state})"
+
+
+class Command:
+    """One schedulable unit of device work.
+
+    Parameters
+    ----------
+    kind:
+        Classification used for tracing and time-distribution reports,
+        e.g. ``"h2d"``, ``"d2h"``, ``"kernel"``.
+    engine:
+        Name of the engine the command occupies.
+    duration:
+        Occupancy time in virtual seconds (must be ``>= 0``).
+    stream:
+        Stream identifier for in-order sequencing; ``None`` detaches the
+        command from any stream (only explicit deps order it).
+    payload:
+        Optional zero-argument callable executed when the command
+        finishes; used for functional data movement / kernels.
+    label:
+        Human-readable description for traces.
+    nbytes:
+        Bytes moved (transfers) or touched (kernels); trace metadata.
+    """
+
+    __slots__ = (
+        "kind",
+        "engine",
+        "duration",
+        "stream",
+        "payload",
+        "label",
+        "nbytes",
+        "seq",
+        "enqueue_time",
+        "ready_time",
+        "start_time",
+        "finish_time",
+        "_unresolved",
+        "_dependents",
+        "_records",
+        "state",
+    )
+
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+
+    def __init__(
+        self,
+        kind: str,
+        engine: str,
+        duration: float,
+        *,
+        stream: Optional[object] = None,
+        payload: Optional[Callable[[], None]] = None,
+        label: str = "",
+        nbytes: int = 0,
+    ) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        self.kind = kind
+        self.engine = engine
+        self.duration = float(duration)
+        self.stream = stream
+        self.payload = payload
+        self.label = label
+        self.nbytes = int(nbytes)
+        self.seq = -1
+        self.enqueue_time = 0.0
+        self.ready_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self._unresolved = 0
+        self._dependents: List["Command"] = []
+        self._records: List[EventToken] = []
+        self.state = Command.PENDING
+
+    @property
+    def done(self) -> bool:
+        """Whether the command has finished executing."""
+        return self.state == Command.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Command(#{self.seq} {self.kind} {self.label!r} on {self.engine}, "
+            f"{self.state})"
+        )
+
+
+class Engine:
+    """An exclusive device resource (DMA engine, compute engine, ...).
+
+    Ready commands queue in ``(ready_time, seq)`` order; the engine runs
+    at most one at a time.
+    """
+
+    __slots__ = ("name", "busy", "queue", "busy_time")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy: Optional[Command] = None
+        self.queue: List[Tuple[float, int, Command]] = []
+        #: cumulative occupied virtual time, for utilization reports
+        self.busy_time = 0.0
+
+    def push(self, cmd: Command) -> None:
+        """Queue a ready command."""
+        heapq.heappush(self.queue, (cmd.ready_time, cmd.seq, cmd))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine({self.name!r}, busy={self.busy is not None}, q={len(self.queue)})"
+
+
+class Simulator:
+    """The event loop tying commands, streams, and engines together.
+
+    A :class:`Simulator` owns virtual time.  Streams are represented
+    only by identity: the simulator remembers the last command enqueued
+    per stream object and adds an implicit dependency on it.
+
+    The loop is *incremental*: callers may enqueue commands, run until a
+    particular command completes (a synchronous API call), enqueue more,
+    and so on.  ``now`` never goes backwards.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, str, Command]] = []
+        self._engines: dict = {}
+        self._stream_tail: dict = {}
+        self._pending = 0
+        self._completed: List[Command] = []
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def add_engine(self, name: str) -> Engine:
+        """Register an exclusive engine; returns the engine object."""
+        if name in self._engines:
+            raise SimulationError(f"engine {name!r} already exists")
+        eng = Engine(name)
+        self._engines[name] = eng
+        return eng
+
+    def engine(self, name: str) -> Engine:
+        """Look up an engine by name."""
+        return self._engines[name]
+
+    @property
+    def engines(self) -> Iterable[Engine]:
+        """All registered engines."""
+        return self._engines.values()
+
+    @property
+    def completed(self) -> List[Command]:
+        """Commands that have finished, in completion order."""
+        return self._completed
+
+    # ------------------------------------------------------------------
+    # enqueue
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        cmd: Command,
+        *,
+        enqueue_time: float = 0.0,
+        waits: Iterable[EventToken] = (),
+        records: Iterable[EventToken] = (),
+    ) -> Command:
+        """Submit a command to the device.
+
+        Parameters
+        ----------
+        cmd:
+            The command to submit.  Must not have been enqueued before.
+        enqueue_time:
+            Host-clock time of the submitting API call; the command
+            cannot start earlier.
+        waits:
+            Event tokens that must complete before the command may run
+            (cross-stream dependencies).
+        records:
+            Event tokens completed when this command finishes.
+        """
+        if cmd.seq >= 0:
+            raise SimulationError(f"{cmd!r} enqueued twice")
+        if cmd.engine not in self._engines:
+            raise SimulationError(f"unknown engine {cmd.engine!r}")
+        cmd.seq = next(self._seq)
+        cmd.enqueue_time = float(enqueue_time)
+        self._pending += 1
+
+        unresolved = 0
+        # implicit in-order stream dependency
+        if cmd.stream is not None:
+            tail = self._stream_tail.get(id(cmd.stream))
+            if tail is not None and not tail.done:
+                tail._dependents.append(cmd)
+                unresolved += 1
+            self._stream_tail[id(cmd.stream)] = cmd
+
+        for tok in waits:
+            if not tok.done:
+                if not tok._recorded:
+                    raise SimulationError(
+                        f"wait on never-recorded event {tok.name!r} would deadlock"
+                    )
+                tok._waiters.append(cmd)
+                unresolved += 1
+
+        for tok in records:
+            if tok._recorded:
+                raise SimulationError(f"event {tok.name!r} recorded twice")
+            tok._recorded = True
+            cmd._records.append(tok)
+
+        cmd._unresolved = unresolved
+        if unresolved == 0:
+            self._make_ready(cmd, max(self.now, cmd.enqueue_time))
+        return cmd
+
+    # ------------------------------------------------------------------
+    # event-loop internals
+    # ------------------------------------------------------------------
+    def _make_ready(self, cmd: Command, at: float) -> None:
+        at = max(at, cmd.enqueue_time)
+        if at <= self.now:
+            self._ready_now(cmd, self.now)
+        else:
+            heapq.heappush(self._heap, (at, cmd.seq, "ready", cmd))
+
+    def _ready_now(self, cmd: Command, now: float) -> None:
+        cmd.state = Command.READY
+        cmd.ready_time = now
+        eng = self._engines[cmd.engine]
+        eng.push(cmd)
+        self._try_start(eng, now)
+
+    def _try_start(self, eng: Engine, now: float) -> None:
+        if eng.busy is not None or not eng.queue:
+            return
+        _, _, cmd = heapq.heappop(eng.queue)
+        eng.busy = cmd
+        cmd.state = Command.RUNNING
+        cmd.start_time = now
+        cmd.finish_time = now + cmd.duration
+        heapq.heappush(self._heap, (cmd.finish_time, cmd.seq, "finish", cmd))
+
+    def _finish(self, cmd: Command, now: float) -> None:
+        eng = self._engines[cmd.engine]
+        if eng.busy is not cmd:  # pragma: no cover - internal invariant
+            raise SimulationError("finish event for non-running command")
+        eng.busy = None
+        eng.busy_time += cmd.duration
+        cmd.state = Command.DONE
+        self._pending -= 1
+        self._completed.append(cmd)
+        if cmd.payload is not None:
+            cmd.payload()
+        for tok in cmd._records:
+            tok.time = now
+            waiters, tok._waiters = tok._waiters, []
+            for w in waiters:
+                self._resolve_dep(w, now)
+        deps, cmd._dependents = cmd._dependents, []
+        for dep in deps:
+            self._resolve_dep(dep, now)
+        self._try_start(eng, now)
+
+    def _resolve_dep(self, cmd: Command, now: float) -> None:
+        cmd._unresolved -= 1
+        if cmd._unresolved == 0 and cmd.state == Command.PENDING:
+            self._make_ready(cmd, now)
+
+    def _step(self) -> bool:
+        """Process one event; returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        t, _, action, cmd = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - internal invariant
+            raise SimulationError("time went backwards")
+        self.now = t
+        if action == "ready":
+            self._ready_now(cmd, t)
+        else:
+            self._finish(cmd, t)
+        return True
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run_until(self, predicate: Callable[[], bool]) -> float:
+        """Advance virtual time until ``predicate()`` is true.
+
+        Returns the virtual time at which the predicate first held.
+        Raises :class:`SimulationError` if the event heap drains first
+        (a dependency cycle or a wait on never-submitted work).
+        """
+        while not predicate():
+            if not self._step():
+                raise SimulationError(
+                    "event heap drained before condition held "
+                    f"({self._pending} commands stuck)"
+                )
+        return self.now
+
+    def wait_command(self, cmd: Command) -> float:
+        """Block (in virtual time) until ``cmd`` completes."""
+        return self.run_until(lambda: cmd.done)
+
+    def wait_event(self, tok: EventToken) -> float:
+        """Block (in virtual time) until ``tok`` completes."""
+        if not tok._recorded and not tok.done:
+            raise SimulationError(f"wait on never-recorded event {tok.name!r}")
+        return self.run_until(lambda: tok.done)
+
+    def run_all(self) -> float:
+        """Drain every pending command; returns the final virtual time."""
+        while self._step():
+            pass
+        if self._pending:
+            raise SimulationError(f"{self._pending} commands stuck (dependency cycle?)")
+        return self.now
+
+    @property
+    def idle(self) -> bool:
+        """True when no commands are pending or queued."""
+        return self._pending == 0
+
+    def stream_tail(self, stream: object) -> Optional[Command]:
+        """The most recently enqueued command on ``stream`` (or None)."""
+        return self._stream_tail.get(id(stream))

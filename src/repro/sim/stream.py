@@ -1,0 +1,37 @@
+"""Stream identity objects for the simulator.
+
+A :class:`SimStream` is just an identity used by the
+:class:`~repro.sim.engine.Simulator` to enforce in-order execution of
+the commands enqueued on it — exactly the guarantee a CUDA stream or an
+OpenCL in-order command queue gives.  Cross-stream ordering is done
+with :class:`~repro.sim.engine.EventToken` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["SimStream"]
+
+_ids = itertools.count()
+
+
+class SimStream:
+    """An in-order command queue identity.
+
+    Attributes
+    ----------
+    name:
+        Debug label (``"stream3"`` by default).
+    index:
+        Globally unique creation index.
+    """
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str = "") -> None:
+        self.index = next(_ids)
+        self.name = name or f"stream{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimStream({self.name!r})"

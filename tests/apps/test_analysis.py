@@ -1,0 +1,128 @@
+"""Tests for the analysis/report helpers and timeline visualization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.gantt import ascii_gantt, to_chrome_trace, write_chrome_trace
+from repro.analysis.report import (
+    Expectation,
+    ascii_bar_chart,
+    check_band,
+    format_table,
+    ratio_band,
+)
+from repro.sim.trace import Timeline, TimelineRecord
+
+
+def rec(kind, start, finish, *, engine="dma0", stream="s0", label="", nbytes=0):
+    return TimelineRecord(kind, label, stream, engine, start, start, finish, nbytes)
+
+
+@pytest.fixture
+def pipeline_timeline():
+    return Timeline(
+        [
+            rec("h2d", 0.0, 1.0, label="h2d:A[0:1)"),
+            rec("kernel", 1.0, 2.0, engine="compute0", label="k0"),
+            rec("h2d", 1.0, 2.0, label="h2d:A[1:2)", stream="s1"),
+            rec("d2h", 2.0, 2.5, label="d2h:B[0:1)"),
+        ]
+    )
+
+
+class TestExpectations:
+    def test_check_band_symmetric(self):
+        e = check_band("x", 2.0, 10.0, rel=0.5)
+        assert (e.lo, e.hi) == (1.0, 3.0)
+        assert e.check(2.9) and not e.check(3.1)
+
+    def test_ratio_band_row_marks_out_of_band(self):
+        e = ratio_band("thing", 1.5, 1.0, 2.0)
+        assert "ok" in e.row(1.5)
+        assert "OUT-OF-BAND" in e.row(2.5)
+
+    def test_expectation_is_frozen(self):
+        e = Expectation("x", 1, 0, 2)
+        with pytest.raises(AttributeError):
+            e.paper = 5
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", 1.5], ["long-name", 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_bar_chart_scales_to_max(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "a" in out
+
+
+class TestChromeTrace:
+    def test_events_cover_all_commands(self, pipeline_timeline):
+        doc = to_chrome_trace(pipeline_timeline)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 4
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"dma0", "compute0"}
+
+    def test_times_scaled_to_microseconds(self, pipeline_timeline):
+        doc = to_chrome_trace(pipeline_timeline)
+        k = next(e for e in doc["traceEvents"] if e.get("cat") == "kernel")
+        assert k["ts"] == pytest.approx(1e6)
+        assert k["dur"] == pytest.approx(1e6)
+
+    def test_write_is_valid_json(self, pipeline_timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(pipeline_timeline, str(path))
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+
+class TestAsciiGantt:
+    def test_rows_per_engine(self, pipeline_timeline):
+        out = ascii_gantt(pipeline_timeline, width=40)
+        assert "dma0" in out and "compute0" in out
+        assert "legend" in out
+
+    def test_overlap_visible(self, pipeline_timeline):
+        out = ascii_gantt(pipeline_timeline, width=40)
+        dma = next(l for l in out.splitlines() if l.startswith("dma0"))
+        comp = next(l for l in out.splitlines() if l.startswith("compute0"))
+        # the second h2d runs while the kernel runs: both rows have
+        # glyphs in the middle section
+        mid = slice(len("compute0 ") + 15, len("compute0 ") + 25)
+        assert "#" in comp[mid]
+        assert "<" in dma[mid]
+
+    def test_empty_timeline(self):
+        assert "empty" in ascii_gantt(Timeline([]))
+
+    def test_real_run_renders(self, k40m, rng):
+        import numpy as np
+
+        a = rng.random(100_000).astype(np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        s = k40m.create_stream()
+        k40m.memcpy_h2d_async(d, a, s)
+        k40m.launch(1e-4, None, s)
+        k40m.synchronize()
+        out = ascii_gantt(k40m.timeline(), width=60)
+        assert "<" in out and "#" in out

@@ -1,0 +1,85 @@
+"""Config plumbing tests for the application drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import conv3d as cv
+from repro.apps import matmul as mm
+from repro.apps import qcd as qc
+from repro.apps import stencil as st
+
+
+class TestMemLimitPlumbing:
+    def test_stencil_mem_limit_shrinks_buffer(self):
+        base = st.StencilConfig(nz=32, ny=64, nx=64, iters=1, chunk_size=8,
+                                num_streams=4)
+        tight = st.StencilConfig(nz=32, ny=64, nx=64, iters=1, chunk_size=8,
+                                 num_streams=4, mem_limit="200KB")
+        r_base = st.run_model("pipelined-buffer", base, virtual=True)
+        r_tight = st.run_model("pipelined-buffer", tight, virtual=True)
+        assert r_tight.data_peak <= 200_000
+        assert r_tight.data_peak < r_base.data_peak
+
+    def test_conv_mem_limit_correctness_preserved(self):
+        cfg = cv.Conv3dConfig(nz=12, ny=10, nx=10, chunk_size=4,
+                              num_streams=4, mem_limit="6KB")
+        ref = cv.reference(cfg)
+        res, out = cv.run_checked("pipelined-buffer", cfg)
+        assert res.data_peak <= 6_000 + 512
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_qcd_mem_limit_string_forms(self):
+        cfg = qc.QcdConfig(n=8, mem_limit="MB_16")
+        region = qc.make_region(cfg)
+        assert region.mem_limit.limit_bytes == 16_000_000
+
+    def test_matmul_mem_limit_in_pragma(self):
+        cfg = mm.MatmulConfig(n=64, block=16, mem_limit="1GB")
+        region = mm.make_region(cfg)
+        assert region.mem_limit.limit_bytes == 10**9
+
+
+class TestConfigDerivedFields:
+    def test_stencil_dataset_label(self):
+        assert st.StencilConfig(nz=1, ny=2, nx=3).dataset == "1x2x3"
+
+    def test_conv_dataset_label(self):
+        assert cv.Conv3dConfig(nz=4, ny=5, nx=6).dataset == "4x5x6"
+
+    def test_matmul_nblocks_ceil(self):
+        assert mm.MatmulConfig(n=100, block=32).nblocks == 4
+        assert mm.MatmulConfig(n=96, block=32).nblocks == 3
+
+    def test_qcd_dataset_roundtrip(self):
+        for name in qc.DATASETS:
+            assert qc.QcdConfig.dataset(name).dataset_name == f"qcd-{name}"
+
+    def test_unknown_qcd_dataset(self):
+        with pytest.raises(KeyError):
+            qc.QcdConfig.dataset("huge")
+
+
+class TestHaloAndScheduleOptions:
+    @pytest.mark.parametrize("app,cfg", [
+        (st, st.StencilConfig(nz=12, ny=8, nx=8, iters=1, halo_mode="duplicate")),
+        (cv, cv.Conv3dConfig(nz=12, ny=8, nx=8, halo_mode="duplicate")),
+    ])
+    def test_duplicate_halo_config_correct(self, app, cfg):
+        ref = app.reference(cfg)
+        _, out = app.run_checked("pipelined-buffer", cfg)
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_adaptive_schedule_config(self):
+        cfg = cv.Conv3dConfig(nz=20, ny=8, nx=8, schedule="adaptive")
+        ref = cv.reference(cfg)
+        res, out = cv.run_checked("pipelined-buffer", cfg)
+        assert np.allclose(out, ref, atol=1e-6)
+        assert res.nchunks < 18  # ramped chunks
+
+    def test_qcd_adaptive_schedule(self):
+        cfg = qc.QcdConfig(n=8, schedule="adaptive", num_streams=2)
+        ref = qc.reference(cfg)
+        _, eta = qc.run_checked("pipelined-buffer", cfg)
+        assert np.allclose(eta, ref, atol=1e-5)

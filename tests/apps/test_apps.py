@@ -1,0 +1,172 @@
+"""Application-driver tests: correctness and basic behaviour of the
+four evaluation applications in every execution model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import conv3d as cv
+from repro.apps import matmul as mm
+from repro.apps import qcd as qc
+from repro.apps import stencil as st
+from repro.apps.common import MODELS, new_runtime, resolve_profile
+from repro.kernels.matmul import init_matrices
+from repro.sim import AMD_HD7970, NVIDIA_K40M
+from repro.sim.trace import audit
+
+
+class TestCommon:
+    def test_resolve_profile(self):
+        assert resolve_profile("k40m") is NVIDIA_K40M
+        assert resolve_profile("amd") is AMD_HD7970
+        assert resolve_profile(NVIDIA_K40M) is NVIDIA_K40M
+        with pytest.raises(KeyError):
+            resolve_profile("voodoo2")
+
+    def test_new_runtime_isolated(self):
+        r1, r2 = new_runtime(), new_runtime()
+        assert r1.device is not r2.device
+
+    def test_version_set_helpers(self):
+        cfg = st.StencilConfig(nz=10, ny=8, nx=8, iters=1)
+        vs = st.run_all(cfg)
+        assert set(vs.results) == {"naive", "pipelined", "pipelined-buffer"}
+        assert vs.speedup("naive") == pytest.approx(1.0)
+        assert -2.0 < vs.memory_saving() < 1.0
+        assert "stencil" in vs.summary_row()
+
+
+class TestStencilApp:
+    CFG = st.StencilConfig(nz=12, ny=10, nx=9, iters=3, chunk_size=1, num_streams=2)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_matches_reference(self, model):
+        ref = st.reference(self.CFG)
+        res, grid = st.run_checked(model, self.CFG)
+        audit(res.timeline)
+        assert np.allclose(grid, ref, rtol=1e-5, atol=1e-6)
+
+    def test_iterations_aggregate(self):
+        one = st.run_model("naive", st.StencilConfig(nz=10, ny=8, nx=8, iters=1))
+        three = st.run_model("naive", st.StencilConfig(nz=10, ny=8, nx=8, iters=3))
+        assert three.elapsed == pytest.approx(3 * one.elapsed, rel=0.05)
+
+    def test_virtual_matches_real_timing(self):
+        cfg = st.StencilConfig(nz=16, ny=32, nx=32, iters=2)
+        real = st.run_model("pipelined-buffer", cfg, virtual=False)
+        virt = st.run_model("pipelined-buffer", cfg, virtual=True)
+        assert virt.elapsed == pytest.approx(real.elapsed, rel=1e-9)
+        assert virt.memory_peak == real.memory_peak
+
+    def test_figure2_pragma_region(self):
+        region = st.make_region(self.CFG)
+        assert region.pipeline.num_streams == 2
+        assert region.pipeline_maps[0].var == "A0"
+
+
+class TestConv3dApp:
+    CFG = cv.Conv3dConfig(nz=10, ny=8, nx=7, chunk_size=2, num_streams=2)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_matches_reference(self, model):
+        ref = cv.reference(self.CFG)
+        res, out = cv.run_checked(model, self.CFG)
+        audit(res.timeline)
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_paper_scale_memory_saving(self):
+        vs = cv.run_all(cv.Conv3dConfig(), virtual=True)
+        assert vs.memory_saving() > 0.9  # paper: 97%
+        assert vs.naive.memory_peak > 3e9  # ~3.5 GB full footprint
+
+
+class TestMatmulApp:
+    def test_all_versions_match_reference(self):
+        cfg = mm.MatmulConfig(n=48, block=16, num_streams=2)
+        a, b, _ = init_matrices(48)
+        ref = a @ b
+        for model in mm.MATMUL_MODELS:
+            res, c = mm.run_checked(model, cfg)
+            audit(res.timeline)
+            assert np.allclose(c, ref, rtol=1e-12), model
+
+    def test_oom_returns_none_for_full_footprint(self):
+        cfg = mm.MatmulConfig(n=24576)
+        assert mm.run_model("baseline", cfg, virtual=True) is None
+        assert mm.run_model("block_shared", cfg, virtual=True) is None
+        assert mm.run_model("pipeline-buffer", cfg, virtual=True) is not None
+
+    def test_oom_when_even_the_buffer_version_cannot_fit(self):
+        """On the 3 GB HD 7970, large-n matmul cannot run under *any*
+        model: the resident C alone exceeds the card.  All versions
+        must report OOM rather than raise."""
+        cfg = mm.MatmulConfig(n=24576)
+        for model in mm.MATMUL_MODELS:
+            assert mm.run_model(model, cfg, device="hd7970", virtual=True) is None
+        # a size whose C fits still runs there
+        ok = mm.run_model(
+            "pipeline-buffer", mm.MatmulConfig(n=8192), device="hd7970", virtual=True
+        )
+        assert ok is not None
+
+    def test_block_clamped_to_n(self):
+        cfg = mm.MatmulConfig(n=8, block=512)
+        assert cfg.block == 8 and cfg.nblocks == 1
+
+    def test_sweep_structure(self):
+        sweep = mm.run_sweep([64, 128], virtual=True, block=32)
+        assert set(sweep) == {64, 128}
+        assert set(sweep[64]) == set(mm.MATMUL_MODELS)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            mm.run_model("quantum", mm.MatmulConfig(n=16))
+
+    def test_non_contiguous_transfers_present(self):
+        """A's column bands must be 2-D (pitched) copies: slower per
+        byte than B's contiguous row bands."""
+        cfg = mm.MatmulConfig(n=256, block=64, num_streams=2)
+        res, _ = mm.run_checked("pipeline-buffer", cfg, virtual=True)
+        h2d = res.timeline.by_kind("h2d")
+        a_copies = [r for r in h2d if r.label.startswith("h2d:A")]
+        b_copies = [r for r in h2d if r.label.startswith("h2d:B")]
+        assert a_copies and b_copies
+        a_rate = sum(r.nbytes for r in a_copies) / sum(r.duration for r in a_copies)
+        b_rate = sum(r.nbytes for r in b_copies) / sum(r.duration for r in b_copies)
+        assert a_rate < b_rate
+
+
+class TestQcdApp:
+    CFG = qc.QcdConfig(n=6, chunk_size=1, num_streams=2)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_matches_reference(self, model):
+        ref = qc.reference(self.CFG)
+        res, eta = qc.run_checked(model, self.CFG)
+        audit(res.timeline)
+        assert np.allclose(eta, ref, atol=1e-5)
+
+    def test_dataset_names(self):
+        assert qc.QcdConfig.dataset("small").n == 12
+        assert qc.QcdConfig.dataset("large").dataset_name == "qcd-large"
+        assert qc.QcdConfig(n=7).dataset_name == "qcd-n7"
+
+    def test_memory_saving_grows_with_size(self):
+        savings = [
+            qc.run_all(qc.QcdConfig.dataset(name), virtual=True).memory_saving()
+            for name in ("small", "medium", "large")
+        ]
+        assert savings == sorted(savings)
+        assert savings[-1] > 0.6  # paper: up to 79% for the large case
+
+    def test_space_complexity_reduced_one_dimension(self):
+        """The paper: splitting reduces O(C n^4) to O(C n^3)."""
+        data = {}
+        for n in (8, 16):
+            vs = qc.run_all(qc.QcdConfig(n=n), virtual=True)
+            data[n] = vs
+        naive_growth = data[16].naive.data_peak / data[8].naive.data_peak
+        buf_growth = data[16].buffer.data_peak / data[8].buffer.data_peak
+        assert naive_growth > 12  # ~n^4 growth (16x)
+        assert buf_growth < naive_growth / 1.8  # ~n^3 growth (8x)

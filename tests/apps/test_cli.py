@@ -1,0 +1,79 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        p = build_parser()
+        assert p.parse_args(["list"]).cmd == "list"
+        args = p.parse_args(["run", "fig3", "--device", "hd7970"])
+        assert (args.experiment, args.device) == ("fig3", "hd7970")
+        assert p.parse_args(["compare", "stencil"]).app == "stencil"
+        assert p.parse_args(["trace", "3dconv", "-o", "x.json"]).out == "x.json"
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig3(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "time distribution" in out
+        assert "Pipelined speedup" in out
+
+    def test_run_fig8_on_amd(self, capsys):
+        assert main(["run", "fig8", "--device", "hd7970"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk count" in out and "hd7970" in out
+
+    def test_compare_each_app(self, capsys):
+        for app in ("stencil", "3dconv", "qcd"):
+            assert main(["compare", app]) == 0
+        out = capsys.readouterr().out
+        assert "naive=" in out and "qcd-large" in out
+
+    def test_compare_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "raytracer"])
+
+    def test_trace_ascii(self, capsys):
+        assert main(["trace", "stencil", "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "#" in out
+
+    def test_trace_json(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "stencil", "-o", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "qcd"])
+
+    def test_run_all_dedupes_shared_generators(self, capsys):
+        """fig5/fig6 and fig9/fig10 share generators; 'all' must not
+        run them twice."""
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Speedup and memory by benchmark") == 1
+        assert out.count("Matmul speedup/memory") == 1

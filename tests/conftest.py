@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import Runtime
+from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
+
+
+@pytest.fixture
+def k40m() -> Runtime:
+    """A fresh runtime on a simulated K40m."""
+    return Runtime(Device(NVIDIA_K40M))
+
+
+@pytest.fixture
+def hd7970() -> Runtime:
+    """A fresh runtime on a simulated HD 7970."""
+    return Runtime(Device(AMD_HD7970))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG."""
+    return np.random.default_rng(0xC0FFEE)

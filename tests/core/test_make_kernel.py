@@ -1,0 +1,64 @@
+"""Tests for the make_kernel convenience factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TargetRegion, make_kernel
+from repro.directives.clauses import Loop
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+
+class TestFactory:
+    def test_attributes(self):
+        k = make_kernel(
+            cost=lambda p, a, b: 1.0,
+            body=lambda v, a, b: None,
+            name="custom",
+            index_penalty=0.2,
+        )
+        assert k.name == "custom"
+        assert k.index_penalty == 0.2
+
+    def test_cost_delegation(self):
+        k = make_kernel(lambda p, a, b: (b - a) * 2.0, lambda v, a, b: None)
+        assert k.cost(NVIDIA_K40M, 1, 4) == pytest.approx(6.0)
+        assert k.chunk_cost(NVIDIA_K40M, 1, 4, translated=True) == pytest.approx(
+            6.0 * 1.01
+        )
+
+    def test_non_callables_rejected(self):
+        with pytest.raises(TypeError):
+            make_kernel(1.0, lambda v, a, b: None)
+        with pytest.raises(TypeError):
+            make_kernel(lambda p, a, b: 1.0, "body")
+
+    def test_independent_instances(self):
+        k1 = make_kernel(lambda p, a, b: 1.0, lambda v, a, b: None, name="a")
+        k2 = make_kernel(lambda p, a, b: 2.0, lambda v, a, b: None, name="b")
+        assert k1.name == "a" and k2.name == "b"
+        assert k1.cost(NVIDIA_K40M, 0, 1) != k2.cost(NVIDIA_K40M, 0, 1)
+
+
+class TestEndToEnd:
+    def test_full_region_with_factory_kernel(self):
+        n = 32
+        rng = np.random.default_rng(8)
+        a = rng.random((n, 4))
+        arrays = {"IN": a, "OUT": np.zeros_like(a)}
+
+        def body(views, t0, t1):
+            src = views["IN"].take(t0, t1)
+            views["OUT"].take(t0, t1)[...] = src * 3.0
+
+        kernel = make_kernel(lambda p, a0, a1: (a1 - a0) * 1e-6, body, name="x3")
+        region = TargetRegion.parse(
+            "pipeline(static[2,2]) "
+            "pipeline_map(to: IN[k:1][0:4]) "
+            "pipeline_map(from: OUT[k:1][0:4])",
+            loop=Loop("k", 0, n),
+        )
+        region.run(Runtime(NVIDIA_K40M), arrays, kernel)
+        assert np.allclose(arrays["OUT"], 3.0 * a)

@@ -1,0 +1,59 @@
+"""Unit tests for pipeline_mem_limit tuning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memlimit import MemLimitError, tune_plan
+from tests.core.test_plan import stencil_plan
+
+
+class TestTunePlan:
+    def test_fitting_plan_unchanged(self):
+        plan = stencil_plan(nz=64, ny=16, nx=16, cs=4, ns=4)
+        tuned = tune_plan(plan, plan.device_bytes() + 1)
+        assert tuned is plan
+
+    def test_none_limit_means_unbounded(self):
+        plan = stencil_plan()
+        assert tune_plan(plan, None) is plan
+
+    def test_chunk_size_shrinks_first(self):
+        plan = stencil_plan(nz=512, ny=64, nx=64, cs=16, ns=4)
+        limit = stencil_plan(nz=512, ny=64, nx=64, cs=4, ns=4).device_bytes()
+        tuned = tune_plan(plan, limit)
+        assert tuned.chunk_size < 16
+        assert tuned.num_streams == 4
+        assert tuned.device_bytes() <= limit
+
+    def test_streams_shrink_when_chunks_exhausted(self):
+        plan = stencil_plan(nz=512, ny=64, nx=64, cs=1, ns=8)
+        limit = stencil_plan(nz=512, ny=64, nx=64, cs=1, ns=2).device_bytes()
+        tuned = tune_plan(plan, limit)
+        assert tuned.chunk_size == 1
+        assert tuned.num_streams <= 2
+        assert tuned.device_bytes() <= limit
+
+    def test_impossible_limit_raises(self):
+        plan = stencil_plan(nz=64, ny=64, nx=64)
+        with pytest.raises(MemLimitError) as ei:
+            tune_plan(plan, 1)
+        assert ei.value.limit == 1
+        assert ei.value.needed > 1
+
+    def test_result_always_within_limit(self):
+        plan = stencil_plan(nz=512, ny=32, nx=32, cs=32, ns=8)
+        minimal = stencil_plan(nz=512, ny=32, nx=32, cs=1, ns=1).device_bytes()
+        for limit in [minimal, 2 * minimal, 4 * minimal, plan.device_bytes()]:
+            tuned = tune_plan(plan, limit)
+            assert tuned.device_bytes() <= limit
+
+    def test_monotone_limits_monotone_params(self):
+        """A looser budget never yields a smaller pipeline."""
+        plan = stencil_plan(nz=512, ny=32, nx=32, cs=32, ns=8)
+        lim_lo = stencil_plan(nz=512, ny=32, nx=32, cs=2, ns=8).device_bytes()
+        lim_hi = stencil_plan(nz=512, ny=32, nx=32, cs=16, ns=8).device_bytes()
+        t_lo = tune_plan(plan, lim_lo)
+        t_hi = tune_plan(plan, lim_hi)
+        assert t_hi.chunk_size >= t_lo.chunk_size
+        assert t_hi.num_streams >= t_lo.num_streams

@@ -1,0 +1,69 @@
+"""Tests for RegionResult.summary and engine utilization reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+from repro.sim.trace import Timeline, TimelineRecord
+
+from tests.core.test_executor import ScaleKernel, make_arrays, make_region, run
+
+
+def rec(kind, start, finish, engine):
+    return TimelineRecord(kind, "", "s", engine, start, start, finish, 0)
+
+
+class TestEngineUtilization:
+    def test_values(self):
+        tl = Timeline(
+            [rec("h2d", 0, 1, "dma0"), rec("kernel", 0, 4, "compute0")]
+        )
+        util = tl.engine_utilization()
+        assert util["compute0"] == pytest.approx(1.0)
+        assert util["dma0"] == pytest.approx(0.25)
+
+    def test_empty_timeline(self):
+        assert Timeline([]).engine_utilization() == {}
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self):
+        n = 32
+        res = run(
+            "pipelined-buffer", make_region(n, 2, 3), Runtime(NVIDIA_K40M),
+            make_arrays(n),
+        )
+        text = res.summary()
+        assert "pipelined-buffer" in text
+        assert "chunk_size=2" in text and "streams=3" in text
+        assert "transfer overlap" in text
+        assert "dma0" in text and "compute0" in text
+        assert "MB" in text
+
+    def test_summary_numbers_consistent(self):
+        n = 32
+        res = run("naive", make_region(n), Runtime(NVIDIA_K40M), make_arrays(n))
+        text = res.summary()
+        assert f"{res.elapsed * 1e3:.3f} ms" in text
+        assert "naive" in text
+
+
+class TestToDict:
+    def test_json_safe_and_complete(self):
+        import json
+
+        n = 32
+        res = run(
+            "pipelined-buffer", make_region(n, 2, 3), Runtime(NVIDIA_K40M),
+            make_arrays(n),
+        )
+        d = res.to_dict()
+        json.dumps(d)  # must not raise
+        assert d["model"] == "pipelined-buffer"
+        assert d["elapsed_s"] == res.elapsed
+        assert d["nchunks"] == res.nchunks
+        assert set(d["busy_s"]) == {"h2d", "d2h", "kernel"}
+        assert d["commands"] == len(res.timeline)
+        assert 0.0 <= d["overlap"] <= 1.0

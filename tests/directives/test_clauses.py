@@ -1,0 +1,145 @@
+"""Unit tests for clause objects and affine split_iter expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directives.clauses import (
+    Affine,
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+
+
+class TestAffine:
+    @pytest.mark.parametrize(
+        "text,a,b",
+        [
+            ("k", 1, 0),
+            ("k-1", 1, -1),
+            ("k+1", 1, 1),
+            ("k + 2", 1, 2),
+            ("2*k", 2, 0),
+            ("k*3", 3, 0),
+            ("2*k-1", 2, -1),
+            ("512*k+7", 512, 7),
+            ("1+k", 1, 1),
+        ],
+    )
+    def test_parse_valid(self, text, a, b):
+        f = Affine.parse(text, "k")
+        assert (f.a, f.b) == (a, b)
+
+    @pytest.mark.parametrize("k", [-3, 0, 1, 7, 100])
+    def test_evaluation(self, k):
+        assert Affine.parse("3*k-2", "k")(k) == 3 * k - 2
+
+    @pytest.mark.parametrize("text", ["", "5", "j-1", "k*k", "k-", "+"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(DirectiveError):
+            Affine.parse(text, "k")
+
+    def test_wrong_variable_rejected(self):
+        with pytest.raises(DirectiveError):
+            Affine.parse("i+1", "k")
+
+    def test_non_positive_slope_rejected(self):
+        with pytest.raises(DirectiveError):
+            Affine(a=0, b=1)
+        with pytest.raises(DirectiveError):
+            Affine(a=-1)
+
+    def test_str_roundtrip(self):
+        for text in ("k", "k-1", "2*k+3"):
+            f = Affine.parse(text, "k")
+            g = Affine.parse(str(f), "k")
+            assert (f.a, f.b) == (g.a, g.b)
+
+
+class TestLoop:
+    def test_trip_count_and_iterations(self):
+        loop = Loop("k", 1, 7)
+        assert loop.trip_count == 6
+        assert list(loop.iterations()) == [1, 2, 3, 4, 5, 6]
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(DirectiveError):
+            Loop("k", 5, 3)
+
+    def test_non_unit_stride_rejected(self):
+        with pytest.raises(DirectiveError):
+            Loop("k", 0, 10, step=2)
+
+
+class TestPipelineClause:
+    def test_defaults(self):
+        c = PipelineClause()
+        assert c.schedule == "static" and c.chunk_size == 1 and c.num_streams == 2
+
+    def test_adaptive_allowed(self):
+        PipelineClause(schedule="adaptive", chunk_size=2, num_streams=4)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(schedule="dynamic"),
+            dict(chunk_size=0),
+            dict(num_streams=0),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(DirectiveError):
+            PipelineClause(**kw)
+
+
+class TestPipelineMapClause:
+    def make(self, **over):
+        kw = dict(
+            direction="to",
+            var="A",
+            split_dim=0,
+            split_iter=Affine(1, -1),
+            size=3,
+            dims=((0, 64), (0, 32)),
+        )
+        kw.update(over)
+        return PipelineMapClause(**kw)
+
+    def test_direction_flags(self):
+        assert self.make(direction="to").is_input
+        assert not self.make(direction="to").is_output
+        assert self.make(direction="from").is_output
+        assert self.make(direction="tofrom").is_input
+        assert self.make(direction="tofrom").is_output
+
+    def test_bad_direction(self):
+        with pytest.raises(DirectiveError):
+            self.make(direction="sideways")
+
+    def test_bad_size(self):
+        with pytest.raises(DirectiveError):
+            self.make(size=0)
+
+    def test_split_dim_bounds(self):
+        with pytest.raises(DirectiveError):
+            self.make(split_dim=2)
+
+    def test_ndim(self):
+        assert self.make().ndim == 2
+
+
+class TestOtherClauses:
+    def test_map_clause_directions(self):
+        for d in ("to", "from", "tofrom", "alloc"):
+            MapClause(direction=d, var="C")
+        with pytest.raises(DirectiveError):
+            MapClause(direction="x", var="C")
+
+    def test_mem_limit_positive(self):
+        MemLimitClause(1)
+        with pytest.raises(DirectiveError):
+            MemLimitClause(0)

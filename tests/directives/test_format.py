@@ -1,0 +1,80 @@
+"""Unit tests for pragma formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directives.clauses import (
+    Affine,
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+from repro.directives.format import format_clause, format_pragma
+from repro.directives.parser import ParsedPragma, parse_pragma
+
+
+class TestFormatClause:
+    def test_pipeline(self):
+        assert format_clause(PipelineClause("static", 2, 4)) == "pipeline(static[2,4])"
+
+    def test_pipeline_map_outer_split(self):
+        c = PipelineMapClause(
+            "to", "A0", 0, Affine(1, -1), 3, ((0, -1), (0, 512), (0, 512))
+        )
+        assert (
+            format_clause(c)
+            == "pipeline_map(to: A0[k-1:3][0:512][0:512])"
+        )
+
+    def test_pipeline_map_inner_split_custom_var(self):
+        c = PipelineMapClause("to", "A", 1, Affine(512, 0), 512, ((0, 4096), (0, -1)))
+        assert (
+            format_clause(c, loop_var="kb")
+            == "pipeline_map(to: A[0:4096][512*kb:512])"
+        )
+
+    def test_map_and_limit(self):
+        assert format_clause(MapClause("tofrom", "C")) == "map(tofrom: C)"
+        assert format_clause(MemLimitClause(12345)) == "pipeline_mem_limit(12345)"
+
+    def test_affine_format_variants(self):
+        assert Affine(1, 0).format("k") == "k"
+        assert Affine(1, -1).format("i") == "i-1"
+        assert Affine(3, 2).format("k") == "3*k+2"
+
+
+class TestFormatPragma:
+    def test_figure2_reconstruction(self):
+        loop = Loop("k", 1, 63)
+        text = (
+            "pipeline(static[1,3]) "
+            "pipeline_map(to: A0[k-1:3][0:512][0:512]) "
+            "pipeline_map(from: Anext[k:1][0:512][0:512]) "
+            "pipeline_mem_limit(256MB)"
+        )
+        parsed = parse_pragma(text, loop)
+        out = format_pragma(parsed)
+        assert out.startswith("#pragma omp target ")
+        reparsed = parse_pragma(out, loop)
+        assert reparsed.pipeline == parsed.pipeline
+        assert reparsed.pipeline_maps == parsed.pipeline_maps
+        assert reparsed.mem_limit.limit_bytes == 256_000_000
+
+    def test_no_prefix(self):
+        parsed = ParsedPragma(
+            pipeline=PipelineClause(),
+            pipeline_maps=[
+                PipelineMapClause("to", "A", 0, Affine(1, 0), 1, ((0, -1),))
+            ],
+        )
+        out = format_pragma(parsed, prefix=None)
+        assert not out.startswith("#")
+        assert out.startswith("pipeline(")
+
+    def test_rejects_random_objects(self):
+        with pytest.raises(DirectiveError):
+            format_clause(object())

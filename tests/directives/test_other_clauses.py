@@ -1,0 +1,93 @@
+"""Tests for the pass-through target clauses (device / private).
+
+The paper: "The other target clauses, for example, ``device`` or
+``private``, work as previously."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TargetRegion
+from repro.directives.clauses import DirectiveError, Loop
+from repro.directives.parser import parse_pragma
+from repro.gpu import Runtime
+from repro.sim import AMD_HD7970, NVIDIA_K40M
+
+LOOP = Loop("k", 0, 16)
+BASE = "pipeline(static[1,2]) pipeline_map(to: A[k:1][0:4])"
+
+
+class TestParsing:
+    def test_device_clause(self):
+        p = parse_pragma(BASE + " device(1)", LOOP)
+        assert p.device_num == 1
+
+    def test_no_device_clause(self):
+        assert parse_pragma(BASE, LOOP).device_num is None
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma(BASE + " device(0) device(1)", LOOP)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma(BASE + " device(-1)", LOOP)
+
+    def test_private_clause(self):
+        p = parse_pragma(BASE + " private(tmp, acc)", LOOP)
+        assert p.privates == ("tmp", "acc")
+
+    def test_multiple_private_clauses_accumulate(self):
+        p = parse_pragma(BASE + " private(x) private(y)", LOOP)
+        assert p.privates == ("x", "y")
+
+    def test_bad_private_name_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma(BASE + " private(2fast)", LOOP)
+
+
+class TestRegionIntegration:
+    def test_region_carries_clauses(self):
+        region = TargetRegion.parse(BASE + " device(1) private(tmp)", LOOP)
+        assert region.device_num == 1
+        assert region.privates == ("tmp",)
+
+    def test_select_runtime_by_device_number(self):
+        region = TargetRegion.parse(BASE + " device(1)", LOOP)
+        r0, r1 = Runtime(NVIDIA_K40M), Runtime(AMD_HD7970)
+        assert region.select_runtime([r0, r1]) is r1
+
+    def test_select_runtime_default_is_zero(self):
+        region = TargetRegion.parse(BASE, LOOP)
+        r0, r1 = Runtime(NVIDIA_K40M), Runtime(AMD_HD7970)
+        assert region.select_runtime([r0, r1]) is r0
+        assert region.select_runtime(r0) is r0
+
+    def test_select_runtime_out_of_range(self):
+        region = TargetRegion.parse(BASE + " device(3)", LOOP)
+        with pytest.raises(DirectiveError):
+            region.select_runtime([Runtime(NVIDIA_K40M)])
+
+    def test_single_runtime_with_nonzero_device_rejected(self):
+        region = TargetRegion.parse(BASE + " device(2)", LOOP)
+        with pytest.raises(DirectiveError):
+            region.select_runtime(Runtime(NVIDIA_K40M))
+
+    def test_execution_unaffected_by_pass_through_clauses(self):
+        from repro.core import make_kernel
+
+        region = TargetRegion.parse(
+            "pipeline(static[1,2]) pipeline_map(tofrom: A[k:1][0:4]) "
+            "device(0) private(scratch)",
+            LOOP,
+        )
+        a = np.ones((16, 4))
+        kernel = make_kernel(
+            lambda p, t0, t1: (t1 - t0) * 1e-6,
+            lambda v, t0, t1: v["A"].take(t0, t1).__imul__(5.0),
+            name="x5",
+        )
+        region.run(Runtime(NVIDIA_K40M), {"A": a}, kernel)
+        assert np.all(a == 5.0)

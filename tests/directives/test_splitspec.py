@@ -1,0 +1,113 @@
+"""Unit tests for array-section range math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directives.clauses import Affine, DirectiveError, Loop, PipelineMapClause
+from repro.directives.splitspec import SplitSpec, chunk_range, iter_range
+
+
+def clause(a=1, b=-1, size=3, extent=64, split_dim=0, other=(0, 32), direction="to"):
+    dims = [(0, extent), other] if split_dim == 0 else [other, (0, extent)]
+    return PipelineMapClause(
+        direction=direction,
+        var="A",
+        split_dim=split_dim,
+        split_iter=Affine(a, b),
+        size=size,
+        dims=tuple(dims),
+    )
+
+
+LOOP = Loop("k", 1, 63)
+
+
+class TestRanges:
+    def test_iter_range_stencil(self):
+        # A0[k-1:3]: iteration k touches [k-1, k+2)
+        c = clause()
+        assert iter_range(c, 5) == (4, 7)
+
+    def test_iter_range_clamped_low(self):
+        c = clause()
+        assert iter_range(c, 0) == (0, 2)  # k-1 = -1 clamps to 0
+
+    def test_iter_range_clamped_high(self):
+        c = clause(extent=10)
+        assert iter_range(c, 9) == (8, 10)
+
+    def test_chunk_range_spans_chunk(self):
+        c = clause()
+        assert chunk_range(c, 1, 5) == (0, 6)  # iters 1..4 touch planes 0..5
+
+    def test_chunk_range_single_iteration(self):
+        c = clause()
+        assert chunk_range(c, 5, 6) == iter_range(c, 5)
+
+    def test_chunk_range_strided_affine(self):
+        # A[kb*512 : 512]: chunk of 2 blocks covers 1024 columns
+        c = clause(a=512, b=0, size=512, extent=4096)
+        assert chunk_range(c, 0, 2) == (0, 1024)
+        assert chunk_range(c, 3, 4) == (1536, 2048)
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(DirectiveError):
+            chunk_range(clause(), 5, 5)
+
+
+class TestSplitSpec:
+    def test_derive_unit_elems(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        assert spec.unit_elems == 32
+        assert spec.split_extent == 64
+        assert spec.split_dim == 0
+
+    def test_derive_inner_dim(self):
+        spec = SplitSpec.derive(clause(split_dim=1, extent=64, other=(0, 8)), LOOP)
+        assert spec.split_dim == 1
+        assert spec.unit_elems == 8
+
+    def test_chunk_extent(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        # a=1, size=3: chunk of cs iterations needs cs + 2 planes
+        assert spec.chunk_extent(1) == 3
+        assert spec.chunk_extent(4) == 6
+
+    def test_window_extent(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        # S chunks of cs iterations: S*cs + size - 1 planes
+        assert spec.window_extent(1, 3) == 5
+        assert spec.window_extent(2, 2) == 6
+
+    def test_bytes(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        assert spec.bytes_per_unit(4) == 128
+        assert spec.full_bytes(4) == 64 * 32 * 4
+
+    def test_total_range(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        assert spec.total_range() == (0, 64)
+
+    def test_validate_shape_accepts_match(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        spec.validate_shape((64, 32))
+
+    def test_validate_shape_rejects_rank(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        with pytest.raises(DirectiveError):
+            spec.validate_shape((64, 32, 2))
+
+    def test_validate_shape_rejects_overrun(self):
+        spec = SplitSpec.derive(clause(), LOOP)
+        with pytest.raises(DirectiveError):
+            spec.validate_shape((63, 32))
+
+    def test_zero_length_dim_rejected(self):
+        with pytest.raises(DirectiveError):
+            SplitSpec.derive(clause(other=(0, 0)), LOOP)
+
+    def test_empty_dependency_range_rejected(self):
+        # loop far outside the mapped extent
+        with pytest.raises(DirectiveError):
+            SplitSpec.derive(clause(extent=4), Loop("k", 100, 110))

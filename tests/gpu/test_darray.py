@@ -1,0 +1,84 @@
+"""Unit tests for DeviceArray handles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.darray import DeviceArray
+from repro.gpu.errors import InvalidValueError
+from repro.sim.memory import AllocationRecord
+from repro.sim.varray import VirtualArray
+
+
+def alloc(shape=(8, 4), dtype=np.float32, virtual=False):
+    backing = VirtualArray(shape, dtype) if virtual else np.zeros(shape, dtype)
+    rec = AllocationRecord(0, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+    return DeviceArray(backing, rec)
+
+
+class TestMetadata:
+    def test_shape_dtype_size(self):
+        d = alloc((8, 4))
+        assert d.shape == (8, 4)
+        assert d.dtype == np.float32
+        assert d.ndim == 2
+        assert d.size == 32
+        assert d.nbytes == 128
+
+    def test_virtual_flag(self):
+        assert alloc(virtual=True).is_virtual
+        assert not alloc().is_virtual
+
+    def test_repr_mentions_mode(self):
+        assert "virtual" in repr(alloc(virtual=True))
+        assert "alloc" in repr(alloc())
+
+
+class TestViews:
+    def test_view_shares_base(self):
+        d = alloc()
+        v = d[2:5]
+        assert v.is_view and v.base is d
+        assert v.allocation is None
+        assert v.shape == (3, 4)
+
+    def test_nested_views_share_root(self):
+        d = alloc()
+        v = d[2:6][1:]
+        assert v.base is d
+
+    def test_view_writes_reach_parent(self):
+        d = alloc()
+        d[3:4].backing[...] = 7.0
+        assert (d.backing[3] == 7.0).all()
+
+    def test_reshape_view(self):
+        d = alloc((8, 4))
+        assert d.reshape(32).shape == (32,)
+        assert d.reshape(32).base is d
+
+    def test_virtual_views(self):
+        d = alloc(virtual=True)
+        assert d[1:3].shape == (2, 4)
+        assert d[1:3].is_virtual
+
+
+class TestLifetime:
+    def test_free_view_rejected(self):
+        d = alloc()
+        with pytest.raises(InvalidValueError):
+            d[1:].mark_freed()
+
+    def test_double_free_rejected(self):
+        d = alloc()
+        d.mark_freed()
+        with pytest.raises(InvalidValueError):
+            d.mark_freed()
+
+    def test_views_die_with_base(self):
+        d = alloc()
+        v = d[2:]
+        d.mark_freed()
+        with pytest.raises(InvalidValueError):
+            _ = v[0:1]

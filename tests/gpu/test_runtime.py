@@ -1,0 +1,234 @@
+"""Unit tests for the CUDA-like host runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import OutOfMemoryError, Runtime
+from repro.gpu.errors import InvalidValueError
+from repro.sim import NVIDIA_K40M
+from repro.sim.trace import audit
+from repro.sim.varray import VirtualArray, is_virtual
+
+
+class TestMalloc:
+    def test_malloc_charges_memory(self, k40m):
+        before = k40m.memory_used
+        d = k40m.malloc((1000,), np.float64)
+        assert k40m.memory_used - before >= 8000
+        assert d.shape == (1000,) and d.dtype == np.float64
+
+    def test_free_returns_memory(self, k40m):
+        d = k40m.malloc((1000,), np.float32)
+        used = k40m.memory_used
+        k40m.free(d)
+        assert k40m.memory_used < used
+
+    def test_oom_propagates(self, k40m):
+        with pytest.raises(OutOfMemoryError):
+            k40m.malloc((100_000, 100_000), np.float64)  # 80 GB
+
+    def test_free_view_rejected(self, k40m):
+        d = k40m.malloc((10, 10), np.float32)
+        with pytest.raises(InvalidValueError):
+            k40m.free(d[2:])
+
+    def test_double_free_rejected(self, k40m):
+        d = k40m.malloc((10,), np.float32)
+        k40m.free(d)
+        with pytest.raises(InvalidValueError):
+            k40m.free(d)
+
+    def test_use_after_free_rejected(self, k40m):
+        d = k40m.malloc((10,), np.float32)
+        k40m.free(d)
+        with pytest.raises(InvalidValueError):
+            _ = d[2:]
+
+    def test_virtual_mode_backing(self):
+        rt = Runtime(NVIDIA_K40M, virtual=True)
+        d = rt.malloc((10, 10), np.float32)
+        assert d.is_virtual
+        h = rt.hostalloc((10, 10), np.float32)
+        assert is_virtual(h)
+
+    def test_memory_peak_includes_context(self, k40m):
+        assert k40m.memory_peak >= NVIDIA_K40M.context_overhead_bytes
+
+
+class TestCopies:
+    def test_sync_roundtrip(self, k40m, rng):
+        a = rng.random(257).astype(np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        out = np.zeros_like(a)
+        k40m.memcpy_h2d(d, a)
+        k40m.memcpy_d2h(out, d)
+        assert np.array_equal(out, a)
+
+    def test_async_roundtrip_with_stream_order(self, k40m, rng):
+        a = rng.random((32, 16)).astype(np.float64)
+        d = k40m.malloc(a.shape, a.dtype)
+        out = np.zeros_like(a)
+        s = k40m.create_stream()
+        k40m.memcpy_h2d_async(d, a, s)
+        k40m.memcpy_d2h_async(out, d, s)
+        k40m.synchronize()
+        assert np.array_equal(out, a)
+
+    def test_shape_mismatch_rejected(self, k40m):
+        d = k40m.malloc((4, 4), np.float32)
+        s = k40m.create_stream()
+        with pytest.raises(InvalidValueError):
+            k40m.memcpy_h2d_async(d, np.zeros((4, 5), np.float32), s)
+
+    def test_view_copy_lands_in_parent(self, k40m, rng):
+        a = rng.random((8, 4)).astype(np.float32)
+        d = k40m.malloc((16, 4), np.float32)
+        s = k40m.create_stream()
+        k40m.memcpy_h2d_async(d[8:], a, s)
+        k40m.synchronize()
+        assert np.array_equal(d.backing[8:], a)
+        assert (d.backing[:8] == 0).all()
+
+    def test_sync_copy_blocks_host_clock(self, k40m):
+        a = np.zeros(50_000_000, np.float32)  # 200 MB -> ~20 ms
+        d = k40m.malloc(a.shape, a.dtype)
+        t0 = k40m.host_now
+        k40m.memcpy_h2d(d, a)
+        assert k40m.host_now - t0 > 0.015
+
+    def test_async_copy_does_not_block_host(self, k40m):
+        a = np.zeros(50_000_000, np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        s = k40m.create_stream()
+        t0 = k40m.host_now
+        k40m.memcpy_h2d_async(d, a, s)
+        assert k40m.host_now - t0 < 1e-3  # just the API call
+        k40m.synchronize()
+
+    def test_2d_copy_slower_than_1d(self, k40m):
+        a = np.zeros((1024, 256), np.float32)
+        d1 = k40m.malloc(a.shape, a.dtype)
+        d2 = k40m.malloc(a.shape, a.dtype)
+        s = k40m.create_stream()
+        c1 = k40m.memcpy_h2d_async(d1, a, s)
+        c2 = k40m.memcpy_h2d_async(d2, a, s, rows=1024, row_bytes=1024)
+        k40m.synchronize()
+        assert c2.duration > c1.duration
+
+    def test_call_overhead_scale_applies(self, k40m):
+        a = np.zeros(10, np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        s = k40m.create_stream()
+        t0 = k40m.host_now
+        k40m.memcpy_h2d_async(d, a, s)
+        base = k40m.host_now - t0
+        k40m.call_overhead_scale = 5.0
+        t1 = k40m.host_now
+        k40m.memcpy_h2d_async(d, a, s)
+        assert (k40m.host_now - t1) == pytest.approx(5 * base)
+
+
+class TestEventsAndSync:
+    def test_record_event_and_cross_stream_wait(self, k40m):
+        s1, s2 = k40m.create_stream(), k40m.create_stream()
+        a = np.zeros(25_000_000, np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        c = k40m.memcpy_h2d_async(d, a, s1)
+        tok = k40m.record_event(s1)
+        k = k40m.launch(1e-4, None, s2, waits=[tok])
+        k40m.synchronize()
+        assert k.start_time >= c.finish_time
+
+    def test_stream_synchronize_only_blocks_that_stream(self, k40m):
+        s1, s2 = k40m.create_stream(), k40m.create_stream()
+        a = np.zeros(25_000_000, np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        k40m.memcpy_h2d_async(d, a, s1)
+        slow = k40m.launch(1.0, None, s2)
+        k40m.stream_synchronize(s1)
+        assert not slow.done
+        k40m.synchronize()
+        assert slow.done
+
+    def test_event_synchronize(self, k40m):
+        s = k40m.create_stream()
+        k40m.launch(5e-3, None, s)
+        tok = k40m.record_event(s)
+        k40m.event_synchronize(tok)
+        assert tok.done
+        assert k40m.host_now >= 5e-3
+
+    def test_synchronize_idle_device(self, k40m):
+        k40m.synchronize()  # must not raise
+
+    def test_elapsed_tracks_both_clocks(self, k40m):
+        s = k40m.create_stream()
+        k40m.launch(0.25, None, s)
+        k40m.synchronize()
+        assert k40m.elapsed >= 0.25
+
+
+class TestKernels:
+    def test_launch_payload_runs(self, k40m):
+        s = k40m.create_stream()
+        hits = []
+        k40m.launch(1e-5, lambda: hits.append(1), s)
+        k40m.synchronize()
+        assert hits == [1]
+
+    def test_virtual_mode_skips_payload(self):
+        rt = Runtime(NVIDIA_K40M, virtual=True)
+        s = rt.create_stream()
+        hits = []
+        rt.launch(1e-5, lambda: hits.append(1), s)
+        rt.synchronize()
+        assert hits == []
+
+    def test_pipeline_pattern_produces_clean_timeline(self, k40m, rng):
+        """A hand-built 3-stage pipeline is audited end to end."""
+        n, chunks = 4096, 8
+        a = rng.random(n).astype(np.float64)
+        out = np.zeros_like(a)
+        d = k40m.malloc((n,), np.float64)
+        streams = [k40m.create_stream() for _ in range(2)]
+        w = n // chunks
+        for i in range(chunks):
+            st = streams[i % 2]
+            sl = slice(i * w, (i + 1) * w)
+            k40m.memcpy_h2d_async(d[sl], a[sl], st)
+            # double each chunk on device
+            k40m.launch(
+                1e-4,
+                (lambda s=sl: d.backing.__setitem__(s, d.backing[s] * 2)),
+                st,
+            )
+            k40m.memcpy_d2h_async(out[sl], d[sl], st)
+        k40m.synchronize()
+        audit(k40m.timeline())
+        assert np.allclose(out, 2 * a)
+
+
+class TestPinning:
+    def test_hostalloc_registers_pinned(self, k40m):
+        h = k40m.hostalloc((16,), np.float32)
+        assert k40m.is_pinned(h)
+
+    def test_default_pinned_flag(self, k40m):
+        arr = np.zeros(4, np.float32)
+        assert k40m.is_pinned(arr)
+        k40m.default_pinned = False
+        assert not k40m.is_pinned(arr)
+        k40m.pin(arr)
+        assert k40m.is_pinned(arr)
+
+    def test_pageable_transfers_slower(self, k40m):
+        k40m.default_pinned = False
+        a = np.zeros(10_000_000, np.float32)
+        d = k40m.malloc(a.shape, a.dtype)
+        s = k40m.create_stream()
+        slow = k40m.memcpy_h2d_async(d, a, s)
+        fast = k40m.memcpy_h2d_async(d, a, s, pinned=True)
+        k40m.synchronize()
+        assert slow.duration > fast.duration

@@ -1,0 +1,70 @@
+"""Determinism: identical configurations produce identical simulations.
+
+The simulator is documented as fully deterministic (tie-breaks by
+enqueue sequence, no wall-clock or RNG in the event loop).  These tests
+pin that guarantee — it is what makes calibration stable, benchmarks
+reproducible, and the autotuner's dry runs trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import conv3d as cv
+from repro.apps import qcd as qc
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, make_arrays, make_region, run
+
+
+def timelines_equal(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a.records, b.records):
+        if (ra.kind, ra.label, ra.engine, ra.stream) != (
+            rb.kind, rb.label, rb.engine, rb.stream,
+        ):
+            return False
+        if not (
+            ra.start == rb.start and ra.finish == rb.finish and ra.nbytes == rb.nbytes
+        ):
+            return False
+    return True
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", ["naive", "pipelined", "pipelined-buffer"])
+    def test_identical_runs_identical_timelines(self, model):
+        n = 48
+        results = []
+        for _ in range(2):
+            arrays = make_arrays(n)
+            results.append(
+                run(model, make_region(n, 2, 3), Runtime(NVIDIA_K40M), arrays)
+            )
+        a, b = results
+        assert a.elapsed == b.elapsed
+        assert a.memory_peak == b.memory_peak
+        assert timelines_equal(a.timeline, b.timeline)
+
+    def test_app_level_determinism(self):
+        r1 = cv.run_model("pipelined-buffer", cv.Conv3dConfig(), virtual=True)
+        r2 = cv.run_model("pipelined-buffer", cv.Conv3dConfig(), virtual=True)
+        assert r1.elapsed == r2.elapsed
+        assert timelines_equal(r1.timeline, r2.timeline)
+
+    def test_qcd_speedup_bitwise_stable(self):
+        s1 = qc.run_all(qc.QcdConfig.dataset("medium"), virtual=True)
+        s2 = qc.run_all(qc.QcdConfig.dataset("medium"), virtual=True)
+        assert s1.speedup("pipelined") == s2.speedup("pipelined")
+
+    def test_functional_output_bitwise_stable(self):
+        n = 40
+        outs = []
+        for _ in range(2):
+            arrays = make_arrays(n)
+            run("pipelined-buffer", make_region(n, 3, 4), Runtime(NVIDIA_K40M), arrays)
+            outs.append(arrays["OUT"].copy())
+        assert np.array_equal(outs[0], outs[1])

@@ -1,0 +1,65 @@
+"""Regression tests: every shipped example must run and self-validate.
+
+The examples assert their own numerical correctness internally; here we
+execute them as scripts (small sizes where they accept argv) and check
+the headline lines they print.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=(), capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "True" in out and "speedup" in out
+        assert "legend" in out  # gantt printed
+
+    def test_stencil_pipeline_small(self, capsys):
+        out = run_example("stencil_pipeline.py", ["24", "96", "96", "2"], capsys=capsys)
+        assert "validated against NumPy" in out
+        assert "pipelined-buffer" in out
+
+    def test_out_of_core_matmul(self, capsys):
+        out = run_example("out_of_core_matmul.py", capsys=capsys)
+        assert "validated against NumPy" in out
+        assert out.count("OOM") >= 4
+        assert "24576" in out
+
+    def test_qcd_offload(self, capsys):
+        out = run_example("qcd_offload.py", capsys=capsys)
+        assert "validated against NumPy" in out
+        assert "qcd-large" in out
+
+    def test_amd_tuning(self, capsys):
+        out = run_example("amd_tuning.py", capsys=capsys)
+        assert "HD 7970" in out
+        assert "adaptive schedule" in out
+        assert "pipeline_mem_limit" in out
+
+    def test_heterogeneous_cluster(self, capsys):
+        out = run_example("heterogeneous_cluster.py", capsys=capsys)
+        assert "autotuning" in out
+        assert "K40m + HD7970" in out
+
+    def test_tiled_image_filter(self, capsys):
+        out = run_example("tiled_image_filter.py", capsys=capsys)
+        assert "result validated against NumPy" in out
+        assert "tiles" in out

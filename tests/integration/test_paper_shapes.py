@@ -1,0 +1,168 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+Each test pins one claim from the evaluation section.  These are the
+inner assertions behind the benchmark harness; keeping them in the test
+suite means a regression in any calibrated behaviour fails fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import conv3d as cv
+from repro.apps import matmul as mm
+from repro.apps import qcd as qc
+from repro.apps import stencil as st
+
+
+class TestK40mSpeedups:
+    """Figure 5: 1.41x-1.65x over Naive on the K40m (generous bands)."""
+
+    def test_conv3d_band(self):
+        vs = cv.run_all(cv.Conv3dConfig(), virtual=True)
+        assert 1.3 <= vs.speedup("pipelined") <= 1.7
+        assert 1.3 <= vs.speedup("pipelined-buffer") <= 1.7
+
+    def test_conv3d_buffer_matches_hand_coded(self):
+        """The prototype "provides exactly the same performance
+        compared to the hand-coded Pipelined version"."""
+        vs = cv.run_all(cv.Conv3dConfig(), virtual=True)
+        ratio = vs.buffer.elapsed / vs.pipelined.elapsed
+        assert 0.95 <= ratio <= 1.10
+
+    def test_qcd_speedup_grows_with_problem_size(self):
+        ups = [
+            qc.run_all(qc.QcdConfig.dataset(d), virtual=True).speedup("pipelined")
+            for d in ("small", "medium", "large")
+        ]
+        assert ups[0] < ups[1] <= ups[2] + 0.05
+        assert ups[-1] < 2.0  # theoretical upper bound
+
+    def test_stencil_band(self):
+        vs = st.run_all(st.StencilConfig(), virtual=True)
+        assert 1.4 <= vs.speedup("pipelined-buffer") <= 2.0
+
+
+class TestMemoryFindings:
+    """Figure 6/10: memory savings 52%-97%, growing with problem size."""
+
+    def test_conv3d_97_percent(self):
+        vs = cv.run_all(cv.Conv3dConfig(), virtual=True)
+        assert vs.memory_saving() >= 0.93
+
+    def test_stencil_runtime_memory_dominates_small_case(self):
+        """Paper: "the GPU runtime and scheduler, rather than the data
+        set, consume a large portion of the memory for this small test
+        case" — context overhead > ring buffers."""
+        res = st.run_model(
+            "pipelined-buffer", st.StencilConfig(iters=1), virtual=True
+        )
+        context = res.memory_peak - res.data_peak
+        assert context > res.data_peak
+
+    def test_stencil_saving_near_half(self):
+        vs = st.run_all(st.StencilConfig(iters=1), virtual=True)
+        assert 0.3 <= vs.memory_saving() <= 0.7  # "nearly 50%"
+
+    def test_matmul_saving_approaches_two_thirds(self):
+        res = mm.run_model(
+            "pipeline-buffer", mm.MatmulConfig(n=14336), virtual=True
+        )
+        full = mm.run_model("block_shared", mm.MatmulConfig(n=14336), virtual=True)
+        saving = 1 - res.memory_peak / full.memory_peak
+        assert 0.5 <= saving <= 0.75  # paper: "nearly 66%"
+
+    def test_qcd_splitting_cuts_one_dimension(self):
+        big = qc.run_all(qc.QcdConfig.dataset("large"), virtual=True)
+        assert 0.6 <= big.memory_saving() <= 0.9  # paper: up to 79%
+
+
+class TestAmdFindings:
+    """Figure 8: chunked pipelining loses on the HD 7970 at default
+    chunk counts and wins only with a handful of chunks."""
+
+    def amd_conv(self, nchunks):
+        nz = 384
+        cs = max(1, (nz - 2) // nchunks)
+        cfg = cv.Conv3dConfig(nz=nz, ny=384, nx=384, chunk_size=cs, num_streams=2)
+        return cv.run_all(cfg, device="hd7970", virtual=True)
+
+    def test_default_chunks_slower_than_naive(self):
+        vs = self.amd_conv(382)  # chunk size 1: the paper's default
+        assert vs.speedup("pipelined") < 0.85  # paper: 57% slower
+
+    def test_two_chunks_modest_win(self):
+        vs = self.amd_conv(2)
+        assert 1.05 <= vs.speedup("pipelined") <= 1.45  # paper: ~1.2x
+
+    def test_sweet_spot_beats_two_chunks(self):
+        assert (
+            self.amd_conv(6).speedup("pipelined")
+            > self.amd_conv(2).speedup("pipelined")
+        )
+
+    def test_many_chunks_degrade(self):
+        assert (
+            self.amd_conv(48).speedup("pipelined")
+            < self.amd_conv(6).speedup("pipelined")
+        )
+
+    def test_nvidia_insensitive_where_amd_degrades(self):
+        """Paper: chunk-count overhead "can be ignored on NVIDIA
+        GPUs" — at the paper's K40m dataset, chunk size barely moves
+        the speedup, while the same variation swings AMD results
+        drastically (the sweep tests above)."""
+        nv_1 = cv.run_all(cv.Conv3dConfig(chunk_size=1), virtual=True).speedup(
+            "pipelined"
+        )
+        nv_8 = cv.run_all(cv.Conv3dConfig(chunk_size=8), virtual=True).speedup(
+            "pipelined"
+        )
+        assert abs(nv_1 - nv_8) < 0.15
+
+
+class TestMatmulFindings:
+    """Figure 9: tiled kernel ~3x; pipelining hides transfers."""
+
+    def test_block_shared_about_3x(self):
+        cfg = mm.MatmulConfig(n=8192)
+        base = mm.run_model("baseline", cfg, virtual=True)
+        tiled = mm.run_model("block_shared", cfg, virtual=True)
+        assert 2.5 <= base.elapsed / tiled.elapsed <= 3.5
+
+    def test_pipeline_buffer_matches_block_shared(self):
+        cfg = mm.MatmulConfig(n=8192)
+        tiled = mm.run_model("block_shared", cfg, virtual=True)
+        buf = mm.run_model("pipeline-buffer", cfg, virtual=True)
+        assert abs(buf.elapsed / tiled.elapsed - 1) < 0.08
+
+    def test_transfers_fully_hidden_when_compute_bound(self):
+        """The streamed A/B bands hide under the GEMM chunks; only the
+        resident C's entry/exit copies and the first A band cannot be
+        overlapped, so the overall fraction sits below 1.0."""
+        res = mm.run_model("pipeline-buffer", mm.MatmulConfig(n=8192), virtual=True)
+        assert res.overlap > 0.7
+
+    def test_out_of_memory_sizes_run_only_with_buffer(self):
+        cfg = mm.MatmulConfig(n=20480)
+        assert mm.run_model("baseline", cfg, virtual=True) is None
+        assert mm.run_model("block_shared", cfg, virtual=True) is None
+        res = mm.run_model("pipeline-buffer", cfg, virtual=True)
+        assert res is not None
+        assert res.memory_peak < 10e9
+
+
+class TestHeadline:
+    """Abstract: 1.41x-1.65x speedup, 52%-97% memory reduction."""
+
+    def test_headline_bands(self):
+        sets = [
+            cv.run_all(cv.Conv3dConfig(), virtual=True),
+            st.run_all(st.StencilConfig(), virtual=True),
+            qc.run_all(qc.QcdConfig.dataset("large"), virtual=True),
+        ]
+        speedups = [vs.speedup("pipelined-buffer") for vs in sets]
+        savings = [vs.memory_saving() for vs in sets]
+        assert all(1.3 <= s <= 2.0 for s in speedups)
+        assert all(0.30 <= m <= 0.99 for m in savings)
+        assert max(savings) > 0.9

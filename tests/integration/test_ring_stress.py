@@ -1,0 +1,79 @@
+"""Stress: ring reuse under artificially tight buffer capacities.
+
+The executor's event dependencies must keep results exact even when
+the memory limit squeezes the plan down to its minimum — maximal slot
+recycling, maximal stall pressure, every wrap path exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TargetRegion
+from repro.core.memlimit import tune_plan
+from repro.core.executor import execute_pipeline
+from repro.directives.clauses import Loop
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+from repro.sim.trace import audit
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+
+class TestTightRings:
+    @pytest.mark.parametrize("ns", [1, 2, 3, 5, 8])
+    def test_minimum_capacity_still_exact(self, ns):
+        """Drive the plan to its smallest ring via a tight limit."""
+        n = 96
+        arrays = make_arrays(n)
+        region = make_region(n, 8, ns)
+        plan = region.bind(arrays)
+        minimal = plan.with_params(1, 1).device_bytes()
+        plan = tune_plan(plan.with_params(8, ns), minimal + 512)
+        rt = Runtime(NVIDIA_K40M)
+        res = execute_pipeline(rt, plan, arrays, ScaleKernel())
+        audit(res.timeline)
+        assert np.allclose(arrays["OUT"], expected(arrays, n))
+
+    def test_hundreds_of_laps_around_a_small_ring(self):
+        """A long loop over a tiny ring: hundreds of slot reuses."""
+        n = 600
+        arrays = make_arrays(n)
+        region = make_region(n, 1, 2)
+        res = region.run(Runtime(NVIDIA_K40M), arrays, ScaleKernel())
+        audit(res.timeline)
+        assert np.allclose(arrays["OUT"], expected(arrays, n))
+        # the input ring holds only a handful of planes
+        plan = region.plan_for(Runtime(NVIDIA_K40M), arrays)
+        assert plan.ring_capacity("IN") < 12
+        laps = (n - 2) / plan.ring_capacity("IN")
+        assert laps > 50
+
+    def test_wide_halo_tight_ring(self):
+        """Halo 4 each side with a ring barely wider than one chunk."""
+        from tests.properties.test_prop_pipeline import HaloSumKernel, reference
+
+        halo, n = 4, 120
+        region = TargetRegion.parse(
+            f"pipeline(static[2,2]) "
+            f"pipeline_map(to: IN[k-{halo}:{2 * halo + 1}][0:4]) "
+            f"pipeline_map(from: OUT[k:1][0:4])",
+            loop=Loop("k", halo, n - halo),
+        )
+        rng = np.random.default_rng(21)
+        a = rng.integers(0, 9, size=(n, 4)).astype(float)
+        arrays = {"IN": a, "OUT": np.zeros_like(a)}
+        res = region.run(Runtime(NVIDIA_K40M), arrays, HaloSumKernel(halo))
+        audit(res.timeline)
+        assert np.array_equal(arrays["OUT"], reference(a, halo))
+
+    def test_adaptive_schedule_with_memory_limit(self):
+        """Adaptive ramping bounded by pipeline_mem_limit stays exact
+        and inside the budget."""
+        n = 300
+        arrays = make_arrays(n)
+        region = make_region(n, 1, 3, schedule="adaptive", mem="8KB")
+        res = region.run(Runtime(NVIDIA_K40M), arrays, ScaleKernel())
+        assert res.data_peak <= 8_192 + 512
+        assert np.allclose(arrays["OUT"], expected(arrays, n))

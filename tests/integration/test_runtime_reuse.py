@@ -1,0 +1,122 @@
+"""Integration: regions composed sequentially on one runtime.
+
+Real applications (the stencil's iterated sweeps, multi-phase solvers)
+run many regions back-to-back on one device.  Clocks, memory, and event
+bookkeeping must compose cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TargetRegion
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+from repro.sim.trace import audit
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+
+class TestSequentialRegions:
+    def test_back_to_back_regions_accumulate_time(self):
+        rt = Runtime(NVIDIA_K40M)
+        n = 32
+        arrays = make_arrays(n)
+        region = make_region(n, 2, 2)
+        r1 = region.run(rt, arrays, ScaleKernel())
+        t_mid = rt.elapsed
+        r2 = region.run(rt, arrays, ScaleKernel())
+        assert rt.elapsed > t_mid
+        assert r2.elapsed == pytest.approx(r1.elapsed, rel=0.2)
+        audit(rt.timeline())
+
+    def test_memory_returns_between_regions(self):
+        rt = Runtime(NVIDIA_K40M)
+        n = 64
+        region = make_region(n, 1, 3)
+        base = rt.memory_used
+        for _ in range(5):
+            region.run(rt, make_arrays(n), ScaleKernel())
+            assert rt.memory_used == base
+
+    def test_results_stay_correct_across_reuse(self):
+        rt = Runtime(NVIDIA_K40M)
+        n = 40
+        region = make_region(n, 3, 2)
+        for trial in range(4):
+            arrays = make_arrays(n, rng=np.random.default_rng(trial))
+            region.run(rt, arrays, ScaleKernel())
+            assert np.allclose(arrays["OUT"], expected(arrays, n)), trial
+
+    def test_mixed_models_on_one_runtime(self):
+        rt = Runtime(NVIDIA_K40M)
+        n = 32
+        region = make_region(n, 2, 2)
+        a1, a2, a3 = make_arrays(n), make_arrays(n), make_arrays(n)
+        region.run_naive(rt, a1, ScaleKernel())
+        region.run_pipelined(rt, a2, ScaleKernel())
+        region.run(rt, a3, ScaleKernel())
+        assert np.array_equal(a1["OUT"], a2["OUT"])
+        assert np.array_equal(a1["OUT"], a3["OUT"])
+        audit(rt.timeline())
+
+    def test_per_region_measurement_isolated(self):
+        """The second region's RegionResult must not include the
+        first's commands or memory peak."""
+        rt = Runtime(NVIDIA_K40M)
+        n = 64
+        big = make_region(n, 8, 8)
+        small = make_region(n, 1, 1)
+        r_big = big.run(rt, make_arrays(n), ScaleKernel())
+        r_small = small.run(rt, make_arrays(n), ScaleKernel())
+        # coarse chunks -> few commands, big buffers; fine chunks ->
+        # many commands, small buffers; neither sees the other's half
+        assert len(r_big.timeline) < len(r_small.timeline)
+        assert r_small.data_peak < r_big.data_peak
+        assert r_big.nchunks == 8 and r_small.nchunks == 62
+
+    def test_overhead_scales_restored_after_region(self):
+        rt = Runtime(NVIDIA_K40M)
+        n = 32
+        region = make_region(n, 1, 8)
+        region.run(rt, make_arrays(n), ScaleKernel())
+        assert rt.call_overhead_scale == 1.0
+        assert rt.command_overhead == 0.0
+        region.run_pipelined(rt, make_arrays(n), ScaleKernel())
+        assert rt.call_overhead_scale == 1.0
+        assert rt.command_overhead == 0.0
+
+
+class TestFailureInjection:
+    def test_kernel_exception_propagates(self):
+        class Boom(ScaleKernel):
+            def run(self, views, t0, t1):
+                raise RuntimeError("kernel exploded")
+
+        rt = Runtime(NVIDIA_K40M)
+        n = 16
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            make_region(n).run(rt, make_arrays(n), Boom())
+
+    def test_scales_restored_after_kernel_exception(self):
+        class Boom(ScaleKernel):
+            def run(self, views, t0, t1):
+                raise RuntimeError("boom")
+
+        rt = Runtime(NVIDIA_K40M)
+        n = 16
+        with pytest.raises(RuntimeError):
+            make_region(n, 1, 4).run(rt, make_arrays(n), Boom())
+        assert rt.call_overhead_scale == 1.0
+        assert rt.command_overhead == 0.0
+
+    def test_negative_kernel_cost_rejected(self):
+        class Negative(ScaleKernel):
+            def cost(self, profile, t0, t1):
+                return -1.0
+
+        rt = Runtime(NVIDIA_K40M)
+        n = 16
+        with pytest.raises(ValueError):
+            make_region(n).run(rt, make_arrays(n), Negative())

@@ -1,0 +1,73 @@
+"""Virtual-mode runs must be *timing-identical* to real-mode runs.
+
+This is the property that justifies running the paper-scale sweeps
+(Figures 9/10, the 3.5 GB conv3d) in metadata-only mode: the simulated
+timeline, elapsed time, transfer byte counts, and memory peaks depend
+only on shapes/dtypes, never on array contents or on whether payloads
+execute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import conv3d as cv
+from repro.apps import matmul as mm
+from repro.apps import qcd as qc
+from repro.apps import stencil as st
+from repro.apps.common import MODELS
+
+
+def assert_equivalent(real, virt):
+    assert virt.elapsed == pytest.approx(real.elapsed, rel=1e-12)
+    assert virt.memory_peak == real.memory_peak
+    assert virt.nchunks == real.nchunks
+    rd, vd = real.time_distribution, virt.time_distribution
+    for kind in rd:
+        assert vd[kind] == pytest.approx(rd[kind], rel=1e-12)
+    assert len(virt.timeline) == len(real.timeline)
+    for a, b in zip(real.timeline, virt.timeline):
+        assert a.kind == b.kind and a.nbytes == b.nbytes
+        assert b.start == pytest.approx(a.start, rel=1e-12)
+        assert b.finish == pytest.approx(a.finish, rel=1e-12)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_stencil_virtual_equivalence(model):
+    cfg = st.StencilConfig(nz=12, ny=16, nx=16, iters=2, num_streams=3)
+    assert_equivalent(
+        st.run_model(model, cfg, virtual=False), st.run_model(model, cfg, virtual=True)
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_conv3d_virtual_equivalence(model):
+    cfg = cv.Conv3dConfig(nz=12, ny=16, nx=16, chunk_size=2, num_streams=2)
+    assert_equivalent(
+        cv.run_model(model, cfg, virtual=False), cv.run_model(model, cfg, virtual=True)
+    )
+
+
+@pytest.mark.parametrize("model", mm.MATMUL_MODELS)
+def test_matmul_virtual_equivalence(model):
+    cfg = mm.MatmulConfig(n=64, block=16, num_streams=2)
+    assert_equivalent(
+        mm.run_model(model, cfg, virtual=False), mm.run_model(model, cfg, virtual=True)
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_qcd_virtual_equivalence(model):
+    cfg = qc.QcdConfig(n=6, num_streams=2)
+    assert_equivalent(
+        qc.run_model(model, cfg, virtual=False), qc.run_model(model, cfg, virtual=True)
+    )
+
+
+@pytest.mark.parametrize("device", ["k40m", "hd7970"])
+def test_equivalence_holds_on_both_devices(device):
+    cfg = st.StencilConfig(nz=10, ny=12, nx=12, iters=1)
+    assert_equivalent(
+        st.run_model("pipelined-buffer", cfg, device, virtual=False),
+        st.run_model("pipelined-buffer", cfg, device, virtual=True),
+    )

@@ -1,0 +1,197 @@
+"""Unit tests for the application kernels (references + cost models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import ChunkView
+from repro.kernels.conv3d import COEFFS, Conv3dKernel, init_volume, reference_conv3d
+from repro.kernels.cost import effective_time, roofline_time
+from repro.kernels.matmul import (
+    MatmulChunkKernel,
+    MatmulWholeKernel,
+    init_matrices,
+    reference_matmul,
+)
+from repro.kernels.qcd import DslashKernel, init_lattice, reference_dslash
+from repro.kernels.stencil3d import C0, C1, StencilKernel, init_grid, reference_sweep
+from repro.sim.profiles import AMD_HD7970, NVIDIA_K40M
+
+
+class TestCostModels:
+    def test_roofline_compute_bound(self):
+        t = roofline_time(NVIDIA_K40M, flops=1e12, bytes_moved=1, itemsize=8)
+        assert t == pytest.approx(1e12 / NVIDIA_K40M.flops_f64)
+
+    def test_roofline_memory_bound(self):
+        t = roofline_time(NVIDIA_K40M, flops=1, bytes_moved=1e9, itemsize=8)
+        assert t == pytest.approx(1e9 / NVIDIA_K40M.mem_bw)
+
+    def test_roofline_precision_selects_rate(self):
+        f32 = roofline_time(NVIDIA_K40M, 1e12, 0, itemsize=4)
+        f64 = roofline_time(NVIDIA_K40M, 1e12, 0, itemsize=8)
+        assert f32 < f64
+
+    def test_roofline_validation(self):
+        with pytest.raises(ValueError):
+            roofline_time(NVIDIA_K40M, -1, 0, 8)
+        with pytest.raises(ValueError):
+            roofline_time(NVIDIA_K40M, 1, 0, 8, flop_efficiency=0)
+
+    def test_effective_time(self):
+        assert effective_time(100, 10) == pytest.approx(10)
+        with pytest.raises(ValueError):
+            effective_time(-1, 10)
+        with pytest.raises(ValueError):
+            effective_time(1, 0)
+
+
+def full_views(split_arrays, resident=None):
+    """Whole-array views like the naive executor provides."""
+    views = {}
+    for name, (arr, sd) in split_arrays.items():
+        views[name] = ChunkView(arr, sd, 0, arr.shape[sd])
+    for name, arr in (resident or {}).items():
+        views[name] = ChunkView(arr, None, 0, arr.shape[0])
+    return views
+
+
+class TestStencilKernel:
+    def test_reference_boundary_untouched(self):
+        a = init_grid(8, 8, 8)
+        b = np.full_like(a, -1.0)
+        reference_sweep(a, b)
+        assert np.all(b[0] == -1) and np.all(b[-1] == -1)
+        assert np.all(b[:, 0, :] == -1) and np.all(b[:, :, -1] == -1)
+
+    def test_reference_known_value(self):
+        a = np.ones((3, 3, 3), dtype=np.float32)
+        b = np.zeros_like(a)
+        reference_sweep(a, b)
+        assert b[1, 1, 1] == pytest.approx(6 * C1 - C0)
+
+    def test_kernel_matches_reference_on_full_views(self):
+        a = init_grid(10, 6, 7)
+        b_ref = np.zeros_like(a)
+        reference_sweep(a, b_ref)
+        b = np.zeros_like(a)
+        k = StencilKernel(6, 7)
+        k.run(full_views({"A0": (a, 0), "Anext": (b, 0)}), 1, 9)
+        assert np.allclose(b, b_ref)
+
+    def test_cost_linear_in_planes(self):
+        k = StencilKernel(512, 512)
+        assert k.cost(NVIDIA_K40M, 0, 4) == pytest.approx(4 * k.cost(NVIDIA_K40M, 0, 1))
+
+    def test_chunked_equals_whole(self):
+        a = init_grid(12, 5, 5)
+        whole = np.zeros_like(a)
+        k = StencilKernel(5, 5)
+        k.run(full_views({"A0": (a, 0), "Anext": (whole, 0)}), 1, 11)
+        parts = np.zeros_like(a)
+        for t0 in range(1, 11, 2):
+            k.run(full_views({"A0": (a, 0), "Anext": (parts, 0)}), t0, t0 + 2)
+        assert np.array_equal(whole, parts)
+
+
+class TestConv3dKernel:
+    def test_coeffs_frozen(self):
+        with pytest.raises(ValueError):
+            COEFFS[0, 0, 0] = 1.0
+
+    def test_kernel_matches_reference(self):
+        a = init_volume(9, 6, 5)
+        ref = np.zeros_like(a)
+        reference_conv3d(a, ref)
+        out = np.zeros_like(a)
+        Conv3dKernel(6, 5).run(full_views({"A": (a, 0), "B": (out, 0)}), 1, 8)
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_identity_coefficients_behaviour(self):
+        """With random coeffs the centre voxel result is the weighted sum."""
+        a = np.zeros((3, 3, 3), dtype=np.float32)
+        a[1, 1, 1] = 1.0
+        out = np.zeros_like(a)
+        Conv3dKernel(3, 3).run(full_views({"A": (a, 0), "B": (out, 0)}), 1, 2)
+        assert out[1, 1, 1] == pytest.approx(COEFFS[1, 1, 1])
+
+
+class TestMatmulKernels:
+    def test_whole_kernel_runs_gemm(self):
+        a, b, c = init_matrices(24)
+        k = MatmulWholeKernel(24, "baseline", trips=3)
+        k.run(full_views({"A": (a, 1), "B": (b, 0)}, resident={"C": c}), 0, 3)
+        assert np.allclose(c, reference_matmul(a, b))
+
+    def test_block_shared_3x_faster_than_baseline(self):
+        base = MatmulWholeKernel(4096, "baseline", trips=8)
+        tiled = MatmulWholeKernel(4096, "block_shared", trips=8)
+        ratio = base.cost(NVIDIA_K40M, 0, 8) / tiled.cost(NVIDIA_K40M, 0, 8)
+        assert 2.5 < ratio < 3.5
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            MatmulWholeKernel(16, "fancy")
+
+    def test_chunk_kernel_accumulates_blocks(self):
+        n, blk = 32, 8
+        a, b, c = init_matrices(n)
+        k = MatmulChunkKernel(n, blk)
+        for kb in range(n // blk):
+            views = full_views({"A": (a, 1), "B": (b, 0)}, resident={"C": c})
+            k.run(views, kb, kb + 1)
+        assert np.allclose(c, reference_matmul(a, b))
+
+    def test_chunk_kernel_ragged_final_block(self):
+        n, blk = 30, 8  # 4 blocks, last covers 6 columns
+        a, b, c = init_matrices(n)
+        k = MatmulChunkKernel(n, blk)
+        for kb in range(-(-n // blk)):
+            k.run(full_views({"A": (a, 1), "B": (b, 0)}, resident={"C": c}), kb, kb + 1)
+        assert np.allclose(c, reference_matmul(a, b))
+
+    def test_chunk_cost_scales_with_depth(self):
+        k = MatmulChunkKernel(2048, 256)
+        assert k.cost(NVIDIA_K40M, 0, 2) == pytest.approx(
+            2 * k.cost(NVIDIA_K40M, 0, 1), rel=0.2
+        )
+
+
+class TestDslashKernel:
+    def test_kernel_matches_reference(self):
+        g, psi, eta_ref = init_lattice(6, 4, 3, 5)
+        reference_dslash(g, psi, eta_ref)
+        g2, psi2, eta = init_lattice(6, 4, 3, 5)
+        DslashKernel(4, 3, 5).run(
+            full_views({"G": (g2, 0), "psi": (psi2, 0), "eta": (eta, 0)}), 1, 5
+        )
+        assert np.allclose(eta, eta_ref, atol=1e-5)
+
+    def test_chunked_equals_whole(self):
+        g, psi, _ = init_lattice(8, 3, 3, 3)
+        whole = np.zeros_like(psi)
+        k = DslashKernel(3, 3, 3)
+        k.run(full_views({"G": (g, 0), "psi": (psi, 0), "eta": (whole, 0)}), 1, 7)
+        parts = np.zeros_like(psi)
+        for t0 in range(1, 7, 3):
+            k.run(
+                full_views({"G": (g, 0), "psi": (psi, 0), "eta": (parts, 0)}),
+                t0,
+                min(t0 + 3, 7),
+            )
+        assert np.allclose(whole, parts)
+
+    def test_boundary_slices_untouched(self):
+        g, psi, eta = init_lattice(6, 3, 3, 3)
+        reference_dslash(g, psi, eta)
+        assert np.all(eta[0] == 0) and np.all(eta[-1] == 0)
+
+    def test_index_penalty_visible(self):
+        k = DslashKernel(8, 8, 8)
+        assert k.index_penalty > StencilKernel(8, 8).index_penalty
+
+    def test_cost_scales_with_volume(self):
+        small = DslashKernel(4, 4, 4).cost(AMD_HD7970, 1, 3)
+        big = DslashKernel(8, 8, 8).cost(AMD_HD7970, 1, 3)
+        assert big == pytest.approx(8 * small)

@@ -1,0 +1,86 @@
+"""Property tests: 2-D block regions under random geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+
+from repro.core.block2d import Block2DRegion, TileKernel
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+from repro.sim.trace import audit
+
+
+class OffsetStamp(TileKernel):
+    """OUT[r, c] = IN[r, c] + r * 1000 + c, via the tile offsets.
+
+    The only way to compute this correctly from a tile view is to use
+    the carried (row_offset, col_offset), so any slot-mapping mistake
+    shows up as a wrong answer.
+    """
+
+    name = "stamp"
+
+    def cost(self, profile, rows, cols):
+        return rows * cols * 1e-9
+
+    def run(self, ins, outs):
+        v = ins["IN"]
+        o = outs["OUT"]
+        rr = np.arange(v.data.shape[0])[:, None] + v.row_offset
+        cc = np.arange(v.data.shape[1])[None, :] + v.col_offset
+        o.data[...] = v.data + rr * 1000 + cc
+
+
+@stn.composite
+def geometries(draw):
+    rows = draw(stn.integers(1, 60))
+    cols = draw(stn.integers(1, 60))
+    trows = draw(stn.integers(1, rows))
+    tcols = draw(stn.integers(1, cols))
+    streams = draw(stn.integers(1, 4))
+    return rows, cols, trows, tcols, streams
+
+
+@given(geometries())
+@settings(max_examples=60, deadline=None)
+def test_any_geometry_matches_reference(geom):
+    rows, cols, trows, tcols, streams = geom
+    rng = np.random.default_rng(rows * 100 + cols)
+    a = rng.random((rows, cols))
+    out = np.zeros_like(a)
+    region = Block2DRegion((rows, cols), (trows, tcols), streams)
+    res = region.run(Runtime(NVIDIA_K40M), {"IN": a}, {"OUT": out}, OffsetStamp())
+    audit(res.timeline)
+    expect = a + np.arange(rows)[:, None] * 1000 + np.arange(cols)[None, :]
+    assert np.allclose(out, expect)
+    gr, gc = region.grid
+    assert res.nchunks == gr * gc
+
+
+@given(geometries())
+@settings(max_examples=40, deadline=None)
+def test_transfer_volume_is_exact(geom):
+    """Every element moves exactly once in and once out."""
+    rows, cols, trows, tcols, streams = geom
+    a = np.zeros((rows, cols))
+    region = Block2DRegion((rows, cols), (trows, tcols), streams)
+    res = region.run(
+        Runtime(NVIDIA_K40M), {"IN": a}, {"OUT": np.zeros_like(a)}, OffsetStamp()
+    )
+    assert sum(r.nbytes for r in res.timeline.by_kind("h2d")) == a.nbytes
+    assert sum(r.nbytes for r in res.timeline.by_kind("d2h")) == a.nbytes
+
+
+@given(geometries())
+@settings(max_examples=40, deadline=None)
+def test_memory_bounded_by_slot_buffers(geom):
+    rows, cols, trows, tcols, streams = geom
+    a = np.zeros((rows, cols))
+    region = Block2DRegion((rows, cols), (trows, tcols), streams)
+    res = region.run(
+        Runtime(NVIDIA_K40M), {"IN": a}, {"OUT": np.zeros_like(a)}, OffsetStamp()
+    )
+    budget = region.buffer_bytes({"IN": a.dtype, "OUT": a.dtype})
+    assert res.data_peak <= budget + 2 * 256  # alignment slack

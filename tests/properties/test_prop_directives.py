@@ -1,0 +1,124 @@
+"""Property tests: affine expressions, chunking, and range math."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as stn
+
+from repro.core.plan import make_chunks
+from repro.core.scheduler import adaptive_chunks
+from repro.directives.clauses import Affine, Loop, PipelineMapClause
+from repro.directives.parser import parse_mem_size
+from repro.directives.splitspec import SplitSpec, chunk_range, iter_range
+
+
+@given(a=stn.integers(1, 1000), b=stn.integers(-1000, 1000), k=stn.integers(-50, 50))
+def test_affine_parse_eval_roundtrip(a, b, k):
+    text = f"{a}*k{'+' if b >= 0 else ''}{b}" if b else f"{a}*k"
+    f = Affine.parse(text, "k")
+    assert f(k) == a * k + b
+
+
+@given(a=stn.integers(1, 100), b=stn.integers(-100, 100))
+def test_affine_str_roundtrip(a, b):
+    f = Affine(a, b)
+    g = Affine.parse(str(f), "k")
+    assert (g.a, g.b) == (a, b)
+
+
+@given(
+    start=stn.integers(-100, 100),
+    trip=stn.integers(1, 500),
+    cs=stn.integers(1, 64),
+)
+def test_static_chunks_tile_loop_exactly(start, trip, cs):
+    loop = Loop("k", start, start + trip)
+    chunks = make_chunks(loop, cs)
+    seen = [k for c in chunks for k in range(c.t0, c.t1)]
+    assert seen == list(loop.iterations())
+    assert all(c.trip <= cs for c in chunks)
+    assert [c.index for c in chunks] == list(range(len(chunks)))
+
+
+@given(
+    start=stn.integers(-100, 100),
+    trip=stn.integers(1, 500),
+    cs=stn.integers(1, 16),
+    ns=stn.integers(1, 8),
+)
+def test_adaptive_chunks_tile_loop_exactly(start, trip, cs, ns):
+    loop = Loop("k", start, start + trip)
+    chunks = adaptive_chunks(loop, cs, ns)
+    seen = [k for c in chunks for k in range(c.t0, c.t1)]
+    assert seen == list(loop.iterations())
+    from repro.core.scheduler import ADAPTIVE_MAX_FACTOR
+
+    assert all(c.trip <= cs * ADAPTIVE_MAX_FACTOR for c in chunks)
+
+
+@stn.composite
+def split_clauses(draw):
+    a = draw(stn.integers(1, 8))
+    b = draw(stn.integers(-8, 8))
+    size = draw(stn.integers(1, 8))
+    start = draw(stn.integers(0, 8))
+    trip = draw(stn.integers(1, 40))
+    loop = Loop("k", start, start + trip)
+    # extent large enough that the loop's dependency range is non-empty
+    extent = max(a * (start + trip) + b + size, 1) + draw(stn.integers(0, 16))
+    clause = PipelineMapClause(
+        direction="to",
+        var="A",
+        split_dim=0,
+        split_iter=Affine(a, b),
+        size=size,
+        dims=((0, extent), (0, 4)),
+    )
+    # the whole-loop dependency range must be non-empty after clamping
+    # (SplitSpec.derive rejects degenerate clauses by design)
+    assume(a * (start + trip - 1) + b + size > 0)
+    return clause, loop
+
+
+@given(args=split_clauses(), cs=stn.integers(1, 10))
+def test_chunk_ranges_cover_iteration_ranges(args, cs):
+    """Every iteration's dependency slice lies inside its chunk's."""
+    clause, loop = args
+    for c in make_chunks(loop, cs):
+        c_lo, c_hi = chunk_range(clause, c.t0, c.t1)
+        for k in range(c.t0, c.t1):
+            i_lo, i_hi = iter_range(clause, k)
+            if i_lo < i_hi:  # non-degenerate after clamping
+                assert c_lo <= i_lo and i_hi <= c_hi
+
+
+@given(split_clauses())
+def test_consecutive_chunk_ranges_monotone(args):
+    clause, loop = args
+    prev = None
+    for c in make_chunks(loop, 2):
+        lo, hi = chunk_range(clause, c.t0, c.t1)
+        if prev is not None:
+            assert lo >= prev[0] and hi >= prev[1]
+        prev = (lo, hi)
+
+
+@given(args=split_clauses(), cs=stn.integers(1, 6), ns=stn.integers(1, 6))
+def test_window_extent_bounds_union_of_in_flight_chunks(args, cs, ns):
+    clause, loop = args
+    spec = SplitSpec.derive(clause, loop)
+    chunks = make_chunks(loop, cs)
+    for i in range(len(chunks)):
+        window = chunks[i : i + ns]
+        lo = min(chunk_range(clause, c.t0, c.t1)[0] for c in window)
+        hi = max(chunk_range(clause, c.t0, c.t1)[1] for c in window)
+        assert hi - lo <= spec.window_extent(cs, ns)
+
+
+@given(
+    n=stn.integers(0, 10**7),
+    unit=stn.sampled_from(["B", "KB", "MB", "KiB", "MiB"]),
+)
+def test_mem_size_parse_scales(n, unit):
+    scale = {"B": 1, "KB": 10**3, "MB": 10**6, "KiB": 2**10, "MiB": 2**20}[unit]
+    assert parse_mem_size(f"{n}{unit}") == n * scale

@@ -1,0 +1,155 @@
+"""Property tests: the discrete-event core under random workloads.
+
+For arbitrary command DAGs (random engines, streams, durations, host
+enqueue times, and cross-stream event edges) the simulator must:
+
+* retire every command (no lost work, no spurious deadlock),
+* produce a timeline that passes the structural audit (exclusive
+  engines, in-order streams, no start-before-enqueue), and
+* execute payloads in an order consistent with every declared edge.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+
+from repro.sim import Device, NVIDIA_K40M
+from repro.sim.engine import Command, EventToken, Simulator
+from repro.sim.stream import SimStream
+from repro.sim.trace import audit
+
+
+@stn.composite
+def workloads(draw):
+    n_engines = draw(stn.integers(1, 3))
+    n_streams = draw(stn.integers(1, 4))
+    n_cmds = draw(stn.integers(1, 30))
+    cmds = []
+    for i in range(n_cmds):
+        cmds.append(
+            dict(
+                engine=draw(stn.integers(0, n_engines - 1)),
+                stream=draw(stn.one_of(stn.none(), stn.integers(0, n_streams - 1))),
+                duration=draw(
+                    stn.floats(0, 1e-3, allow_nan=False, allow_infinity=False)
+                ),
+                enqueue=draw(stn.floats(0, 1e-3, allow_nan=False, allow_infinity=False)),
+                waits=sorted(
+                    draw(
+                        stn.sets(stn.integers(0, i - 1), max_size=min(3, i))
+                    )
+                )
+                if i
+                else [],
+            )
+        )
+    return n_engines, n_streams, cmds
+
+
+@given(workloads())
+@settings(max_examples=120, deadline=None)
+def test_random_dags_complete_and_audit(wl):
+    n_engines, n_streams, specs = wl
+    sim = Simulator()
+    for e in range(n_engines):
+        sim.add_engine(f"e{e}")
+    streams = [SimStream(f"s{i}") for i in range(n_streams)]
+    order = []
+    tokens = {}
+    cmds = []
+    for i, spec in enumerate(specs):
+        tok = EventToken(f"t{i}")
+        cmd = Command(
+            "kernel",
+            f"e{spec['engine']}",
+            spec["duration"],
+            stream=streams[spec["stream"]] if spec["stream"] is not None else None,
+            payload=(lambda i=i: order.append(i)),
+            label=f"c{i}",
+        )
+        sim.enqueue(
+            cmd,
+            enqueue_time=spec["enqueue"],
+            waits=[tokens[j] for j in spec["waits"]],
+            records=[tok],
+        )
+        tokens[i] = tok
+        cmds.append(cmd)
+    sim.run_all()
+
+    # 1. everything retired, payloads ran exactly once
+    assert all(c.done for c in cmds)
+    assert sorted(order) == list(range(len(specs)))
+
+    # 2. payload order respects every event edge
+    pos = {i: p for p, i in enumerate(order)}
+    for i, spec in enumerate(specs):
+        for j in spec["waits"]:
+            assert pos[j] < pos[i], f"edge {j}->{i} violated"
+
+    # 3. structural audit on the resulting timeline
+    recs = []
+    from repro.sim.trace import Timeline, TimelineRecord
+
+    for c in sim.completed:
+        recs.append(
+            TimelineRecord(
+                c.kind,
+                c.label,
+                c.stream.name if c.stream is not None else "",
+                c.engine,
+                c.enqueue_time,
+                c.start_time,
+                c.finish_time,
+                c.nbytes,
+            )
+        )
+    audit(Timeline(recs))
+
+    # 4. event completion times match their recording command
+    for i, c in enumerate(cmds):
+        assert tokens[i].time == c.finish_time
+
+
+@given(
+    durations=stn.lists(
+        stn.floats(1e-6, 1e-3, allow_nan=False), min_size=1, max_size=20
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_single_engine_makespan_is_sum(durations):
+    """With one engine and no gaps, makespan equals total work."""
+    sim = Simulator()
+    sim.add_engine("e")
+    for d in durations:
+        sim.enqueue(Command("kernel", "e", d))
+    t = sim.run_all()
+    assert abs(t - sum(durations)) < 1e-9
+
+
+@given(
+    durations=stn.lists(stn.floats(1e-6, 1e-3, allow_nan=False), min_size=2, max_size=16),
+    n_engines=stn.integers(2, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_more_engines_never_slower(durations, n_engines):
+    def makespan(k):
+        sim = Simulator()
+        for e in range(k):
+            sim.add_engine(f"e{e}")
+        for i, d in enumerate(durations):
+            sim.enqueue(Command("kernel", f"e{i % k}", d))
+        return sim.run_all()
+
+    assert makespan(n_engines) <= makespan(1) + 1e-12
+
+
+@given(nbytes=stn.integers(0, 10**9))
+@settings(max_examples=50, deadline=None)
+def test_device_copy_duration_monotone_in_size(nbytes):
+    d1 = Device(NVIDIA_K40M)
+    a = d1.submit_copy("h2d", nbytes)
+    b = d1.submit_copy("h2d", nbytes + 4096)
+    d1.wait_all()
+    assert b.duration >= a.duration

@@ -1,0 +1,79 @@
+"""Property tests for the future-work extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as stn
+
+from repro.core.autotune import candidate_grid
+from repro.core.multidevice import execute_multi_device, split_loop
+from repro.directives.clauses import Loop
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+
+@given(
+    start=stn.integers(-50, 50),
+    trip=stn.integers(1, 400),
+    weights=stn.lists(stn.floats(0.01, 100, allow_nan=False), min_size=1, max_size=6),
+)
+def test_split_loop_partitions_exactly(start, trip, weights):
+    assume(trip >= len(weights))
+    loop = Loop("k", start, start + trip)
+    parts = split_loop(loop, weights)
+    assert parts[0][0] == loop.start
+    assert parts[-1][1] == loop.stop
+    covered = [k for a, b in parts for k in range(a, b)]
+    assert covered == list(loop.iterations())
+    assert all(b > a for a, b in parts)
+
+
+@given(
+    trip=stn.integers(8, 400),
+    w=stn.floats(0.1, 10, allow_nan=False),
+)
+def test_split_loop_proportionality(trip, w):
+    """Two devices with weights (w, 1): shares track the ratio."""
+    loop = Loop("k", 0, trip)
+    (a0, b0), (a1, b1) = split_loop(loop, [w, 1.0])
+    share0 = (b0 - a0) / trip
+    ideal = w / (w + 1.0)
+    assert abs(share0 - ideal) <= 1.0 / trip + 1e-9
+
+
+@given(trip=stn.integers(1, 10_000), ms=stn.integers(1, 16))
+def test_candidate_grid_valid(trip, ms):
+    grid = candidate_grid(trip, max_streams=ms)
+    assert grid
+    for cs, ns in grid:
+        assert 1 <= cs <= max(1, trip // 2) or cs == 1
+        assert 1 <= ns <= ms
+
+
+@stn.composite
+def multi_cases(draw):
+    n = draw(stn.integers(12, 48))
+    n_dev = draw(stn.integers(1, 3))
+    assume(n - 2 >= n_dev)
+    weights = [draw(stn.floats(0.2, 5.0, allow_nan=False)) for _ in range(n_dev)]
+    cs = draw(stn.integers(1, 4))
+    ns = draw(stn.integers(1, 3))
+    return n, weights, cs, ns
+
+
+@given(multi_cases())
+@settings(max_examples=40, deadline=None)
+def test_multidevice_always_matches_reference(case):
+    """Any device count / weighting / pipeline shape computes the same
+    answer: halo'd sub-loops must stitch together seamlessly."""
+    n, weights, cs, ns = case
+    arrays = make_arrays(n)
+    region = make_region(n, cs, ns)
+    rts = [Runtime(NVIDIA_K40M) for _ in weights]
+    res = execute_multi_device(rts, region, arrays, ScaleKernel(), weights=weights)
+    assert np.allclose(arrays["OUT"], expected(arrays, n))
+    assert sum(res.shares) == n - 2
+    assert res.elapsed == max(r.elapsed for r in res.per_device)

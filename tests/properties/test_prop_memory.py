@@ -1,0 +1,87 @@
+"""Property tests: the device memory allocator never corrupts its arena."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim.memory import MemoryAllocator, OutOfDeviceMemory
+
+CAP = 1 << 18
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free interleavings with invariant checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.m = MemoryAllocator(capacity=CAP, context_overhead=4096)
+        self.live = []
+
+    @rule(size=stn.integers(min_value=1, max_value=CAP // 4))
+    def allocate(self, size):
+        try:
+            self.live.append(self.m.allocate(size))
+        except OutOfDeviceMemory:
+            pass
+
+    @precondition(lambda self: self.live)
+    @rule(data=stn.data())
+    def free(self, data):
+        idx = data.draw(stn.integers(0, len(self.live) - 1))
+        self.m.release(self.live.pop(idx))
+
+    @invariant()
+    def arena_consistent(self):
+        self.m.check_invariants()
+
+    @invariant()
+    def peak_dominates_used(self):
+        assert self.m.peak >= self.m.used
+
+    @invariant()
+    def used_within_capacity(self):
+        assert self.m.used <= self.m.capacity
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+
+
+@given(
+    sizes=stn.lists(stn.integers(min_value=1, max_value=CAP // 8), min_size=1, max_size=30)
+)
+@settings(max_examples=60)
+def test_alloc_all_free_all_restores_arena(sizes):
+    m = MemoryAllocator(capacity=CAP)
+    recs = []
+    for s in sizes:
+        try:
+            recs.append(m.allocate(s))
+        except OutOfDeviceMemory:
+            break
+    for r in recs:
+        m.release(r)
+    assert m.used == 0
+    assert m.free == CAP
+    # the whole arena is allocatable again (perfect coalescing)
+    m.allocate(CAP)
+
+
+@given(
+    sizes=stn.lists(stn.integers(min_value=1, max_value=CAP // 4), min_size=2, max_size=20),
+    seed=stn.integers(0, 2**31),
+)
+@settings(max_examples=60)
+def test_allocations_never_overlap(sizes, seed):
+    m = MemoryAllocator(capacity=CAP)
+    spans = []
+    for s in sizes:
+        try:
+            r = m.allocate(s)
+        except OutOfDeviceMemory:
+            continue
+        for a, b in spans:
+            assert r.address + r.nbytes <= a or r.address >= b
+        spans.append((r.address, r.address + r.nbytes))

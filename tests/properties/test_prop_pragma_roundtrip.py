@@ -1,0 +1,126 @@
+"""Property tests: pragma text <-> clause objects round-trip.
+
+For random (valid) clause objects, ``format_pragma`` must produce text
+that ``parse_pragma`` turns back into equal clauses; and for parsed
+text, formatting and re-parsing must be a fixed point.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+
+from repro.directives.clauses import (
+    Affine,
+    DirectiveError,
+    Loop,
+    MapClause,
+    MemLimitClause,
+    PipelineClause,
+    PipelineMapClause,
+)
+from repro.directives.format import format_clause, format_pragma
+from repro.directives.parser import ParsedPragma, parse_pragma
+
+import pytest
+
+LOOP = Loop("k", 0, 64)
+
+names = stn.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s != LOOP.var
+)
+
+
+@stn.composite
+def pipeline_clauses(draw):
+    return PipelineClause(
+        schedule=draw(stn.sampled_from(["static", "adaptive"])),
+        chunk_size=draw(stn.integers(1, 64)),
+        num_streams=draw(stn.integers(1, 16)),
+    )
+
+
+@stn.composite
+def map_clauses(draw, used):
+    var = draw(names.filter(lambda v: v not in used))
+    used.add(var)
+    ndim = draw(stn.integers(1, 4))
+    split_dim = draw(stn.integers(0, ndim - 1))
+    dims = []
+    for i in range(ndim):
+        if i == split_dim:
+            dims.append((0, -1))
+        else:
+            dims.append(
+                (draw(stn.integers(0, 8)), draw(stn.integers(1, 512)))
+            )
+    return PipelineMapClause(
+        direction=draw(stn.sampled_from(["to", "from", "tofrom"])),
+        var=var,
+        split_dim=split_dim,
+        split_iter=Affine(draw(stn.integers(1, 64)), draw(stn.integers(-32, 32))),
+        size=draw(stn.integers(1, 64)),
+        dims=tuple(dims),
+    )
+
+
+@stn.composite
+def pragmas(draw):
+    used: set = set()
+    pmaps = [draw(map_clauses(used)) for _ in range(draw(stn.integers(1, 4)))]
+    maps = [
+        MapClause(draw(stn.sampled_from(["to", "from", "tofrom", "alloc"])),
+                  draw(names.filter(lambda v: v not in used or used.add(v))))
+        for _ in range(draw(stn.integers(0, 2)))
+    ]
+    # ensure resident vars unique vs pipelined vars
+    maps = [m for m in maps if m.var not in {p.var for p in pmaps}]
+    seen = set()
+    maps = [m for m in maps if not (m.var in seen or seen.add(m.var))]
+    limit = draw(stn.one_of(stn.none(), stn.integers(1, 10**12)))
+    return ParsedPragma(
+        pipeline=draw(pipeline_clauses()),
+        pipeline_maps=pmaps,
+        maps=maps,
+        mem_limit=MemLimitClause(limit) if limit else None,
+    )
+
+
+@given(pragmas())
+@settings(max_examples=150)
+def test_format_parse_roundtrip(parsed):
+    text = format_pragma(parsed, loop_var=LOOP.var)
+    back = parse_pragma(text, LOOP)
+    assert back.pipeline == parsed.pipeline
+    assert back.maps == parsed.maps
+    assert (back.mem_limit is None) == (parsed.mem_limit is None)
+    if parsed.mem_limit:
+        assert back.mem_limit.limit_bytes == parsed.mem_limit.limit_bytes
+    assert len(back.pipeline_maps) == len(parsed.pipeline_maps)
+    for a, b in zip(parsed.pipeline_maps, back.pipeline_maps):
+        assert (a.var, a.direction, a.split_dim) == (b.var, b.direction, b.split_dim)
+        assert a.split_iter == b.split_iter
+        assert a.size == b.size
+        assert a.dims == b.dims
+
+
+@given(pragmas())
+@settings(max_examples=60)
+def test_format_is_fixed_point(parsed):
+    text1 = format_pragma(parsed, loop_var=LOOP.var)
+    text2 = format_pragma(parse_pragma(text1, LOOP), loop_var=LOOP.var)
+    assert text1 == text2
+
+
+def test_dep_fn_clause_has_no_text_form():
+    c = PipelineMapClause(
+        direction="to", var="A", split_dim=0, split_iter=Affine(1, 0),
+        size=1, dims=((0, 8),), dep_fn=lambda k: (k, k + 1),
+    )
+    with pytest.raises(DirectiveError):
+        format_clause(c)
+
+
+def test_format_clause_rejects_non_clause():
+    with pytest.raises(DirectiveError):
+        format_clause(42)

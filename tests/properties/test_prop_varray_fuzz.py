@@ -1,0 +1,91 @@
+"""Property tests: VirtualArray slicing fuzzed against NumPy.
+
+Virtual mode is only sound if virtual shape algebra is *exactly*
+NumPy's — these tests fuzz random basic-indexing expressions over both
+and compare shapes (and error behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+
+from repro.sim.varray import VirtualArray
+
+
+@stn.composite
+def shapes(draw):
+    ndim = draw(stn.integers(1, 4))
+    return tuple(draw(stn.integers(1, 9)) for _ in range(ndim))
+
+
+@stn.composite
+def index_for(draw, shape):
+    """A random basic-indexing tuple valid for `shape`."""
+    parts = []
+    for extent in shape:
+        kind = draw(stn.sampled_from(["int", "slice", "full", "step"]))
+        if kind == "int":
+            parts.append(draw(stn.integers(-extent, extent - 1)))
+        elif kind == "full":
+            parts.append(slice(None))
+        elif kind == "step":
+            step = draw(stn.sampled_from([1, 2, 3, -1, -2]))
+            parts.append(slice(None, None, step))
+        else:
+            lo = draw(stn.integers(-extent - 1, extent + 1))
+            hi = draw(stn.integers(-extent - 1, extent + 1))
+            parts.append(slice(lo, hi))
+    # sometimes truncate (implicit trailing full slices)
+    cut = draw(stn.integers(1, len(parts)))
+    return tuple(parts[:cut])
+
+
+@given(data=stn.data())
+@settings(max_examples=200)
+def test_getitem_shapes_match_numpy(data):
+    shape = data.draw(shapes())
+    idx = data.draw(index_for(shape))
+    real = np.zeros(shape, dtype=np.float32)
+    virt = VirtualArray(shape, np.float32)
+    assert virt[idx].shape == real[idx].shape
+
+
+@given(data=stn.data())
+@settings(max_examples=100)
+def test_nbytes_matches_numpy(data):
+    shape = data.draw(shapes())
+    idx = data.draw(index_for(shape))
+    real = np.zeros(shape, dtype=np.float64)
+    virt = VirtualArray(shape, np.float64)
+    assert virt[idx].nbytes == real[idx].nbytes
+
+
+@given(shape=shapes())
+def test_out_of_range_int_index_raises_like_numpy(shape):
+    real = np.zeros(shape, dtype=np.int8)
+    virt = VirtualArray(shape, np.int8)
+    bad = (shape[0],)  # one past the end
+    with pytest.raises(IndexError):
+        real[bad]
+    with pytest.raises(IndexError):
+        virt[bad]
+
+
+@given(shape=shapes(), data=stn.data())
+@settings(max_examples=60)
+def test_reshape_matches_numpy(shape, data):
+    import math
+
+    size = math.prod(shape)
+    # pick a random factorization of size
+    divisors = [d for d in range(1, size + 1) if size % d == 0]
+    a = data.draw(stn.sampled_from(divisors))
+    target = (a, size // a)
+    real = np.zeros(shape).reshape(target)
+    virt = VirtualArray(shape, np.float64).reshape(target)
+    assert virt.shape == real.shape
+    wild = VirtualArray(shape, np.float64).reshape(a, -1)
+    assert wild.shape == real.shape

@@ -1,0 +1,96 @@
+"""Unit tests for the transfer cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.bandwidth import LinkModel, transfer_time_1d, transfer_time_2d
+from repro.sim.profiles import AMD_HD7970, NVIDIA_K40M
+
+LINK = LinkModel(latency=10e-6, bw_peak=10e9, n_half=1_000_000, row_latency=1e-6)
+
+
+class TestEffectiveBandwidth:
+    def test_half_saturation_point(self):
+        assert LINK.effective_bandwidth(1_000_000) == pytest.approx(5e9)
+
+    def test_asymptote(self):
+        assert LINK.effective_bandwidth(10**12) == pytest.approx(10e9, rel=1e-3)
+
+    def test_monotone_in_size(self):
+        sizes = [10**k for k in range(2, 10)]
+        bws = [LINK.effective_bandwidth(s) for s in sizes]
+        assert bws == sorted(bws)
+
+    def test_zero_bytes(self):
+        assert LINK.effective_bandwidth(0) == 0.0
+
+
+class TestTransfer1D:
+    def test_closed_form(self):
+        # t = lat + (n + n_half) / bw
+        assert transfer_time_1d(LINK, 1_000_000) == pytest.approx(
+            10e-6 + 2_000_000 / 10e9
+        )
+
+    def test_zero_bytes_still_pays_latency(self):
+        assert transfer_time_1d(LINK, 0) >= LINK.latency
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time_1d(LINK, -1)
+
+    def test_pageable_slower_than_pinned(self):
+        n = 10_000_000
+        assert transfer_time_1d(LINK, n, pinned=False) > transfer_time_1d(LINK, n)
+
+    def test_splitting_never_faster(self):
+        """Chunking a transfer adds latency + per-chunk saturation loss."""
+        n = 64_000_000
+        whole = transfer_time_1d(LINK, n)
+        for parts in (2, 8, 64):
+            split = parts * transfer_time_1d(LINK, n // parts)
+            assert split > whole
+
+
+class TestTransfer2D:
+    def test_rows_pay_per_row_cost(self):
+        one_row = transfer_time_2d(LINK, 1, 4096)
+        many = transfer_time_2d(LINK, 100, 4096)
+        assert many > 50 * one_row * 0.5  # roughly linear in rows
+
+    def test_2d_slower_than_contiguous_same_bytes(self):
+        rows, rb = 1024, 4096
+        assert transfer_time_2d(LINK, rows, rb) > transfer_time_1d(LINK, rows * rb)
+
+    def test_degenerate_extents(self):
+        assert transfer_time_2d(LINK, 0, 4096) == LINK.latency
+        assert transfer_time_2d(LINK, 4096, 0) == LINK.latency
+        with pytest.raises(ValueError):
+            transfer_time_2d(LINK, -1, 10)
+
+
+class TestProfileCalibration:
+    """The paper's measured transfer rates must fall out of the models."""
+
+    def test_amd_whole_array_rate_near_6gbs(self):
+        # Naive 3dconv on the HD 7970 moves whole arrays (~226 MB)
+        n = 226_000_000
+        t = transfer_time_1d(AMD_HD7970.h2d, n)
+        assert 6.0e9 <= n / t <= 6.8e9
+
+    def test_amd_plane_chunk_rate_near_2gbs(self):
+        # The Pipelined version moves ~590 KB planes: paper profiles ~2 GB/s
+        n = 590_000
+        t = transfer_time_1d(AMD_HD7970.h2d, n)
+        assert 1.5e9 <= n / t <= 2.6e9
+
+    def test_nvidia_insensitive_to_plane_chunking(self):
+        # K40m plane-size transfers retain most of peak bandwidth
+        n = 2_359_296  # 768*768*4
+        t = transfer_time_1d(NVIDIA_K40M.h2d, n)
+        assert n / t >= 0.9 * NVIDIA_K40M.h2d.bw_peak
+
+    def test_nvidia_overheads_are_microseconds(self):
+        assert NVIDIA_K40M.api_overhead < 1e-5
+        assert AMD_HD7970.api_overhead > NVIDIA_K40M.api_overhead

@@ -1,0 +1,160 @@
+"""Unit tests for the Device facade and timeline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Device, NVIDIA_K40M, AMD_HD7970
+from repro.sim.engine import EventToken
+from repro.sim.stream import SimStream
+from repro.sim.trace import (
+    Timeline,
+    TimelineRecord,
+    audit,
+    overlap_fraction,
+    time_distribution,
+)
+
+
+class TestDevice:
+    def test_engines_created_from_profile(self):
+        d = Device(NVIDIA_K40M)
+        names = {e.name for e in d.sim.engines}
+        assert names == {"dma0", "compute0"}
+
+    def test_copy_duration_from_link_model(self):
+        d = Device(NVIDIA_K40M)
+        c = d.submit_copy("h2d", 10_000_000)
+        d.wait(c)
+        expect = NVIDIA_K40M.h2d.latency + (10_000_000 + NVIDIA_K40M.h2d.n_half) / NVIDIA_K40M.h2d.bw_peak
+        assert c.finish_time == pytest.approx(expect)
+
+    def test_kernel_includes_launch_overhead(self):
+        d = Device(NVIDIA_K40M)
+        k = d.submit_kernel(1e-3)
+        d.wait(k)
+        assert k.duration == pytest.approx(1e-3 + NVIDIA_K40M.kernel_launch_overhead)
+
+    def test_bad_direction_rejected(self):
+        d = Device(NVIDIA_K40M)
+        with pytest.raises(ValueError):
+            d.submit_copy("sideways", 100)
+
+    def test_2d_copy_geometry_checked(self):
+        d = Device(NVIDIA_K40M)
+        with pytest.raises(ValueError):
+            d.submit_copy("h2d", 100, rows=3, row_bytes=50)
+
+    def test_h2d_d2h_share_single_dma_engine(self):
+        """PCIe contention: both directions serialize on dma0."""
+        d = Device(NVIDIA_K40M)
+        a = d.submit_copy("h2d", 50_000_000)
+        b = d.submit_copy("d2h", 50_000_000)
+        d.wait_all()
+        assert a.engine == b.engine == "dma0"
+        assert b.start_time >= a.finish_time
+
+    def test_copy_overlaps_kernel(self):
+        d = Device(NVIDIA_K40M)
+        s1, s2 = SimStream(), SimStream()
+        c = d.submit_copy("h2d", 100_000_000, stream=s1)
+        k = d.submit_kernel(8e-3, stream=s2)
+        d.wait_all()
+        assert k.start_time < c.finish_time  # concurrent
+
+    def test_marker_is_zero_duration(self):
+        d = Device(NVIDIA_K40M)
+        tok = EventToken()
+        m = d.submit_marker(records=[tok])
+        d.wait_all()
+        assert m.duration == 0.0 and tok.done
+
+    def test_alloc_free_roundtrip(self):
+        d = Device(AMD_HD7970)
+        base = d.memory.used
+        rec = d.alloc(1 << 20, tag="t")
+        assert d.memory.used > base
+        d.free(rec)
+        assert d.memory.used == base
+
+    def test_timeline_records_everything(self):
+        d = Device(NVIDIA_K40M)
+        s = SimStream("s0")
+        d.submit_copy("h2d", 1000, stream=s, label="in")
+        d.submit_kernel(1e-4, stream=s, label="k")
+        d.submit_copy("d2h", 1000, stream=s, label="out")
+        d.wait_all()
+        tl = d.timeline()
+        assert [r.kind for r in tl] == ["h2d", "kernel", "d2h"]
+        assert all(r.stream == "s0" for r in tl)
+        audit(tl)
+
+
+def rec(kind, start, finish, *, engine="e", stream="s", enqueue=0.0, nbytes=0):
+    return TimelineRecord(kind, "", stream, engine, enqueue, start, finish, nbytes)
+
+
+class TestTimelineAnalysis:
+    def test_makespan_and_busy_time(self):
+        tl = Timeline([rec("h2d", 0, 1), rec("kernel", 1, 3, engine="c")])
+        assert tl.makespan == pytest.approx(3.0)
+        assert tl.busy_time("kernel") == pytest.approx(2.0)
+        assert tl.busy_time() == pytest.approx(3.0)
+        assert tl.end == pytest.approx(3.0)
+
+    def test_time_distribution(self):
+        tl = Timeline(
+            [rec("h2d", 0, 1), rec("kernel", 1, 2, engine="c"), rec("d2h", 2, 2.5)]
+        )
+        dist = time_distribution(tl)
+        assert dist == {"h2d": 1.0, "kernel": 1.0, "d2h": 0.5}
+
+    def test_overlap_fraction_zero_when_sequential(self):
+        tl = Timeline([rec("h2d", 0, 1), rec("kernel", 1, 2, engine="c")])
+        assert overlap_fraction(tl) == 0.0
+
+    def test_overlap_fraction_one_when_fully_hidden(self):
+        tl = Timeline(
+            [rec("kernel", 0, 4, engine="c"), rec("h2d", 1, 2), rec("d2h", 2, 3)]
+        )
+        assert overlap_fraction(tl) == pytest.approx(1.0)
+
+    def test_overlap_fraction_partial(self):
+        tl = Timeline([rec("kernel", 0, 1, engine="c"), rec("h2d", 0.5, 1.5)])
+        assert overlap_fraction(tl) == pytest.approx(0.5)
+
+    def test_overlap_no_transfers(self):
+        assert overlap_fraction(Timeline([rec("kernel", 0, 1)])) == 0.0
+
+    def test_by_kind(self):
+        tl = Timeline([rec("h2d", 0, 1), rec("h2d", 1, 2), rec("d2h", 2, 3)])
+        assert len(tl.by_kind("h2d")) == 2
+
+
+class TestAudit:
+    def test_engine_overlap_detected(self):
+        tl = Timeline([rec("h2d", 0, 2), rec("h2d", 1, 3)])
+        with pytest.raises(AssertionError):
+            audit(tl)
+
+    def test_stream_overlap_detected(self):
+        tl = Timeline(
+            [rec("h2d", 0, 2, engine="a"), rec("kernel", 1, 3, engine="b")]
+        )
+        with pytest.raises(AssertionError):
+            audit(tl)
+
+    def test_start_before_enqueue_detected(self):
+        tl = Timeline([rec("h2d", 0, 1, enqueue=0.5)])
+        with pytest.raises(AssertionError):
+            audit(tl)
+
+    def test_clean_timeline_passes(self):
+        tl = Timeline(
+            [
+                rec("h2d", 0, 1, engine="a", stream="s1"),
+                rec("kernel", 1, 2, engine="b", stream="s1"),
+                rec("h2d", 1, 2, engine="a", stream="s2"),
+            ]
+        )
+        audit(tl)

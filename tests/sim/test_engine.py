@@ -1,0 +1,257 @@
+"""Unit tests for the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Command, EventToken, SimulationError, Simulator
+from repro.sim.stream import SimStream
+
+
+def make_sim(*engines):
+    sim = Simulator()
+    for e in engines or ("eng",):
+        sim.add_engine(e)
+    return sim
+
+
+class TestBasics:
+    def test_single_command_runs_for_its_duration(self):
+        sim = make_sim()
+        c = sim.enqueue(Command("kernel", "eng", 1.5))
+        sim.run_all()
+        assert c.done
+        assert c.start_time == 0.0
+        assert c.finish_time == pytest.approx(1.5)
+        assert sim.now == pytest.approx(1.5)
+
+    def test_zero_duration_command(self):
+        sim = make_sim()
+        c = sim.enqueue(Command("marker", "eng", 0.0))
+        sim.run_all()
+        assert c.done and c.finish_time == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Command("kernel", "eng", -1.0)
+
+    def test_unknown_engine_rejected(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.enqueue(Command("kernel", "nope", 1.0))
+
+    def test_double_enqueue_rejected(self):
+        sim = make_sim()
+        c = Command("kernel", "eng", 1.0)
+        sim.enqueue(c)
+        with pytest.raises(SimulationError):
+            sim.enqueue(c)
+
+    def test_duplicate_engine_rejected(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.add_engine("eng")
+
+    def test_idle_property(self):
+        sim = make_sim()
+        assert sim.idle
+        sim.enqueue(Command("kernel", "eng", 1.0))
+        assert not sim.idle
+        sim.run_all()
+        assert sim.idle
+
+
+class TestEngineExclusivity:
+    def test_same_engine_serializes(self):
+        sim = make_sim()
+        a = sim.enqueue(Command("kernel", "eng", 1.0))
+        b = sim.enqueue(Command("kernel", "eng", 1.0))
+        sim.run_all()
+        assert a.finish_time == pytest.approx(1.0)
+        assert b.start_time == pytest.approx(1.0)
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_different_engines_overlap(self):
+        sim = make_sim("a", "b")
+        x = sim.enqueue(Command("kernel", "a", 1.0))
+        y = sim.enqueue(Command("kernel", "b", 1.0))
+        sim.run_all()
+        assert x.start_time == 0.0 and y.start_time == 0.0
+        assert sim.now == pytest.approx(1.0)
+
+    def test_fifo_tie_break_is_enqueue_order(self):
+        sim = make_sim()
+        cmds = [sim.enqueue(Command("kernel", "eng", 0.25)) for _ in range(8)]
+        sim.run_all()
+        starts = [c.start_time for c in cmds]
+        assert starts == sorted(starts)
+        assert sim.completed == cmds
+
+    def test_busy_time_accumulates(self):
+        sim = make_sim()
+        for d in (0.5, 0.25, 0.125):
+            sim.enqueue(Command("kernel", "eng", d))
+        sim.run_all()
+        assert sim.engine("eng").busy_time == pytest.approx(0.875)
+
+
+class TestStreams:
+    def test_stream_enforces_order_across_engines(self):
+        sim = make_sim("a", "b")
+        s = SimStream("s")
+        first = sim.enqueue(Command("h2d", "a", 1.0, stream=s))
+        second = sim.enqueue(Command("kernel", "b", 0.5, stream=s))
+        sim.run_all()
+        assert second.start_time >= first.finish_time
+
+    def test_independent_streams_do_not_order(self):
+        sim = make_sim("a", "b")
+        s1, s2 = SimStream(), SimStream()
+        x = sim.enqueue(Command("h2d", "a", 1.0, stream=s1))
+        y = sim.enqueue(Command("kernel", "b", 1.0, stream=s2))
+        sim.run_all()
+        assert x.start_time == 0.0 and y.start_time == 0.0
+
+    def test_stream_tail_tracking(self):
+        sim = make_sim()
+        s = SimStream()
+        assert sim.stream_tail(s) is None
+        c1 = sim.enqueue(Command("kernel", "eng", 1.0, stream=s))
+        assert sim.stream_tail(s) is c1
+        c2 = sim.enqueue(Command("kernel", "eng", 1.0, stream=s))
+        assert sim.stream_tail(s) is c2
+
+    def test_streamless_commands_unordered(self):
+        sim = make_sim("a", "b")
+        x = sim.enqueue(Command("h2d", "a", 2.0))
+        y = sim.enqueue(Command("kernel", "b", 1.0))
+        sim.run_all()
+        assert y.finish_time < x.finish_time
+
+
+class TestEnqueueTime:
+    def test_command_cannot_start_before_enqueue_time(self):
+        sim = make_sim()
+        c = sim.enqueue(Command("kernel", "eng", 1.0), enqueue_time=5.0)
+        sim.run_all()
+        assert c.start_time == pytest.approx(5.0)
+
+    def test_late_enqueue_interleaves_with_earlier(self):
+        sim = make_sim()
+        a = sim.enqueue(Command("kernel", "eng", 1.0), enqueue_time=0.0)
+        b = sim.enqueue(Command("kernel", "eng", 1.0), enqueue_time=0.2)
+        sim.run_all()
+        assert a.start_time == 0.0
+        assert b.start_time == pytest.approx(1.0)
+
+    def test_host_starvation_delays_device(self):
+        """If the host enqueues slowly, the engine idles between
+        commands."""
+        sim = make_sim()
+        cmds = [
+            sim.enqueue(Command("kernel", "eng", 0.1), enqueue_time=i * 1.0)
+            for i in range(3)
+        ]
+        sim.run_all()
+        assert [c.start_time for c in cmds] == pytest.approx([0.0, 1.0, 2.0])
+
+
+class TestEvents:
+    def test_event_orders_across_streams(self):
+        sim = make_sim("a", "b")
+        s1, s2 = SimStream(), SimStream()
+        tok = EventToken("t")
+        prod = sim.enqueue(Command("h2d", "a", 1.0, stream=s1), records=[tok])
+        cons = sim.enqueue(Command("kernel", "b", 0.5, stream=s2), waits=[tok])
+        sim.run_all()
+        assert cons.start_time >= prod.finish_time
+        assert tok.done and tok.time == pytest.approx(1.0)
+
+    def test_wait_on_completed_event_is_immediate(self):
+        sim = make_sim()
+        tok = EventToken()
+        sim.enqueue(Command("h2d", "eng", 1.0), records=[tok])
+        sim.run_all()
+        c = sim.enqueue(Command("kernel", "eng", 0.5), waits=[tok])
+        sim.run_all()
+        assert c.start_time == pytest.approx(1.0)
+
+    def test_wait_on_unrecorded_event_rejected(self):
+        sim = make_sim()
+        tok = EventToken("never")
+        with pytest.raises(SimulationError):
+            sim.enqueue(Command("kernel", "eng", 1.0), waits=[tok])
+
+    def test_double_record_rejected(self):
+        sim = make_sim()
+        tok = EventToken()
+        sim.enqueue(Command("h2d", "eng", 1.0), records=[tok])
+        with pytest.raises(SimulationError):
+            sim.enqueue(Command("h2d", "eng", 1.0), records=[tok])
+
+    def test_multiple_waiters_released_together(self):
+        sim = make_sim("a", "b", "c")
+        tok = EventToken()
+        prod = sim.enqueue(Command("h2d", "a", 2.0), records=[tok])
+        w1 = sim.enqueue(Command("kernel", "b", 0.1), waits=[tok])
+        w2 = sim.enqueue(Command("kernel", "c", 0.1), waits=[tok])
+        sim.run_all()
+        assert w1.start_time == pytest.approx(2.0)
+        assert w2.start_time == pytest.approx(2.0)
+        assert prod.finish_time == pytest.approx(2.0)
+
+
+class TestPayloads:
+    def test_payload_runs_once_at_finish(self):
+        sim = make_sim()
+        hits = []
+        sim.enqueue(Command("kernel", "eng", 1.0, payload=lambda: hits.append(sim.now)))
+        sim.run_all()
+        assert hits == [1.0]
+
+    def test_payloads_run_in_dependency_order(self):
+        sim = make_sim("a", "b")
+        order = []
+        s = SimStream()
+        sim.enqueue(Command("h2d", "a", 1.0, stream=s, payload=lambda: order.append("copy")))
+        sim.enqueue(Command("kernel", "b", 0.1, stream=s, payload=lambda: order.append("kernel")))
+        sim.run_all()
+        assert order == ["copy", "kernel"]
+
+
+class TestRunUntil:
+    def test_wait_command_is_incremental(self):
+        sim = make_sim()
+        a = sim.enqueue(Command("kernel", "eng", 1.0))
+        b = sim.enqueue(Command("kernel", "eng", 1.0))
+        t = sim.wait_command(a)
+        assert t == pytest.approx(1.0)
+        assert not b.done
+        sim.run_all()
+        assert b.done
+
+    def test_wait_event(self):
+        sim = make_sim()
+        tok = EventToken()
+        sim.enqueue(Command("kernel", "eng", 2.0), records=[tok])
+        assert sim.wait_event(tok) == pytest.approx(2.0)
+
+    def test_wait_never_recorded_event_raises(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.wait_event(EventToken("ghost"))
+
+    def test_run_until_unreachable_condition_raises(self):
+        sim = make_sim()
+        sim.enqueue(Command("kernel", "eng", 1.0))
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False)
+
+    def test_clock_never_goes_backwards(self):
+        sim = make_sim()
+        sim.enqueue(Command("kernel", "eng", 1.0))
+        sim.run_all()
+        before = sim.now
+        sim.enqueue(Command("kernel", "eng", 0.5))
+        sim.run_all()
+        assert sim.now >= before

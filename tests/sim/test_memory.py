@@ -1,0 +1,135 @@
+"""Unit tests for the device memory allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.memory import MemoryAllocator, OutOfDeviceMemory
+
+
+def make(capacity=1 << 20, context=0, alignment=256):
+    return MemoryAllocator(capacity=capacity, context_overhead=context, alignment=alignment)
+
+
+class TestAllocate:
+    def test_simple_allocation(self):
+        m = make()
+        rec = m.allocate(1000, tag="x")
+        assert rec.nbytes == 1024  # aligned up
+        assert m.used == 1024
+        assert m.peak == 1024
+
+    def test_context_overhead_charged_up_front(self):
+        m = make(context=10_000)
+        assert m.used == 10_000
+        assert m.peak == 10_000
+
+    def test_context_overhead_over_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make(capacity=100, context=200)
+
+    def test_zero_and_negative_sizes_rejected(self):
+        m = make()
+        with pytest.raises(ValueError):
+            m.allocate(0)
+        with pytest.raises(ValueError):
+            m.allocate(-5)
+
+    def test_oom_raises_with_details(self):
+        m = make(capacity=4096)
+        m.allocate(2048)
+        with pytest.raises(OutOfDeviceMemory) as ei:
+            m.allocate(4096)
+        assert ei.value.requested == 4096
+        assert ei.value.capacity == 4096
+
+    def test_exact_fill(self):
+        m = make(capacity=4096)
+        m.allocate(4096)
+        assert m.free == 0
+        with pytest.raises(OutOfDeviceMemory):
+            m.allocate(1)
+
+    def test_alignment(self):
+        m = make(alignment=512)
+        r1 = m.allocate(1)
+        r2 = m.allocate(1)
+        assert r1.nbytes == 512 and r2.nbytes == 512
+        assert r2.address == r1.address + 512
+
+
+class TestFree:
+    def test_free_returns_memory(self):
+        m = make()
+        rec = m.allocate(4096)
+        m.release(rec)
+        assert m.used == 0
+        assert m.free == m.capacity
+
+    def test_double_free_rejected(self):
+        m = make()
+        rec = m.allocate(4096)
+        m.release(rec)
+        with pytest.raises(ValueError):
+            m.release(rec)
+
+    def test_coalescing_allows_reallocation(self):
+        m = make(capacity=3 * 4096)
+        recs = [m.allocate(4096) for _ in range(3)]
+        for r in recs:
+            m.release(r)
+        # after coalescing the full arena must be allocatable again
+        big = m.allocate(3 * 4096)
+        assert big.nbytes == 3 * 4096
+
+    def test_free_middle_block_reused_first_fit(self):
+        m = make(capacity=10 * 4096)
+        a = m.allocate(4096)
+        b = m.allocate(4096)
+        c = m.allocate(4096)
+        m.release(b)
+        d = m.allocate(2048)
+        assert d.address == b.address  # first fit lands in the hole
+        del a, c
+
+    def test_peak_tracks_high_water_mark(self):
+        m = make()
+        a = m.allocate(8192)
+        m.release(a)
+        m.allocate(1024)
+        assert m.peak == 8192
+        m.reset_peak()
+        assert m.peak == m.used
+
+
+class TestIntrospection:
+    def test_live_allocations_sorted(self):
+        m = make()
+        m.allocate(256, tag="a")
+        m.allocate(256, tag="b")
+        tags = [r.tag for r in m.live_allocations]
+        assert tags == ["a", "b"]
+
+    def test_alloc_count(self):
+        m = make()
+        for _ in range(5):
+            m.allocate(128)
+        assert m.alloc_count == 5
+
+    def test_invariants_hold_through_mixed_workload(self):
+        m = make(capacity=1 << 16, context=1024)
+        live = []
+        import random
+
+        rnd = random.Random(7)
+        for step in range(200):
+            m.check_invariants()
+            if live and rnd.random() < 0.45:
+                m.release(live.pop(rnd.randrange(len(live))))
+            else:
+                try:
+                    live.append(m.allocate(rnd.randrange(1, 5000)))
+                except OutOfDeviceMemory:
+                    if live:
+                        m.release(live.pop())
+        m.check_invariants()

@@ -1,0 +1,77 @@
+"""Sanity tests for the device-profile calibrations.
+
+These pin the facts the calibration *derives from the paper*, so a
+future re-tuning that breaks an evidence-backed relationship fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.profiles import AMD_HD7970, NVIDIA_K40M, profile_by_name
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,profile",
+        [
+            ("k40m", NVIDIA_K40M),
+            ("K40M", NVIDIA_K40M),
+            ("nvidia", NVIDIA_K40M),
+            ("hd7970", AMD_HD7970),
+            ("amd", AMD_HD7970),
+            ("HD 7970", AMD_HD7970),
+        ],
+    )
+    def test_names_resolve(self, name, profile):
+        assert profile_by_name(name) is profile
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            profile_by_name("voodoo")
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NVIDIA_K40M.api_overhead = 0.0
+
+
+class TestK40mCalibration:
+    def test_memory_reproduces_matmul_oom_boundary(self):
+        """float64 3n^2 at n=20480 must exceed usable memory while
+        n=14336 fits — the Figure 9/10 boundary."""
+        usable = NVIDIA_K40M.usable_memory_bytes
+        assert 3 * 14336**2 * 8 + NVIDIA_K40M.context_overhead_bytes < usable
+        assert 3 * 20480**2 * 8 > usable
+        assert usable < NVIDIA_K40M.memory_bytes
+
+    def test_flop_rates_match_datasheet_order(self):
+        assert NVIDIA_K40M.flops_f32 == pytest.approx(4.29e12)
+        assert NVIDIA_K40M.flops_f64 == pytest.approx(1.43e12)
+        assert NVIDIA_K40M.flops(4) > NVIDIA_K40M.flops(8)
+
+    def test_single_shared_dma_engine(self):
+        assert NVIDIA_K40M.dma_engines == 1
+        assert AMD_HD7970.dma_engines == 1
+
+
+class TestAmdCalibration:
+    def test_memory_is_3gb_card(self):
+        assert AMD_HD7970.memory_bytes == 3_000_000_000
+        assert AMD_HD7970.usable_memory_bytes < AMD_HD7970.memory_bytes
+
+    def test_overheads_dwarf_nvidia(self):
+        """Figure 8's premise: AMD per-call costs are an order of
+        magnitude above NVIDIA's."""
+        assert AMD_HD7970.api_overhead >= 5 * NVIDIA_K40M.api_overhead
+        assert AMD_HD7970.kernel_launch_overhead >= 3 * NVIDIA_K40M.kernel_launch_overhead
+        assert AMD_HD7970.h2d.n_half >= 20 * NVIDIA_K40M.h2d.n_half
+
+    def test_vendor_runtime_contention_ordering(self):
+        """Both vendors' OpenACC runtimes cost more per stream than the
+        proposed runtime (Figure 7's asymmetry)."""
+        for p in (NVIDIA_K40M, AMD_HD7970):
+            assert p.acc_stream_factor > p.runtime_stream_factor
+            assert p.acc_stream_contention > p.runtime_stream_contention
