@@ -25,8 +25,7 @@ def run_one(model: str, pinned: bool):
     arrays = cv.make_arrays(cfg, virtual=True)
     region = cv.make_region(cfg)
     kernel = Conv3dKernel(cfg.ny, cfg.nx)
-    runner = {"naive": region.run_naive, "pipelined-buffer": region.run}[model]
-    return runner(rt, arrays, kernel)
+    return region.run(rt, arrays, kernel, model=model)
 
 
 def run_ablation(cache):

@@ -58,15 +58,11 @@ def main() -> None:
 
     print(f"{'model':<18} {'elapsed':>10} {'peak mem':>10} {'overlap':>8}  correct")
     results = {}
-    for model, runner in (
-        ("naive", TargetRegion.run_naive),
-        ("pipelined", TargetRegion.run_pipelined),
-        ("pipelined-buffer", TargetRegion.run),
-    ):
-        rt = Runtime(NVIDIA_K40M)
-        arrays["OUT"][:] = 0
-        res = runner(region, rt, arrays, BlurKernel())
-        ok = np.allclose(arrays["OUT"], expect)
+    for model in ("naive", "pipelined", "pipelined-buffer"):
+        with Runtime(NVIDIA_K40M) as rt:
+            arrays["OUT"][:] = 0
+            res = region.run(rt, arrays, BlurKernel(), model=model)
+            ok = np.allclose(arrays["OUT"], expect)
         results[model] = res
         print(
             f"{model:<18} {res.elapsed * 1e3:8.2f}ms {res.memory_peak / 1e6:8.1f}MB "

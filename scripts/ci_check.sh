@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: full test suite with deprecation warnings as errors, plus
+# smoke invocations of the observability CLI surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tests (DeprecationWarning -> error) =="
+python -W error::DeprecationWarning -m pytest -q tests
+
+echo "== CLI smoke: profile =="
+python -m repro profile stencil >/dev/null
+
+echo "== CLI smoke: trace export is valid chrome-trace JSON =="
+tmp="$(mktemp -t repro-trace-XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+python -m repro trace 3dconv -o "$tmp" >/dev/null
+python - "$tmp" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert any(e["ph"] == "X" for e in events), "no span events in trace"
+EOF
+
+echo "CI checks passed."

@@ -19,6 +19,13 @@ Layer map (bottom to top):
   multiplication, Lattice QCD) in all three execution models.
 * :mod:`repro.analysis` — report/expectation helpers for the benchmark
   harness.
+* :mod:`repro.obs` — span tracer, metrics registry, and exporters
+  (Chrome trace JSON, plain-text profile); attach via
+  ``Runtime(..., obs=Observability())``.
+* :mod:`repro.errors` — the exception hierarchy rooted at
+  :class:`ReproError`; every layer's error subclasses it (alongside
+  the stdlib base it always had), so ``except ReproError`` catches
+  anything this package raises on purpose.
 
 Quickstart::
 
@@ -40,7 +47,17 @@ See ``examples/quickstart.py`` for the complete version.
 from repro.core import RegionKernel, RegionResult, TargetRegion
 from repro.core.kernel import ChunkView
 from repro.directives import Loop, parse_pragma
+from repro.errors import (
+    DirectiveError,
+    GpuError,
+    InvalidValueError,
+    MemLimitError,
+    OutOfDeviceMemory,
+    ReproError,
+    SimulationError,
+)
 from repro.gpu import Runtime
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.sim import AMD_HD7970, NVIDIA_K40M, profile_by_name
 
 __version__ = "0.1.0"
@@ -48,12 +65,22 @@ __version__ = "0.1.0"
 __all__ = [
     "AMD_HD7970",
     "ChunkView",
+    "DirectiveError",
+    "GpuError",
+    "InvalidValueError",
     "Loop",
+    "MemLimitError",
+    "MetricsRegistry",
     "NVIDIA_K40M",
+    "Observability",
+    "OutOfDeviceMemory",
     "RegionKernel",
     "RegionResult",
+    "ReproError",
     "Runtime",
+    "SimulationError",
     "TargetRegion",
+    "Tracer",
     "parse_pragma",
     "profile_by_name",
     "__version__",

@@ -1,4 +1,9 @@
-"""Reporting and experiment helpers for the evaluation harness."""
+"""Reporting and experiment helpers for the evaluation harness.
+
+Includes the :mod:`repro.obs` exporters so analysis users get both the
+timeline-record view (:func:`to_chrome_trace`) and the span view
+(:func:`spans_to_chrome` / :func:`profile_report`) from one place.
+"""
 
 from repro.analysis.gantt import ascii_gantt, to_chrome_trace, write_chrome_trace
 from repro.analysis.report import (
@@ -8,6 +13,12 @@ from repro.analysis.report import (
     format_table,
     ratio_band,
 )
+from repro.obs.export import (
+    overlap_from_events,
+    profile_report,
+    spans_to_chrome,
+    write_span_trace,
+)
 
 __all__ = [
     "Expectation",
@@ -15,7 +26,11 @@ __all__ = [
     "ascii_gantt",
     "check_band",
     "format_table",
+    "overlap_from_events",
+    "profile_report",
     "ratio_band",
+    "spans_to_chrome",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_span_trace",
 ]

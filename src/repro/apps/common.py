@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.executor import RegionResult
 from repro.gpu.runtime import Runtime
+from repro.obs import Observability
 from repro.sim.device import Device
 from repro.sim.profiles import DeviceProfile, profile_by_name
 
@@ -23,14 +24,18 @@ def resolve_profile(device) -> DeviceProfile:
     return profile_by_name(str(device))
 
 
-def new_runtime(device="k40m", *, virtual: bool = False) -> Runtime:
+def new_runtime(
+    device="k40m", *, virtual: bool = False, obs: Optional[Observability] = None
+) -> Runtime:
     """A fresh runtime on a fresh simulated device.
 
     Each measured version runs on its own device so timelines, clocks,
     and memory peaks never bleed between versions — the equivalent of
-    the paper running each configuration as a separate process.
+    the paper running each configuration as a separate process.  Pass
+    ``obs`` to attach an :class:`~repro.obs.Observability` (tracer +
+    metrics) to the runtime.
     """
-    return Runtime(Device(resolve_profile(device)), virtual=virtual)
+    return Runtime(Device(resolve_profile(device)), virtual=virtual, obs=obs)
 
 
 @dataclass

@@ -104,10 +104,10 @@ def make_region(cfg: MatmulConfig) -> TargetRegion:
 
 
 def run_checked(
-    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False, obs=None
 ):
     """Run one version; returns ``(result_or_None_on_OOM, C_or_None)``."""
-    rt = new_runtime(device, virtual=virtual)
+    rt = new_runtime(device, virtual=virtual, obs=obs)
     arrays = make_arrays(cfg, virtual=virtual)
     region = make_region(cfg)
     try:
@@ -116,7 +116,7 @@ def run_checked(
             res = region.run(rt, arrays, kernel)
         elif model in ("baseline", "block_shared"):
             kernel = MatmulWholeKernel(cfg.n, variant=model, trips=cfg.nblocks)
-            res = region.run_naive(rt, arrays, kernel)
+            res = region.run(rt, arrays, kernel, model="naive")
         else:
             raise ValueError(f"unknown matmul model {model!r}")
     except (OutOfMemoryError, MemLimitError):
@@ -128,11 +128,11 @@ def run_checked(
 
 
 def run_model(
-    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: MatmulConfig, device="k40m", *, virtual: bool = False, obs=None
 ) -> Optional[RegionResult]:
     """Run one version; ``None`` signals device OOM (as in Figure 9,
     where the two largest sizes have no baseline/block-shared bars)."""
-    return run_checked(model, cfg, device, virtual=virtual)[0]
+    return run_checked(model, cfg, device, virtual=virtual, obs=obs)[0]
 
 
 def run_sweep(

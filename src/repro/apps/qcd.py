@@ -95,27 +95,22 @@ def reference(cfg: QcdConfig) -> np.ndarray:
 
 
 def run_checked(
-    model: str, cfg: QcdConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: QcdConfig, device="k40m", *, virtual: bool = False, obs=None
 ):
     """Run one model; returns ``(result, eta_or_None)``."""
-    rt = new_runtime(device, virtual=virtual)
+    rt = new_runtime(device, virtual=virtual, obs=obs)
     arrays = make_arrays(cfg, virtual=virtual)
     region = make_region(cfg)
     kernel = DslashKernel(cfg.n, cfg.n, cfg.n)
-    runner = {
-        "naive": region.run_naive,
-        "pipelined": region.run_pipelined,
-        "pipelined-buffer": region.run,
-    }[model]
-    res = runner(rt, arrays, kernel)
+    res = region.run(rt, arrays, kernel, model=model)
     return res, (None if virtual else arrays["eta"])
 
 
 def run_model(
-    model: str, cfg: QcdConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: QcdConfig, device="k40m", *, virtual: bool = False, obs=None
 ) -> RegionResult:
     """Run one model; returns the measured result."""
-    return run_checked(model, cfg, device, virtual=virtual)[0]
+    return run_checked(model, cfg, device, virtual=virtual, obs=obs)[0]
 
 
 def run_all(cfg: QcdConfig, device="k40m", *, virtual: bool = False) -> VersionSet:

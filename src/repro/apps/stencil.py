@@ -92,7 +92,7 @@ def reference(cfg: StencilConfig) -> np.ndarray:
 
 
 def run_model(
-    model: str, cfg: StencilConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: StencilConfig, device="k40m", *, virtual: bool = False, obs=None
 ) -> RegionResult:
     """Run all sweeps under one model; returns the aggregate result.
 
@@ -100,28 +100,23 @@ def run_model(
     caller's array dict) holds the final grid; use :func:`run_checked`
     for validation.
     """
-    res, _ = run_checked(model, cfg, device, virtual=virtual)
+    res, _ = run_checked(model, cfg, device, virtual=virtual, obs=obs)
     return res
 
 
 def run_checked(
-    model: str, cfg: StencilConfig, device="k40m", *, virtual: bool = False
+    model: str, cfg: StencilConfig, device="k40m", *, virtual: bool = False, obs=None
 ):
     """Run one model; returns ``(aggregate_result, final_grid)``."""
-    rt = new_runtime(device, virtual=virtual)
+    rt = new_runtime(device, virtual=virtual, obs=obs)
     arrays = make_arrays(cfg, virtual=virtual)
     region = make_region(cfg)
     kernel = StencilKernel(cfg.ny, cfg.nx)
-    runner = {
-        "naive": region.run_naive,
-        "pipelined": region.run_pipelined,
-        "pipelined-buffer": region.run,
-    }[model]
     results = []
     for _ in range(cfg.iters):
         if not virtual:
             arrays["Anext"].fill(0)
-        results.append(runner(rt, arrays, kernel))
+        results.append(region.run(rt, arrays, kernel, model=model))
         arrays["A0"], arrays["Anext"] = arrays["Anext"], arrays["A0"]
     agg = _aggregate(model, results, rt)
     return agg, (None if virtual else arrays["A0"])

@@ -8,6 +8,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro run fig8 --device hd7970
     python -m repro compare stencil     # three models on one app
     python -m repro trace stencil -o stencil.json   # chrome://tracing
+    python -m repro profile 3dconv      # span/metrics profile report
 
 The figure experiments mirror ``benchmarks/`` (which additionally
 asserts shape bands under pytest); the CLI is for interactive
@@ -20,7 +21,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.analysis.gantt import ascii_gantt, write_chrome_trace
+from repro.analysis.gantt import ascii_gantt
 from repro.analysis.report import ascii_bar_chart, format_table
 
 __all__ = ["main"]
@@ -207,25 +208,41 @@ def _compare(app: str, device: str) -> str:
     raise SystemExit(f"unknown app {app!r}; know {_APPS}")
 
 
-def _trace(app: str, device: str, out: Optional[str], width: int) -> str:
+def _observed_run(app: str, device: str):
+    """Run one small pipelined-buffer problem with observability on."""
     from repro.apps import stencil as st
     from repro.apps import conv3d as cv
+    from repro.obs import Observability
 
+    obs = Observability()
     if app == "stencil":
         res = st.run_model(
             "pipelined-buffer", st.StencilConfig(nz=16, ny=64, nx=64, iters=1),
-            device,
+            device, obs=obs,
         )
     elif app == "3dconv":
         res = cv.run_model(
-            "pipelined-buffer", cv.Conv3dConfig(nz=16, ny=64, nx=64), device
+            "pipelined-buffer", cv.Conv3dConfig(nz=16, ny=64, nx=64), device,
+            obs=obs,
         )
     else:
-        raise SystemExit(f"trace supports stencil/3dconv, not {app!r}")
+        raise SystemExit(f"trace/profile support stencil/3dconv, not {app!r}")
+    return res, obs
+
+
+def _trace(app: str, device: str, out: Optional[str], width: int) -> str:
+    res, obs = _observed_run(app, device)
     if out:
-        write_chrome_trace(res.timeline, out)
+        obs.write_chrome_trace(out)
         return f"wrote {out} (open in chrome://tracing or ui.perfetto.dev)"
     return ascii_gantt(res.timeline, width=width)
+
+
+def _profile(app: str, device: str, top: int) -> str:
+    from repro.obs import profile_report
+
+    _, obs = _observed_run(app, device)
+    return profile_report(obs, top=top)
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--device", default="k40m")
     tr.add_argument("-o", "--out", default=None, help="write chrome-trace JSON here")
     tr.add_argument("--width", type=int, default=100, help="ascii gantt width")
+
+    pr = sub.add_parser("profile", help="span/metrics profile of a pipelined run")
+    pr.add_argument("app", help="stencil or 3dconv")
+    pr.add_argument("--device", default="k40m")
+    pr.add_argument("--top", type=int, default=8, help="longest spans to list")
     return p
 
 
@@ -283,6 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.cmd == "trace":
         print(_trace(args.app, args.device, args.out, args.width))
+        return 0
+    if args.cmd == "profile":
+        print(_profile(args.app, args.device, args.top))
         return 0
     return 2  # pragma: no cover
 

@@ -6,13 +6,17 @@ Public entry points:
   (:meth:`TargetRegion.parse`) or clause objects, bind host arrays, and
   execute in any of the paper's three models:
 
-  - ``region.run_naive(rt, arrays, kernel)`` — synchronous whole-array
-    offload ("Naive"),
-  - ``region.run_pipelined(rt, arrays, kernel)`` — hand-coded chunked
-    async offload with full-footprint device arrays ("Pipelined"),
-  - ``region.run(rt, arrays, kernel)`` — the proposed runtime: chunked
-    async offload into a pre-allocated device ring buffer with
-    automatic index translation ("Pipelined-buffer").
+  - ``region.run(rt, arrays, kernel, model="naive")`` — synchronous
+    whole-array offload ("Naive"),
+  - ``region.run(rt, arrays, kernel, model="pipelined")`` — hand-coded
+    chunked async offload with full-footprint device arrays
+    ("Pipelined"),
+  - ``region.run(rt, arrays, kernel)`` — the proposed runtime (default
+    ``model="buffer"``): chunked async offload into a pre-allocated
+    device ring buffer with automatic index translation
+    ("Pipelined-buffer").
+
+  ``run_naive`` / ``run_pipelined`` remain as deprecated aliases.
 
 * :class:`~repro.core.kernel.RegionKernel` — the kernel protocol
   (a cost model plus a NumPy functional body operating on translated

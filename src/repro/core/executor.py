@@ -67,6 +67,10 @@ class RegionResult:
         All commands the region retired.
     nchunks, chunk_size, num_streams:
         Effective pipeline shape (1/NA for the naive model).
+    metrics:
+        :meth:`repro.obs.MetricsRegistry.snapshot` taken when the
+        region finished — populated only when the runtime carries an
+        enabled :class:`~repro.obs.Observability`; ``{}`` otherwise.
     """
 
     model: str
@@ -77,6 +81,7 @@ class RegionResult:
     nchunks: int
     chunk_size: int
     num_streams: int
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def time_distribution(self) -> Dict[str, float]:
@@ -98,8 +103,8 @@ class RegionResult:
 
     def to_dict(self) -> Dict[str, object]:
         """Machine-readable digest (JSON-safe) for harness output."""
-        d = self.time_distribution
-        return {
+        dist = self.time_distribution
+        d: Dict[str, object] = {
             "model": self.model,
             "elapsed_s": self.elapsed,
             "memory_peak_bytes": int(self.memory_peak),
@@ -107,10 +112,13 @@ class RegionResult:
             "nchunks": self.nchunks,
             "chunk_size": self.chunk_size,
             "num_streams": self.num_streams,
-            "busy_s": {k: d[k] for k in ("h2d", "d2h", "kernel")},
+            "busy_s": {k: dist[k] for k in ("h2d", "d2h", "kernel")},
             "overlap": self.overlap,
             "commands": len(self.timeline),
         }
+        if self.metrics:
+            d["metrics"] = self.metrics
+        return d
 
     def summary(self) -> str:
         """Multi-line human-readable digest of the region's execution."""
@@ -165,15 +173,25 @@ class _Measurer:
                 )
             )
         mem = rt.device.memory
+        timeline = Timeline(recs)
+        snapshot: Dict[str, object] = {}
+        m = rt.metrics
+        if m.enabled:
+            for eng, util in timeline.engine_utilization().items():
+                m.gauge(f"engine.util.{eng}").set(util)
+            m.gauge("mem.peak").set(mem.peak)
+            m.gauge("mem.data_peak").set(mem.peak - mem.context_overhead)
+            snapshot = m.snapshot()
         return RegionResult(
             model=model,
             elapsed=rt.elapsed - self.t0,
             memory_peak=mem.peak,
             data_peak=mem.peak - mem.context_overhead,
-            timeline=Timeline(recs),
+            timeline=timeline,
             nchunks=nchunks,
             chunk_size=chunk_size,
             num_streams=num_streams,
+            metrics=snapshot,
         )
 
 
@@ -231,6 +249,19 @@ def execute_pipeline(
     chunks = plan.chunks()
     streams_n = min(plan.num_streams, len(chunks))
     meas = _Measurer(runtime)
+    tracer = runtime.tracer
+    tr_on = tracer.enabled
+    m_on = runtime.metrics.enabled
+    # (command, gating tokens) pairs for slot-reuse stall accounting;
+    # resolved after synchronize() once every token has a finish time
+    stall_watch: list = []
+    rspan = None
+    if tr_on:
+        rspan = tracer.begin(
+            f"region:{kernel.name}", "region",
+            model="pipelined-buffer", nchunks=len(chunks),
+            chunk_size=plan.chunk_size, streams=streams_n,
+        )
     old_scale = runtime.call_overhead_scale
     old_contention = runtime.command_overhead
     runtime.call_overhead_scale = 1.0 + profile.runtime_stream_factor * (streams_n - 1)
@@ -296,9 +327,24 @@ def execute_pipeline(
             in_tokens: List[EventToken] = []
             out_reuse: List[EventToken] = []
 
+            cspan = None
+            if tr_on:
+                cspan = tracer.begin(
+                    f"chunk:{chunk.index}", "chunk",
+                    chunk=chunk.index, stream=st.name, t0=chunk.t0, t1=chunk.t1,
+                )
+            # plan: resolve this chunk's dependency slices and ring slots
+            with tracer.span("plan", "phase", chunk=chunk.index) as psp:
+                ranges = {v: plan.chunk_dep_range(v, chunk) for v in plan.specs}
+                if tr_on:
+                    psp.set(slots={
+                        v: ranges[v][0] % rings[v].capacity for v in ranges
+                    })
+
+            ph2d = tracer.begin("h2d", "phase", chunk=chunk.index) if tr_on else None
             for var, spec in plan.specs.items():
                 cl = spec.clause
-                lo, hi = plan.chunk_dep_range(var, chunk)
+                lo, hi = ranges[var]
                 ring = rings[var]
                 book = books[var]
                 if cl.is_input:
@@ -321,7 +367,7 @@ def execute_pipeline(
                             )
                             rows, row_bytes = ring.transfer_geometry(piece)
                             tok = EventToken(f"h2d:{var}:{piece.g_lo}")
-                            runtime.memcpy_h2d_async(
+                            cmd = runtime.memcpy_h2d_async(
                                 ring.device_view(piece),
                                 ring.host_section(host, piece),
                                 st,
@@ -331,6 +377,8 @@ def execute_pipeline(
                                 row_bytes=row_bytes,
                                 label=f"h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                             )
+                            if m_on and reuse:
+                                stall_watch.append((cmd, list(reuse)))
                             book.h2d.append((piece.g_lo, piece.g_hi, tok))
                         book.covered_hi = max(book.covered_hi or hi, hi)
                     in_tokens.extend(_intersecting(book.h2d, lo, hi))
@@ -347,9 +395,13 @@ def execute_pipeline(
                         _intersecting(book.readers, lo - ring.capacity, hi - ring.capacity)
                     )
                     _prune(book.d2h, lo - ring.capacity)
+            if tr_on:
+                tracer.end(ph2d)
+                pk = tracer.begin("kernel", "phase", chunk=chunk.index,
+                                  waits=len(in_tokens) + len(out_reuse))
 
             ktok = EventToken(f"kernel:{chunk.index}")
-            runtime.launch(
+            kcmd = runtime.launch(
                 kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=True),
                 make_kernel_payload(chunk),
                 st,
@@ -357,11 +409,16 @@ def execute_pipeline(
                 records=[ktok],
                 label=f"{kernel.name}[{chunk.t0}:{chunk.t1})",
             )
+            if m_on and out_reuse:
+                stall_watch.append((kcmd, list(out_reuse)))
+            if tr_on:
+                tracer.end(pk)
+                pd2h = tracer.begin("d2h", "phase", chunk=chunk.index)
 
             for var, spec in plan.specs.items():
                 cl = spec.clause
                 book = books[var]
-                lo, hi = plan.chunk_dep_range(var, chunk)
+                lo, hi = ranges[var]
                 if cl.is_input:
                     book.readers.append((lo, hi, ktok))
                 if cl.is_output:
@@ -380,8 +437,34 @@ def execute_pipeline(
                             label=f"d2h:{var}[{piece.g_lo}:{piece.g_hi})",
                         )
                         book.d2h.append((piece.g_lo, piece.g_hi, dtok))
+            if tr_on:
+                tracer.end(pd2h)
+                # the slots this chunk's retiring work hands back to the
+                # ring for the next lap's transfers
+                tracer.instant(
+                    "slot-release", "phase", chunk=chunk.index,
+                    released={
+                        v: [ranges[v][0] % rings[v].capacity, ranges[v][0], ranges[v][1]]
+                        for v in ranges
+                    },
+                )
+                tracer.end(cspan)
 
         runtime.synchronize()
+
+        if m_on and stall_watch:
+            # every gating token is resolved now; stall = time a command
+            # spent gated past its enqueue by ring-slot reuse
+            hist = runtime.metrics.histogram("stall.slot_reuse.seconds")
+            total_stall = 0.0
+            for cmd, toks in stall_watch:
+                gate = max((t.time for t in toks if t.time is not None), default=None)
+                if gate is None:
+                    continue
+                stall = max(0.0, gate - cmd.enqueue_time)
+                hist.observe(stall)
+                total_stall += stall
+            runtime.metrics.counter("stall.slot_reuse.total_seconds").inc(total_stall)
 
         # resident copy-out and cleanup
         for var, clause in plan.residents.items():
@@ -394,6 +477,8 @@ def execute_pipeline(
     finally:
         runtime.call_overhead_scale = old_scale
         runtime.command_overhead = old_contention
+        if tr_on:
+            tracer.end(rspan)
 
     return meas.finish(
         "pipelined-buffer", len(chunks), plan.chunk_size, streams_n

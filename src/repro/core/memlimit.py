@@ -21,11 +21,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.plan import RegionPlan
+from repro.errors import ReproError
 
 __all__ = ["MemLimitError", "tune_plan"]
 
 
-class MemLimitError(MemoryError):
+class MemLimitError(ReproError, MemoryError):
     """The region cannot fit the memory budget at any pipeline setting."""
 
     def __init__(self, needed: int, limit: int) -> None:

@@ -20,12 +20,14 @@ mirrors the paper's Figure 2:
 ... ''', loop=Loop("k", 1, nz - 1))
 
 then ``region.run(rt, {"A0": A0, "Anext": Anext}, kernel)`` executes it
-with the proposed runtime, and ``run_naive`` / ``run_pipelined`` give
-the paper's two baselines on the *same* clauses and kernel.
+with the proposed runtime, and ``model="pipelined"`` / ``model="naive"``
+select the paper's two baselines on the *same* clauses and kernel.
+(``run_pipelined`` / ``run_naive`` remain as deprecated aliases.)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Dict, List, Optional
 
@@ -49,6 +51,15 @@ from repro.directives.splitspec import SplitSpec
 from repro.gpu.runtime import Runtime
 
 __all__ = ["TargetRegion", "RegionResult"]
+
+#: accepted ``model=`` spellings → canonical model name
+_MODEL_ALIASES = {
+    "buffer": "buffer",
+    "pipelined-buffer": "buffer",
+    "pipelined_buffer": "buffer",
+    "pipelined": "pipelined",
+    "naive": "naive",
+}
 
 
 class TargetRegion:
@@ -205,10 +216,34 @@ class TargetRegion:
         runtime: Runtime,
         arrays: Dict[str, np.ndarray],
         kernel: RegionKernel,
+        *,
+        model: str = "buffer",
     ) -> RegionResult:
-        """Execute with the proposed runtime ("Pipelined-buffer")."""
-        plan = self.plan_for(runtime, arrays)
-        return execute_pipeline(runtime, plan, arrays, kernel)
+        """Execute the region under one of the paper's three models.
+
+        Parameters
+        ----------
+        model:
+            ``"buffer"`` (default; alias ``"pipelined-buffer"``) runs
+            the proposed runtime with ring buffers and memory tuning;
+            ``"pipelined"`` the hand-coded OpenACC baseline;
+            ``"naive"`` the synchronous whole-array baseline.  All
+            three share the clauses and the kernel — only data movement
+            differs.
+        """
+        canonical = _MODEL_ALIASES.get(model)
+        if canonical is None:
+            raise DirectiveError(
+                f"unknown execution model {model!r}; expected one of "
+                f"'buffer' (alias 'pipelined-buffer'), 'pipelined', 'naive'"
+            )
+        if canonical == "buffer":
+            plan = self.plan_for(runtime, arrays)
+            return execute_pipeline(runtime, plan, arrays, kernel)
+        plan = self.bind(arrays)  # full-footprint baselines: no buffer tuning
+        if canonical == "pipelined":
+            return execute_manual_pipelined(runtime, plan, arrays, kernel)
+        return execute_naive(runtime, plan, arrays, kernel)
 
     def run_pipelined(
         self,
@@ -216,9 +251,14 @@ class TargetRegion:
         arrays: Dict[str, np.ndarray],
         kernel: RegionKernel,
     ) -> RegionResult:
-        """Execute the hand-coded OpenACC baseline ("Pipelined")."""
-        plan = self.bind(arrays)  # full-footprint model: no buffer tuning
-        return execute_manual_pipelined(runtime, plan, arrays, kernel)
+        """Deprecated alias of ``run(..., model="pipelined")``."""
+        warnings.warn(
+            "TargetRegion.run_pipelined() is deprecated; "
+            "use run(..., model='pipelined')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(runtime, arrays, kernel, model="pipelined")
 
     def run_naive(
         self,
@@ -226,6 +266,11 @@ class TargetRegion:
         arrays: Dict[str, np.ndarray],
         kernel: RegionKernel,
     ) -> RegionResult:
-        """Execute the synchronous whole-array baseline ("Naive")."""
-        plan = self.bind(arrays)
-        return execute_naive(runtime, plan, arrays, kernel)
+        """Deprecated alias of ``run(..., model="naive")``."""
+        warnings.warn(
+            "TargetRegion.run_naive() is deprecated; "
+            "use run(..., model='naive')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(runtime, arrays, kernel, model="naive")

@@ -11,6 +11,8 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.errors import ReproError
+
 __all__ = [
     "Affine",
     "DirectiveError",
@@ -22,7 +24,7 @@ __all__ = [
 ]
 
 
-class DirectiveError(ValueError):
+class DirectiveError(ReproError, ValueError):
     """A malformed or semantically invalid directive."""
 
 

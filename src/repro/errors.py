@@ -1,0 +1,72 @@
+"""The exception hierarchy, rooted at :class:`ReproError`.
+
+Every error this package raises deliberately derives from
+:class:`ReproError`, so ``except repro.errors.ReproError`` catches any
+failure of the directive runtime while letting unrelated bugs
+propagate.  Each concrete class *also* keeps its historical builtin
+base (``ValueError``, ``MemoryError``, ``RuntimeError``) via multiple
+inheritance, so existing ``except`` clauses keep working:
+
+* :class:`~repro.directives.clauses.DirectiveError` (``ValueError``) —
+  malformed or semantically invalid pragmas/clauses.
+* :class:`~repro.sim.engine.SimulationError` (``RuntimeError``) —
+  inconsistent use of the discrete-event simulator.
+* :class:`~repro.sim.memory.OutOfDeviceMemory` (``MemoryError``) —
+  device allocation failure; aliased as
+  :data:`~repro.gpu.errors.OutOfMemoryError` at the GPU layer.
+* :class:`~repro.gpu.errors.GpuError` (``RuntimeError``) — host
+  runtime misuse (``cudaError_t``-ish), incl.
+  :class:`~repro.gpu.errors.InvalidValueError`.
+* :class:`~repro.core.memlimit.MemLimitError` (``MemoryError``) — no
+  pipeline setting fits the ``pipeline_mem_limit`` budget.
+
+The concrete classes stay defined in their home layers (importing this
+module pulls in nothing else); they are re-exported here lazily for
+one-stop importing, and eagerly from :mod:`repro` itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DirectiveError",
+    "GpuError",
+    "InvalidValueError",
+    "MemLimitError",
+    "OutOfDeviceMemory",
+    "OutOfMemoryError",
+    "ReproError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Root of every exception the directive runtime raises on purpose."""
+
+
+#: name -> defining module, resolved on first attribute access so this
+#: module stays import-cycle-free (the layers import ``ReproError``
+#: from here while they are themselves being imported).
+_HOMES = {
+    "DirectiveError": "repro.directives.clauses",
+    "SimulationError": "repro.sim.engine",
+    "OutOfDeviceMemory": "repro.sim.memory",
+    "GpuError": "repro.gpu.errors",
+    "InvalidValueError": "repro.gpu.errors",
+    "OutOfMemoryError": "repro.gpu.errors",
+    "MemLimitError": "repro.core.memlimit",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_HOMES))

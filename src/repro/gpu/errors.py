@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 from repro.sim.memory import OutOfDeviceMemory
 
 __all__ = ["GpuError", "InvalidValueError", "OutOfMemoryError"]
 
 
-class GpuError(RuntimeError):
+class GpuError(ReproError, RuntimeError):
     """Base class for host-runtime usage errors (``cudaError_t``-ish)."""
 
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.gpu.darray import DeviceArray
 from repro.gpu.errors import InvalidValueError
+from repro.obs import OBS_NULL, Observability
 from repro.sim.device import Device
 from repro.sim.engine import Command, EventToken
 from repro.sim.profiles import DeviceProfile
@@ -91,6 +92,18 @@ class Runtime:
         If True, :meth:`malloc` and :meth:`hostalloc` create
         metadata-only backings: timing and memory accounting are exact,
         functional payloads are skipped.
+    obs:
+        An :class:`repro.obs.Observability` to record into.  Defaults
+        to the shared disabled pair (zero overhead).  When enabled,
+        every API call becomes a host span, every retired device
+        command an engine-track span (with queue depth at dispatch),
+        and transfer/kernel/allocation metrics accumulate in
+        ``obs.metrics``.  Observation never advances virtual time, so
+        measured results are identical with it on or off.
+
+    The runtime is a context manager: ``with Runtime(profile) as rt:``
+    calls :meth:`close` on exit, deterministically draining the device
+    and releasing every live allocation.
 
     Attributes
     ----------
@@ -111,7 +124,13 @@ class Runtime:
         (``acc_stream_contention`` / ``runtime_stream_contention``).
     """
 
-    def __init__(self, device: Union[Device, DeviceProfile], *, virtual: bool = False) -> None:
+    def __init__(
+        self,
+        device: Union[Device, DeviceProfile],
+        *,
+        virtual: bool = False,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.device = device if isinstance(device, Device) else Device(device)
         self.virtual = bool(virtual)
         self.host_now = 0.0
@@ -120,6 +139,92 @@ class Runtime:
         self.default_pinned = True
         self._pinned = _PinRegistry()
         self._streams: list = []
+        self._closed = False
+        self.obs = obs if obs is not None else OBS_NULL
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
+        self._obs_on = self.obs.enabled
+        if self.tracer.enabled:
+            self.tracer.set_clock(lambda: self.host_now)
+        if self._obs_on:
+            self.device.sim.observer = self._command_retired
+
+    # ------------------------------------------------------------------
+    # observability hooks
+    # ------------------------------------------------------------------
+    def _trace_api(self, name: str, t0: float, op: Optional[str] = None, **attrs) -> None:
+        """Emit one host span covering an API call ``[t0, host_now]``.
+
+        ``op`` is the API-call family for the per-op call counter;
+        defaults to ``name`` up to the first ``:``.
+        """
+        op = op or name.split(":", 1)[0]
+        self.tracer.emit(name, category="api", track="host", start=t0,
+                         end=self.host_now, op=op, **attrs)
+        m = self.metrics
+        if m.enabled:
+            m.counter("api.calls").inc()
+            m.counter(f"api.calls.{op}").inc()
+
+    def _command_retired(self, cmd: Command) -> None:
+        """Simulator observer: one engine-track span per retired command."""
+        if cmd.kind == "marker":
+            return
+        self.tracer.emit(
+            cmd.label or cmd.kind,
+            category=cmd.kind,
+            track=f"engine:{cmd.engine}",
+            start=cmd.start_time,
+            end=cmd.finish_time,
+            stream=cmd.stream.name if isinstance(cmd.stream, SimStream) else "",
+            nbytes=cmd.nbytes,
+            queue_depth=cmd.queue_depth,
+        )
+        m = self.metrics
+        if m.enabled:
+            if cmd.kind in ("h2d", "d2h"):
+                m.counter(f"bytes.{cmd.kind}").inc(cmd.nbytes)
+                m.histogram(f"transfer.seconds.{cmd.kind}").observe(cmd.duration)
+            elif cmd.kind == "kernel":
+                m.counter("commands.kernel").inc()
+                m.histogram("kernel.seconds").observe(cmd.duration)
+            m.gauge(f"queue.depth.{cmd.engine}").set(cmd.queue_depth)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidValueError("runtime is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the device and release every live allocation.
+
+        Deterministic teardown: pending commands complete (advancing
+        virtual time exactly as :meth:`synchronize` would), then all
+        device memory returns to the allocator.  Idempotent; any API
+        call after close raises
+        :class:`~repro.gpu.errors.InvalidValueError`.
+        """
+        if self._closed:
+            return
+        self.synchronize()
+        for rec in list(self.device.memory.live_allocations):
+            self.device.memory.release(rec)
+        self._closed = True
+
+    def __enter__(self) -> "Runtime":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # clocks
@@ -141,6 +246,7 @@ class Runtime:
 
     def _charge_async(self) -> float:
         """Charge one async API call; returns its completion time."""
+        self._check_open()
         dt = self.profile.api_overhead * self.call_overhead_scale
         self.host_now += dt
         return self.host_now
@@ -150,9 +256,13 @@ class Runtime:
     # ------------------------------------------------------------------
     def create_stream(self, name: str = "") -> SimStream:
         """Create an in-order stream (``cudaStreamCreate``)."""
+        self._check_open()
+        t0 = self.host_now
         self.host_now += self.profile.stream_create_overhead
         s = SimStream(name)
         self._streams.append(s)
+        if self._obs_on:
+            self._trace_api("stream_create", t0, stream=s.name)
         return s
 
     def event(self, name: str = "event") -> EventToken:
@@ -167,19 +277,26 @@ class Runtime:
         previously enqueued on the stream has finished.
         """
         tok = EventToken(name)
+        t0 = self.host_now
         t = self._charge_async()
         self.device.submit_marker(
             stream=stream, enqueue_time=t, records=[tok], label=f"record:{name}"
         )
+        if self._obs_on:
+            self._trace_api("event_record", t0, stream=stream.name, event=name)
         return tok
 
     def stream_wait_event(self, stream: SimStream, token: EventToken, label: str = "") -> None:
         """Make subsequent work on ``stream`` wait for ``token``
         (``cudaStreamWaitEvent``)."""
+        t0 = self.host_now
         t = self._charge_async()
         self.device.submit_marker(
             stream=stream, enqueue_time=t, waits=[token], label=label or f"wait:{token.name}"
         )
+        if self._obs_on:
+            self._trace_api("stream_wait_event", t0, stream=stream.name,
+                            event=token.name)
 
     # ------------------------------------------------------------------
     # memory
@@ -190,34 +307,56 @@ class Runtime:
         Raises :class:`~repro.gpu.errors.OutOfMemoryError` when the
         request does not fit.
         """
+        self._check_open()
         shape = tuple(int(s) for s in shape)
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        t0 = self.host_now
         rec = self.device.alloc(nbytes, tag)
         if self.virtual:
             backing: HostArray = VirtualArray(shape, dt)
         else:
             backing = np.zeros(shape, dtype=dt)
         self.host_now += self.profile.api_overhead
+        if self._obs_on:
+            self._trace_api(f"malloc:{tag}" if tag else "malloc", t0,
+                            nbytes=nbytes, tag=tag)
+            m = self.metrics
+            if m.enabled:
+                m.counter("alloc.count").inc()
+                m.counter("alloc.bytes").inc(nbytes)
+                mem = self.device.memory
+                m.gauge("mem.used").set(mem.used)
         return DeviceArray(backing, rec)
 
     def free(self, arr: DeviceArray) -> None:
         """Release device memory (``cudaFree``)."""
+        self._check_open()
         if arr.allocation is None:
             raise InvalidValueError("cannot free a device-array view")
+        t0 = self.host_now
         arr.mark_freed()
         self.device.free(arr.allocation)
         self.host_now += self.profile.api_overhead
+        if self._obs_on:
+            self._trace_api("free", t0, nbytes=arr.allocation.nbytes,
+                            tag=arr.allocation.tag)
+            if self.metrics.enabled:
+                self.metrics.gauge("mem.used").set(self.device.memory.used)
 
     def hostalloc(self, shape: Sequence[int], dtype) -> HostArray:
         """Allocate pinned host memory (``cudaHostAlloc``)."""
+        self._check_open()
         shape = tuple(int(s) for s in shape)
+        t0 = self.host_now
         if self.virtual:
             arr: HostArray = VirtualArray(shape, np.dtype(dtype))
         else:
             arr = np.zeros(shape, dtype=dtype)
         self._pinned.add(arr)
         self.host_now += self.profile.api_overhead
+        if self._obs_on:
+            self._trace_api("hostalloc", t0, nbytes=nbytes_of(arr))
         return arr
 
     def pin(self, arr: HostArray) -> HostArray:
@@ -270,7 +409,11 @@ class Runtime:
         """
         dst._check_alive()
         self._check_copy(dst.shape, src.shape)
+        t0 = self.host_now
         t = self._charge_async()
+        if self._obs_on:
+            self._trace_api(label or "h2d", t0, op="memcpy_h2d_async",
+                            nbytes=nbytes_of(src), stream=stream.name)
         return self.device.submit_copy(
             "h2d",
             nbytes_of(src),
@@ -302,7 +445,11 @@ class Runtime:
         """Asynchronous device-to-host copy (``cudaMemcpyAsync``)."""
         src._check_alive()
         self._check_copy(dst.shape, src.shape)
+        t0 = self.host_now
         t = self._charge_async()
+        if self._obs_on:
+            self._trace_api(label or "d2h", t0, op="memcpy_d2h_async",
+                            nbytes=nbytes_of(src.backing), stream=stream.name)
         return self.device.submit_copy(
             "d2h",
             nbytes_of(src.backing),
@@ -355,7 +502,11 @@ class Runtime:
             Functional payload run when the kernel retires (``None`` in
             virtual mode).
         """
+        t0 = self.host_now
         t = self._charge_async()
+        if self._obs_on:
+            self._trace_api(label or "kernel", t0, op="launch",
+                            stream=stream.name, cost_seconds=cost_seconds)
         return self.device.submit_kernel(
             cost_seconds,
             stream=stream,
@@ -372,8 +523,11 @@ class Runtime:
     # synchronization
     # ------------------------------------------------------------------
     def _block_on(self, cmd: Command) -> None:
+        t0 = self.host_now
         finish = self.device.wait(cmd)
         self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+        if self._obs_on:
+            self._trace_api("sync:command", t0, label=cmd.label)
 
     def stream_synchronize(self, stream: SimStream) -> None:
         """Block until all work enqueued on ``stream`` completed."""
@@ -390,8 +544,11 @@ class Runtime:
 
     def synchronize(self) -> None:
         """Block until the device is idle (``cudaDeviceSynchronize``)."""
+        t0 = self.host_now
         finish = self.device.wait_all()
         self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+        if self._obs_on:
+            self._trace_api("sync:device", t0)
 
     # ------------------------------------------------------------------
     # results

@@ -1,0 +1,230 @@
+"""Counters, gauges, and histograms for runtime-level metrics.
+
+The registry is the quantitative half of :mod:`repro.obs`: where the
+tracer answers *when*, metrics answer *how much* — bytes moved per
+direction, engine utilization, slot-reuse stall time, allocator
+high-water marks.  A :meth:`MetricsRegistry.snapshot` is a plain
+JSON-safe dict, carried on
+:attr:`repro.core.executor.RegionResult.metrics` for post-run
+inspection.
+
+Like the tracer, metrics are zero-cost when disabled: the
+:data:`NULL_METRICS` registry hands out shared inert instruments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing total (bytes, calls, events)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be non-negative) to the total."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark."""
+
+    __slots__ = ("name", "value", "high")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self.high: float = -math.inf
+
+    def set(self, v: float) -> None:
+        """Record the current value (tracks the maximum seen)."""
+        self.value = v
+        if v > self.high:
+            self.high = v
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {self.value}, high={self.high})"
+
+
+class Histogram:
+    """A distribution of observed values (durations, sizes).
+
+    Observations are kept exactly — the workloads here retire at most
+    tens of thousands of commands, so percentiles can be computed from
+    the raw sample instead of fixed buckets.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        self.values.append(v)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100] (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self.values)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe digest of the distribution."""
+        if not self.values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    twice for the same name returns the same instrument, so layers can
+    contribute to shared metrics without coordination.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._hists: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created empty on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``."""
+        h = self._hists.get(name)
+        if h is None:
+            h = self._hists[name] = Histogram(name)
+        return h
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dump of every instrument, sorted by name."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "high": g.high}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {n: h.summary() for n, h in sorted(self._hists.items())},
+        }
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HIST = _NullHistogram("null")
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: hands out shared inert instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HIST
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+#: Process-wide disabled registry; the default for every runtime.
+NULL_METRICS = NullMetricsRegistry()

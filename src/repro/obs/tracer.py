@@ -1,0 +1,292 @@
+"""Span-based tracing: the profiler the paper's figures presuppose.
+
+A :class:`Span` is one named interval of virtual time with attributes
+(bytes, stream, chunk id, ring slot, ...).  Spans come from two
+sources, mirroring how a real GPU profiler works:
+
+* **host spans** — opened and closed in program order via
+  :meth:`Tracer.span` (a context manager) or :meth:`Tracer.begin` /
+  :meth:`Tracer.end`.  They nest: the region span contains chunk
+  spans, which contain the per-phase enqueue spans, which contain the
+  individual API-call spans.  Timestamps come from the tracer's
+  ``clock`` (the runtime's host clock).
+* **device spans** — emitted *complete* via :meth:`Tracer.emit` with
+  explicit start/finish timestamps, because the simulator retires
+  commands at virtual times unrelated to host call order.  The host
+  runtime installs an observer on the simulator that emits one span
+  per retired command, on a per-engine track, carrying the queue depth
+  the engine saw when the command was dispatched.
+
+Tracing is **zero-cost when disabled**: the default
+:data:`NULL_TRACER` is a :class:`NullTracer` whose every operation is
+a constant no-op, so instrumented code paths pay one attribute check
+and nothing else.  Crucially no tracer ever charges virtual time, so
+enabling tracing never changes measured results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
+
+class Span:
+    """One named interval of virtual time with attributes.
+
+    Attributes
+    ----------
+    name:
+        What the span covers (``"chunk:3"``, ``"h2d:A[4:7)"``, ...).
+    category:
+        Coarse classification used by exporters and reports
+        (``"region"``, ``"chunk"``, ``"api"``, ``"h2d"``, ``"kernel"``).
+    track:
+        Which row the span renders on — ``"host"`` for program-order
+        spans, ``"engine:dma0"``-style names for device spans.
+    start, end:
+        Virtual seconds.  ``end`` is ``None`` while the span is open.
+    attrs:
+        Free-form key/value metadata (must be JSON-safe for export).
+    parent:
+        Enclosing host span, or ``None`` at top level.
+    """
+
+    __slots__ = ("name", "category", "track", "start", "end", "attrs", "parent")
+
+    def __init__(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "host",
+        start: float = 0.0,
+        end: Optional[float] = None,
+        attrs: Optional[Dict[str, object]] = None,
+        parent: Optional["Span"] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+        self.parent = parent
+
+    @property
+    def duration(self) -> float:
+        """Span extent in virtual seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for top-level spans)."""
+        d, p = 0, self.parent
+        while p is not None:
+            d, p = d + 1, p.parent
+        return d
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.end is None else f"{self.duration:.3e}s"
+        return f"Span({self.name!r}, {self.category!r}, {state})"
+
+
+class _SpanCtx:
+    """Context manager closing one host span (re-entrant per span)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.end(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans against a virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current virtual time in
+        seconds.  The host runtime installs its own host clock when an
+        enabled tracer is attached; until then the clock reads 0.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the virtual clock used for host spans."""
+        self._clock = clock
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open host span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # host spans (program order, nested)
+    # ------------------------------------------------------------------
+    def begin(self, name: str, category: str = "", track: str = "host", **attrs) -> Span:
+        """Open a nested host span at the current clock reading."""
+        sp = Span(
+            name,
+            category,
+            track,
+            start=self._clock(),
+            attrs=dict(attrs) if attrs else {},
+            parent=self._stack[-1] if self._stack else None,
+        )
+        self._stack.append(sp)
+        return sp
+
+    def end(self, span: Span, **attrs) -> Span:
+        """Close a host span (and any still-open children) at now."""
+        now = self._clock()
+        if attrs:
+            span.attrs.update(attrs)
+        while self._stack:
+            top = self._stack.pop()
+            if top.end is None:
+                top.end = now
+                self.spans.append(top)
+            if top is span:
+                break
+        else:
+            # span was not on the stack (double end): record it anyway
+            if span.end is None:
+                span.end = now
+                self.spans.append(span)
+        return span
+
+    def span(self, name: str, category: str = "", track: str = "host", **attrs) -> _SpanCtx:
+        """``with tracer.span("chunk:0", "chunk"):`` — begin/end pair."""
+        return _SpanCtx(self, self.begin(name, category, track, **attrs))
+
+    # ------------------------------------------------------------------
+    # complete / instant spans (explicit timestamps)
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "host",
+        *,
+        start: float,
+        end: float,
+        **attrs,
+    ) -> Span:
+        """Record an already-finished span with explicit timestamps.
+
+        Used for device-side work, whose start/finish times the
+        simulator determines independently of host call order.
+        """
+        sp = Span(name, category, track, start=start, end=end,
+                  attrs=dict(attrs) if attrs else {})
+        self.spans.append(sp)
+        return sp
+
+    def instant(self, name: str, category: str = "", track: str = "host", **attrs) -> Span:
+        """Record a zero-duration marker at the current clock reading."""
+        now = self._clock()
+        return self.emit(name, category, track, start=now, end=now, **attrs)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def by_category(self, category: str) -> List[Span]:
+        """All closed spans of one category."""
+        return [s for s in self.spans if s.category == category]
+
+    def by_track(self, track: str) -> List[Span]:
+        """All closed spans on one track."""
+        return [s for s in self.spans if s.track == track]
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans stay open)."""
+        self.spans.clear()
+
+
+class _NullSpan(Span):
+    """Shared inert span returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("", "", "")
+
+    def set(self, **attrs) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullCtx:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a constant no-op.
+
+    Instrumented code guards with ``if tracer.enabled`` where it would
+    otherwise build labels or attribute dicts; everything else can call
+    straight through at negligible cost.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        # spans/_stack exist (empty) so read-only queries still work
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def begin(self, name: str, category: str = "", track: str = "host", **attrs) -> Span:
+        return _NULL_SPAN
+
+    def end(self, span: Span, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def span(self, name: str, category: str = "", track: str = "host", **attrs) -> _NullCtx:
+        return _NULL_CTX
+
+    def emit(self, name, category="", track="host", *, start, end, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def instant(self, name, category="", track="host", **attrs) -> Span:
+        return _NULL_SPAN
+
+
+#: Process-wide disabled tracer; the default for every runtime.
+NULL_TRACER = NullTracer()

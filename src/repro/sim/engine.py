@@ -27,10 +27,12 @@ import heapq
 import itertools
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.errors import ReproError
+
 __all__ = ["Command", "Engine", "EventToken", "Simulator", "SimulationError"]
 
 
-class SimulationError(RuntimeError):
+class SimulationError(ReproError, RuntimeError):
     """Raised when the simulator is used inconsistently.
 
     Examples include running a command twice, waiting on a command that
@@ -114,6 +116,7 @@ class Command:
         "_dependents",
         "_records",
         "state",
+        "queue_depth",
     )
 
     PENDING = "pending"
@@ -150,6 +153,9 @@ class Command:
         self._dependents: List["Command"] = []
         self._records: List[EventToken] = []
         self.state = Command.PENDING
+        #: commands still waiting on this engine when this one was
+        #: dispatched — observability metadata, not scheduling state
+        self.queue_depth = 0
 
     @property
     def done(self) -> bool:
@@ -207,6 +213,11 @@ class Simulator:
         self._stream_tail: dict = {}
         self._pending = 0
         self._completed: List[Command] = []
+        #: optional ``callable(cmd)`` invoked after each command
+        #: retires (payload and event bookkeeping done) — the hook the
+        #: observability layer uses to emit per-command engine spans.
+        #: Must not mutate simulator state.
+        self.observer: Optional[Callable[[Command], None]] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -317,6 +328,7 @@ class Simulator:
         if eng.busy is not None or not eng.queue:
             return
         _, _, cmd = heapq.heappop(eng.queue)
+        cmd.queue_depth = len(eng.queue)
         eng.busy = cmd
         cmd.state = Command.RUNNING
         cmd.start_time = now
@@ -342,6 +354,8 @@ class Simulator:
         deps, cmd._dependents = cmd._dependents, []
         for dep in deps:
             self._resolve_dep(dep, now)
+        if self.observer is not None:
+            self.observer(cmd)
         self._try_start(eng, now)
 
     def _resolve_dep(self, cmd: Command, now: float) -> None:

@@ -22,10 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.errors import ReproError
+
 __all__ = ["AllocationRecord", "MemoryAllocator", "OutOfDeviceMemory"]
 
 
-class OutOfDeviceMemory(MemoryError):
+class OutOfDeviceMemory(ReproError, MemoryError):
     """Raised when an allocation cannot fit in device memory.
 
     Mirrors ``cudaErrorMemoryAllocation``: the paper notes that neither

@@ -155,12 +155,7 @@ class TestDepFnExecution:
         a = rng.random((OFFSETS[-1], COLS))
         arrays = {"IN": a, "OUT": np.zeros((len(WIDTHS), COLS))}
         region = build_region(cs, ns)
-        runner = {
-            "naive": region.run_naive,
-            "pipelined": region.run_pipelined,
-            "pipelined-buffer": region.run,
-        }[model]
-        res = runner(Runtime(NVIDIA_K40M), arrays, RowSumKernel())
+        res = region.run(Runtime(NVIDIA_K40M), arrays, RowSumKernel(), model=model)
         audit(res.timeline)
         assert np.allclose(arrays["OUT"], reference(a))
 

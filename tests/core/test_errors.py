@@ -1,0 +1,58 @@
+"""The unified exception hierarchy rooted at ``ReproError``."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    DirectiveError,
+    GpuError,
+    InvalidValueError,
+    MemLimitError,
+    OutOfDeviceMemory,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc,stdlib",
+        [
+            (DirectiveError, ValueError),
+            (SimulationError, RuntimeError),
+            (OutOfDeviceMemory, MemoryError),
+            (GpuError, RuntimeError),
+            (InvalidValueError, RuntimeError),
+            (MemLimitError, MemoryError),
+        ],
+    )
+    def test_subclasses_root_and_keeps_stdlib_base(self, exc, stdlib):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, stdlib)
+
+    def test_lazy_reexports_are_canonical_classes(self):
+        from repro.directives.clauses import DirectiveError as home
+        assert DirectiveError is home
+
+    def test_exported_from_top_level(self):
+        for name in ("ReproError", "DirectiveError", "SimulationError",
+                     "OutOfDeviceMemory", "GpuError", "MemLimitError"):
+            assert getattr(repro, name) is getattr(
+                __import__("repro.errors", fromlist=[name]), name
+            )
+
+    def test_errors_module_dir_lists_lazy_names(self):
+        import repro.errors as errors
+        assert "SimulationError" in dir(errors)
+
+    def test_unknown_attribute_raises(self):
+        import repro.errors as errors
+        with pytest.raises(AttributeError):
+            errors.NoSuchError
+
+    def test_except_reproerror_catches_layer_errors(self):
+        from repro.core.memlimit import MemLimitError as mle
+        with pytest.raises(ReproError):
+            raise mle(100, 10)

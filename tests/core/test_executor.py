@@ -72,12 +72,7 @@ MODELS = ["naive", "pipelined", "pipelined-buffer"]
 
 def run(model, region, rt, arrays, kernel=None):
     kernel = kernel or ScaleKernel()
-    fn = {
-        "naive": region.run_naive,
-        "pipelined": region.run_pipelined,
-        "pipelined-buffer": region.run,
-    }[model]
-    return fn(rt, arrays, kernel)
+    return region.run(rt, arrays, kernel, model=model)
 
 
 class TestCorrectnessMatrix:

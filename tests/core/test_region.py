@@ -96,11 +96,35 @@ class TestDispatch:
     def test_all_models_run_and_report_their_name(self, k40m):
         r = TargetRegion.parse(PRAGMA, Loop("k", 1, 31))
         a = arrays()
-        assert r.run_naive(Runtime(NVIDIA_K40M), a, NullKernel()).model == "naive"
         assert (
-            r.run_pipelined(Runtime(NVIDIA_K40M), a, NullKernel()).model == "pipelined"
+            r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="naive").model
+            == "naive"
+        )
+        assert (
+            r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="pipelined").model
+            == "pipelined"
         )
         assert r.run(Runtime(NVIDIA_K40M), a, NullKernel()).model == "pipelined-buffer"
+
+    def test_model_aliases_and_rejection(self, k40m):
+        r = TargetRegion.parse(PRAGMA, Loop("k", 1, 31))
+        a = arrays()
+        res = r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="pipelined-buffer")
+        assert res.model == "pipelined-buffer"
+        with pytest.raises(DirectiveError):
+            r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="bogus")
+
+    def test_deprecated_aliases_warn_and_match(self, k40m):
+        r = TargetRegion.parse(PRAGMA, Loop("k", 1, 31))
+        a = arrays()
+        with pytest.warns(DeprecationWarning, match="run_naive"):
+            old = r.run_naive(Runtime(NVIDIA_K40M), a, NullKernel())
+        new = r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="naive")
+        assert old.model == new.model and old.elapsed == new.elapsed
+        with pytest.warns(DeprecationWarning, match="run_pipelined"):
+            old = r.run_pipelined(Runtime(NVIDIA_K40M), a, NullKernel())
+        new = r.run(Runtime(NVIDIA_K40M), a, NullKernel(), model="pipelined")
+        assert old.model == new.model and old.elapsed == new.elapsed
 
     def test_resident_tofrom_roundtrips(self):
         """A tofrom map must copy host->device and back even if the

@@ -54,8 +54,8 @@ class TestSequentialRegions:
         n = 32
         region = make_region(n, 2, 2)
         a1, a2, a3 = make_arrays(n), make_arrays(n), make_arrays(n)
-        region.run_naive(rt, a1, ScaleKernel())
-        region.run_pipelined(rt, a2, ScaleKernel())
+        region.run(rt, a1, ScaleKernel(), model="naive")
+        region.run(rt, a2, ScaleKernel(), model="pipelined")
         region.run(rt, a3, ScaleKernel())
         assert np.array_equal(a1["OUT"], a2["OUT"])
         assert np.array_equal(a1["OUT"], a3["OUT"])
@@ -83,7 +83,7 @@ class TestSequentialRegions:
         region.run(rt, make_arrays(n), ScaleKernel())
         assert rt.call_overhead_scale == 1.0
         assert rt.command_overhead == 0.0
-        region.run_pipelined(rt, make_arrays(n), ScaleKernel())
+        region.run(rt, make_arrays(n), ScaleKernel(), model="pipelined")
         assert rt.call_overhead_scale == 1.0
         assert rt.command_overhead == 0.0
 

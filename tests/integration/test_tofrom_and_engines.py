@@ -46,12 +46,7 @@ class TestTofromPipelined:
         expect = 2 * a + 1
         arrays = {"A": a.copy()}
         region = tofrom_region(n, cs, ns)
-        runner = {
-            "naive": region.run_naive,
-            "pipelined": region.run_pipelined,
-            "pipelined-buffer": region.run,
-        }[model]
-        res = runner(Runtime(NVIDIA_K40M), arrays, InPlaceScale())
+        res = region.run(Runtime(NVIDIA_K40M), arrays, InPlaceScale(), model=model)
         audit(res.timeline)
         assert np.allclose(arrays["A"], expect)
 

@@ -1,0 +1,108 @@
+"""Exporters: Chrome trace round-trip, the overlap acceptance check
+against ``RegionResult.overlap``, and the profile report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps import conv3d as cv
+from repro.gpu import Runtime
+from repro.obs import (
+    Observability,
+    overlap_from_events,
+    profile_report,
+    spans_to_chrome,
+    write_span_trace,
+)
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, make_arrays, make_region
+
+
+def observed_region_run(n=16, cs=2, ns=2):
+    obs = Observability()
+    rt = Runtime(NVIDIA_K40M, obs=obs)
+    res = make_region(n, cs, ns).run(rt, make_arrays(n), ScaleKernel())
+    return res, obs
+
+
+class TestChromeTrace:
+    def test_round_trip_is_valid_json(self, tmp_path):
+        _, obs = observed_region_run()
+        path = tmp_path / "trace.json"
+        write_span_trace(obs.tracer.spans, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == spans_to_chrome(obs.tracer.spans)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["traceEvents"]
+
+    def test_event_structure_and_monotone_ts(self):
+        _, obs = observed_region_run()
+        trace = spans_to_chrome(obs.tracer.spans)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert meta and slices
+        assert not (set(e["ph"] for e in trace["traceEvents"]) - {"M", "X"})
+        # one thread_name row per track, host first
+        names = [e["args"]["name"] for e in meta]
+        assert names[0] == "host" and len(names) == len(set(names))
+        tids = {e["tid"] for e in meta}
+        assert all(e["tid"] in tids for e in slices)
+        ts = [e["ts"] for e in slices]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in slices)
+        assert all(e["ts"] >= 0 for e in slices)
+
+    def test_attrs_become_args(self):
+        _, obs = observed_region_run()
+        trace = spans_to_chrome(obs.tracer.spans)
+        kernels = [e for e in trace["traceEvents"]
+                   if e.get("cat") == "kernel" and e["ph"] == "X"]
+        assert kernels
+        assert all("queue_depth" in e["args"] for e in kernels)
+
+    def test_open_spans_are_skipped(self):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        tr.begin("open")
+        tr.emit("closed", "api", start=0.0, end=1.0)
+        trace = spans_to_chrome(tr.spans)
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert names == ["closed"]
+
+
+class TestOverlapAcceptance:
+    def test_conv3d_trace_overlap_matches_result(self):
+        """A pipelined-buffer conv3d run exported to Chrome trace JSON
+        must reproduce ``RegionResult.overlap`` from its span events."""
+        obs = Observability()
+        res = cv.run_model(
+            "pipelined-buffer", cv.Conv3dConfig(nz=16, ny=32, nx=32), obs=obs
+        )
+        trace = json.loads(json.dumps(spans_to_chrome(obs.tracer.spans)))
+        assert abs(overlap_from_events(trace) - res.overlap) < 1e-9
+
+    def test_synthetic_region_overlap_matches_result(self):
+        res, obs = observed_region_run(n=24, cs=2, ns=3)
+        trace = spans_to_chrome(obs.tracer.spans)
+        assert abs(overlap_from_events(trace) - res.overlap) < 1e-9
+
+    def test_no_transfers_means_zero_overlap(self):
+        assert overlap_from_events({"traceEvents": []}) == 0.0
+
+
+class TestProfileReport:
+    def test_report_sections_present(self):
+        _, obs = observed_region_run()
+        text = profile_report(obs, top=3)
+        assert "== span profile ==" in text
+        assert "== engines ==" in text
+        assert "== longest spans (top 3) ==" in text
+        assert "== metrics ==" in text
+        assert "engine:" in text
+
+    def test_report_on_empty_observability(self):
+        text = profile_report(Observability())
+        assert "no spans recorded" in text
+        assert "no device spans" in text

@@ -1,0 +1,82 @@
+"""Metrics registry: instrument semantics and snapshot shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        m = MetricsRegistry()
+        c = m.counter("bytes")
+        c.inc(10)
+        c.inc(5)
+        assert c.value == 15
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_is_get_or_create(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        assert m.counter("x") is not m.counter("y")
+
+    def test_gauge_tracks_high_water(self):
+        m = MetricsRegistry()
+        g = m.gauge("mem")
+        g.set(10)
+        g.set(50)
+        g.set(20)
+        assert g.value == 20 and g.high == 50
+
+    def test_histogram_stats(self):
+        m = MetricsRegistry()
+        h = m.histogram("dur")
+        for v in (3.0, 1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 4.0 and s["p95"] == 4.0
+
+    def test_empty_histogram_summary(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.summary()["count"] == 0
+        assert h.percentile(95) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_sorted(self):
+        m = MetricsRegistry()
+        m.counter("b").inc(2)
+        m.counter("a").inc(1)
+        m.gauge("g").set(7)
+        m.histogram("h").observe(0.5)
+        snap = m.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"]["g"] == {"value": 7, "high": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_clear_drops_instruments(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.clear()
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").inc(5)
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(5)
+        assert NULL_METRICS.counter("c").value == 0
+        assert NULL_METRICS.histogram("h").count == 0
+        assert NULL_METRICS.snapshot() == {}

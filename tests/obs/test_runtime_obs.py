@@ -1,0 +1,154 @@
+"""Observability wired through the runtime and the pipelined executor:
+hand-computed metrics on a tiny run, span structure, and the
+zero-cost-when-disabled guarantee."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TargetRegion
+from repro.directives.clauses import Loop
+from repro.gpu import Runtime
+from repro.obs import Observability
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, make_arrays, make_region
+
+
+def observed_runtime():
+    obs = Observability()
+    return Runtime(NVIDIA_K40M, obs=obs), obs
+
+
+class TestHandComputedTinyRun:
+    """One stream, one 256 B buffer, one copy each way, one kernel —
+    every metric is checkable by hand."""
+
+    def run_tiny(self):
+        rt, obs = observed_runtime()
+        st = rt.create_stream("s0")
+        dev = rt.malloc((4, 8), np.float64, tag="buf")  # 4*8*8 = 256 B
+        host = np.ones((4, 8))
+        rt.memcpy_h2d_async(dev, host, st)
+        rt.launch(1e-4, None, st)
+        out = np.zeros((4, 8))
+        rt.memcpy_d2h_async(out, dev, st)
+        rt.synchronize()
+        return rt, obs
+
+    def test_counters_match_hand_count(self):
+        _, obs = self.run_tiny()
+        snap = obs.metrics.snapshot()
+        c = snap["counters"]
+        assert c["bytes.h2d"] == 256
+        assert c["bytes.d2h"] == 256
+        assert c["commands.kernel"] == 1
+        assert c["alloc.count"] == 1
+        assert c["alloc.bytes"] == 256
+        # stream_create, malloc, h2d, launch, d2h, synchronize
+        assert c["api.calls"] == 6
+        assert c["api.calls.memcpy_h2d_async"] == 1
+        assert c["api.calls.launch"] == 1
+
+    def test_histograms_and_gauges(self):
+        rt, obs = self.run_tiny()
+        snap = obs.metrics.snapshot()
+        assert snap["histograms"]["kernel.seconds"]["count"] == 1
+        assert snap["histograms"]["kernel.seconds"]["total"] >= 1e-4
+        assert snap["histograms"]["transfer.seconds.h2d"]["count"] == 1
+        assert snap["gauges"]["mem.used"]["high"] >= 256
+        assert any(n.startswith("queue.depth.") for n in snap["gauges"])
+
+    def test_engine_spans_carry_exact_device_times(self):
+        rt, obs = self.run_tiny()
+        tl = rt.timeline()
+        for kind in ("h2d", "kernel", "d2h"):
+            (span,) = obs.tracer.by_category(kind)
+            (rec,) = tl.by_kind(kind)
+            assert span.start == rec.start and span.end == rec.finish
+            assert span.track == f"engine:{rec.engine}"
+
+    def test_api_spans_cover_host_time(self):
+        rt, obs = self.run_tiny()
+        api = obs.tracer.by_category("api")
+        assert len(api) == 6
+        assert all(s.track == "host" for s in api)
+        assert all(s.end >= s.start for s in api)
+        assert all("op" in s.attrs for s in api)
+
+
+class TestDisabledByDefault:
+    def test_default_runtime_records_nothing(self):
+        rt = Runtime(NVIDIA_K40M)
+        assert rt.tracer.enabled is False
+        assert rt.metrics.enabled is False
+        assert rt.device.sim.observer is None
+        st = rt.create_stream()
+        rt.launch(1e-5, None, st)
+        rt.synchronize()
+        assert rt.tracer.spans == []
+        assert rt.metrics.snapshot() == {}
+
+    def test_observation_does_not_change_elapsed(self):
+        def run(obs):
+            rt = Runtime(NVIDIA_K40M, obs=obs)
+            arrays = make_arrays(16)
+            res = make_region(16, 2, 2).run(rt, arrays, ScaleKernel())
+            return res.elapsed
+
+        assert run(None) == run(Observability())
+
+
+class TestExecutorSpans:
+    def test_region_chunk_phase_structure(self):
+        rt, obs = observed_runtime()
+        res = make_region(16, 2, 2).run(rt, make_arrays(16), ScaleKernel())
+        (region,) = obs.tracer.by_category("region")
+        assert region.attrs["model"] == "pipelined-buffer"
+        assert region.attrs["nchunks"] == res.nchunks
+        chunks = obs.tracer.by_category("chunk")
+        assert len(chunks) == res.nchunks
+        assert all(c.parent is region for c in chunks)
+        phases = obs.tracer.by_category("phase")
+        names = {p.name for p in phases}
+        assert {"plan", "h2d", "kernel", "d2h", "slot-release"} <= names
+        plan_spans = [p for p in phases if p.name == "plan"]
+        assert all("slots" in p.attrs for p in plan_spans)
+
+    def test_result_metrics_snapshot(self):
+        rt, obs = observed_runtime()
+        res = make_region(16, 2, 2).run(rt, make_arrays(16), ScaleKernel())
+        assert res.metrics
+        assert any(n.startswith("engine.util.") for n in res.metrics["gauges"])
+        assert res.metrics["gauges"]["mem.peak"]["value"] == res.memory_peak
+        assert "stall.slot_reuse.total_seconds" in res.metrics["counters"]
+        assert "metrics" in res.to_dict()
+
+    def test_result_metrics_empty_without_obs(self):
+        res = make_region(16, 2, 2).run(
+            Runtime(NVIDIA_K40M), make_arrays(16), ScaleKernel()
+        )
+        assert res.metrics == {}
+        assert "metrics" not in res.to_dict()
+
+
+class TestRuntimeLifecycle:
+    def test_context_manager_closes_and_releases(self):
+        with Runtime(NVIDIA_K40M) as rt:
+            base = rt.memory_used
+            rt.malloc((8,), np.float64)
+            assert rt.memory_used > base
+        assert rt.closed
+        assert rt.memory_used == base
+
+    def test_calls_after_close_raise(self):
+        from repro.gpu.errors import InvalidValueError
+
+        rt = Runtime(NVIDIA_K40M)
+        rt.close()
+        rt.close()  # idempotent
+        with pytest.raises(InvalidValueError):
+            rt.malloc((8,), np.float64)
+        with pytest.raises(InvalidValueError):
+            rt.create_stream()

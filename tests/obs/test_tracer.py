@@ -1,0 +1,107 @@
+"""Span tracer: nesting, attributes, explicit-timestamp emission,
+and the null tracer's no-op guarantees."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class FakeClock:
+    """Manually advanced virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestNesting:
+    def test_begin_end_records_interval(self):
+        clk = FakeClock()
+        tr = Tracer(clk)
+        sp = tr.begin("outer", "region")
+        clk.now = 2.5
+        tr.end(sp)
+        assert sp.start == 0.0 and sp.end == 2.5 and sp.duration == 2.5
+        assert tr.spans == [sp]
+
+    def test_children_get_parent_and_depth(self):
+        clk = FakeClock()
+        tr = Tracer(clk)
+        with tr.span("region", "region"):
+            with tr.span("chunk", "chunk") as chunk:
+                with tr.span("h2d", "phase") as phase:
+                    assert phase.parent is chunk
+                    assert phase.depth == 2
+                    assert chunk.depth == 1
+        assert [s.name for s in tr.spans] == ["h2d", "chunk", "region"]
+
+    def test_end_closes_open_children(self):
+        clk = FakeClock()
+        tr = Tracer(clk)
+        outer = tr.begin("outer")
+        tr.begin("inner")  # never ended explicitly
+        clk.now = 1.0
+        tr.end(outer)
+        assert all(s.end == 1.0 for s in tr.spans)
+        assert {s.name for s in tr.spans} == {"outer", "inner"}
+        assert tr.current is None
+
+    def test_double_end_is_tolerated(self):
+        tr = Tracer(FakeClock())
+        sp = tr.begin("x")
+        tr.end(sp)
+        tr.end(sp)
+        assert tr.spans.count(sp) == 1
+
+    def test_attrs_at_begin_end_and_set(self):
+        tr = Tracer(FakeClock())
+        sp = tr.begin("chunk:0", "chunk", chunk=0)
+        sp.set(slot=3)
+        tr.end(sp, nbytes=64)
+        assert sp.attrs == {"chunk": 0, "slot": 3, "nbytes": 64}
+
+
+class TestEmission:
+    def test_emit_complete_span(self):
+        tr = Tracer(FakeClock())
+        sp = tr.emit("h2d:A", "h2d", "engine:dma0", start=1.0, end=3.0, nbytes=8)
+        assert sp.duration == 2.0
+        assert tr.by_track("engine:dma0") == [sp]
+        assert tr.by_category("h2d") == [sp]
+
+    def test_instant_has_zero_duration(self):
+        clk = FakeClock()
+        clk.now = 4.0
+        tr = Tracer(clk)
+        sp = tr.instant("slot-release", "phase")
+        assert sp.start == sp.end == 4.0
+
+    def test_clear_keeps_open_spans(self):
+        tr = Tracer(FakeClock())
+        open_span = tr.begin("open")
+        tr.emit("done", start=0, end=1)
+        tr.clear()
+        assert tr.spans == []
+        assert tr.current is open_span
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        sp = NULL_TRACER.begin("x", "y", chunk=1)
+        assert isinstance(sp, Span)
+        assert sp.set(a=1) is sp and sp.attrs == {}
+        NULL_TRACER.end(sp)
+        NULL_TRACER.emit("e", start=0, end=1)
+        NULL_TRACER.instant("i")
+        with NULL_TRACER.span("ctx") as inner:
+            inner.set(b=2)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.current is None
+
+    def test_null_is_shared_singletons(self):
+        t = NullTracer()
+        assert t.begin("a") is t.begin("b")
+        assert t.span("a") is t.span("b")

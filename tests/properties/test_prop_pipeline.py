@@ -81,12 +81,7 @@ def test_every_configuration_matches_reference(case):
     arrays = {"IN": a, "OUT": np.zeros_like(a)}
     kernel = HaloSumKernel(halo)
     rt = Runtime(NVIDIA_K40M)
-    runner = {
-        "naive": region.run_naive,
-        "pipelined": region.run_pipelined,
-        "pipelined-buffer": region.run,
-    }[model]
-    res = runner(rt, arrays, kernel)
+    res = region.run(rt, arrays, kernel, model=model)
 
     audit(res.timeline)
     assert np.array_equal(arrays["OUT"], reference(a, halo))
@@ -145,12 +140,7 @@ def test_models_agree_with_each_other(n, cs, ns):
             loop=Loop("k", 1, n - 1),
         )
         arrays = {"IN": a.copy(), "OUT": np.zeros_like(a)}
-        runner = {
-            "naive": region.run_naive,
-            "pipelined": region.run_pipelined,
-            "pipelined-buffer": region.run,
-        }[model]
-        runner(Runtime(NVIDIA_K40M), arrays, HaloSumKernel(1))
+        region.run(Runtime(NVIDIA_K40M), arrays, HaloSumKernel(1), model=model)
         outs[model] = arrays["OUT"]
     assert np.array_equal(outs["naive"], outs["pipelined"])
     assert np.array_equal(outs["naive"], outs["pipelined-buffer"])
