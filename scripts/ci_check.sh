@@ -23,4 +23,17 @@ events = trace["traceEvents"]
 assert any(e["ph"] == "X" for e in events), "no span events in trace"
 EOF
 
+echo "== CLI smoke: chaos recovery matches reference =="
+chaos_out="$(python -m repro chaos stencil --profile transient --seed 7)"
+if ! echo "$chaos_out" | grep -q "reference match  yes"; then
+    echo "chaos run did not recover to a reference match:" >&2
+    echo "$chaos_out" >&2
+    exit 1
+fi
+if echo "$chaos_out" | grep -q "faults injected  0"; then
+    echo "chaos smoke injected no faults (seed drift?):" >&2
+    echo "$chaos_out" >&2
+    exit 1
+fi
+
 echo "CI checks passed."

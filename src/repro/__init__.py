@@ -22,6 +22,10 @@ Layer map (bottom to top):
 * :mod:`repro.obs` — span tracer, metrics registry, and exporters
   (Chrome trace JSON, plain-text profile); attach via
   ``Runtime(..., obs=Observability())``.
+* :mod:`repro.faults` — deterministic fault injection
+  (:class:`FaultPlan` installed via ``Runtime.install_faults``) and
+  self-healing execution (:class:`FaultPolicy` passed to
+  ``region.run(..., fault_policy=...)``); ``repro chaos`` on the CLI.
 * :mod:`repro.errors` — the exception hierarchy rooted at
   :class:`ReproError`; every layer's error subclasses it (alongside
   the stdlib base it always had), so ``except ReproError`` catches
@@ -48,14 +52,19 @@ from repro.core import RegionKernel, RegionResult, TargetRegion
 from repro.core.kernel import ChunkView
 from repro.directives import Loop, parse_pragma
 from repro.errors import (
+    DeviceLostError,
     DirectiveError,
     GpuError,
     InvalidValueError,
+    KernelFaultError,
     MemLimitError,
     OutOfDeviceMemory,
+    RegionFailure,
     ReproError,
     SimulationError,
+    TransferError,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultPolicy, PressureEvent
 from repro.gpu import Runtime
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.sim import AMD_HD7970, NVIDIA_K40M, profile_by_name
@@ -65,15 +74,22 @@ __version__ = "0.1.0"
 __all__ = [
     "AMD_HD7970",
     "ChunkView",
+    "DeviceLostError",
     "DirectiveError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPolicy",
     "GpuError",
     "InvalidValueError",
+    "KernelFaultError",
     "Loop",
     "MemLimitError",
     "MetricsRegistry",
     "NVIDIA_K40M",
     "Observability",
     "OutOfDeviceMemory",
+    "PressureEvent",
+    "RegionFailure",
     "RegionKernel",
     "RegionResult",
     "ReproError",

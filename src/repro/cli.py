@@ -9,6 +9,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro compare stencil     # three models on one app
     python -m repro trace stencil -o stencil.json   # chrome://tracing
     python -m repro profile 3dconv      # span/metrics profile report
+    python -m repro chaos stencil --profile transient --seed 7
 
 The figure experiments mirror ``benchmarks/`` (which additionally
 asserts shape bands under pytest); the CLI is for interactive
@@ -245,6 +246,36 @@ def _profile(app: str, device: str, top: int) -> str:
     return profile_report(obs, top=top)
 
 
+def _chaos(args) -> int:
+    """Run one app under a named fault profile with self-healing on.
+
+    Exit code 0 iff the recovered output matches the NumPy reference.
+    """
+    from repro.faults import FaultPolicy, RegionFailure, run_chaos
+
+    policy = FaultPolicy(
+        max_retries=args.retries,
+        degrade=() if args.no_degrade else ("pipelined", "naive"),
+    )
+    try:
+        report = run_chaos(
+            args.app,
+            args.profile,
+            seed=args.seed,
+            device=args.device,
+            model=args.model,
+            policy=policy,
+        )
+    except KeyError as exc:  # unknown app or profile name
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except RegionFailure as exc:  # recovery exhausted (e.g. --no-degrade)
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.matches_reference else 1
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -276,6 +307,28 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("app", help="stencil or 3dconv")
     pr.add_argument("--device", default="k40m")
     pr.add_argument("--top", type=int, default=8, help="longest spans to list")
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run one app under injected faults and verify recovery",
+    )
+    ch.add_argument("app", help="/".join(_APPS))
+    ch.add_argument(
+        "--profile", default="transient",
+        help="fault profile: transient (default), jitter, pressure, chaos",
+    )
+    ch.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    ch.add_argument("--device", default="k40m")
+    ch.add_argument(
+        "--model", default="buffer", help="starting execution model (default buffer)"
+    )
+    ch.add_argument(
+        "--retries", type=int, default=4, help="max replays per chunk (default 4)"
+    )
+    ch.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail instead of falling back to pipelined/naive models",
+    )
     return p
 
 
@@ -309,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cmd == "profile":
         print(_profile(args.app, args.device, args.top))
         return 0
+    if args.cmd == "chaos":
+        return _chaos(args)
     return 2  # pragma: no cover
 
 

@@ -37,8 +37,17 @@ import numpy as np
 from repro.core.kernel import ChunkView, RegionKernel
 from repro.core.plan import Chunk, RegionPlan
 from repro.core.ringbuffer import DeviceRing
+from repro.faults.policy import (
+    CHUNK_EXHAUSTED,
+    CHUNK_FAILED,
+    CHUNK_OK,
+    CHUNK_RECOVERED,
+    FaultPolicy,
+    RegionFailure,
+)
+from repro.gpu.errors import DeviceLostError, TransferError
 from repro.gpu.runtime import Runtime
-from repro.sim.engine import EventToken
+from repro.sim.engine import Command, EventToken
 from repro.sim.trace import Timeline, overlap_fraction, time_distribution
 from repro.sim.varray import is_virtual
 
@@ -71,6 +80,12 @@ class RegionResult:
         :meth:`repro.obs.MetricsRegistry.snapshot` taken when the
         region finished — populated only when the runtime carries an
         enabled :class:`~repro.obs.Observability`; ``{}`` otherwise.
+    faults:
+        Faulted commands (injected + poisoned) the region absorbed.
+        Zero unless a fault injector was installed.
+    retries:
+        Recovery replays (chunk replays, blocking-copy reissues, whole
+        region re-attempts) performed to produce this result.
     """
 
     model: str
@@ -82,6 +97,8 @@ class RegionResult:
     chunk_size: int
     num_streams: int
     metrics: Dict[str, object] = field(default_factory=dict)
+    faults: int = 0
+    retries: int = 0
 
     @property
     def time_distribution(self) -> Dict[str, float]:
@@ -116,6 +133,9 @@ class RegionResult:
             "overlap": self.overlap,
             "commands": len(self.timeline),
         }
+        if self.faults or self.retries:
+            d["faults"] = self.faults
+            d["retries"] = self.retries
         if self.metrics:
             d["metrics"] = self.metrics
         return d
@@ -125,20 +145,24 @@ class RegionResult:
         d = self.time_distribution
         util = self.timeline.engine_utilization()
         util_s = "  ".join(f"{e}={u:.0%}" for e, u in sorted(util.items()))
-        return "\n".join(
-            [
-                f"model            {self.model}",
-                f"elapsed          {self.elapsed * 1e3:.3f} ms",
-                f"chunks           {self.nchunks} (chunk_size={self.chunk_size}, "
-                f"streams={self.num_streams})",
-                f"busy time        h2d={d['h2d'] * 1e3:.3f} ms  "
-                f"d2h={d['d2h'] * 1e3:.3f} ms  kernel={d['kernel'] * 1e3:.3f} ms",
-                f"transfer overlap {self.overlap:.1%}",
-                f"engine util      {util_s}",
-                f"device memory    peak {self.memory_peak / 1e6:.1f} MB "
-                f"(data {self.data_peak / 1e6:.1f} MB + context)",
-            ]
-        )
+        lines = [
+            f"model            {self.model}",
+            f"elapsed          {self.elapsed * 1e3:.3f} ms",
+            f"chunks           {self.nchunks} (chunk_size={self.chunk_size}, "
+            f"streams={self.num_streams})",
+            f"busy time        h2d={d['h2d'] * 1e3:.3f} ms  "
+            f"d2h={d['d2h'] * 1e3:.3f} ms  kernel={d['kernel'] * 1e3:.3f} ms",
+            f"transfer overlap {self.overlap:.1%}",
+            f"engine util      {util_s}",
+            f"device memory    peak {self.memory_peak / 1e6:.1f} MB "
+            f"(data {self.data_peak / 1e6:.1f} MB + context)",
+        ]
+        if self.faults or self.retries:
+            lines.append(
+                f"fault recovery   {self.faults} fault(s) absorbed, "
+                f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+            )
+        return "\n".join(lines)
 
 
 class _Measurer:
@@ -151,7 +175,8 @@ class _Measurer:
         runtime.device.memory.reset_peak()
 
     def finish(
-        self, model: str, nchunks: int, chunk_size: int, num_streams: int
+        self, model: str, nchunks: int, chunk_size: int, num_streams: int,
+        faults: int = 0, retries: int = 0,
     ) -> RegionResult:
         """Close the measurement window and package the result."""
         rt = self.rt
@@ -192,6 +217,8 @@ class _Measurer:
             chunk_size=chunk_size,
             num_streams=num_streams,
             metrics=snapshot,
+            faults=faults,
+            retries=retries,
         )
 
 
@@ -223,11 +250,36 @@ def _axis_slice(ndim: int, dim: int, lo: int, hi: int) -> tuple:
     return tuple(idx)
 
 
+def _cleanup_after_failure(runtime: Runtime, device_arrays) -> None:
+    """Best-effort teardown after a failed region.
+
+    Drains the device without letting sync-point fault reporting mask
+    the original exception, claims any fault backlog, and releases the
+    region's device allocations so a degraded re-attempt (or the
+    caller) starts from a clean allocator.
+    """
+    old_defer, runtime.defer_faults = runtime.defer_faults, True
+    try:
+        try:
+            runtime.synchronize()
+        except Exception:
+            pass
+    finally:
+        runtime.defer_faults = old_defer
+    runtime.pop_faults()
+    for arr in device_arrays:
+        try:
+            runtime.free(arr)
+        except Exception:
+            pass
+
+
 def execute_pipeline(
     runtime: Runtime,
     plan: RegionPlan,
     arrays: Dict[str, np.ndarray],
     kernel: RegionKernel,
+    policy: Optional[FaultPolicy] = None,
 ) -> RegionResult:
     """Run a region under the proposed Pipelined-buffer model.
 
@@ -244,6 +296,16 @@ def execute_pipeline(
         :class:`~repro.sim.varray.VirtualArray` (all the same mode).
     kernel:
         The region kernel.
+    policy:
+        Optional :class:`~repro.faults.FaultPolicy`.  When given, the
+        executor takes ownership of async fault reporting
+        (``runtime.defer_faults``): every faulted chunk is replayed
+        synchronously — full dependency-range H2D, kernel, D2H — with
+        the policy's exponential backoff charged to virtual host time,
+        until it recovers or its retry budget is exhausted (then
+        :class:`~repro.faults.RegionFailure` carries per-chunk
+        status).  Chunks are the natural replay unit because the
+        pipeline already computes each chunk's exact dependency slices.
     """
     profile = runtime.profile
     chunks = plan.chunks()
@@ -264,22 +326,74 @@ def execute_pipeline(
         )
     old_scale = runtime.call_overhead_scale
     old_contention = runtime.command_overhead
+    old_defer = runtime.defer_faults
     runtime.call_overhead_scale = 1.0 + profile.runtime_stream_factor * (streams_n - 1)
     runtime.command_overhead = profile.runtime_stream_contention * (streams_n - 1)
+    if policy is not None:
+        # the executor owns fault reporting: sync points stash faults
+        # for pop_faults() instead of raising mid-pipeline
+        runtime.defer_faults = True
+    #: faulted commands absorbed / replays performed under the policy
+    faults_n = 0
+    retries_n = 0
+    #: command -> chunk index, for mapping faults back to replay units
+    meta: Dict[Command, int] = {}
+    resident_dev: Dict[str, object] = {}
+    rings: Dict[str, DeviceRing] = {}
+
+    def blocking_with_retry(issue, what: str) -> None:
+        """Run a blocking resident copy, reissuing it under the policy.
+
+        Resident copies are whole-array and synchronous, so reissuing
+        the copy in place (with backoff) is an exact replay.
+        """
+        nonlocal faults_n, retries_n
+        if policy is None:
+            issue()
+            return
+        attempt = 0
+        while True:
+            issue()
+            bad = runtime.pop_faults()
+            if not bad:
+                return
+            faults_n += len(bad)
+            if runtime.device.lost:
+                raise DeviceLostError(
+                    f"device lost during {what}", pending=len(bad)
+                )
+            if attempt >= policy.max_retries:
+                raise TransferError(
+                    f"{what} still faulting after {policy.max_retries} "
+                    f"retries",
+                    fault=bad[0].error,
+                    pending=len(bad),
+                )
+            delay = policy.backoff_for(attempt)
+            runtime.host_now += delay
+            attempt += 1
+            retries_n += 1
+            if runtime.metrics.enabled:
+                runtime.metrics.counter("faults.retries").inc()
+                runtime.metrics.counter("faults.backoff_seconds").inc(delay)
+
     try:
         streams = [runtime.create_stream(f"pipe{i}") for i in range(streams_n)]
 
         # resident arrays: whole-array data region
-        resident_dev: Dict[str, object] = {}
         for var, clause in plan.residents.items():
             host = arrays[var]
             dev = runtime.malloc(host.shape, host.dtype, tag=f"{var}:resident")
-            if clause.direction in ("to", "tofrom"):
-                runtime.memcpy_h2d(dev, host, label=f"h2d:{var}:resident")
             resident_dev[var] = dev
+            if clause.direction in ("to", "tofrom"):
+                blocking_with_retry(
+                    lambda d=dev, h=host, v=var: runtime.memcpy_h2d(
+                        d, h, label=f"h2d:{v}:resident"
+                    ),
+                    f"resident h2d of {var!r}",
+                )
 
         # ring buffers
-        rings: Dict[str, DeviceRing] = {}
         for var, spec in plan.specs.items():
             host = arrays[var]
             rings[var] = DeviceRing(
@@ -373,10 +487,16 @@ def execute_pipeline(
                                 st,
                                 waits=reuse,
                                 records=[tok],
+                                # slot-reuse waits are ordering-only:
+                                # a faulted drain must not poison the
+                                # next lap's fresh transfer
+                                poison_waits=(),
                                 rows=rows,
                                 row_bytes=row_bytes,
                                 label=f"h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                             )
+                            if policy is not None:
+                                meta[cmd] = chunk.index
                             if m_on and reuse:
                                 stall_watch.append((cmd, list(reuse)))
                             book.h2d.append((piece.g_lo, piece.g_hi, tok))
@@ -407,8 +527,13 @@ def execute_pipeline(
                 st,
                 waits=in_tokens + out_reuse,
                 records=[ktok],
+                # only the input transfers are data dependencies; the
+                # out_reuse waits guard slot recycling
+                poison_waits=in_tokens,
                 label=f"{kernel.name}[{chunk.t0}:{chunk.t1})",
             )
+            if policy is not None:
+                meta[kcmd] = chunk.index
             if m_on and out_reuse:
                 stall_watch.append((kcmd, list(out_reuse)))
             if tr_on:
@@ -427,7 +552,7 @@ def execute_pipeline(
                     for piece in ring.pieces(lo, hi):
                         rows, row_bytes = ring.transfer_geometry(piece)
                         dtok = EventToken(f"d2h:{var}:{piece.g_lo}")
-                        runtime.memcpy_d2h_async(
+                        dcmd = runtime.memcpy_d2h_async(
                             ring.host_section(host, piece),
                             ring.device_view(piece),
                             st,
@@ -436,6 +561,8 @@ def execute_pipeline(
                             row_bytes=row_bytes,
                             label=f"d2h:{var}[{piece.g_lo}:{piece.g_hi})",
                         )
+                        if policy is not None:
+                            meta[dcmd] = chunk.index
                         book.d2h.append((piece.g_lo, piece.g_hi, dtok))
             if tr_on:
                 tracer.end(pd2h)
@@ -451,6 +578,126 @@ def execute_pipeline(
                 tracer.end(cspan)
 
         runtime.synchronize()
+
+        if policy is not None:
+            # ----------------------------------------------------------
+            # chunk-granular recovery: the pipeline has drained; map
+            # every faulted command back to its chunk and replay the
+            # chunk synchronously (full dep-range h2d -> kernel -> d2h).
+            # Faulted kernels never ran their payloads (poison
+            # propagation suppresses consumers of faulted data too), so
+            # replay is exact — even for accumulating kernels.
+            # ----------------------------------------------------------
+            def enqueue_replay(chunk: Chunk) -> None:
+                st = streams[chunk.index % streams_n]
+                rtoks: List[EventToken] = []
+                for var, spec in plan.specs.items():
+                    if not spec.clause.is_input:
+                        continue
+                    lo, hi = plan.chunk_dep_range(var, chunk)
+                    ring = rings[var]
+                    host = arrays[var]
+                    for piece in ring.pieces(lo, hi):
+                        rows, row_bytes = ring.transfer_geometry(piece)
+                        tok = EventToken(f"replay-h2d:{var}:{piece.g_lo}")
+                        cmd = runtime.memcpy_h2d_async(
+                            ring.device_view(piece),
+                            ring.host_section(host, piece),
+                            st,
+                            records=[tok],
+                            rows=rows,
+                            row_bytes=row_bytes,
+                            label=f"replay:h2d:{var}[{piece.g_lo}:{piece.g_hi})",
+                        )
+                        meta[cmd] = chunk.index
+                        rtoks.append(tok)
+                ktok = EventToken(f"replay-kernel:{chunk.index}")
+                kcmd = runtime.launch(
+                    kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=True),
+                    make_kernel_payload(chunk),
+                    st,
+                    waits=rtoks,
+                    records=[ktok],
+                    label=f"replay:{kernel.name}[{chunk.t0}:{chunk.t1})",
+                )
+                meta[kcmd] = chunk.index
+                for var, spec in plan.specs.items():
+                    if not spec.clause.is_output:
+                        continue
+                    lo, hi = plan.chunk_dep_range(var, chunk)
+                    ring = rings[var]
+                    host = arrays[var]
+                    for piece in ring.pieces(lo, hi):
+                        rows, row_bytes = ring.transfer_geometry(piece)
+                        dcmd = runtime.memcpy_d2h_async(
+                            ring.host_section(host, piece),
+                            ring.device_view(piece),
+                            st,
+                            waits=[ktok],
+                            rows=rows,
+                            row_bytes=row_bytes,
+                            label=f"replay:d2h:{var}[{piece.g_lo}:{piece.g_hi})",
+                        )
+                        meta[dcmd] = chunk.index
+
+            chunk_status = {c.index: CHUNK_OK for c in chunks}
+            attempts = {c.index: 0 for c in chunks}
+            pending = runtime.pop_faults()
+            faults_n += len(pending)
+            while pending:
+                if runtime.device.lost:
+                    raise DeviceLostError(
+                        "device lost during pipelined region",
+                        pending=len(pending),
+                    )
+                affected = sorted({meta[c] for c in pending if c in meta})
+                if not affected:
+                    # faults on commands this region did not issue;
+                    # claimed above, nothing to replay here
+                    break
+                exhausted = [
+                    k for k in affected if attempts[k] >= policy.max_retries
+                ]
+                if exhausted:
+                    for k in exhausted:
+                        chunk_status[k] = CHUNK_EXHAUSTED
+                    for k in affected:
+                        if k not in exhausted:
+                            chunk_status[k] = CHUNK_FAILED
+                    raise RegionFailure(
+                        f"{len(exhausted)} chunk(s) still faulting after "
+                        f"{policy.max_retries} replays each",
+                        chunk_status=chunk_status,
+                        attempts=[
+                            f"buffer: chunk {k} exhausted "
+                            f"{attempts[k] + 1} attempts"
+                            for k in exhausted
+                        ],
+                        retries=retries_n,
+                    )
+                for k in affected:
+                    attempts[k] += 1
+                    delay = policy.backoff_for(attempts[k] - 1)
+                    runtime.host_now += delay
+                    retries_n += 1
+                    if m_on:
+                        runtime.metrics.counter("faults.retries").inc()
+                        runtime.metrics.counter(
+                            "faults.backoff_seconds"
+                        ).inc(delay)
+                    with tracer.span(
+                        f"replay:chunk{k}", "fault",
+                        chunk=k, attempt=attempts[k], backoff=delay,
+                    ):
+                        enqueue_replay(chunks[k])
+                    # drain before the next replay: two replayed chunks
+                    # can alias the same ring slots (mod capacity), and
+                    # replays lack the pipeline's slot-reuse ordering
+                    # waits, so concurrency here would race
+                    runtime.synchronize()
+                    chunk_status[k] = CHUNK_RECOVERED
+                pending = runtime.pop_faults()
+                faults_n += len(pending)
 
         if m_on and stall_watch:
             # every gating token is resolved now; stall = time a command
@@ -469,17 +716,30 @@ def execute_pipeline(
         # resident copy-out and cleanup
         for var, clause in plan.residents.items():
             if clause.direction in ("from", "tofrom"):
-                runtime.memcpy_d2h(arrays[var], resident_dev[var], label=f"d2h:{var}:resident")
+                blocking_with_retry(
+                    lambda v=var: runtime.memcpy_d2h(
+                        arrays[v], resident_dev[v], label=f"d2h:{v}:resident"
+                    ),
+                    f"resident d2h of {var!r}",
+                )
         for dev in resident_dev.values():
             runtime.free(dev)
         for ring in rings.values():
             runtime.free(ring.darr)
+    except BaseException:
+        _cleanup_after_failure(
+            runtime,
+            list(resident_dev.values()) + [r.darr for r in rings.values()],
+        )
+        raise
     finally:
         runtime.call_overhead_scale = old_scale
         runtime.command_overhead = old_contention
+        runtime.defer_faults = old_defer
         if tr_on:
             tracer.end(rspan)
 
     return meas.finish(
-        "pipelined-buffer", len(chunks), plan.chunk_size, streams_n
+        "pipelined-buffer", len(chunks), plan.chunk_size, streams_n,
+        faults=faults_n, retries=retries_n,
     )

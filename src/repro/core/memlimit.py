@@ -18,7 +18,7 @@ sizes" as the paper puts it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.core.plan import RegionPlan
 from repro.errors import ReproError
@@ -27,15 +27,39 @@ __all__ = ["MemLimitError", "tune_plan"]
 
 
 class MemLimitError(ReproError, MemoryError):
-    """The region cannot fit the memory budget at any pipeline setting."""
+    """The region cannot fit the memory budget at any pipeline setting.
 
-    def __init__(self, needed: int, limit: int) -> None:
-        super().__init__(
+    Attributes
+    ----------
+    needed:
+        Bytes of the smallest candidate tried (the ``(1, 1)`` plan).
+    limit:
+        The budget in bytes.
+    tried:
+        The full candidate sequence the tuner walked before giving up,
+        as ``(chunk_size, num_streams, device_bytes)`` tuples — so the
+        error message shows exactly why no setting fits.
+    """
+
+    def __init__(
+        self,
+        needed: int,
+        limit: int,
+        tried: Sequence[Tuple[int, int, int]] = (),
+    ) -> None:
+        msg = (
             f"pipeline region needs at least {needed} B of device memory, "
             f"limit is {limit} B"
         )
+        if tried:
+            walk = " -> ".join(
+                f"(chunk_size={cs}, streams={ns}: {b} B)" for cs, ns, b in tried
+            )
+            msg += f"; candidates tried: {walk}"
+        super().__init__(msg)
         self.needed = needed
         self.limit = limit
+        self.tried = tuple(tried)
 
 
 def tune_plan(plan: RegionPlan, limit_bytes: Optional[int]) -> RegionPlan:
@@ -61,12 +85,14 @@ def tune_plan(plan: RegionPlan, limit_bytes: Optional[int]) -> RegionPlan:
         return plan
     cs, ns = plan.chunk_size, plan.num_streams
     candidate = plan
+    tried = [(cs, ns, plan.device_bytes())]
     while candidate.device_bytes() > limit_bytes:
         if cs > 1:
             cs = max(1, cs // 2)
         elif ns > 1:
             ns -= 1
         else:
-            raise MemLimitError(candidate.device_bytes(), limit_bytes)
+            raise MemLimitError(candidate.device_bytes(), limit_bytes, tried)
         candidate = plan.with_params(cs, ns)
+        tried.append((cs, ns, candidate.device_bytes()))
     return candidate

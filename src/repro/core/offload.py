@@ -31,6 +31,7 @@ from repro.core.executor import (
     RegionResult,
     _Measurer,
     _Records,
+    _cleanup_after_failure,
     _intersecting,
     _prune,
     _axis_slice,
@@ -65,55 +66,65 @@ def execute_naive(
     arrays: Dict[str, np.ndarray],
     kernel: RegionKernel,
 ) -> RegionResult:
-    """Run a region under the synchronous whole-array offload model."""
+    """Run a region under the synchronous whole-array offload model.
+
+    On any failure (async fault surfacing at a sync point, OOM, ...)
+    the device is drained and every device array this call allocated
+    is released before the exception propagates, so a recovery layer
+    can re-attempt from a clean allocator.
+    """
     meas = _Measurer(runtime)
     dev: Dict[str, object] = {}
-    for var in list(plan.specs) + list(plan.residents):
-        host = arrays[var]
-        dev[var] = runtime.malloc(host.shape, host.dtype, tag=f"{var}:naive")
+    try:
+        for var in list(plan.specs) + list(plan.residents):
+            host = arrays[var]
+            dev[var] = runtime.malloc(host.shape, host.dtype, tag=f"{var}:naive")
 
-    def is_input(var: str) -> bool:
-        if var in plan.specs:
-            return plan.specs[var].clause.is_input
-        return plan.residents[var].direction in ("to", "tofrom")
-
-    def is_output(var: str) -> bool:
-        if var in plan.specs:
-            return plan.specs[var].clause.is_output
-        return plan.residents[var].direction in ("from", "tofrom")
-
-    for var in dev:
-        if is_input(var):
-            runtime.memcpy_h2d(dev[var], arrays[var], label=f"h2d:{var}")
-
-    virtual = runtime.virtual or any(is_virtual(arrays[v]) for v in arrays)
-
-    def payload() -> None:
-        views: Dict[str, ChunkView] = {}
-        for var, d in dev.items():
+        def is_input(var: str) -> bool:
             if var in plan.specs:
-                sd = plan.specs[var].split_dim
-                views[var] = ChunkView(d.backing, sd, 0, d.shape[sd])
-            else:
-                views[var] = ChunkView(d.backing, None, 0, d.shape[0])
-        kernel.run(views, plan.loop.start, plan.loop.stop)
+                return plan.specs[var].clause.is_input
+            return plan.residents[var].direction in ("to", "tofrom")
 
-    stream = runtime.create_stream("naive")
-    cmd = runtime.launch(
-        kernel.chunk_cost(
-            runtime.profile, plan.loop.start, plan.loop.stop, translated=False
-        ),
-        payload if not virtual else None,
-        stream,
-        label=f"{kernel.name}[naive]",
-    )
-    runtime._block_on(cmd)
+        def is_output(var: str) -> bool:
+            if var in plan.specs:
+                return plan.specs[var].clause.is_output
+            return plan.residents[var].direction in ("from", "tofrom")
 
-    for var in dev:
-        if is_output(var):
-            runtime.memcpy_d2h(arrays[var], dev[var], label=f"d2h:{var}")
-    for d in dev.values():
-        runtime.free(d)
+        for var in dev:
+            if is_input(var):
+                runtime.memcpy_h2d(dev[var], arrays[var], label=f"h2d:{var}")
+
+        virtual = runtime.virtual or any(is_virtual(arrays[v]) for v in arrays)
+
+        def payload() -> None:
+            views: Dict[str, ChunkView] = {}
+            for var, d in dev.items():
+                if var in plan.specs:
+                    sd = plan.specs[var].split_dim
+                    views[var] = ChunkView(d.backing, sd, 0, d.shape[sd])
+                else:
+                    views[var] = ChunkView(d.backing, None, 0, d.shape[0])
+            kernel.run(views, plan.loop.start, plan.loop.stop)
+
+        stream = runtime.create_stream("naive")
+        cmd = runtime.launch(
+            kernel.chunk_cost(
+                runtime.profile, plan.loop.start, plan.loop.stop, translated=False
+            ),
+            payload if not virtual else None,
+            stream,
+            label=f"{kernel.name}[naive]",
+        )
+        runtime._block_on(cmd)
+
+        for var in dev:
+            if is_output(var):
+                runtime.memcpy_d2h(arrays[var], dev[var], label=f"d2h:{var}")
+        for d in dev.values():
+            runtime.free(d)
+    except BaseException:
+        _cleanup_after_failure(runtime, list(dev.values()))
+        raise
     return meas.finish("naive", 1, plan.loop.trip_count, 1)
 
 
@@ -138,10 +149,10 @@ def execute_manual_pipelined(
     old_contention = runtime.command_overhead
     runtime.call_overhead_scale = 1.0 + profile.acc_stream_factor * (streams_n - 1)
     runtime.command_overhead = profile.acc_stream_contention * (streams_n - 1)
+    dev: Dict[str, object] = {}
     try:
         streams = [runtime.create_stream(f"acc{i}") for i in range(streams_n)]
 
-        dev: Dict[str, object] = {}
         for var in list(plan.specs) + list(plan.residents):
             host = arrays[var]
             dev[var] = runtime.malloc(host.shape, host.dtype, tag=f"{var}:pipelined")
@@ -244,6 +255,9 @@ def execute_manual_pipelined(
                 runtime.memcpy_d2h(arrays[var], dev[var], label=f"d2h:{var}:resident")
         for d in dev.values():
             runtime.free(d)
+    except BaseException:
+        _cleanup_after_failure(runtime, list(dev.values()))
+        raise
     finally:
         runtime.call_overhead_scale = old_scale
         runtime.command_overhead = old_contention

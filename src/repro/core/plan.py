@@ -94,6 +94,16 @@ class RegionPlan:
     halo_mode: str = "dedup"
 
     def __post_init__(self) -> None:
+        from repro.gpu.errors import InvalidValueError
+
+        for name in ("chunk_size", "num_streams"):
+            v = getattr(self, name)
+            if not isinstance(v, (int, np.integer)) or isinstance(v, bool):
+                raise InvalidValueError(
+                    f"{name} must be an integer, got {type(v).__name__} {v!r}"
+                )
+            if v < 1:
+                raise InvalidValueError(f"{name} must be >= 1, got {v}")
         if self.halo_mode not in ("dedup", "duplicate"):
             raise DirectiveError(f"unknown halo_mode {self.halo_mode!r}")
         nchunks = len(self.chunks())

@@ -1,0 +1,189 @@
+"""Self-healing region execution: retries, re-tuning, degradation.
+
+:func:`run_with_recovery` is what ``region.run(...,
+fault_policy=...)`` dispatches to.  It drives the paper's three
+execution models through a :class:`~repro.faults.FaultPolicy`:
+
+* **buffer** (the proposed Pipelined-buffer runtime) recovers at chunk
+  granularity inside :func:`~repro.core.executor.execute_pipeline`;
+  this layer re-tunes its plan against the *current* free pool (so a
+  co-tenant memory grab shrinks the buffers instead of killing the
+  run) and re-attempts after mid-run memory pressure.
+* **pipelined** / **naive** baselines have no sub-region replay unit,
+  so they are retried whole — their device arrays are freshly
+  allocated and fully re-copied each attempt, which makes a whole
+  re-run exact.
+* When a model exhausts its budget (or cannot fit memory at all), the
+  policy's ``degrade`` chain falls back to the next model, mirroring
+  how the paper's models trade memory footprint for machinery:
+  ``buffer`` needs the least memory but the most moving parts,
+  ``naive`` the reverse.
+
+Only :class:`~repro.gpu.errors.DeviceLostError` is terminal: nothing
+can be re-enqueued on a lost device, so it converts straight into
+:class:`~repro.faults.RegionFailure`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.executor import RegionResult, execute_pipeline
+from repro.core.kernel import RegionKernel
+from repro.core.memlimit import MemLimitError, tune_plan
+from repro.core.offload import execute_manual_pipelined, execute_naive
+from repro.faults.policy import FaultPolicy, RegionFailure
+from repro.gpu.errors import (
+    DeviceLostError,
+    KernelFaultError,
+    OutOfMemoryError,
+    TransferError,
+)
+from repro.gpu.runtime import Runtime
+
+__all__ = ["run_with_recovery"]
+
+
+def _charge_backoff(runtime: Runtime, policy: FaultPolicy, attempt: int) -> float:
+    """Charge one retry backoff to virtual host time; returns it."""
+    delay = policy.backoff_for(attempt)
+    runtime.host_now += delay
+    if runtime.metrics.enabled:
+        runtime.metrics.counter("faults.retries").inc()
+        runtime.metrics.counter("faults.backoff_seconds").inc(delay)
+    return delay
+
+
+def _tuned_plan(region, runtime: Runtime, arrays):
+    """Bind and tune against ``min(explicit limit, free memory)``.
+
+    Under a fault policy the free pool is live state — a co-tenant may
+    have grabbed memory since the last attempt — so the budget is
+    re-evaluated on every attempt.
+    """
+    limit = (
+        region.mem_limit.limit_bytes if region.mem_limit is not None else None
+    )
+    free = runtime.device.memory.free
+    budget = free if limit is None else min(limit, free)
+    return tune_plan(region.bind(arrays), budget)
+
+
+def run_with_recovery(
+    region,
+    runtime: Runtime,
+    arrays: Dict[str, np.ndarray],
+    kernel: RegionKernel,
+    model: str,
+    policy: FaultPolicy,
+) -> RegionResult:
+    """Execute ``region`` under ``model``, healing faults per ``policy``.
+
+    Returns the :class:`RegionResult` of the first attempt that
+    completes; its ``faults``/``retries`` fields accumulate the effort
+    spent across *all* attempts (including abandoned models).  Raises
+    :class:`RegionFailure` when the primary model and every ``degrade``
+    fallback are exhausted, and on device loss.
+    """
+    from repro.core.region import _MODEL_ALIASES
+
+    models = [model]
+    for m in policy.degrade:
+        canonical = _MODEL_ALIASES.get(m)
+        if canonical is None:
+            from repro.gpu.errors import InvalidValueError
+
+            raise InvalidValueError(
+                f"unknown degrade model {m!r}; expected one of "
+                f"{sorted(set(_MODEL_ALIASES))}"
+            )
+        if canonical not in models:
+            models.append(canonical)
+
+    attempts_log = []
+    total_faults = 0
+    total_retries = 0
+    last_chunk_status: Dict[int, str] = {}
+    tracer = runtime.tracer
+
+    def finish(result: RegionResult) -> RegionResult:
+        result.faults += total_faults
+        result.retries += total_retries
+        return result
+
+    def lost(exc) -> RegionFailure:
+        return RegionFailure(
+            f"device lost; recovery impossible ({exc})",
+            attempts=attempts_log,
+            retries=total_retries,
+        )
+
+    for mi, m in enumerate(models):
+        if mi > 0:
+            attempts_log.append(f"degrading to {m!r}")
+            if runtime.metrics.enabled:
+                runtime.metrics.counter("faults.degradations").inc()
+            tracer.instant(
+                "degrade", "fault", model=m, after="; ".join(attempts_log[:-1])
+            )
+        if m == "buffer":
+            retunes = 0
+            while True:
+                try:
+                    plan = _tuned_plan(region, runtime, arrays)
+                    return finish(
+                        execute_pipeline(runtime, plan, arrays, kernel, policy)
+                    )
+                except DeviceLostError as exc:
+                    raise lost(exc) from exc
+                except RegionFailure as exc:
+                    # chunk retries exhausted inside the executor
+                    total_retries += exc.retries
+                    attempts_log.extend(exc.attempts)
+                    last_chunk_status = exc.chunk_status
+                    break
+                except (TransferError, KernelFaultError) as exc:
+                    # a blocking resident copy exhausted its retries
+                    total_faults += exc.pending
+                    attempts_log.append(f"buffer: {exc}")
+                    break
+                except (OutOfMemoryError, MemLimitError) as exc:
+                    if policy.retune_on_pressure and retunes < policy.max_retries:
+                        _charge_backoff(runtime, policy, retunes)
+                        retunes += 1
+                        total_retries += 1
+                        if runtime.metrics.enabled:
+                            runtime.metrics.counter("faults.retunes").inc()
+                        continue
+                    attempts_log.append(f"buffer: cannot fit memory ({exc})")
+                    break
+        else:
+            fn = execute_manual_pipelined if m == "pipelined" else execute_naive
+            for attempt in range(policy.max_retries + 1):
+                try:
+                    plan = region.bind(arrays)
+                    return finish(fn(runtime, plan, arrays, kernel))
+                except DeviceLostError as exc:
+                    raise lost(exc) from exc
+                except (TransferError, KernelFaultError) as exc:
+                    total_faults += exc.pending
+                    if attempt >= policy.max_retries:
+                        attempts_log.append(
+                            f"{m}: retries exhausted after "
+                            f"{policy.max_retries} whole-region replays ({exc})"
+                        )
+                        break
+                    _charge_backoff(runtime, policy, attempt)
+                    total_retries += 1
+                except (OutOfMemoryError, MemLimitError) as exc:
+                    attempts_log.append(f"{m}: cannot fit memory ({exc})")
+                    break
+
+    raise RegionFailure(
+        "all execution models exhausted",
+        chunk_status=last_chunk_status,
+        attempts=attempts_log,
+        retries=total_retries,
+    )

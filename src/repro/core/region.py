@@ -218,6 +218,7 @@ class TargetRegion:
         kernel: RegionKernel,
         *,
         model: str = "buffer",
+        fault_policy=None,
     ) -> RegionResult:
         """Execute the region under one of the paper's three models.
 
@@ -230,12 +231,26 @@ class TargetRegion:
             ``"naive"`` the synchronous whole-array baseline.  All
             three share the clauses and the kernel — only data movement
             differs.
+        fault_policy:
+            Optional :class:`~repro.faults.FaultPolicy`.  When given,
+            execution is self-healing: faulted chunks are replayed with
+            backoff (buffer model), whole attempts are retried
+            (baselines), memory pressure re-tunes the plan, and the
+            ``degrade`` chain falls back across models.  Exhaustion
+            raises :class:`~repro.faults.RegionFailure` with per-chunk
+            status instead of a bare fault error.
         """
         canonical = _MODEL_ALIASES.get(model)
         if canonical is None:
             raise DirectiveError(
                 f"unknown execution model {model!r}; expected one of "
                 f"'buffer' (alias 'pipelined-buffer'), 'pipelined', 'naive'"
+            )
+        if fault_policy is not None:
+            from repro.core.recovery import run_with_recovery
+
+            return run_with_recovery(
+                self, runtime, arrays, kernel, canonical, fault_policy
             )
         if canonical == "buffer":
             plan = self.plan_for(runtime, arrays)

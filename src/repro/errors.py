@@ -19,6 +19,13 @@ inheritance, so existing ``except`` clauses keep working:
   :class:`~repro.gpu.errors.InvalidValueError`.
 * :class:`~repro.core.memlimit.MemLimitError` (``MemoryError``) — no
   pipeline setting fits the ``pipeline_mem_limit`` budget.
+* :class:`~repro.gpu.errors.TransferError` /
+  :class:`~repro.gpu.errors.KernelFaultError` /
+  :class:`~repro.gpu.errors.DeviceLostError` (``RuntimeError``) —
+  injected faults surfacing at sync points (async error reporting).
+* :class:`~repro.faults.RegionFailure` (``RuntimeError``) — a region
+  could not complete despite its fault policy; carries per-chunk
+  status.
 
 The concrete classes stay defined in their home layers (importing this
 module pulls in nothing else); they are re-exported here lazily for
@@ -28,14 +35,18 @@ one-stop importing, and eagerly from :mod:`repro` itself.
 from __future__ import annotations
 
 __all__ = [
+    "DeviceLostError",
     "DirectiveError",
     "GpuError",
     "InvalidValueError",
+    "KernelFaultError",
     "MemLimitError",
     "OutOfDeviceMemory",
     "OutOfMemoryError",
+    "RegionFailure",
     "ReproError",
     "SimulationError",
+    "TransferError",
 ]
 
 
@@ -53,7 +64,11 @@ _HOMES = {
     "GpuError": "repro.gpu.errors",
     "InvalidValueError": "repro.gpu.errors",
     "OutOfMemoryError": "repro.gpu.errors",
+    "TransferError": "repro.gpu.errors",
+    "KernelFaultError": "repro.gpu.errors",
+    "DeviceLostError": "repro.gpu.errors",
     "MemLimitError": "repro.core.memlimit",
+    "RegionFailure": "repro.faults.policy",
 }
 
 

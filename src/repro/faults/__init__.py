@@ -1,0 +1,59 @@
+"""Deterministic fault injection and self-healing execution.
+
+The paper argues chunked pipelined execution makes offload regions
+"resilient to changes in device memory sizes"; this subpackage extends
+that resilience claim to the full fault surface a production offload
+runtime faces — transient DMA failures, kernel faults, co-tenant
+memory pressure, device loss — and makes every chunk an independent
+*replay unit*:
+
+* :class:`FaultPlan` / :class:`FaultInjector`
+  (:mod:`repro.faults.plan`, :mod:`repro.faults.inject`) — a seeded,
+  deterministic description and executor of injected failures,
+  consulted by the simulator at command dispatch/retirement.  Same
+  seed ⇒ bit-identical fault timeline; no plan installed ⇒ the hooks
+  are dead branches and results are bit-identical to a fault-free
+  build.
+* :class:`FaultPolicy` / :class:`RegionFailure`
+  (:mod:`repro.faults.policy`) — retry/backoff/degradation policy
+  accepted by ``region.run(..., fault_policy=...)``, and the
+  structured terminal error carrying per-chunk status.
+* :mod:`repro.faults.profiles` — named chaos profiles plus
+  :func:`run_chaos`, the engine behind the ``repro chaos`` CLI: run an
+  application under a profile, recover, and verify the result still
+  matches the sequential NumPy reference.
+
+Usage::
+
+    from repro import Runtime, NVIDIA_K40M
+    from repro.faults import FaultPlan, FaultPolicy
+
+    rt = Runtime(NVIDIA_K40M)
+    rt.install_faults(FaultPlan(seed=7, h2d_fault_rate=0.05,
+                                kernel_fault_rate=0.02))
+    policy = FaultPolicy(max_retries=3, degrade=("pipelined", "naive"))
+    result = region.run(rt, arrays, kernel, fault_policy=policy)
+    assert result.retries >= 0   # recovery effort is measured
+"""
+
+from __future__ import annotations
+
+from repro.faults.inject import FaultInjector, hash_u01
+from repro.faults.plan import FaultPlan, InjectedFault, PressureEvent
+from repro.faults.policy import FaultPolicy, RegionFailure
+from repro.faults.profiles import CHAOS_APPS, PROFILES, ChaosReport, fault_profile, run_chaos
+
+__all__ = [
+    "CHAOS_APPS",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPolicy",
+    "InjectedFault",
+    "PressureEvent",
+    "PROFILES",
+    "RegionFailure",
+    "fault_profile",
+    "hash_u01",
+    "run_chaos",
+]

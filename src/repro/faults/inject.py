@@ -1,0 +1,197 @@
+"""The fault injector: the simulator-side half of :mod:`repro.faults`.
+
+A :class:`FaultInjector` is installed on a
+:class:`~repro.sim.device.Device` (see
+:meth:`repro.gpu.runtime.Runtime.install_faults`).  The simulator
+consults it at exactly two points:
+
+* **dispatch** (:meth:`latency_extra`) — bounded latency jitter added
+  to the command's engine occupancy, and
+* **retirement** (:meth:`fault_at_retirement` then
+  :meth:`after_retirement`) — transient/sticky faults, device loss,
+  and scheduled co-tenant memory-pressure events.
+
+Every decision is a pure hash of ``(plan.seed, domain, cmd.seq)``, so
+two runs of the same program under the same plan produce bit-identical
+injected timelines — the injector keeps an :attr:`events` log whose
+equality across runs is asserted by the determinism tests.  With no
+injector installed the simulator hooks are dead branches and existing
+results are bit-identical to pre-fault behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import (
+    KIND_D2H,
+    KIND_DEVICE_LOST,
+    KIND_H2D,
+    KIND_KERNEL,
+    KIND_STICKY,
+    FaultPlan,
+    InjectedFault,
+)
+
+__all__ = ["FaultInjector", "hash_u01"]
+
+
+def hash_u01(seed: int, domain: str, n: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a counter hash.
+
+    Platform-independent (BLAKE2b of the decimal key), so fault
+    timelines reproduce across machines, not just across runs.
+    """
+    key = f"{seed}:{domain}:{n}".encode()
+    h = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(h, "big") / 2.0**64
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`FaultPlan` against one device.
+
+    Parameters
+    ----------
+    plan:
+        The fault plan to realise.
+
+    Attributes
+    ----------
+    events:
+        Append-only log of every injected action, as plain tuples —
+        ``("fault", kind, seq, time)``, ``("jitter", seq, extra)``,
+        ``("pressure", nbytes, retirement)``,
+        ``("pressure-release", nbytes, retirement)``,
+        ``("device-lost", retirement)`` — the deterministic fingerprint
+        of one run.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: List[Tuple] = []
+        self.retired = 0
+        self.transfer_faults = 0
+        self.kernel_faults = 0
+        self.device_lost = False
+        #: wired by ``Device.install_fault_injector``
+        self._memory = None
+        self._pressure_recs: List[Tuple[int, object]] = []  # (release_at, rec)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_memory(self, allocator) -> None:
+        """Give the injector access to the device allocator (for
+        pressure events)."""
+        self._memory = allocator
+
+    # ------------------------------------------------------------------
+    # dispatch hook
+    # ------------------------------------------------------------------
+    def latency_extra(self, cmd) -> float:
+        """Extra occupancy seconds for ``cmd`` (0.0 for most)."""
+        if not self.plan.jitter or cmd.kind == "marker" or cmd.duration <= 0.0:
+            return 0.0
+        u = hash_u01(self.plan.seed, "jitter", cmd.seq)
+        extra = u * self.plan.jitter * cmd.duration
+        if extra:
+            self.events.append(("jitter", cmd.seq, extra))
+        return extra
+
+    # ------------------------------------------------------------------
+    # retirement hooks
+    # ------------------------------------------------------------------
+    def _transfer_budget(self) -> bool:
+        cap = self.plan.max_transfer_faults
+        return cap is None or self.transfer_faults < cap
+
+    def _kernel_budget(self) -> bool:
+        cap = self.plan.max_kernel_faults
+        return cap is None or self.kernel_faults < cap
+
+    def fault_at_retirement(self, cmd, now: float) -> Optional[InjectedFault]:
+        """Decide whether ``cmd`` faults as it retires.
+
+        Called by the simulator *before* the command's payload runs; a
+        non-``None`` return suppresses the payload.
+        """
+        plan = self.plan
+        if self.device_lost:
+            return self._record(InjectedFault(KIND_DEVICE_LOST, cmd.seq, now,
+                                              cmd.label, sticky=True))
+        if cmd.kind == "marker":
+            return None
+        if cmd.kind in ("h2d", "d2h"):
+            rate = plan.h2d_fault_rate if cmd.kind == "h2d" else plan.d2h_fault_rate
+            if rate and self._transfer_budget() and \
+                    hash_u01(plan.seed, f"fault:{cmd.kind}", cmd.seq) < rate:
+                self.transfer_faults += 1
+                kind = KIND_H2D if cmd.kind == "h2d" else KIND_D2H
+                return self._record(InjectedFault(kind, cmd.seq, now, cmd.label))
+        elif cmd.kind == "kernel":
+            if any(pat in cmd.label for pat in plan.sticky_kernels):
+                self.kernel_faults += 1
+                return self._record(
+                    InjectedFault(KIND_STICKY, cmd.seq, now, cmd.label, sticky=True)
+                )
+            if plan.kernel_fault_rate and self._kernel_budget() and \
+                    hash_u01(plan.seed, "fault:kernel", cmd.seq) < plan.kernel_fault_rate:
+                self.kernel_faults += 1
+                return self._record(InjectedFault(KIND_KERNEL, cmd.seq, now, cmd.label))
+        return None
+
+    def _record(self, fault: InjectedFault) -> InjectedFault:
+        self.events.append(("fault", fault.kind, fault.seq, fault.time))
+        return fault
+
+    def after_retirement(self, cmd, now: float) -> None:
+        """Advance the retirement counter; fire scheduled events."""
+        self.retired += 1
+        plan = self.plan
+        if plan.device_lost_at is not None and not self.device_lost \
+                and self.retired >= plan.device_lost_at:
+            self.device_lost = True
+            self.events.append(("device-lost", self.retired))
+        if self._memory is None:
+            return
+        for ev in plan.pressure_events:
+            if ev.at_retirement == self.retired:
+                grab = min(int(ev.nbytes), self._memory.free)
+                if ev.leave_bytes is not None:
+                    grab = min(grab, max(0, self._memory.free - int(ev.leave_bytes)))
+                # the allocator aligns requests up; align the grab down
+                # so grabbing "everything" cannot itself OOM
+                align = getattr(self._memory, "alignment", 1) or 1
+                grab -= grab % align
+                if grab > 0:
+                    rec = self._memory.allocate(grab, tag="fault:co-tenant")
+                    self.events.append(("pressure", grab, self.retired))
+                    if ev.release_at is not None:
+                        self._pressure_recs.append((ev.release_at, rec))
+        still_held = []
+        for release_at, rec in self._pressure_recs:
+            if self.retired >= release_at:
+                self._memory.release(rec)
+                self.events.append(("pressure-release", rec.nbytes, self.retired))
+            else:
+                still_held.append((release_at, rec))
+        self._pressure_recs = still_held
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def fault_count(self) -> int:
+        """Total injected faults (excluding propagated poison)."""
+        return self.transfer_faults + self.kernel_faults
+
+    def fingerprint(self) -> Tuple[Tuple, ...]:
+        """The full event log as a hashable tuple (determinism tests)."""
+        return tuple(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector(seed={self.plan.seed}, retired={self.retired}, "
+            f"faults={self.fault_count}, lost={self.device_lost})"
+        )

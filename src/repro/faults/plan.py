@@ -1,0 +1,160 @@
+"""Fault plans: declarative, seeded descriptions of what goes wrong.
+
+A :class:`FaultPlan` is pure data — probabilities, caps, and scheduled
+events — with one integer ``seed``.  All randomness is derived by
+counter-based hashing (see :mod:`repro.faults.inject`), never from a
+shared mutable RNG, so the injected event timeline is a pure function
+of ``(seed, command sequence)``: the same program under the same plan
+produces a **bit-identical** fault timeline, including any retries the
+recovery layer performs.
+
+Fault classes modelled (mirroring what production offload runtimes see):
+
+* **transient transfer faults** — an H2D/D2H DMA retires without
+  delivering its data (ECC hiccup, link retrain); a retried transfer
+  gets an independent draw and typically succeeds.
+* **transient kernel faults** — a kernel retires without running
+  (``cudaErrorLaunchFailure``-ish); independent per launch.
+* **sticky kernel faults** — kernels whose label matches a
+  ``sticky_kernels`` pattern *always* fault, modelling a deterministic
+  bug; retries cannot succeed, which is what exercises retry
+  exhaustion and model degradation.
+* **latency jitter** — engine occupancy inflated by a bounded random
+  fraction, modelling co-tenant interference on the bus/SMs.
+* **memory pressure** — a "co-tenant" grabs device memory at a given
+  command-retirement count (and optionally releases it later),
+  shrinking the free pool mid-run.
+* **device loss** — after ``device_lost_at`` retirements the device
+  disappears; every later command faults and the runtime raises
+  :class:`~repro.gpu.errors.DeviceLostError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["FaultPlan", "InjectedFault", "PressureEvent"]
+
+
+#: fault kinds carried on :class:`InjectedFault` descriptors
+KIND_H2D = "h2d"
+KIND_D2H = "d2h"
+KIND_KERNEL = "kernel"
+KIND_STICKY = "kernel-sticky"
+KIND_POISONED = "poisoned"
+KIND_DEVICE_LOST = "device-lost"
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One injected (or propagated) fault on one command.
+
+    Attributes
+    ----------
+    kind:
+        ``"h2d"`` / ``"d2h"`` / ``"kernel"`` / ``"kernel-sticky"`` /
+        ``"poisoned"`` (a command whose inputs came from a faulted
+        command; its payload was suppressed) / ``"device-lost"``.
+    seq:
+        Sequence number of the faulted command.
+    time:
+        Virtual time at which the fault surfaced (command retirement).
+    label:
+        The faulted command's label, for diagnostics.
+    sticky:
+        Whether retrying the same work can ever succeed.
+    """
+
+    kind: str
+    seq: int
+    time: float
+    label: str = ""
+    sticky: bool = False
+
+    def __str__(self) -> str:
+        tag = " (sticky)" if self.sticky else ""
+        return f"{self.kind} fault on #{self.seq} {self.label!r} @ {self.time:.6g}s{tag}"
+
+
+@dataclass(frozen=True)
+class PressureEvent:
+    """A co-tenant grabbing device memory mid-run.
+
+    Attributes
+    ----------
+    at_retirement:
+        Fires when this many commands have retired (0-based count
+        *after* the triggering command retires).
+    nbytes:
+        Bytes the co-tenant requests; clamped to the free pool, so the
+        event never itself raises OOM — it starves the *region*.
+    release_at:
+        Optional retirement count at which the co-tenant frees its
+        allocation again (``None`` = held until the device dies).
+    leave_bytes:
+        Optional floor on the free pool: the grab is further clamped so
+        at least this many bytes stay free.  Lets tests squeeze a
+        device down to an exactly-known budget (big enough for a
+        re-tuned plan, too small for the original).
+    """
+
+    at_retirement: int
+    nbytes: int
+    release_at: Optional[int] = None
+    leave_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded deterministic description of injected failures.
+
+    All rates are probabilities in ``[0, 1]`` evaluated independently
+    per command via counter-based hashing of ``(seed, domain, seq)``.
+    The default plan injects nothing.
+    """
+
+    seed: int = 0
+    #: transient transfer-fault probability per H2D / D2H command
+    h2d_fault_rate: float = 0.0
+    d2h_fault_rate: float = 0.0
+    #: transient kernel-fault probability per launch
+    kernel_fault_rate: float = 0.0
+    #: label substrings of kernels that always fault (deterministic bug)
+    sticky_kernels: Tuple[str, ...] = ()
+    #: caps on the number of injected transfer/kernel faults
+    #: (``None`` = unlimited); propagated poison is not counted
+    max_transfer_faults: Optional[int] = None
+    max_kernel_faults: Optional[int] = None
+    #: maximum fractional latency inflation per command (0.1 = up to
+    #: +10% occupancy, uniformly drawn)
+    jitter: float = 0.0
+    #: scheduled co-tenant memory grabs
+    pressure_events: Tuple[PressureEvent, ...] = field(default_factory=tuple)
+    #: retirement count after which the device is lost (``None`` = never)
+    device_lost_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return bool(
+            self.h2d_fault_rate
+            or self.d2h_fault_rate
+            or self.kernel_fault_rate
+            or self.sticky_kernels
+            or self.jitter
+            or self.pressure_events
+            or self.device_lost_at is not None
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of this plan under a different seed."""
+        return replace(self, seed=int(seed))

@@ -1,0 +1,112 @@
+"""Recovery policy and structured failure types.
+
+A :class:`FaultPolicy` tells ``region.run(...)`` how hard to try when
+commands fault: how many times to replay a failed chunk, how the
+exponential backoff (charged in *virtual host time*) grows, and which
+execution models to degrade through once the primary model has
+exhausted its retries.  :class:`RegionFailure` is the terminal error —
+it carries per-chunk status and the attempt history so callers can see
+exactly what was tried and what state every chunk ended in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["FaultPolicy", "RegionFailure"]
+
+#: chunk states carried by :class:`RegionFailure` / recovery reports
+CHUNK_OK = "ok"                  # completed without any fault
+CHUNK_RECOVERED = "recovered"    # faulted, then a replay succeeded
+CHUNK_FAILED = "failed"          # faulted; replay pending when run aborted
+CHUNK_EXHAUSTED = "exhausted"    # faulted max_retries + 1 times
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a region run responds to injected/async faults.
+
+    Parameters
+    ----------
+    max_retries:
+        Replays allowed per chunk (pipelined-buffer model) or per whole
+        region attempt (baseline models) before giving up.
+    backoff:
+        Base backoff in virtual seconds; retry ``n`` charges
+        ``backoff * backoff_factor**n`` to the host clock before
+        re-enqueueing, so recovery cost shows up in measured time.
+    backoff_factor:
+        Exponential growth factor (>= 1).
+    degrade:
+        Execution models to fall back to, in order, after the current
+        model exhausts its retries (e.g. ``("pipelined", "naive")``).
+        An empty tuple disables degradation.
+    retune_on_pressure:
+        Whether a mid-run ``OutOfMemoryError`` triggers re-tuning the
+        plan against the shrunken free pool (smaller chunks / fewer
+        streams) instead of propagating.
+    """
+
+    max_retries: int = 3
+    backoff: float = 1e-4
+    backoff_factor: float = 2.0
+    degrade: Tuple[str, ...] = ()
+    retune_on_pressure: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.gpu.errors import InvalidValueError
+
+        if self.max_retries < 0:
+            raise InvalidValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0.0:
+            raise InvalidValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise InvalidValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff seconds charged before retry number ``attempt``
+        (0-based)."""
+        return self.backoff * self.backoff_factor ** attempt
+
+
+class RegionFailure(ReproError, RuntimeError):
+    """A region could not complete despite the fault policy.
+
+    Attributes
+    ----------
+    chunk_status:
+        ``{chunk_index: status}`` with statuses ``"ok"``,
+        ``"recovered"``, ``"failed"``, ``"exhausted"`` — the state of
+        every chunk of the *last* attempted model when the run gave up.
+    attempts:
+        Human-readable history, one entry per model attempt
+        (``"buffer: chunk 3 exhausted 4 attempts"``, ...).
+    retries:
+        Total replays performed across all attempts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_status: Optional[Dict[int, str]] = None,
+        attempts: Optional[List[str]] = None,
+        retries: int = 0,
+    ) -> None:
+        self.chunk_status = dict(chunk_status or {})
+        self.attempts = list(attempts or [])
+        self.retries = int(retries)
+        bad = {i: s for i, s in self.chunk_status.items()
+               if s in (CHUNK_FAILED, CHUNK_EXHAUSTED)}
+        detail = []
+        if bad:
+            detail.append(f"failed chunks: {sorted(bad)}")
+        if self.attempts:
+            detail.append("attempts: " + "; ".join(self.attempts))
+        full = message if not detail else message + " (" + " | ".join(detail) + ")"
+        super().__init__(full)

@@ -1,0 +1,239 @@
+"""Named chaos profiles and the chaos runner behind ``repro chaos``.
+
+A *profile* is a reusable :class:`~repro.faults.plan.FaultPlan`
+template; :func:`fault_profile` stamps it with a seed.
+:func:`run_chaos` runs one evaluation application under a profile with
+a retrying :class:`~repro.faults.policy.FaultPolicy`, in **real**
+(functional) mode, and verifies the recovered result against the
+application's sequential NumPy reference — the end-to-end proof that
+chunk replay reconstructs bit-correct output through injected faults.
+
+Application imports are deferred to call time so this module (and the
+``repro.faults`` package) stays importable from low layers without
+dragging in :mod:`repro.apps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, PressureEvent
+from repro.faults.policy import FaultPolicy
+
+__all__ = ["CHAOS_APPS", "ChaosReport", "PROFILES", "fault_profile", "run_chaos"]
+
+#: named fault-plan templates (seed applied by :func:`fault_profile`)
+PROFILES: Dict[str, FaultPlan] = {
+    # transient DMA + kernel hiccups: everything recoverable by replay
+    "transient": FaultPlan(
+        h2d_fault_rate=0.08,
+        d2h_fault_rate=0.08,
+        kernel_fault_rate=0.04,
+    ),
+    # transient faults plus bounded latency jitter on every engine
+    "jitter": FaultPlan(
+        h2d_fault_rate=0.05,
+        kernel_fault_rate=0.02,
+        jitter=0.25,
+    ),
+    # a co-tenant grabs most of the card early in the run
+    "pressure": FaultPlan(
+        pressure_events=(PressureEvent(at_retirement=3, nbytes=1 << 62),),
+    ),
+    # everything at once: the full chaos soup
+    "chaos": FaultPlan(
+        h2d_fault_rate=0.06,
+        d2h_fault_rate=0.06,
+        kernel_fault_rate=0.03,
+        jitter=0.15,
+        pressure_events=(
+            PressureEvent(at_retirement=5, nbytes=1 << 30, release_at=40),
+        ),
+    ),
+}
+
+#: applications the chaos runner knows how to build and verify
+CHAOS_APPS = ("stencil", "3dconv", "matmul", "qcd")
+
+
+@dataclass
+class ChaosReport:
+    """Recovery statistics of one chaos run."""
+
+    app: str
+    profile: str
+    seed: int
+    device: str
+    model: str                       # model that finally completed
+    elapsed: float
+    faults_injected: int
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    chunks: int = 0
+    matches_reference: Optional[bool] = None  # None in virtual mode
+    max_error: float = 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable recovery report."""
+        kinds = "  ".join(f"{k}={v}" for k, v in sorted(self.faults_by_kind.items()))
+        match = {True: "yes", False: "NO", None: "n/a (virtual)"}[self.matches_reference]
+        return "\n".join(
+            [
+                f"app              {self.app} ({self.device})",
+                f"fault profile    {self.profile} (seed {self.seed})",
+                f"model            {self.model}",
+                f"elapsed          {self.elapsed * 1e3:.3f} ms",
+                f"faults injected  {self.faults_injected}" + (f"  ({kinds})" if kinds else ""),
+                f"chunk retries    {self.retries} (over {self.chunks} chunks)",
+                f"reference match  {match}"
+                + (f" (max abs err {self.max_error:.3g})" if self.matches_reference else ""),
+            ]
+        )
+
+
+def fault_profile(name: str, seed: int = 0) -> FaultPlan:
+    """Look up a named profile and stamp it with ``seed``."""
+    try:
+        plan = PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault profile {name!r}; know {sorted(PROFILES)}"
+        ) from None
+    return plan.with_seed(seed)
+
+
+def _app_setup(app: str, device: str, obs):
+    """(runtime, arrays, region, kernel, output_var, reference, iters).
+
+    Small problem sizes: chaos runs are functional-correctness checks,
+    not performance studies.
+    """
+    import numpy as np  # noqa: F401 - referenced by closures below
+
+    from repro.apps.common import new_runtime
+
+    if app == "stencil":
+        from repro.apps import stencil as st
+        from repro.kernels.stencil3d import StencilKernel
+
+        cfg = st.StencilConfig(nz=12, ny=24, nx=24, iters=2, num_streams=2)
+        return (
+            new_runtime(device, obs=obs),
+            st.make_arrays(cfg),
+            st.make_region(cfg),
+            StencilKernel(cfg.ny, cfg.nx),
+            "A0",
+            lambda: st.reference(cfg),
+            cfg.iters,
+        )
+    if app == "3dconv":
+        from repro.apps import conv3d as cv
+        from repro.kernels.conv3d import Conv3dKernel
+
+        cfg = cv.Conv3dConfig(nz=12, ny=24, nx=24, num_streams=2)
+        return (
+            new_runtime(device, obs=obs),
+            cv.make_arrays(cfg),
+            cv.make_region(cfg),
+            Conv3dKernel(cfg.ny, cfg.nx),
+            "B",
+            lambda: cv.reference(cfg),
+            1,
+        )
+    if app == "qcd":
+        from repro.apps import qcd as qc
+        from repro.kernels.qcd import DslashKernel
+
+        cfg = qc.QcdConfig(n=6, num_streams=2)
+        return (
+            new_runtime(device, obs=obs),
+            qc.make_arrays(cfg),
+            qc.make_region(cfg),
+            DslashKernel(cfg.n, cfg.n, cfg.n),
+            "eta",
+            lambda: qc.reference(cfg),
+            1,
+        )
+    if app == "matmul":
+        from repro.apps import matmul as mm
+        from repro.kernels.matmul import MatmulChunkKernel, init_matrices
+
+        cfg = mm.MatmulConfig(n=48, block=8, num_streams=2)
+
+        def ref():
+            a, b, c = init_matrices(cfg.n)
+            return c + a @ b
+
+        return (
+            new_runtime(device, obs=obs),
+            mm.make_arrays(cfg),
+            mm.make_region(cfg),
+            MatmulChunkKernel(cfg.n, cfg.block),
+            "C",
+            ref,
+            1,
+        )
+    raise KeyError(f"unknown chaos app {app!r}; know {CHAOS_APPS}")
+
+
+def run_chaos(
+    app: str,
+    profile: str = "transient",
+    *,
+    seed: int = 0,
+    device: str = "k40m",
+    policy: Optional[FaultPolicy] = None,
+    model: str = "buffer",
+    obs=None,
+    atol: float = 1e-4,
+) -> ChaosReport:
+    """Run ``app`` under a named fault profile and report recovery.
+
+    The run is functional (real NumPy payloads); the recovered output
+    is compared element-wise against the app's sequential reference.
+    """
+    import numpy as np
+
+    from repro.faults.inject import FaultInjector
+
+    plan = fault_profile(profile, seed)
+    if policy is None:
+        policy = FaultPolicy(max_retries=4, degrade=("pipelined", "naive"))
+    rt, arrays, region, kernel, out_var, reference, iters = _app_setup(app, device, obs)
+    injector: FaultInjector = rt.install_faults(plan)
+
+    results = []
+    with rt:
+        for _ in range(iters):
+            if app == "stencil":
+                arrays["Anext"].fill(0)
+            results.append(
+                region.run(rt, arrays, kernel, model=model, fault_policy=policy)
+            )
+            if app == "stencil":
+                arrays["A0"], arrays["Anext"] = arrays["Anext"], arrays["A0"]
+        out = arrays[out_var]
+
+    expect = reference()
+    max_err = float(np.max(np.abs(out - expect))) if out.size else 0.0
+    matches = bool(np.allclose(out, expect, atol=atol))
+
+    by_kind: Dict[str, int] = {}
+    for ev in injector.events:
+        if ev[0] == "fault":
+            by_kind[ev[1]] = by_kind.get(ev[1], 0) + 1
+    return ChaosReport(
+        app=app,
+        profile=profile,
+        seed=seed,
+        device=device,
+        model=results[-1].model,
+        elapsed=sum(r.elapsed for r in results),
+        faults_injected=injector.fault_count,
+        faults_by_kind=by_kind,
+        retries=sum(r.retries for r in results),
+        chunks=sum(r.nchunks for r in results),
+        matches_reference=matches,
+        max_error=max_err,
+    )

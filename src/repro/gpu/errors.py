@@ -5,7 +5,14 @@ from __future__ import annotations
 from repro.errors import ReproError
 from repro.sim.memory import OutOfDeviceMemory
 
-__all__ = ["GpuError", "InvalidValueError", "OutOfMemoryError"]
+__all__ = [
+    "DeviceLostError",
+    "GpuError",
+    "InvalidValueError",
+    "KernelFaultError",
+    "OutOfMemoryError",
+    "TransferError",
+]
 
 
 class GpuError(ReproError, RuntimeError):
@@ -14,6 +21,43 @@ class GpuError(ReproError, RuntimeError):
 
 class InvalidValueError(GpuError):
     """A bad argument was passed to a runtime call (``cudaErrorInvalidValue``)."""
+
+
+class _AsyncFaultError(GpuError):
+    """Base for faults detected asynchronously and raised at sync points.
+
+    Mirrors CUDA's deferred error reporting: the failing command was
+    enqueued long before the ``cudaStreamSynchronize`` that reports it.
+
+    Attributes
+    ----------
+    fault:
+        The :class:`~repro.faults.plan.InjectedFault` descriptor of the
+        first failing command, or ``None`` when raised without one.
+    pending:
+        Total faulted commands outstanding when the error was raised.
+    """
+
+    def __init__(self, message: str, fault=None, pending: int = 1) -> None:
+        super().__init__(message)
+        self.fault = fault
+        self.pending = int(pending)
+
+
+class TransferError(_AsyncFaultError):
+    """An async H2D/D2H copy faulted (``cudaErrorECCUncorrectable``-ish)."""
+
+
+class KernelFaultError(_AsyncFaultError):
+    """A kernel faulted during execution (``cudaErrorLaunchFailure``-ish)."""
+
+
+class DeviceLostError(_AsyncFaultError):
+    """The device disappeared mid-run (``cudaErrorDeviceUnavailable``).
+
+    Unlike transfer/kernel faults this is never retryable on the same
+    runtime: every subsequent submission raises it too.
+    """
 
 
 #: Device allocation failure.  Alias of the simulator's exception so

@@ -31,7 +31,12 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.gpu.darray import DeviceArray
-from repro.gpu.errors import InvalidValueError
+from repro.gpu.errors import (
+    DeviceLostError,
+    InvalidValueError,
+    KernelFaultError,
+    TransferError,
+)
 from repro.obs import OBS_NULL, Observability
 from repro.sim.device import Device
 from repro.sim.engine import Command, EventToken
@@ -140,6 +145,12 @@ class Runtime:
         self._pinned = _PinRegistry()
         self._streams: list = []
         self._closed = False
+        #: cursor into ``device.sim.faulted`` — commands before it have
+        #: already been reported/claimed
+        self._fault_cursor = 0
+        #: when True, sync points do not raise on pending faults; the
+        #: recovery layer claims them via :meth:`pop_faults` instead
+        self.defer_faults = False
         self.obs = obs if obs is not None else OBS_NULL
         self.tracer = self.obs.tracer
         self.metrics = self.obs.metrics
@@ -170,15 +181,22 @@ class Runtime:
         """Simulator observer: one engine-track span per retired command."""
         if cmd.kind == "marker":
             return
+        attrs = dict(
+            stream=cmd.stream.name if isinstance(cmd.stream, SimStream) else "",
+            nbytes=cmd.nbytes,
+            queue_depth=cmd.queue_depth,
+        )
+        if cmd.error is not None:
+            attrs["fault"] = cmd.error.kind
+        elif cmd.poisoned:
+            attrs["fault"] = "poisoned"
         self.tracer.emit(
             cmd.label or cmd.kind,
             category=cmd.kind,
             track=f"engine:{cmd.engine}",
             start=cmd.start_time,
             end=cmd.finish_time,
-            stream=cmd.stream.name if isinstance(cmd.stream, SimStream) else "",
-            nbytes=cmd.nbytes,
-            queue_depth=cmd.queue_depth,
+            **attrs,
         )
         m = self.metrics
         if m.enabled:
@@ -191,11 +209,91 @@ class Runtime:
             m.gauge(f"queue.depth.{cmd.engine}").set(cmd.queue_depth)
 
     # ------------------------------------------------------------------
+    # fault injection and async error reporting
+    # ------------------------------------------------------------------
+    def install_faults(self, faults):
+        """Install a fault plan or injector on the underlying device.
+
+        Accepts a :class:`~repro.faults.FaultPlan` (an injector is
+        built for it) or a ready :class:`~repro.faults.FaultInjector`;
+        returns the installed injector.  Faulted commands surface as
+        :class:`~repro.gpu.errors.TransferError` /
+        :class:`~repro.gpu.errors.KernelFaultError` /
+        :class:`~repro.gpu.errors.DeviceLostError` at sync points,
+        mirroring CUDA's asynchronous error reporting.
+        """
+        from repro.faults import FaultInjector, FaultPlan
+
+        inj = FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        self.device.install_fault_injector(inj)
+        return inj
+
+    @property
+    def fault_injector(self):
+        """The installed :class:`~repro.faults.FaultInjector` (or None)."""
+        return self.device.injector
+
+    def pending_faults(self) -> list:
+        """Faulted commands not yet claimed, without claiming them."""
+        return list(self.device.sim.faulted[self._fault_cursor:])
+
+    def pop_faults(self) -> list:
+        """Claim and return all unreported faulted commands.
+
+        Injected faults are counted into ``metrics`` (when enabled) as
+        ``faults.injected`` / ``faults.injected.<kind>``; propagated
+        poison as ``faults.poisoned``.
+        """
+        sim = self.device.sim
+        new = sim.faulted[self._fault_cursor:]
+        self._fault_cursor = len(sim.faulted)
+        if new and self.metrics.enabled:
+            m = self.metrics
+            for cmd in new:
+                if cmd.error is not None:
+                    m.counter("faults.injected").inc()
+                    m.counter(f"faults.injected.{cmd.error.kind}").inc()
+                else:
+                    m.counter("faults.poisoned").inc()
+        return list(new)
+
+    def _raise_pending_faults(self) -> None:
+        """Surface unclaimed faults as typed exceptions (sync points).
+
+        No-op while :attr:`defer_faults` is set — the recovery layer
+        then owns the backlog via :meth:`pop_faults`.
+        """
+        if self.defer_faults:
+            return
+        if self.device.lost:
+            pending = len(self.pending_faults())
+            self.pop_faults()
+            raise DeviceLostError("device lost during execution", pending=pending)
+        faults = self.pop_faults()
+        if not faults:
+            return
+        first = next((c for c in faults if c.error is not None), faults[0])
+        kind = first.error.kind if first.error is not None else "poisoned"
+        msg = (
+            f"async fault detected at synchronization: {kind} on "
+            f"{first.label or first.kind!r} ({len(faults)} faulted command(s))"
+        )
+        if kind in ("h2d", "d2h"):
+            raise TransferError(msg, fault=first.error, pending=len(faults))
+        raise KernelFaultError(msg, fault=first.error, pending=len(faults))
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
             raise InvalidValueError("runtime is closed")
+
+    def _check_device(self) -> None:
+        """Reject new device work once the device is lost."""
+        self._check_open()
+        if self.device.lost:
+            raise DeviceLostError("device lost; no further work accepted")
 
     @property
     def closed(self) -> bool:
@@ -213,7 +311,14 @@ class Runtime:
         """
         if self._closed:
             return
-        self.synchronize()
+        # teardown must not throw: claim (rather than raise) any fault
+        # backlog while draining
+        old_defer, self.defer_faults = self.defer_faults, True
+        try:
+            self.synchronize()
+        finally:
+            self.defer_faults = old_defer
+        self.pop_faults()
         for rec in list(self.device.memory.live_allocations):
             self.device.memory.release(rec)
         self._closed = True
@@ -246,7 +351,7 @@ class Runtime:
 
     def _charge_async(self) -> float:
         """Charge one async API call; returns its completion time."""
-        self._check_open()
+        self._check_device()
         dt = self.profile.api_overhead * self.call_overhead_scale
         self.host_now += dt
         return self.host_now
@@ -256,7 +361,7 @@ class Runtime:
     # ------------------------------------------------------------------
     def create_stream(self, name: str = "") -> SimStream:
         """Create an in-order stream (``cudaStreamCreate``)."""
-        self._check_open()
+        self._check_device()
         t0 = self.host_now
         self.host_now += self.profile.stream_create_overhead
         s = SimStream(name)
@@ -307,7 +412,7 @@ class Runtime:
         Raises :class:`~repro.gpu.errors.OutOfMemoryError` when the
         request does not fit.
         """
-        self._check_open()
+        self._check_device()
         shape = tuple(int(s) for s in shape)
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
@@ -397,6 +502,7 @@ class Runtime:
         *,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
         rows: Optional[int] = None,
         row_bytes: Optional[int] = None,
         pinned: Optional[bool] = None,
@@ -406,6 +512,9 @@ class Runtime:
 
         Passing ``rows``/``row_bytes`` makes this a pitched 2-D copy
         (``cudaMemcpy2DAsync``); otherwise the transfer is contiguous.
+        ``poison_waits`` narrows which ``waits`` are data dependencies
+        for fault-poison propagation (see
+        :meth:`repro.sim.engine.Simulator.enqueue`).
         """
         dst._check_alive()
         self._check_copy(dst.shape, src.shape)
@@ -422,6 +531,7 @@ class Runtime:
             enqueue_time=t,
             waits=waits,
             records=records,
+            poison_waits=poison_waits,
             pinned=self.is_pinned(src) if pinned is None else pinned,
             rows=rows,
             row_bytes=row_bytes,
@@ -437,6 +547,7 @@ class Runtime:
         *,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
         rows: Optional[int] = None,
         row_bytes: Optional[int] = None,
         pinned: Optional[bool] = None,
@@ -458,6 +569,7 @@ class Runtime:
             enqueue_time=t,
             waits=waits,
             records=records,
+            poison_waits=poison_waits,
             pinned=self.is_pinned(dst) if pinned is None else pinned,
             rows=rows,
             row_bytes=row_bytes,
@@ -488,6 +600,7 @@ class Runtime:
         *,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
         nbytes: int = 0,
         label: str = "kernel",
     ) -> Command:
@@ -514,6 +627,7 @@ class Runtime:
             enqueue_time=t,
             waits=waits,
             records=records,
+            poison_waits=poison_waits,
             nbytes=nbytes,
             extra_seconds=self.command_overhead,
             label=label,
@@ -528,27 +642,39 @@ class Runtime:
         self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
         if self._obs_on:
             self._trace_api("sync:command", t0, label=cmd.label)
+        self._raise_pending_faults()
 
     def stream_synchronize(self, stream: SimStream) -> None:
         """Block until all work enqueued on ``stream`` completed."""
+        self._check_open()
         tail = self.device.sim.stream_tail(stream)
         if tail is not None and not tail.done:
             self._block_on(tail)
         else:
             self.host_now += self.profile.sync_overhead
+            self._raise_pending_faults()
 
     def event_synchronize(self, token: EventToken) -> None:
         """Block until ``token`` completes (``cudaEventSynchronize``)."""
+        self._check_open()
         finish = self.device.sim.wait_event(token)
         self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
+        self._raise_pending_faults()
 
     def synchronize(self) -> None:
-        """Block until the device is idle (``cudaDeviceSynchronize``)."""
+        """Block until the device is idle (``cudaDeviceSynchronize``).
+
+        Any command that faulted since the last sync point is reported
+        here as a typed :class:`~repro.gpu.errors.GpuError` subclass
+        (asynchronous error reporting, as in CUDA).
+        """
+        self._check_open()
         t0 = self.host_now
         finish = self.device.wait_all()
         self.host_now = max(self.host_now, finish) + self.profile.sync_overhead
         if self._obs_on:
             self._trace_api("sync:device", t0)
+        self._raise_pending_faults()
 
     # ------------------------------------------------------------------
     # results

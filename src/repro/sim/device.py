@@ -54,6 +54,28 @@ class Device:
             capacity=profile.usable_memory_bytes,
             context_overhead=profile.context_overhead_bytes,
         )
+        #: installed :class:`~repro.faults.inject.FaultInjector` (or None)
+        self.injector = None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.faults.inject.FaultInjector`.
+
+        The simulator consults it at command dispatch and retirement;
+        pressure events get access to this device's allocator.  Pass
+        ``None`` to uninstall.
+        """
+        self.injector = injector
+        self.sim.injector = injector
+        if injector is not None:
+            injector.attach_memory(self.memory)
+
+    @property
+    def lost(self) -> bool:
+        """Whether an injected fault has killed the device."""
+        return self.injector is not None and self.injector.device_lost
 
     # ------------------------------------------------------------------
     # engines
@@ -93,6 +115,7 @@ class Device:
         enqueue_time: float = 0.0,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
         pinned: bool = True,
         rows: Optional[int] = None,
         row_bytes: Optional[int] = None,
@@ -134,7 +157,8 @@ class Device:
             nbytes=nbytes,
         )
         return self.sim.enqueue(
-            cmd, enqueue_time=enqueue_time, waits=waits, records=records
+            cmd, enqueue_time=enqueue_time, waits=waits, records=records,
+            poison_waits=poison_waits,
         )
 
     def submit_kernel(
@@ -146,6 +170,7 @@ class Device:
         enqueue_time: float = 0.0,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
         nbytes: int = 0,
         extra_seconds: float = 0.0,
         label: str = "",
@@ -166,7 +191,8 @@ class Device:
             nbytes=nbytes,
         )
         return self.sim.enqueue(
-            cmd, enqueue_time=enqueue_time, waits=waits, records=records
+            cmd, enqueue_time=enqueue_time, waits=waits, records=records,
+            poison_waits=poison_waits,
         )
 
     def submit_marker(

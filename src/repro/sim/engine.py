@@ -57,13 +57,17 @@ class EventToken:
         Completion time in virtual seconds, or ``None`` while pending.
     """
 
-    __slots__ = ("name", "time", "_waiters", "_recorded")
+    __slots__ = ("name", "time", "_waiters", "_recorded", "poisoned")
 
     def __init__(self, name: str = "event") -> None:
         self.name = name
         self.time: Optional[float] = None
         self._waiters: List["Command"] = []
         self._recorded = False
+        #: True when the recording command faulted (or was itself
+        #: poisoned); waiters inherit the poison so they never consume
+        #: data a faulted command failed to produce
+        self.poisoned = False
 
     @property
     def done(self) -> bool:
@@ -117,6 +121,9 @@ class Command:
         "_records",
         "state",
         "queue_depth",
+        "error",
+        "poisoned",
+        "_poison_waits",
     )
 
     PENDING = "pending"
@@ -156,6 +163,17 @@ class Command:
         #: commands still waiting on this engine when this one was
         #: dispatched — observability metadata, not scheduling state
         self.queue_depth = 0
+        #: :class:`~repro.faults.plan.InjectedFault` when this command
+        #: faulted at retirement (payload suppressed), else ``None``
+        self.error = None
+        #: True when a wait dependency faulted; the payload is
+        #: suppressed so faulted data never propagates into results
+        self.poisoned = False
+        #: tokens whose poison this command inherits; ``None`` means
+        #: every wait is a data dependency (the safe default).  Callers
+        #: pass a subset when some waits are ordering-only
+        #: anti-dependencies (e.g. ring-slot reuse guards).
+        self._poison_waits: Optional[frozenset] = None
 
     @property
     def done(self) -> bool:
@@ -218,6 +236,15 @@ class Simulator:
         #: observability layer uses to emit per-command engine spans.
         #: Must not mutate simulator state.
         self.observer: Optional[Callable[[Command], None]] = None
+        #: optional :class:`~repro.faults.inject.FaultInjector`
+        #: consulted at dispatch (latency jitter) and retirement
+        #: (fault decisions, pressure events).  ``None`` (the default)
+        #: keeps every result bit-identical to an injector-free build.
+        self.injector = None
+        #: commands that retired with ``error`` set or poisoned, in
+        #: retirement order; the host runtime drains this at sync
+        #: points (async error reporting, CUDA-style)
+        self.faulted: List[Command] = []
 
     # ------------------------------------------------------------------
     # configuration
@@ -254,6 +281,7 @@ class Simulator:
         enqueue_time: float = 0.0,
         waits: Iterable[EventToken] = (),
         records: Iterable[EventToken] = (),
+        poison_waits: Optional[Iterable[EventToken]] = None,
     ) -> Command:
         """Submit a command to the device.
 
@@ -269,6 +297,11 @@ class Simulator:
             (cross-stream dependencies).
         records:
             Event tokens completed when this command finishes.
+        poison_waits:
+            The subset of ``waits`` that are *data* dependencies: the
+            command inherits fault poison only from these.  ``None``
+            (the default) treats every wait as a data dependency;
+            ``()`` makes every wait an ordering-only anti-dependency.
         """
         if cmd.seq >= 0:
             raise SimulationError(f"{cmd!r} enqueued twice")
@@ -276,6 +309,8 @@ class Simulator:
             raise SimulationError(f"unknown engine {cmd.engine!r}")
         cmd.seq = next(self._seq)
         cmd.enqueue_time = float(enqueue_time)
+        if poison_waits is not None:
+            cmd._poison_waits = frozenset(id(t) for t in poison_waits)
         self._pending += 1
 
         unresolved = 0
@@ -295,6 +330,8 @@ class Simulator:
                     )
                 tok._waiters.append(cmd)
                 unresolved += 1
+            elif tok.poisoned and self._carries_poison(cmd, tok):
+                cmd.poisoned = True
 
         for tok in records:
             if tok._recorded:
@@ -310,6 +347,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # event-loop internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _carries_poison(cmd: Command, tok: EventToken) -> bool:
+        """Whether ``tok`` is a data dependency of ``cmd``."""
+        return cmd._poison_waits is None or id(tok) in cmd._poison_waits
+
     def _make_ready(self, cmd: Command, at: float) -> None:
         at = max(at, cmd.enqueue_time)
         if at <= self.now:
@@ -331,6 +373,8 @@ class Simulator:
         cmd.queue_depth = len(eng.queue)
         eng.busy = cmd
         cmd.state = Command.RUNNING
+        if self.injector is not None:
+            cmd.duration += self.injector.latency_extra(cmd)
         cmd.start_time = now
         cmd.finish_time = now + cmd.duration
         heapq.heappush(self._heap, (cmd.finish_time, cmd.seq, "finish", cmd))
@@ -344,16 +388,27 @@ class Simulator:
         cmd.state = Command.DONE
         self._pending -= 1
         self._completed.append(cmd)
-        if cmd.payload is not None:
+        if self.injector is not None and cmd.error is None:
+            cmd.error = self.injector.fault_at_retirement(cmd, now)
+        faulted = cmd.error is not None or cmd.poisoned
+        if cmd.payload is not None and not faulted:
             cmd.payload()
         for tok in cmd._records:
             tok.time = now
+            if faulted:
+                tok.poisoned = True
             waiters, tok._waiters = tok._waiters, []
             for w in waiters:
+                if tok.poisoned and self._carries_poison(w, tok):
+                    w.poisoned = True
                 self._resolve_dep(w, now)
         deps, cmd._dependents = cmd._dependents, []
         for dep in deps:
             self._resolve_dep(dep, now)
+        if faulted:
+            self.faulted.append(cmd)
+        if self.injector is not None:
+            self.injector.after_retirement(cmd, now)
         if self.observer is not None:
             self.observer(cmd)
         self._try_start(eng, now)

@@ -77,3 +77,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("Speedup and memory by benchmark") == 1
         assert out.count("Matmul speedup/memory") == 1
+
+
+class TestChaos:
+    def test_chaos_parses(self):
+        args = build_parser().parse_args(
+            ["chaos", "stencil", "--profile", "jitter", "--seed", "5", "--retries", "2"]
+        )
+        assert (args.app, args.profile, args.seed, args.retries) == (
+            "stencil", "jitter", 5, 2,
+        )
+
+    def test_chaos_recovers_and_exits_zero(self, capsys):
+        assert main(["chaos", "stencil", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "reference match  yes" in out
+        assert "faults injected" in out
+
+    def test_chaos_unknown_profile(self, capsys):
+        assert main(["chaos", "stencil", "--profile", "nosuch"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_chaos_unknown_app(self, capsys):
+        assert main(["chaos", "raytracer"]) == 2
+        assert "unknown chaos app" in capsys.readouterr().err
+
+    def test_chaos_exhaustion_reported_cleanly(self, capsys):
+        # recovery disabled: exits 1 with the RegionFailure text, no traceback
+        rc = main(["chaos", "stencil", "--no-degrade", "--retries", "0",
+                   "--profile", "chaos", "--seed", "3"])
+        assert rc == 1
+        assert "recovery failed" in capsys.readouterr().err

@@ -57,3 +57,43 @@ class TestTunePlan:
         t_hi = tune_plan(plan, lim_hi)
         assert t_hi.chunk_size >= t_lo.chunk_size
         assert t_hi.num_streams >= t_lo.num_streams
+
+
+class TestBoundaries:
+    """Exact-fit and degenerate budgets."""
+
+    def test_limit_exactly_device_bytes_passes_untouched(self):
+        plan = stencil_plan(nz=64, ny=16, nx=16, cs=4, ns=4)
+        assert tune_plan(plan, plan.device_bytes()) is plan
+
+    def test_one_byte_under_exact_fit_shrinks(self):
+        plan = stencil_plan(nz=64, ny=16, nx=16, cs=4, ns=4)
+        tuned = tune_plan(plan, plan.device_bytes() - 1)
+        assert tuned is not plan
+        assert tuned.device_bytes() < plan.device_bytes()
+
+    def test_zero_limit_raises_with_candidate_walk(self):
+        plan = stencil_plan(nz=64, ny=16, nx=16, cs=4, ns=4)
+        with pytest.raises(MemLimitError) as ei:
+            tune_plan(plan, 0)
+        exc = ei.value
+        assert exc.limit == 0
+        assert exc.tried, "the candidate walk must be recorded"
+        assert exc.tried[0][:2] == (4, 4)          # started from the request
+        assert exc.tried[-1][:2] == (1, 1)         # ended at the floor
+        sizes = [b for _, _, b in exc.tried]
+        assert sizes == sorted(sizes, reverse=True)  # monotone shrink
+        assert "candidates tried" in str(exc)
+
+    def test_single_unit_split_dimension(self):
+        # nz=3 -> loop trip count 1: one chunk, everything degenerate
+        plan = stencil_plan(nz=3, ny=1, nx=1, cs=1, ns=1)
+        assert tune_plan(plan, plan.device_bytes()) is plan
+        with pytest.raises(MemLimitError) as ei:
+            tune_plan(plan, plan.device_bytes() - 1)
+        assert ei.value.needed == plan.device_bytes()
+
+    def test_error_attributes_survive_roundtrip(self):
+        err = MemLimitError(1000, 10, tried=[(4, 2, 1000)])
+        assert err.needed == 1000 and err.limit == 10
+        assert err.tried == ((4, 2, 1000),)

@@ -157,3 +157,34 @@ class TestDescribe:
         c = Chunk(0, 1, 2)
         assert plan.chunk_dep_range("A0", c) == (0, 3)
         assert plan.chunk_dep_range("Anext", c) == (1, 2)
+
+
+class TestParameterValidation:
+    """Pipeline parameters are validated at plan construction."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_nonpositive_chunk_size_rejected(self, bad):
+        from repro.gpu.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError, match="chunk_size"):
+            stencil_plan(cs=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, -3])
+    def test_nonpositive_num_streams_rejected(self, bad):
+        from repro.gpu.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError, match="num_streams"):
+            stencil_plan(ns=bad)
+
+    @pytest.mark.parametrize("bad", [1.5, "2", 2.0, True, None])
+    def test_non_integer_parameters_rejected(self, bad):
+        from repro.gpu.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError):
+            stencil_plan(cs=bad)
+        with pytest.raises(InvalidValueError):
+            stencil_plan(ns=bad)
+
+    def test_numpy_integers_accepted(self):
+        plan = stencil_plan(cs=np.int64(2), ns=np.int32(2))
+        assert plan.chunk_size == 2 and plan.num_streams == 2

@@ -1,0 +1,203 @@
+"""Unit tests for fault plans, the injector, and injection determinism.
+
+The headline guarantees pinned here:
+
+* the same ``(seed, program)`` produces a **bit-identical** fault
+  timeline, including the retries the recovery layer performs, and
+* an absent or inactive plan leaves results bit-identical to a run
+  with no fault machinery at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    PROFILES,
+    FaultInjector,
+    FaultPlan,
+    FaultPolicy,
+    PressureEvent,
+    fault_profile,
+)
+from repro.faults.inject import hash_u01
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+from tests.integration.test_determinism import timelines_equal
+
+
+class TestHashU01:
+    def test_range_and_determinism(self):
+        for n in range(200):
+            u = hash_u01(7, "fault:h2d", n)
+            assert 0.0 <= u < 1.0
+            assert u == hash_u01(7, "fault:h2d", n)
+
+    def test_seed_and_domain_sensitivity(self):
+        assert hash_u01(1, "jitter", 5) != hash_u01(2, "jitter", 5)
+        assert hash_u01(1, "jitter", 5) != hash_u01(1, "fault:kernel", 5)
+        assert hash_u01(1, "jitter", 5) != hash_u01(1, "jitter", 6)
+
+    def test_roughly_uniform(self):
+        us = [hash_u01(0, "u", n) for n in range(2000)]
+        assert 0.45 < float(np.mean(us)) < 0.55
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("field", ["h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rate_out_of_range_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: bad})
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(jitter=-0.5)
+
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"h2d_fault_rate": 0.1},
+            {"d2h_fault_rate": 0.1},
+            {"kernel_fault_rate": 0.1},
+            {"sticky_kernels": ("foo",)},
+            {"jitter": 0.1},
+            {"pressure_events": (PressureEvent(at_retirement=1, nbytes=64),)},
+            {"device_lost_at": 5},
+        ],
+    )
+    def test_any_knob_activates(self, kw):
+        assert FaultPlan(**kw).active
+
+    def test_with_seed_copies(self):
+        p = FaultPlan(h2d_fault_rate=0.2)
+        q = p.with_seed(9)
+        assert q.seed == 9 and q.h2d_fault_rate == 0.2
+        assert p.seed == 0  # original untouched
+
+
+class TestFaultProfiles:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_profiles_resolve_and_stamp_seed(self, name):
+        plan = fault_profile(name, seed=42)
+        assert plan.seed == 42
+        assert plan.active
+
+    def test_unknown_profile_lists_known_names(self):
+        with pytest.raises(KeyError, match="transient"):
+            fault_profile("nosuch")
+
+
+class _FakeMem:
+    """Minimal allocator double for pressure-event unit tests."""
+
+    def __init__(self, free: int) -> None:
+        self.free = free
+
+    def allocate(self, nbytes: int, tag: str = ""):
+        rec = type("Rec", (), {"nbytes": nbytes})()
+        self.free -= nbytes
+        return rec
+
+    def release(self, rec) -> None:
+        self.free += rec.nbytes
+
+
+class TestPressureEvents:
+    def _fire(self, plan: FaultPlan, free: int, retirements: int) -> _FakeMem:
+        inj = FaultInjector(plan)
+        mem = _FakeMem(free)
+        inj.attach_memory(mem)
+        for _ in range(retirements):
+            inj.after_retirement(None, 0.0)
+        return mem
+
+    def test_grab_clamped_to_free_pool(self):
+        plan = FaultPlan(pressure_events=(PressureEvent(at_retirement=1, nbytes=1 << 62),))
+        mem = self._fire(plan, free=1000, retirements=1)
+        assert mem.free == 0
+
+    def test_leave_bytes_floor(self):
+        plan = FaultPlan(
+            pressure_events=(
+                PressureEvent(at_retirement=1, nbytes=1 << 62, leave_bytes=300),
+            )
+        )
+        mem = self._fire(plan, free=1000, retirements=1)
+        assert mem.free == 300
+
+    def test_release_at_returns_memory(self):
+        plan = FaultPlan(
+            pressure_events=(
+                PressureEvent(at_retirement=1, nbytes=400, release_at=3),
+            )
+        )
+        inj = FaultInjector(plan)
+        mem = _FakeMem(1000)
+        inj.attach_memory(mem)
+        inj.after_retirement(None, 0.0)
+        assert mem.free == 600
+        inj.after_retirement(None, 0.0)
+        inj.after_retirement(None, 0.0)
+        assert mem.free == 1000
+        kinds = [ev[0] for ev in inj.events]
+        assert kinds == ["pressure", "pressure-release"]
+
+
+# ----------------------------------------------------------------------
+# end-to-end determinism through the executor
+# ----------------------------------------------------------------------
+_NOISY = FaultPlan(
+    h2d_fault_rate=0.15, d2h_fault_rate=0.15, kernel_fault_rate=0.08, jitter=0.1
+)
+
+
+def _run(plan, *, n=32, policy=None):
+    """One pipelined-buffer run; returns (result, OUT copy, injector)."""
+    rt = Runtime(NVIDIA_K40M)
+    inj = rt.install_faults(plan) if plan is not None else None
+    arrays = make_arrays(n)
+    res = make_region(n, 2, 3).run(
+        rt, arrays, ScaleKernel(), fault_policy=policy
+    )
+    return res, arrays["OUT"].copy(), inj
+
+
+class TestInjectionDeterminism:
+    def test_same_seed_bit_identical_timeline_and_output(self):
+        policy = FaultPolicy(max_retries=8)
+        a = _run(_NOISY.with_seed(3), policy=policy)
+        b = _run(_NOISY.with_seed(3), policy=policy)
+        assert a[2].fingerprint() == b[2].fingerprint()
+        assert a[2].fault_count > 0  # the run actually exercised faults
+        assert np.array_equal(a[1], b[1])
+        assert a[0].elapsed == b[0].elapsed
+        assert a[0].retries == b[0].retries
+
+    def test_different_seed_different_timeline(self):
+        policy = FaultPolicy(max_retries=8)
+        a = _run(_NOISY.with_seed(1), policy=policy)
+        b = _run(_NOISY.with_seed(2), policy=policy)
+        assert a[2].fingerprint() != b[2].fingerprint()
+
+    def test_inactive_plan_bit_identical_to_no_injector(self):
+        bare_res, bare_out, _ = _run(None)
+        idle_res, idle_out, inj = _run(FaultPlan())
+        assert inj.fingerprint() == ()
+        assert np.array_equal(bare_out, idle_out)
+        assert bare_res.elapsed == idle_res.elapsed
+        assert timelines_equal(bare_res.timeline, idle_res.timeline)
+
+    def test_policy_without_faults_changes_nothing(self):
+        """A fault policy on a clean run must not perturb results."""
+        bare_res, bare_out, _ = _run(None)
+        pol_res, pol_out, _ = _run(None, policy=FaultPolicy())
+        assert np.array_equal(bare_out, pol_out)
+        assert pol_res.elapsed == bare_res.elapsed
+        assert pol_res.faults == 0 and pol_res.retries == 0

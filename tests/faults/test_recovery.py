@@ -1,0 +1,227 @@
+"""Self-healing execution: chunk replay, degradation, pressure, loss.
+
+Exercises ``region.run(..., fault_policy=...)`` end to end on the
+synthetic :class:`ScaleKernel` region (exactly checkable output) and on
+the paper's four applications via the chaos runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultPolicy,
+    PressureEvent,
+    RegionFailure,
+    run_chaos,
+)
+from repro.faults.policy import CHUNK_EXHAUSTED, CHUNK_OK, CHUNK_RECOVERED
+from repro.gpu import Runtime
+from repro.gpu.errors import DeviceLostError, InvalidValueError, KernelFaultError
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+#: chunk 2 of a chunk_size=1 region over Loop("k", 1, n-1) runs [3, 4)
+_STICKY_CHUNK2 = ("scale[3:4)",)
+
+
+def _run(plan, policy, *, n=32, cs=1, ns=2):
+    rt = Runtime(NVIDIA_K40M)
+    if plan is not None:
+        rt.install_faults(plan)
+    arrays = make_arrays(n)
+    res = make_region(n, cs, ns).run(rt, arrays, ScaleKernel(), fault_policy=policy)
+    return rt, arrays, res
+
+
+class TestChunkReplay:
+    def test_transient_faults_recovered_exactly(self):
+        plan = FaultPlan(
+            h2d_fault_rate=0.15, d2h_fault_rate=0.15, kernel_fault_rate=0.08, seed=3
+        )
+        _, arrays, res = _run(plan, FaultPolicy(max_retries=8), cs=2, ns=3)
+        assert np.array_equal(arrays["OUT"], expected(arrays, 32))
+        assert res.model == "pipelined-buffer"
+        assert res.faults > 0 and res.retries > 0
+
+    def test_result_surfaces_recovery_effort(self):
+        plan = FaultPlan(h2d_fault_rate=0.2, seed=1)
+        _, _, res = _run(plan, FaultPolicy(max_retries=8), cs=2, ns=3)
+        assert res.faults > 0
+        d = res.to_dict()
+        assert d["faults"] == res.faults and d["retries"] == res.retries
+        assert "fault recovery" in res.summary()
+
+    def test_clean_run_reports_zero_effort(self):
+        _, arrays, res = _run(None, FaultPolicy())
+        assert np.array_equal(arrays["OUT"], expected(arrays, 32))
+        assert res.faults == 0 and res.retries == 0
+        assert "fault recovery" not in res.summary()
+        assert "faults" not in res.to_dict()
+
+
+class TestExhaustion:
+    def test_sticky_chunk_exhausts_with_per_chunk_status(self):
+        plan = FaultPlan(sticky_kernels=_STICKY_CHUNK2)
+        policy = FaultPolicy(max_retries=2, degrade=())
+        with pytest.raises(RegionFailure) as ei:
+            _run(plan, policy)
+        exc = ei.value
+        assert exc.chunk_status[2] == CHUNK_EXHAUSTED
+        assert all(
+            s in (CHUNK_OK, CHUNK_RECOVERED)
+            for i, s in exc.chunk_status.items()
+            if i != 2
+        )
+        assert exc.retries >= policy.max_retries
+        assert any("exhausted" in a for a in exc.attempts)
+        assert "failed chunks: [2]" in str(exc)
+
+    def test_runtime_usable_after_region_failure(self):
+        plan = FaultPlan(sticky_kernels=_STICKY_CHUNK2)
+        rt = Runtime(NVIDIA_K40M)
+        rt.install_faults(plan)
+        arrays = make_arrays(32)
+        region = make_region(32, 1, 2)
+        with pytest.raises(RegionFailure):
+            region.run(rt, arrays, ScaleKernel(), fault_policy=FaultPolicy(max_retries=1))
+        # failure cleanup freed the region's device memory
+        assert rt.memory_used == rt.device.profile.context_overhead_bytes
+        rt.close()
+
+
+class TestDegradation:
+    def test_sticky_fault_degrades_to_naive(self):
+        # the sticky label hits the buffer *and* manual-pipelined models
+        # (both launch per-chunk kernels with range labels); naive's
+        # single whole-region launch ("scale[naive]") escapes it.
+        plan = FaultPlan(sticky_kernels=_STICKY_CHUNK2)
+        policy = FaultPolicy(max_retries=1, degrade=("pipelined", "naive"))
+        _, arrays, res = _run(plan, policy)
+        assert res.model == "naive"
+        assert np.array_equal(arrays["OUT"], expected(arrays, 32))
+        assert res.retries > 0
+
+    def test_unknown_degrade_model_rejected(self):
+        plan = FaultPlan(sticky_kernels=_STICKY_CHUNK2)
+        with pytest.raises(InvalidValueError, match="degrade"):
+            _run(plan, FaultPolicy(degrade=("warp-speed",)))
+
+    def test_without_policy_faults_raise_at_sync(self):
+        plan = FaultPlan(sticky_kernels=_STICKY_CHUNK2)
+        with pytest.raises(KernelFaultError):
+            _run(plan, None)
+
+
+class TestMemoryPressure:
+    def _squeeze(self, leave: int, policy: FaultPolicy):
+        """Run the region on a device squeezed down to ``leave`` free
+        bytes (the grab fires on a warm-up copy's retirement)."""
+        plan = FaultPlan(
+            pressure_events=(
+                PressureEvent(at_retirement=1, nbytes=1 << 62, leave_bytes=leave),
+            )
+        )
+        rt = Runtime(NVIDIA_K40M)
+        rt.install_faults(plan)
+        d = rt.malloc((4,), np.float32)
+        rt.memcpy_h2d(d, np.zeros(4, dtype=np.float32))  # retires -> grab fires
+        rt.free(d)
+        arrays = make_arrays(32)
+        region = make_region(32, 4, 3)
+        res = region.run(rt, arrays, ScaleKernel(), fault_policy=policy)
+        return arrays, res
+
+    def test_squeezed_pool_shrinks_plan_not_crash(self):
+        region = make_region(32, 4, 3)
+        arrays = make_arrays(32)
+        bound = region.bind(arrays)
+        requested = bound.device_bytes()
+        minimal = bound.with_params(1, 1).device_bytes()
+        leave = (minimal + requested) // 2
+        arrays, res = self._squeeze(leave, FaultPolicy())
+        assert np.array_equal(arrays["OUT"], expected(arrays, 32))
+        assert (res.chunk_size, res.num_streams) != (4, 3)  # had to shrink
+
+    def test_unfittable_pool_fails_structured(self):
+        region = make_region(32, 4, 3)
+        minimal = region.bind(make_arrays(32)).with_params(1, 1).device_bytes()
+        policy = FaultPolicy(max_retries=2, degrade=())
+        with pytest.raises(RegionFailure) as ei:
+            self._squeeze(minimal // 4, policy)
+        assert any("cannot fit memory" in a for a in ei.value.attempts)
+        assert ei.value.retries == policy.max_retries  # the re-tune loop ran
+
+    def test_retune_disabled_fails_immediately(self):
+        region = make_region(32, 4, 3)
+        minimal = region.bind(make_arrays(32)).with_params(1, 1).device_bytes()
+        policy = FaultPolicy(retune_on_pressure=False, degrade=())
+        with pytest.raises(RegionFailure) as ei:
+            self._squeeze(minimal // 4, policy)
+        assert ei.value.retries == 0
+
+
+class TestDeviceLoss:
+    def test_device_loss_is_terminal_under_policy(self):
+        plan = FaultPlan(device_lost_at=10)
+        with pytest.raises(RegionFailure, match="device lost"):
+            _run(plan, FaultPolicy(max_retries=5, degrade=("naive",)))
+
+    def test_device_loss_without_policy_raises_typed_error(self):
+        plan = FaultPlan(device_lost_at=10)
+        with pytest.raises(DeviceLostError):
+            _run(plan, None)
+
+    def test_close_survives_lost_device(self):
+        plan = FaultPlan(device_lost_at=10)
+        rt = Runtime(NVIDIA_K40M)
+        rt.install_faults(plan)
+        arrays = make_arrays(32)
+        with pytest.raises(RegionFailure):
+            make_region(32, 1, 2).run(
+                rt, arrays, ScaleKernel(), fault_policy=FaultPolicy()
+            )
+        rt.close()  # teardown must not raise on the fault backlog
+        assert rt.closed
+
+
+#: seeds chosen so every app sees at least one injected fault
+_CHAOS_SEEDS = {"stencil": 0, "3dconv": 0, "matmul": 1, "qcd": 0}
+
+
+class TestChaosRunner:
+    @pytest.mark.parametrize("app", sorted(_CHAOS_SEEDS))
+    def test_apps_recover_to_reference(self, app):
+        report = run_chaos(app, "transient", seed=_CHAOS_SEEDS[app])
+        assert report.matches_reference
+        assert report.faults_injected > 0
+        assert report.retries > 0
+
+    def test_report_is_deterministic(self):
+        a = run_chaos("3dconv", "transient", seed=0)
+        b = run_chaos("3dconv", "transient", seed=0)
+        assert (a.faults_injected, a.retries, a.elapsed, a.max_error) == (
+            b.faults_injected, b.retries, b.elapsed, b.max_error,
+        )
+
+    def test_summary_mentions_recovery(self):
+        report = run_chaos("stencil", "transient", seed=0)
+        text = report.summary()
+        assert "faults injected" in text and "reference match  yes" in text
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="stencil"):
+            run_chaos("nosuch")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("profile", ["transient", "jitter", "chaos"])
+    def test_seed_sweep_always_recovers(self, profile):
+        for app in sorted(_CHAOS_SEEDS):
+            for seed in range(3):
+                report = run_chaos(app, profile, seed=seed)
+                assert report.matches_reference, (
+                    f"{app}/{profile} seed {seed}: {report.summary()}"
+                )

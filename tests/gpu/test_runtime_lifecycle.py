@@ -1,0 +1,113 @@
+"""Runtime lifecycle: use-after-close, idempotency, context manager.
+
+Every public :class:`~repro.gpu.runtime.Runtime` method that touches
+the device must raise :class:`~repro.gpu.errors.InvalidValueError`
+once the runtime is closed — the CUDA analogue of calling into a
+destroyed context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import Runtime
+from repro.gpu.errors import InvalidValueError
+from repro.sim import NVIDIA_K40M
+
+
+def _closed_runtime():
+    """A closed runtime plus live handles created while it was open."""
+    rt = Runtime(NVIDIA_K40M)
+    ctx = {
+        "stream": rt.create_stream("s"),
+        "darr": rt.malloc((8,), np.float32),
+        "host": np.zeros(8, dtype=np.float32),
+        "token": rt.record_event(rt.create_stream("s2")),
+    }
+    rt.synchronize()
+    rt.close()
+    return rt, ctx
+
+
+#: (method name, call using pre-close handles) — every public API that
+#: must reject a closed runtime
+_API_CALLS = [
+    ("malloc", lambda rt, c: rt.malloc((4,), np.float32)),
+    ("free", lambda rt, c: rt.free(c["darr"])),
+    ("hostalloc", lambda rt, c: rt.hostalloc((4,), np.float32)),
+    ("create_stream", lambda rt, c: rt.create_stream()),
+    ("record_event", lambda rt, c: rt.record_event(c["stream"])),
+    ("stream_wait_event", lambda rt, c: rt.stream_wait_event(c["stream"], c["token"])),
+    ("memcpy_h2d_async", lambda rt, c: rt.memcpy_h2d_async(c["darr"], c["host"], c["stream"])),
+    ("memcpy_d2h_async", lambda rt, c: rt.memcpy_d2h_async(c["host"], c["darr"], c["stream"])),
+    ("memcpy_h2d", lambda rt, c: rt.memcpy_h2d(c["darr"], c["host"])),
+    ("memcpy_d2h", lambda rt, c: rt.memcpy_d2h(c["host"], c["darr"])),
+    ("launch", lambda rt, c: rt.launch(1e-6, None, c["stream"])),
+    ("synchronize", lambda rt, c: rt.synchronize()),
+    ("stream_synchronize", lambda rt, c: rt.stream_synchronize(c["stream"])),
+    ("event_synchronize", lambda rt, c: rt.event_synchronize(c["token"])),
+]
+
+
+class TestUseAfterClose:
+    @pytest.mark.parametrize("name,call", _API_CALLS, ids=[n for n, _ in _API_CALLS])
+    def test_api_rejects_closed_runtime(self, name, call):
+        rt, ctx = _closed_runtime()
+        with pytest.raises(InvalidValueError):
+            call(rt, ctx)
+
+    def test_closed_property(self):
+        rt, _ = _closed_runtime()
+        assert rt.closed
+
+    def test_reading_clocks_still_allowed(self):
+        # introspection of a closed runtime is harmless and allowed
+        rt, _ = _closed_runtime()
+        assert rt.elapsed >= 0.0
+        assert rt.memory_peak > 0
+        assert len(rt.timeline()) > 0
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self):
+        rt = Runtime(NVIDIA_K40M)
+        rt.close()
+        rt.close()  # second close is a no-op, not an error
+        assert rt.closed
+
+    def test_close_releases_all_memory(self):
+        rt = Runtime(NVIDIA_K40M)
+        rt.malloc((1024,), np.float64)
+        rt.malloc((2048,), np.float32)
+        rt.close()
+        assert rt.device.memory.used == rt.profile.context_overhead_bytes
+
+    def test_close_drains_pending_work(self):
+        rt = Runtime(NVIDIA_K40M)
+        d = rt.malloc((256,), np.float32)
+        src = np.ones(256, dtype=np.float32)
+        s = rt.create_stream()
+        cmd = rt.memcpy_h2d_async(d, src, s)
+        rt.close()
+        assert cmd.done  # teardown waited for in-flight commands
+
+    def test_context_manager_closes_on_success(self):
+        with Runtime(NVIDIA_K40M) as rt:
+            rt.malloc((16,), np.float32)
+        assert rt.closed
+
+    def test_context_manager_closes_after_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Runtime(NVIDIA_K40M) as rt:
+                rt.malloc((16,), np.float32)
+                raise RuntimeError("boom")
+        assert rt.closed
+        assert rt.device.memory.used == rt.profile.context_overhead_bytes
+
+    def test_entering_closed_runtime_rejected(self):
+        rt = Runtime(NVIDIA_K40M)
+        rt.close()
+        with pytest.raises(InvalidValueError):
+            with rt:
+                pass  # pragma: no cover
