@@ -28,12 +28,11 @@ RESULTS_JSON_PATH = os.path.join(os.path.dirname(__file__), "results.json")
 
 class ResultSink:
     """Collects report output: prints it, appends the text form to
-    ``results.txt``, and accumulates machine-readable records into
-    ``results.json``."""
+    ``results.txt``, and writes machine-readable records through to
+    ``results.json`` keyed entry by keyed entry."""
 
     def __init__(self) -> None:
         self._fh = open(RESULTS_PATH, "a", encoding="utf-8")
-        self._records: Dict[str, object] = {}
 
     def emit(self, title: str, body: str) -> None:
         text = f"\n=== {title} ===\n{body}\n"
@@ -41,23 +40,38 @@ class ResultSink:
         self._fh.write(text)
         self._fh.flush()
 
+    @staticmethod
+    def _load_json() -> Dict[str, object]:
+        if os.path.exists(RESULTS_JSON_PATH):
+            try:
+                with open(RESULTS_JSON_PATH, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                if isinstance(data, dict):
+                    return data
+            except (OSError, json.JSONDecodeError):
+                pass
+        return {}
+
     def record(self, key: str, payload) -> None:
-        """Store a JSON-safe payload (e.g. ``RegionResult.to_dict()``)."""
-        self._records[key] = payload
+        """Merge one JSON-safe payload into ``results.json`` immediately.
+
+        Write-through and idempotent per key: a ``-k`` subset run
+        updates exactly its own entries and leaves every other key
+        untouched, so the file converges to the same content from any
+        test order or partial run (the old batch-at-session-close
+        behaviour silently depended on which tests were selected).
+        The read-merge-replace is atomic via a temp file, so a crash
+        mid-write never corrupts previously recorded results.
+        """
+        merged = self._load_json()
+        merged[key] = payload
+        tmp = RESULTS_JSON_PATH + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=1, sort_keys=True)
+        os.replace(tmp, RESULTS_JSON_PATH)
 
     def close(self) -> None:
         self._fh.close()
-        if self._records:
-            existing = {}
-            if os.path.exists(RESULTS_JSON_PATH):
-                try:
-                    with open(RESULTS_JSON_PATH, encoding="utf-8") as fh:
-                        existing = json.load(fh)
-                except (OSError, json.JSONDecodeError):
-                    existing = {}
-            existing.update(self._records)
-            with open(RESULTS_JSON_PATH, "w", encoding="utf-8") as fh:
-                json.dump(existing, fh, indent=1, sort_keys=True)
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,15 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tests (DeprecationWarning -> error) =="
 python -W error::DeprecationWarning -m pytest -q tests
 
+echo "== coverage gate (when pytest-cov is available) =="
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    # floor set at the level the seed suite established; raise it as
+    # the suite grows, never lower it to make a change pass
+    python -m pytest -q tests --cov=repro --cov-fail-under=80
+else
+    echo "pytest-cov not installed; skipping coverage gate"
+fi
+
 echo "== CLI smoke: profile =="
 python -m repro profile stencil >/dev/null
 
@@ -35,5 +44,15 @@ if echo "$chaos_out" | grep -q "faults injected  0"; then
     echo "$chaos_out" >&2
     exit 1
 fi
+
+echo "== CLI smoke: multi-tenant serve on the 3-tenant example =="
+serve_out="$(python -m repro serve examples/serve_workload.json)"
+if ! echo "$serve_out" | grep -q "requests         3 (3 ok, 0 failed)"; then
+    echo "serve smoke did not complete all 3 tenants:" >&2
+    echo "$serve_out" >&2
+    exit 1
+fi
+# the serial baseline must also drain cleanly
+python -m repro serve examples/serve_workload.json --serial >/dev/null
 
 echo "CI checks passed."

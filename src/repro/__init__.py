@@ -26,6 +26,13 @@ Layer map (bottom to top):
   (:class:`FaultPlan` installed via ``Runtime.install_faults``) and
   self-healing execution (:class:`FaultPolicy` passed to
   ``region.run(..., fault_policy=...)``); ``repro chaos`` on the CLI.
+* :mod:`repro.serve` — multi-tenant serving: a deterministic
+  :class:`~repro.serve.RegionScheduler` admits many tenants'
+  :class:`~repro.serve.RegionRequest`\\ s against per-device memory
+  budgets and interleaves their chunk pipelines over a shared
+  :class:`~repro.serve.DevicePool`, with a
+  :class:`~repro.serve.PlanCache` so repeat traffic skips the autotune
+  search; ``repro serve workload.json`` on the CLI.
 * :mod:`repro.errors` — the exception hierarchy rooted at
   :class:`ReproError`; every layer's error subclasses it (alongside
   the stdlib base it always had), so ``except ReproError`` catches
@@ -67,6 +74,14 @@ from repro.errors import (
 from repro.faults import FaultInjector, FaultPlan, FaultPolicy, PressureEvent
 from repro.gpu import Runtime
 from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.serve import (
+    DevicePool,
+    PlanCache,
+    RegionRequest,
+    RegionScheduler,
+    ServeConfig,
+    ServeReport,
+)
 from repro.sim import AMD_HD7970, NVIDIA_K40M, profile_by_name
 
 __version__ = "0.1.0"
@@ -75,6 +90,7 @@ __all__ = [
     "AMD_HD7970",
     "ChunkView",
     "DeviceLostError",
+    "DevicePool",
     "DirectiveError",
     "FaultInjector",
     "FaultPlan",
@@ -88,12 +104,17 @@ __all__ = [
     "NVIDIA_K40M",
     "Observability",
     "OutOfDeviceMemory",
+    "PlanCache",
     "PressureEvent",
     "RegionFailure",
     "RegionKernel",
+    "RegionRequest",
     "RegionResult",
+    "RegionScheduler",
     "ReproError",
     "Runtime",
+    "ServeConfig",
+    "ServeReport",
     "SimulationError",
     "TargetRegion",
     "Tracer",

@@ -10,6 +10,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro trace stencil -o stencil.json   # chrome://tracing
     python -m repro profile 3dconv      # span/metrics profile report
     python -m repro chaos stencil --profile transient --seed 7
+    python -m repro serve examples/serve_workload.json   # multi-tenant
 
 The figure experiments mirror ``benchmarks/`` (which additionally
 asserts shape bands under pytest); the CLI is for interactive
@@ -276,6 +277,42 @@ def _chaos(args) -> int:
     return 0 if report.matches_reference else 1
 
 
+def _serve(args) -> int:
+    """Replay a JSON workload through the multi-tenant scheduler.
+
+    Exit code 0 iff every request completed successfully.
+    """
+    import json
+
+    from repro.obs import Observability
+    from repro.serve import DevicePool, RegionScheduler, ServeConfig, load_workload
+
+    try:
+        spec = load_workload(args.workload)
+    except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        print(f"bad workload {args.workload!r}: {exc}", file=sys.stderr)
+        return 2
+    obs = Observability() if args.trace else None
+    config = ServeConfig(max_active=1 if args.serial else None)
+    with DevicePool(
+        spec.device,
+        count=spec.devices,
+        budget_bytes=spec.budget_bytes,
+        obs=obs,
+    ) as pool:
+        sched = RegionScheduler(pool, config)
+        sched.submit_all(spec.requests)
+        report = sched.run()
+    if args.trace:
+        obs.write_chrome_trace(args.trace)
+        print(f"wrote {args.trace} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -329,6 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-degrade", action="store_true",
         help="fail instead of falling back to pipelined/naive models",
     )
+
+    sv = sub.add_parser(
+        "serve",
+        help="replay a multi-tenant workload file through the scheduler",
+    )
+    sv.add_argument("workload", help="workload JSON file (see docs/serve.md)")
+    sv.add_argument(
+        "--serial", action="store_true",
+        help="serial baseline: one region in service at a time",
+    )
+    sv.add_argument(
+        "--trace", default=None, metavar="OUT",
+        help="write a chrome-trace JSON of the shared timeline here",
+    )
+    sv.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of the summary table",
+    )
     return p
 
 
@@ -364,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.cmd == "chaos":
         return _chaos(args)
+    if args.cmd == "serve":
+        return _serve(args)
     return 2  # pragma: no cover
 
 

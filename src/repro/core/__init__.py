@@ -31,6 +31,7 @@ mapping & index translation), :mod:`~repro.core.memlimit`
 
 from repro.core.autotune import AutotuneReport, autotune
 from repro.core.block2d import Block2DRegion, TileKernel, TileView
+from repro.core.executor import PipelineIssuer
 from repro.core.kernel import ChunkView, RegionKernel, make_kernel
 from repro.core.memlimit import MemLimitError, tune_plan
 from repro.core.multidevice import MultiDeviceResult, execute_multi_device
@@ -46,6 +47,7 @@ __all__ = [
     "TileView",
     "MemLimitError",
     "MultiDeviceResult",
+    "PipelineIssuer",
     "RegionKernel",
     "RegionPlan",
     "RegionResult",

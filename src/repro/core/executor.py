@@ -25,10 +25,18 @@ at region entry/exit, like ordinary OpenACC data regions.
 The executor works identically in real mode (payloads move NumPy data;
 results are verified against references) and virtual mode (metadata
 only; same timeline and memory accounting).
+
+The per-chunk issue logic lives in :class:`PipelineIssuer`, a resumable
+object that issues one chunk's commands per :meth:`~PipelineIssuer.issue_next`
+call.  :func:`execute_pipeline` drives one issuer start-to-finish (the
+single-region model measured in the paper); :mod:`repro.serve`
+interleaves many issuers over a shared device so one tenant's kernels
+hide another's transfers.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -51,7 +59,7 @@ from repro.sim.engine import Command, EventToken
 from repro.sim.trace import Timeline, overlap_fraction, time_distribution
 from repro.sim.varray import is_virtual
 
-__all__ = ["RegionResult", "execute_pipeline"]
+__all__ = ["RegionResult", "PipelineIssuer", "execute_pipeline"]
 
 
 @dataclass
@@ -274,90 +282,139 @@ def _cleanup_after_failure(runtime: Runtime, device_arrays) -> None:
             pass
 
 
-def execute_pipeline(
-    runtime: Runtime,
-    plan: RegionPlan,
-    arrays: Dict[str, np.ndarray],
-    kernel: RegionKernel,
-    policy: Optional[FaultPolicy] = None,
-) -> RegionResult:
-    """Run a region under the proposed Pipelined-buffer model.
+class PipelineIssuer:
+    """Resumable per-chunk command issue for one pipelined region.
 
-    Parameters
-    ----------
-    runtime:
-        The host runtime; its ``call_overhead_scale`` is managed for
-        the duration (the proposed runtime's per-stream bookkeeping is
-        cheap: ``runtime_stream_factor``).
-    plan:
-        A resolved (and, if requested, memory-limit-tuned) plan.
-    arrays:
-        Host arrays keyed by clause variable names.  Real ndarrays or
-        :class:`~repro.sim.varray.VirtualArray` (all the same mode).
-    kernel:
-        The region kernel.
-    policy:
-        Optional :class:`~repro.faults.FaultPolicy`.  When given, the
-        executor takes ownership of async fault reporting
-        (``runtime.defer_faults``): every faulted chunk is replayed
-        synchronously — full dependency-range H2D, kernel, D2H — with
-        the policy's exponential backoff charged to virtual host time,
-        until it recovers or its retry budget is exhausted (then
-        :class:`~repro.faults.RegionFailure` carries per-chunk
-        status).  Chunks are the natural replay unit because the
-        pipeline already computes each chunk's exact dependency slices.
+    The issuer owns the region-lifetime state of the Pipelined-buffer
+    model — streams, resident device arrays, ring buffers, per-array
+    event books — and exposes the pipeline as a sequence of small
+    steps:
+
+    - :meth:`open` creates streams, stages resident arrays, and
+      allocates the ring buffers;
+    - :meth:`issue_next` enqueues *one* chunk's dependency transfers,
+      kernel launch, and output drains, then returns (nothing blocks);
+    - :meth:`drain` blocks until every command this issuer enqueued on
+      its own streams has retired;
+    - :meth:`finalize` copies resident arrays back and frees all device
+      allocations;
+    - :meth:`abort` is the failure-path teardown.
+
+    :func:`execute_pipeline` issues every chunk back-to-back, which is
+    exactly the paper's single-region pipeline.  A scheduler (see
+    :mod:`repro.serve`) can instead hold several issuers on one runtime
+    and alternate ``issue_next`` calls between them: because the issuer
+    saves and restores the runtime's per-call overhead scale around
+    every step, regions with different stream counts interleave without
+    perturbing each other's host-clock accounting, and their commands
+    contend only where they truly share engines.
+
+    Attributes of note: :attr:`commands` collects every device command
+    this issuer enqueued (used for per-tenant busy-time attribution),
+    :attr:`faults_n`/:attr:`retries_n` count policy-absorbed faults and
+    replays.
     """
-    profile = runtime.profile
-    chunks = plan.chunks()
-    streams_n = min(plan.num_streams, len(chunks))
-    meas = _Measurer(runtime)
-    tracer = runtime.tracer
-    tr_on = tracer.enabled
-    m_on = runtime.metrics.enabled
-    # (command, gating tokens) pairs for slot-reuse stall accounting;
-    # resolved after synchronize() once every token has a finish time
-    stall_watch: list = []
-    rspan = None
-    if tr_on:
-        rspan = tracer.begin(
-            f"region:{kernel.name}", "region",
-            model="pipelined-buffer", nchunks=len(chunks),
-            chunk_size=plan.chunk_size, streams=streams_n,
-        )
-    old_scale = runtime.call_overhead_scale
-    old_contention = runtime.command_overhead
-    old_defer = runtime.defer_faults
-    runtime.call_overhead_scale = 1.0 + profile.runtime_stream_factor * (streams_n - 1)
-    runtime.command_overhead = profile.runtime_stream_contention * (streams_n - 1)
-    if policy is not None:
-        # the executor owns fault reporting: sync points stash faults
-        # for pop_faults() instead of raising mid-pipeline
-        runtime.defer_faults = True
-    #: faulted commands absorbed / replays performed under the policy
-    faults_n = 0
-    retries_n = 0
-    #: command -> chunk index, for mapping faults back to replay units
-    meta: Dict[Command, int] = {}
-    resident_dev: Dict[str, object] = {}
-    rings: Dict[str, DeviceRing] = {}
 
-    def blocking_with_retry(issue, what: str) -> None:
+    def __init__(
+        self,
+        runtime: Runtime,
+        plan: RegionPlan,
+        arrays: Dict[str, np.ndarray],
+        kernel: RegionKernel,
+        *,
+        policy: Optional[FaultPolicy] = None,
+        stream_prefix: str = "pipe",
+        region_span: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.plan = plan
+        self.arrays = arrays
+        self.kernel = kernel
+        self.policy = policy
+        self.profile = runtime.profile
+        self.chunks = plan.chunks()
+        self.streams_n = min(plan.num_streams, len(self.chunks))
+        self.stream_prefix = stream_prefix
+        self.region_span = region_span
+        self.tracer = runtime.tracer
+        self.tr_on = self.tracer.enabled
+        self.m_on = runtime.metrics.enabled
+        #: host-call overhead scale / per-command contention this region
+        #: imposes while it is the one talking to the runtime
+        self.scale = 1.0 + self.profile.runtime_stream_factor * (self.streams_n - 1)
+        self.contention = self.profile.runtime_stream_contention * (self.streams_n - 1)
+        self.faults_n = 0
+        self.retries_n = 0
+        #: command -> chunk index, for mapping faults back to replay units
+        self.meta: Dict[Command, int] = {}
+        #: every device command this issuer enqueued, in issue order
+        self.commands: List[Command] = []
+        self.resident_dev: Dict[str, object] = {}
+        self.rings: Dict[str, DeviceRing] = {}
+        self.books: Dict[str, _Records] = {}
+        self.streams: List = []
+        # (command, gating tokens) pairs for slot-reuse stall accounting;
+        # resolved after the pipeline drains, once tokens have times
+        self.stall_watch: list = []
+        self.virtual = any(is_virtual(arrays[v]) for v in arrays) or runtime.virtual
+        self.rspan = None
+        self._cursor = 0
+        self._opened = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    @property
+    def issued(self) -> int:
+        """Chunks issued so far."""
+        return self._cursor
+
+    @property
+    def remaining(self) -> int:
+        """Chunks not yet issued."""
+        return len(self.chunks) - self._cursor
+
+    @property
+    def done_issuing(self) -> bool:
+        """Whether every chunk has been issued."""
+        return self._cursor >= len(self.chunks)
+
+    @contextmanager
+    def _overheads(self):
+        """Impose this region's overhead scale for one step.
+
+        Interleaved issuers each see their own stream-count-dependent
+        API-call cost, exactly as if each region had the runtime to
+        itself for the duration of the step.
+        """
+        rt = self.runtime
+        prev = (rt.call_overhead_scale, rt.command_overhead)
+        rt.call_overhead_scale = self.scale
+        rt.command_overhead = self.contention
+        try:
+            yield
+        finally:
+            rt.call_overhead_scale, rt.command_overhead = prev
+
+    def _blocking_with_retry(self, issue, what: str) -> None:
         """Run a blocking resident copy, reissuing it under the policy.
 
         Resident copies are whole-array and synchronous, so reissuing
         the copy in place (with backoff) is an exact replay.
         """
-        nonlocal faults_n, retries_n
+        runtime = self.runtime
+        policy = self.policy
         if policy is None:
-            issue()
+            self.commands.append(issue())
             return
         attempt = 0
         while True:
-            issue()
+            self.commands.append(issue())
             bad = runtime.pop_faults()
             if not bad:
                 return
-            faults_n += len(bad)
+            self.faults_n += len(bad)
             if runtime.device.lost:
                 raise DeviceLostError(
                     f"device lost during {what}", pending=len(bad)
@@ -372,72 +429,110 @@ def execute_pipeline(
             delay = policy.backoff_for(attempt)
             runtime.host_now += delay
             attempt += 1
-            retries_n += 1
+            self.retries_n += 1
             if runtime.metrics.enabled:
                 runtime.metrics.counter("faults.retries").inc()
                 runtime.metrics.counter("faults.backoff_seconds").inc(delay)
 
-    try:
-        streams = [runtime.create_stream(f"pipe{i}") for i in range(streams_n)]
+    # ------------------------------------------------------------------
+    # lifecycle steps
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        """Create streams, stage resident arrays, allocate ring buffers.
 
-        # resident arrays: whole-array data region
-        for var, clause in plan.residents.items():
-            host = arrays[var]
-            dev = runtime.malloc(host.shape, host.dtype, tag=f"{var}:resident")
-            resident_dev[var] = dev
-            if clause.direction in ("to", "tofrom"):
-                blocking_with_retry(
-                    lambda d=dev, h=host, v=var: runtime.memcpy_h2d(
-                        d, h, label=f"h2d:{v}:resident"
-                    ),
-                    f"resident h2d of {var!r}",
-                )
-
-        # ring buffers
-        for var, spec in plan.specs.items():
-            host = arrays[var]
-            rings[var] = DeviceRing(
-                runtime,
-                host.shape,
-                spec.split_dim,
-                plan.ring_capacity(var),
-                host.dtype,
-                tag=f"{var}:ring",
+        Raises :class:`~repro.gpu.errors.OutOfMemoryError` if the ring
+        buffers or resident arrays do not fit; the caller (scheduler)
+        owns admission control and may retry after releasing memory.
+        """
+        if self._opened:
+            return
+        self._opened = True
+        runtime, plan, arrays = self.runtime, self.plan, self.arrays
+        if self.tr_on and self.region_span:
+            self.rspan = self.tracer.begin(
+                f"region:{self.kernel.name}", "region",
+                model="pipelined-buffer", nchunks=len(self.chunks),
+                chunk_size=plan.chunk_size, streams=self.streams_n,
             )
+        with self._overheads():
+            self.streams = [
+                runtime.create_stream(f"{self.stream_prefix}{i}")
+                for i in range(self.streams_n)
+            ]
 
-        books: Dict[str, _Records] = {v: _Records() for v in plan.specs}
-        virtual = any(is_virtual(arrays[v]) for v in arrays) or runtime.virtual
+            # resident arrays: whole-array data region
+            for var, clause in plan.residents.items():
+                host = arrays[var]
+                dev = runtime.malloc(host.shape, host.dtype, tag=f"{var}:resident")
+                self.resident_dev[var] = dev
+                if clause.direction in ("to", "tofrom"):
+                    self._blocking_with_retry(
+                        lambda d=dev, h=host, v=var: runtime.memcpy_h2d(
+                            d, h, label=f"h2d:{v}:resident"
+                        ),
+                        f"resident h2d of {var!r}",
+                    )
 
-        def make_kernel_payload(chunk: Chunk):
-            if virtual:
-                return None
+            # ring buffers
+            for var, spec in plan.specs.items():
+                host = arrays[var]
+                self.rings[var] = DeviceRing(
+                    runtime,
+                    host.shape,
+                    spec.split_dim,
+                    plan.ring_capacity(var),
+                    host.dtype,
+                    tag=f"{var}:ring",
+                )
+        self.books = {v: _Records() for v in plan.specs}
 
-            def run() -> None:
-                views: Dict[str, ChunkView] = {}
-                out_ranges: Dict[str, Tuple[int, int]] = {}
-                for var, spec in plan.specs.items():
-                    lo, hi = plan.chunk_dep_range(var, chunk)
-                    ring = rings[var]
-                    cl = spec.clause
-                    if cl.is_input:
-                        data = ring.gather(lo, hi)
-                    else:
-                        shape = list(ring.host_shape)
-                        shape[spec.split_dim] = hi - lo
-                        data = np.zeros(shape, dtype=arrays[var].dtype)
-                    views[var] = ChunkView(data, spec.split_dim, lo, hi)
-                    if cl.is_output:
-                        out_ranges[var] = (lo, hi)
-                for var, dev in resident_dev.items():
-                    views[var] = ChunkView(dev.backing, None, 0, dev.shape[0])
-                kernel.run(views, chunk.t0, chunk.t1)
-                for var, (lo, hi) in out_ranges.items():
-                    rings[var].scatter(views[var].data, lo, hi)
+    def _kernel_payload(self, chunk: Chunk):
+        if self.virtual:
+            return None
+        plan, arrays, rings = self.plan, self.arrays, self.rings
+        resident_dev, kernel = self.resident_dev, self.kernel
 
-            return run
+        def run() -> None:
+            views: Dict[str, ChunkView] = {}
+            out_ranges: Dict[str, Tuple[int, int]] = {}
+            for var, spec in plan.specs.items():
+                lo, hi = plan.chunk_dep_range(var, chunk)
+                ring = rings[var]
+                cl = spec.clause
+                if cl.is_input:
+                    data = ring.gather(lo, hi)
+                else:
+                    shape = list(ring.host_shape)
+                    shape[spec.split_dim] = hi - lo
+                    data = np.zeros(shape, dtype=arrays[var].dtype)
+                views[var] = ChunkView(data, spec.split_dim, lo, hi)
+                if cl.is_output:
+                    out_ranges[var] = (lo, hi)
+            for var, dev in resident_dev.items():
+                views[var] = ChunkView(dev.backing, None, 0, dev.shape[0])
+            kernel.run(views, chunk.t0, chunk.t1)
+            for var, (lo, hi) in out_ranges.items():
+                rings[var].scatter(views[var].data, lo, hi)
 
-        for chunk in chunks:
-            st = streams[chunk.index % streams_n]
+        return run
+
+    def issue_next(self) -> Optional[Chunk]:
+        """Issue one chunk's H2D → kernel → D2H commands; never blocks.
+
+        Returns the issued :class:`~repro.core.plan.Chunk`, or ``None``
+        when every chunk has already been issued.
+        """
+        if self._cursor >= len(self.chunks):
+            return None
+        chunk = self.chunks[self._cursor]
+        self._cursor += 1
+        runtime, plan, arrays = self.runtime, self.plan, self.arrays
+        tracer, tr_on, m_on = self.tracer, self.tr_on, self.m_on
+        policy, meta, profile = self.policy, self.meta, self.profile
+        kernel, rings, books = self.kernel, self.rings, self.books
+
+        with self._overheads():
+            st = self.streams[chunk.index % self.streams_n]
             in_tokens: List[EventToken] = []
             out_reuse: List[EventToken] = []
 
@@ -495,10 +590,11 @@ def execute_pipeline(
                                 row_bytes=row_bytes,
                                 label=f"h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                             )
+                            self.commands.append(cmd)
                             if policy is not None:
                                 meta[cmd] = chunk.index
                             if m_on and reuse:
-                                stall_watch.append((cmd, list(reuse)))
+                                self.stall_watch.append((cmd, list(reuse)))
                             book.h2d.append((piece.g_lo, piece.g_hi, tok))
                         book.covered_hi = max(book.covered_hi or hi, hi)
                     in_tokens.extend(_intersecting(book.h2d, lo, hi))
@@ -523,7 +619,7 @@ def execute_pipeline(
             ktok = EventToken(f"kernel:{chunk.index}")
             kcmd = runtime.launch(
                 kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=True),
-                make_kernel_payload(chunk),
+                self._kernel_payload(chunk),
                 st,
                 waits=in_tokens + out_reuse,
                 records=[ktok],
@@ -532,10 +628,11 @@ def execute_pipeline(
                 poison_waits=in_tokens,
                 label=f"{kernel.name}[{chunk.t0}:{chunk.t1})",
             )
+            self.commands.append(kcmd)
             if policy is not None:
                 meta[kcmd] = chunk.index
             if m_on and out_reuse:
-                stall_watch.append((kcmd, list(out_reuse)))
+                self.stall_watch.append((kcmd, list(out_reuse)))
             if tr_on:
                 tracer.end(pk)
                 pd2h = tracer.begin("d2h", "phase", chunk=chunk.index)
@@ -561,6 +658,7 @@ def execute_pipeline(
                             row_bytes=row_bytes,
                             label=f"d2h:{var}[{piece.g_lo}:{piece.g_hi})",
                         )
+                        self.commands.append(dcmd)
                         if policy is not None:
                             meta[dcmd] = chunk.index
                         book.d2h.append((piece.g_lo, piece.g_hi, dtok))
@@ -576,81 +674,99 @@ def execute_pipeline(
                     },
                 )
                 tracer.end(cspan)
+        return chunk
 
-        runtime.synchronize()
+    def drain(self) -> None:
+        """Block until all commands on this issuer's streams retired.
 
-        if policy is not None:
-            # ----------------------------------------------------------
-            # chunk-granular recovery: the pipeline has drained; map
-            # every faulted command back to its chunk and replay the
-            # chunk synchronously (full dep-range h2d -> kernel -> d2h).
-            # Faulted kernels never ran their payloads (poison
-            # propagation suppresses consumers of faulted data too), so
-            # replay is exact — even for accumulating kernels.
-            # ----------------------------------------------------------
-            def enqueue_replay(chunk: Chunk) -> None:
-                st = streams[chunk.index % streams_n]
-                rtoks: List[EventToken] = []
-                for var, spec in plan.specs.items():
-                    if not spec.clause.is_input:
-                        continue
-                    lo, hi = plan.chunk_dep_range(var, chunk)
-                    ring = rings[var]
-                    host = arrays[var]
-                    for piece in ring.pieces(lo, hi):
-                        rows, row_bytes = ring.transfer_geometry(piece)
-                        tok = EventToken(f"replay-h2d:{var}:{piece.g_lo}")
-                        cmd = runtime.memcpy_h2d_async(
-                            ring.device_view(piece),
-                            ring.host_section(host, piece),
-                            st,
-                            records=[tok],
-                            rows=rows,
-                            row_bytes=row_bytes,
-                            label=f"replay:h2d:{var}[{piece.g_lo}:{piece.g_hi})",
-                        )
-                        meta[cmd] = chunk.index
-                        rtoks.append(tok)
-                ktok = EventToken(f"replay-kernel:{chunk.index}")
-                kcmd = runtime.launch(
-                    kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=True),
-                    make_kernel_payload(chunk),
+        Unlike :meth:`Runtime.synchronize` this only waits for *this
+        region's* streams, so a scheduler can retire one tenant while
+        others keep flowing.
+        """
+        for st in self.streams:
+            self.runtime.stream_synchronize(st)
+
+    def _enqueue_replay(self, chunk: Chunk) -> None:
+        """Replay one chunk synchronously: full dep-range h2d→kernel→d2h."""
+        runtime, plan, arrays = self.runtime, self.plan, self.arrays
+        rings, meta, kernel = self.rings, self.meta, self.kernel
+        st = self.streams[chunk.index % self.streams_n]
+        rtoks: List[EventToken] = []
+        for var, spec in plan.specs.items():
+            if not spec.clause.is_input:
+                continue
+            lo, hi = plan.chunk_dep_range(var, chunk)
+            ring = rings[var]
+            host = arrays[var]
+            for piece in ring.pieces(lo, hi):
+                rows, row_bytes = ring.transfer_geometry(piece)
+                tok = EventToken(f"replay-h2d:{var}:{piece.g_lo}")
+                cmd = runtime.memcpy_h2d_async(
+                    ring.device_view(piece),
+                    ring.host_section(host, piece),
                     st,
-                    waits=rtoks,
-                    records=[ktok],
-                    label=f"replay:{kernel.name}[{chunk.t0}:{chunk.t1})",
+                    records=[tok],
+                    rows=rows,
+                    row_bytes=row_bytes,
+                    label=f"replay:h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                 )
-                meta[kcmd] = chunk.index
-                for var, spec in plan.specs.items():
-                    if not spec.clause.is_output:
-                        continue
-                    lo, hi = plan.chunk_dep_range(var, chunk)
-                    ring = rings[var]
-                    host = arrays[var]
-                    for piece in ring.pieces(lo, hi):
-                        rows, row_bytes = ring.transfer_geometry(piece)
-                        dcmd = runtime.memcpy_d2h_async(
-                            ring.host_section(host, piece),
-                            ring.device_view(piece),
-                            st,
-                            waits=[ktok],
-                            rows=rows,
-                            row_bytes=row_bytes,
-                            label=f"replay:d2h:{var}[{piece.g_lo}:{piece.g_hi})",
-                        )
-                        meta[dcmd] = chunk.index
+                self.commands.append(cmd)
+                meta[cmd] = chunk.index
+                rtoks.append(tok)
+        ktok = EventToken(f"replay-kernel:{chunk.index}")
+        kcmd = runtime.launch(
+            kernel.chunk_cost(self.profile, chunk.t0, chunk.t1, translated=True),
+            self._kernel_payload(chunk),
+            st,
+            waits=rtoks,
+            records=[ktok],
+            label=f"replay:{kernel.name}[{chunk.t0}:{chunk.t1})",
+        )
+        self.commands.append(kcmd)
+        meta[kcmd] = chunk.index
+        for var, spec in plan.specs.items():
+            if not spec.clause.is_output:
+                continue
+            lo, hi = plan.chunk_dep_range(var, chunk)
+            ring = rings[var]
+            host = arrays[var]
+            for piece in ring.pieces(lo, hi):
+                rows, row_bytes = ring.transfer_geometry(piece)
+                dcmd = runtime.memcpy_d2h_async(
+                    ring.host_section(host, piece),
+                    ring.device_view(piece),
+                    st,
+                    waits=[ktok],
+                    rows=rows,
+                    row_bytes=row_bytes,
+                    label=f"replay:d2h:{var}[{piece.g_lo}:{piece.g_hi})",
+                )
+                self.commands.append(dcmd)
+                meta[dcmd] = chunk.index
 
+    def recover(self) -> None:
+        """Chunk-granular fault recovery (requires a policy).
+
+        The pipeline has drained; map every faulted command back to its
+        chunk and replay the chunk synchronously (full dep-range h2d →
+        kernel → d2h).  Faulted kernels never ran their payloads
+        (poison propagation suppresses consumers of faulted data too),
+        so replay is exact — even for accumulating kernels.
+        """
+        runtime, policy = self.runtime, self.policy
+        tracer, m_on, chunks = self.tracer, self.m_on, self.chunks
+        with self._overheads():
             chunk_status = {c.index: CHUNK_OK for c in chunks}
             attempts = {c.index: 0 for c in chunks}
             pending = runtime.pop_faults()
-            faults_n += len(pending)
+            self.faults_n += len(pending)
             while pending:
                 if runtime.device.lost:
                     raise DeviceLostError(
                         "device lost during pipelined region",
                         pending=len(pending),
                     )
-                affected = sorted({meta[c] for c in pending if c in meta})
+                affected = sorted({self.meta[c] for c in pending if c in self.meta})
                 if not affected:
                     # faults on commands this region did not issue;
                     # claimed above, nothing to replay here
@@ -673,13 +789,13 @@ def execute_pipeline(
                             f"{attempts[k] + 1} attempts"
                             for k in exhausted
                         ],
-                        retries=retries_n,
+                        retries=self.retries_n,
                     )
                 for k in affected:
                     attempts[k] += 1
                     delay = policy.backoff_for(attempts[k] - 1)
                     runtime.host_now += delay
-                    retries_n += 1
+                    self.retries_n += 1
                     if m_on:
                         runtime.metrics.counter("faults.retries").inc()
                         runtime.metrics.counter(
@@ -689,7 +805,7 @@ def execute_pipeline(
                         f"replay:chunk{k}", "fault",
                         chunk=k, attempt=attempts[k], backoff=delay,
                     ):
-                        enqueue_replay(chunks[k])
+                        self._enqueue_replay(chunks[k])
                     # drain before the next replay: two replayed chunks
                     # can alias the same ring slots (mod capacity), and
                     # replays lack the pipeline's slot-reuse ordering
@@ -697,49 +813,116 @@ def execute_pipeline(
                     runtime.synchronize()
                     chunk_status[k] = CHUNK_RECOVERED
                 pending = runtime.pop_faults()
-                faults_n += len(pending)
+                self.faults_n += len(pending)
 
-        if m_on and stall_watch:
-            # every gating token is resolved now; stall = time a command
-            # spent gated past its enqueue by ring-slot reuse
-            hist = runtime.metrics.histogram("stall.slot_reuse.seconds")
-            total_stall = 0.0
-            for cmd, toks in stall_watch:
-                gate = max((t.time for t in toks if t.time is not None), default=None)
-                if gate is None:
-                    continue
-                stall = max(0.0, gate - cmd.enqueue_time)
-                hist.observe(stall)
-                total_stall += stall
-            runtime.metrics.counter("stall.slot_reuse.total_seconds").inc(total_stall)
+    def account_stalls(self) -> None:
+        """Resolve slot-reuse stall metrics once all tokens have times."""
+        runtime = self.runtime
+        if not (self.m_on and self.stall_watch):
+            return
+        # every gating token is resolved now; stall = time a command
+        # spent gated past its enqueue by ring-slot reuse
+        hist = runtime.metrics.histogram("stall.slot_reuse.seconds")
+        total_stall = 0.0
+        for cmd, toks in self.stall_watch:
+            gate = max((t.time for t in toks if t.time is not None), default=None)
+            if gate is None:
+                continue
+            stall = max(0.0, gate - cmd.enqueue_time)
+            hist.observe(stall)
+            total_stall += stall
+        runtime.metrics.counter("stall.slot_reuse.total_seconds").inc(total_stall)
 
-        # resident copy-out and cleanup
-        for var, clause in plan.residents.items():
-            if clause.direction in ("from", "tofrom"):
-                blocking_with_retry(
-                    lambda v=var: runtime.memcpy_d2h(
-                        arrays[v], resident_dev[v], label=f"d2h:{v}:resident"
-                    ),
-                    f"resident d2h of {var!r}",
-                )
-        for dev in resident_dev.values():
-            runtime.free(dev)
-        for ring in rings.values():
-            runtime.free(ring.darr)
-    except BaseException:
+    def finalize(self) -> None:
+        """Resident copy-out and device-memory cleanup."""
+        if self._finalized:
+            return
+        self._finalized = True
+        runtime, plan, arrays = self.runtime, self.plan, self.arrays
+        with self._overheads():
+            for var, clause in plan.residents.items():
+                if clause.direction in ("from", "tofrom"):
+                    self._blocking_with_retry(
+                        lambda v=var: runtime.memcpy_d2h(
+                            arrays[v], self.resident_dev[v], label=f"d2h:{v}:resident"
+                        ),
+                        f"resident d2h of {var!r}",
+                    )
+            for dev in self.resident_dev.values():
+                runtime.free(dev)
+            for ring in self.rings.values():
+                runtime.free(ring.darr)
+        if self.rspan is not None:
+            self.tracer.end(self.rspan)
+            self.rspan = None
+
+    def abort(self) -> None:
+        """Failure-path teardown: drain, claim faults, free allocations."""
+        self._finalized = True
         _cleanup_after_failure(
-            runtime,
-            list(resident_dev.values()) + [r.darr for r in rings.values()],
+            self.runtime,
+            list(self.resident_dev.values()) + [r.darr for r in self.rings.values()],
         )
+        if self.rspan is not None:
+            self.tracer.end(self.rspan)
+            self.rspan = None
+
+
+def execute_pipeline(
+    runtime: Runtime,
+    plan: RegionPlan,
+    arrays: Dict[str, np.ndarray],
+    kernel: RegionKernel,
+    policy: Optional[FaultPolicy] = None,
+) -> RegionResult:
+    """Run a region under the proposed Pipelined-buffer model.
+
+    Parameters
+    ----------
+    runtime:
+        The host runtime; its ``call_overhead_scale`` is managed for
+        the duration (the proposed runtime's per-stream bookkeeping is
+        cheap: ``runtime_stream_factor``).
+    plan:
+        A resolved (and, if requested, memory-limit-tuned) plan.
+    arrays:
+        Host arrays keyed by clause variable names.  Real ndarrays or
+        :class:`~repro.sim.varray.VirtualArray` (all the same mode).
+    kernel:
+        The region kernel.
+    policy:
+        Optional :class:`~repro.faults.FaultPolicy`.  When given, the
+        executor takes ownership of async fault reporting
+        (``runtime.defer_faults``): every faulted chunk is replayed
+        synchronously — full dependency-range H2D, kernel, D2H — with
+        the policy's exponential backoff charged to virtual host time,
+        until it recovers or its retry budget is exhausted (then
+        :class:`~repro.faults.RegionFailure` carries per-chunk
+        status).  Chunks are the natural replay unit because the
+        pipeline already computes each chunk's exact dependency slices.
+    """
+    meas = _Measurer(runtime)
+    issuer = PipelineIssuer(runtime, plan, arrays, kernel, policy=policy)
+    old_defer = runtime.defer_faults
+    if policy is not None:
+        # the executor owns fault reporting: sync points stash faults
+        # for pop_faults() instead of raising mid-pipeline
+        runtime.defer_faults = True
+    try:
+        issuer.open()
+        while issuer.issue_next() is not None:
+            pass
+        runtime.synchronize()
+        if policy is not None:
+            issuer.recover()
+        issuer.account_stalls()
+        issuer.finalize()
+    except BaseException:
+        issuer.abort()
         raise
     finally:
-        runtime.call_overhead_scale = old_scale
-        runtime.command_overhead = old_contention
         runtime.defer_faults = old_defer
-        if tr_on:
-            tracer.end(rspan)
-
     return meas.finish(
-        "pipelined-buffer", len(chunks), plan.chunk_size, streams_n,
-        faults=faults_n, retries=retries_n,
+        "pipelined-buffer", len(issuer.chunks), plan.chunk_size, issuer.streams_n,
+        faults=issuer.faults_n, retries=issuer.retries_n,
     )

@@ -577,17 +577,19 @@ class Runtime:
             label=label or "d2h",
         )
 
-    def memcpy_h2d(self, dst: DeviceArray, src: HostArray, **kw) -> None:
+    def memcpy_h2d(self, dst: DeviceArray, src: HostArray, **kw) -> Command:
         """Blocking host-to-device copy (``cudaMemcpy``)."""
         s = kw.pop("stream", None) or SimStream("sync-h2d")
         cmd = self.memcpy_h2d_async(dst, src, s, **kw)
         self._block_on(cmd)
+        return cmd
 
-    def memcpy_d2h(self, dst: HostArray, src: DeviceArray, **kw) -> None:
+    def memcpy_d2h(self, dst: HostArray, src: DeviceArray, **kw) -> Command:
         """Blocking device-to-host copy (``cudaMemcpy``)."""
         s = kw.pop("stream", None) or SimStream("sync-d2h")
         cmd = self.memcpy_d2h_async(dst, src, s, **kw)
         self._block_on(cmd)
+        return cmd
 
     # ------------------------------------------------------------------
     # kernels

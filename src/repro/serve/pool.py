@@ -1,0 +1,154 @@
+"""``DevicePool`` — shared devices with memory-budget admission.
+
+The pool owns one :class:`~repro.gpu.runtime.Runtime` per device plus a
+per-device *data-byte budget* with reservation accounting.  The
+scheduler reserves a region's full device footprint
+(:meth:`~repro.core.plan.RegionPlan.device_bytes`) before opening its
+pipeline and releases it when the region retires, so the sum of live
+reservations — and therefore the device's data peak — never exceeds
+the budget.  Engines are shared naturally: every admitted region
+enqueues onto the same simulated device, so one tenant's kernels hide
+another's transfers exactly as on real shared hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.gpu.runtime import Runtime
+from repro.obs import OBS_NULL, Observability
+from repro.sim.device import Device
+from repro.sim.profiles import DeviceProfile, profile_by_name
+
+__all__ = ["DevicePool"]
+
+
+class DevicePool:
+    """A set of simulated devices serving many tenants.
+
+    Parameters
+    ----------
+    devices:
+        Device profiles (objects or names like ``"k40m"``), one per
+        device; or a single profile with ``count`` copies.
+    count:
+        Number of devices when ``devices`` is a single profile.
+    budget_bytes:
+        Per-device data-byte budget for admission control.  Defaults to
+        each device's free memory after context creation (i.e. admit
+        anything that physically fits).
+    virtual:
+        Passed to each runtime (metadata-only payloads).
+    obs:
+        Optional :class:`~repro.obs.Observability` shared by every
+        runtime and the scheduler.  With more than one device the host
+        API spans of different runtimes share one trace clock, so
+        engine-track and serve-level spans are the meaningful signals
+        there.
+    """
+
+    def __init__(
+        self,
+        devices: Union[str, DeviceProfile, Sequence[Union[str, DeviceProfile]]] = "k40m",
+        *,
+        count: int = 1,
+        budget_bytes: Optional[int] = None,
+        virtual: bool = True,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if isinstance(devices, (str, DeviceProfile)):
+            devices = [devices] * count
+        if not devices:
+            raise ValueError("pool needs at least one device")
+        self.obs = obs if obs is not None else OBS_NULL
+        self.profiles: List[DeviceProfile] = [
+            d if isinstance(d, DeviceProfile) else profile_by_name(d) for d in devices
+        ]
+        self.runtimes: List[Runtime] = [
+            Runtime(Device(p), virtual=virtual, obs=obs) for p in self.profiles
+        ]
+        self.budgets: List[int] = [
+            rt.device.memory.free if budget_bytes is None else int(budget_bytes)
+            for rt in self.runtimes
+        ]
+        for i, (rt, budget) in enumerate(zip(self.runtimes, self.budgets)):
+            if budget < 1:
+                raise ValueError(f"device {i}: budget must be >= 1 byte")
+            if budget > rt.device.memory.free:
+                raise ValueError(
+                    f"device {i}: budget {budget} B exceeds free device "
+                    f"memory {rt.device.memory.free} B"
+                )
+        self.reserved: List[int] = [0] * len(self.runtimes)
+
+    def __len__(self) -> int:
+        return len(self.runtimes)
+
+    # ------------------------------------------------------------------
+    # reservation accounting
+    # ------------------------------------------------------------------
+    def headroom(self, device: int) -> int:
+        """Unreserved budget bytes on ``device``."""
+        return self.budgets[device] - self.reserved[device]
+
+    def fits(self, device: int, nbytes: int) -> bool:
+        """Whether ``nbytes`` can currently be reserved on ``device``."""
+        return nbytes <= self.headroom(device)
+
+    def best_fit(self, nbytes: int) -> Optional[int]:
+        """Device with the most headroom that fits ``nbytes``.
+
+        Ties break to the lowest index (deterministic placement).
+        """
+        best: Optional[int] = None
+        for i in range(len(self.runtimes)):
+            if not self.fits(i, nbytes):
+                continue
+            if best is None or self.headroom(i) > self.headroom(best):
+                best = i
+        return best
+
+    def reserve(self, device: int, nbytes: int) -> None:
+        """Reserve budget bytes on ``device`` (must fit)."""
+        if not self.fits(device, nbytes):
+            raise ValueError(
+                f"device {device}: cannot reserve {nbytes} B "
+                f"({self.headroom(device)} B headroom)"
+            )
+        self.reserved[device] += nbytes
+
+    def release(self, device: int, nbytes: int) -> None:
+        """Release previously reserved bytes."""
+        if nbytes > self.reserved[device]:
+            raise ValueError(
+                f"device {device}: releasing {nbytes} B but only "
+                f"{self.reserved[device]} B reserved"
+            )
+        self.reserved[device] -= nbytes
+
+    # ------------------------------------------------------------------
+    # clocks and teardown
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Pool makespan so far: max device elapsed virtual time."""
+        return max(rt.elapsed for rt in self.runtimes)
+
+    def data_peaks(self) -> List[int]:
+        """Per-device peak data bytes (context overhead excluded)."""
+        return [
+            rt.device.memory.peak - rt.device.memory.context_overhead
+            for rt in self.runtimes
+        ]
+
+    def close(self) -> None:
+        """Drain and close every runtime (idempotent)."""
+        for rt in self.runtimes:
+            rt.close()
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,133 @@
+"""Request and result records for the multi-tenant scheduler.
+
+A :class:`RegionRequest` is one tenant's unit of work: a pipelined
+:class:`~repro.core.region.TargetRegion`, the host arrays it binds, and
+the kernel — plus serving metadata (priority, optional deadline).  The
+scheduler owns the request from :meth:`~repro.serve.RegionScheduler.submit`
+until its :class:`RequestResult` appears in the final
+:class:`~repro.serve.ServeReport`.
+
+Each request must own its ``arrays`` dict: the scheduler streams chunks
+of them to the device and writes outputs back in place, so sharing one
+array between two in-flight requests would race (exactly as it would on
+real hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.kernel import RegionKernel
+from repro.core.region import TargetRegion
+
+__all__ = ["RegionRequest", "RequestResult"]
+
+
+@dataclass
+class RegionRequest:
+    """One tenant's offload-region request.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant name (attribution only; fairness uses ``priority``).
+    region:
+        The pipelined region to execute.
+    arrays:
+        Host arrays keyed by clause variable names (owned by this
+        request for its lifetime).
+    kernel:
+        The region kernel.
+    priority:
+        Non-negative weight; higher is served sooner and receives a
+        proportionally larger share of chunk-issue slots.
+    deadline:
+        Optional deadline in virtual seconds on the serving device's
+        clock.  Advisory: the result records whether it was met.
+    arrival:
+        Virtual arrival time (defaults to region start); queue wait is
+        measured from it.
+    label:
+        Human-readable tag (e.g. the application name).
+    """
+
+    tenant: str
+    region: TargetRegion
+    arrays: Dict[str, object]
+    kernel: RegionKernel
+    priority: int = 0
+    deadline: Optional[float] = None
+    arrival: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+
+
+@dataclass
+class RequestResult:
+    """Outcome of serving one request.
+
+    All times are virtual seconds on the clock of the device that
+    served the request.  ``queue_wait`` covers submit → admission
+    (including any planning the admission performed); ``service``
+    covers admission → completion (staging, pipeline, drain).
+    """
+
+    request_id: int
+    tenant: str
+    label: str
+    status: str  # "ok" | "failed"
+    priority: int
+    device: int = -1
+    admitted: float = 0.0
+    finished: float = 0.0
+    queue_wait: float = 0.0
+    service: float = 0.0
+    cache_hit: bool = False
+    chunk_size: int = 0
+    num_streams: int = 0
+    nchunks: int = 0
+    device_bytes: int = 0
+    overtaken: int = 0
+    busy: Dict[str, float] = field(default_factory=dict)
+    commands: int = 0
+    deadline: Optional[float] = None
+    deadline_met: Optional[bool] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request completed successfully."""
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe digest."""
+        d: Dict[str, object] = {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "label": self.label,
+            "status": self.status,
+            "priority": self.priority,
+            "device": self.device,
+            "admitted_s": self.admitted,
+            "finished_s": self.finished,
+            "queue_wait_s": self.queue_wait,
+            "service_s": self.service,
+            "cache_hit": self.cache_hit,
+            "chunk_size": self.chunk_size,
+            "num_streams": self.num_streams,
+            "nchunks": self.nchunks,
+            "device_bytes": int(self.device_bytes),
+            "overtaken": self.overtaken,
+            "busy_s": dict(self.busy),
+            "commands": self.commands,
+        }
+        if self.deadline is not None:
+            d["deadline_s"] = self.deadline
+            d["deadline_met"] = self.deadline_met
+        if self.error:
+            d["error"] = self.error
+        return d

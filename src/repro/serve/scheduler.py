@@ -1,0 +1,536 @@
+"""The multi-tenant region scheduler.
+
+One :class:`RegionScheduler` drives many tenants' chunk pipelines over
+a shared :class:`~repro.serve.DevicePool`:
+
+- **Admission** is memory-budget-driven: a request enters service only
+  when its tuned plan's full device footprint fits the chosen device's
+  unreserved budget.  Placement picks the device with the most headroom
+  (ties to the lowest index).
+- **Planning** goes through the :class:`~repro.serve.PlanCache`: a hit
+  reuses the tuned ``(chunk_size, num_streams)``; a miss runs the
+  autotune search (virtual dry runs) and charges a deterministic
+  virtual planning cost to the serving device's host clock — which is
+  exactly the scheduling overhead warm traffic saves.
+- **Fairness** is weighted-fair chunk issue: each scheduling turn
+  issues the next chunk of the active region with the smallest
+  ``chunks_issued / (priority + 1)`` (ties to admission order), so a
+  priority-``p`` tenant gets ``p+1`` issue slots per slot of a
+  priority-0 tenant.  Admission order is by *effective* priority with
+  starvation aging: every time a fitting request is passed over
+  ``aging_every`` times its effective priority rises one step, capped
+  at ``max_priority`` — whereupon older requests can no longer be
+  overtaken by fitting younger ones (the bound the property tests
+  assert).
+- **Interleaving** is where the throughput comes from: different
+  tenants' H2D/compute/D2H commands queue on the same engines, so a
+  transfer-bound region's DMA gaps are filled by a compute-bound
+  region's kernels.  ``ServeConfig(max_active=1)`` disables it,
+  which is the back-to-back serial baseline the differential tests and
+  the throughput benchmark compare against.
+
+Everything is virtual-time deterministic: the loop consults no wall
+clock and breaks every tie by submission/admission order, so the same
+workload produces the bit-identical schedule, trace, and report every
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.autotune import autotune
+from repro.core.executor import PipelineIssuer
+from repro.core.memlimit import MemLimitError, tune_plan
+from repro.core.plan import RegionPlan
+from repro.directives.clauses import DirectiveError
+from repro.serve.cache import PlanCache
+from repro.serve.pool import DevicePool
+from repro.serve.request import RegionRequest, RequestResult
+from repro.sim.memory import OutOfDeviceMemory
+
+__all__ = ["ServeConfig", "RegionScheduler", "ServeReport"]
+
+
+@dataclass
+class ServeConfig:
+    """Scheduler policy knobs (all deterministic).
+
+    Attributes
+    ----------
+    max_active:
+        Maximum regions in service per pool (``None`` = unlimited).
+        ``1`` is the serial baseline: each region fully drains before
+        the next is admitted.
+    aging_every:
+        A waiting request's effective priority rises one step each time
+        it is passed over this many times while it would have fit.
+    max_priority:
+        Cap for effective priority; at the cap, a fitting older request
+        can no longer be overtaken.
+    autotune:
+        Tune ``(chunk_size, num_streams)`` by virtual dry runs on cache
+        misses.  Off, the request's own pragma parameters are used
+        (memory-tuned only).
+    plan_charge:
+        Virtual seconds charged to the serving device's host clock per
+        autotune dry run on a cache miss (the modelled cost of the
+        planning work warm traffic skips).
+    max_streams:
+        Stream-count ceiling for the autotune ladder.
+    issue_quantum:
+        Chunks issued per scheduling turn for the selected region.
+    """
+
+    max_active: Optional[int] = None
+    aging_every: int = 4
+    max_priority: int = 8
+    autotune: bool = True
+    plan_charge: float = 2e-5
+    max_streams: int = 4
+    issue_quantum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError("max_active must be >= 1 (or None)")
+        if self.aging_every < 1:
+            raise ValueError("aging_every must be >= 1")
+        if self.issue_quantum < 1:
+            raise ValueError("issue_quantum must be >= 1")
+        if self.plan_charge < 0:
+            raise ValueError("plan_charge must be >= 0")
+
+
+@dataclass
+class ServeReport:
+    """Everything one :meth:`RegionScheduler.run` produced.
+
+    ``makespan`` is the pool's final elapsed virtual time (max over
+    devices); per-request details live in ``results`` in submission
+    order.
+    """
+
+    results: List[RequestResult]
+    makespan: float
+    device_elapsed: List[float]
+    device_peaks: List[int]
+    budgets: List[int]
+    cache: Dict[str, object]
+    plan_seconds: float
+    dry_runs: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether every request completed successfully."""
+        return all(r.ok for r in self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe digest (stable key order for golden comparison)."""
+        return {
+            "makespan_s": self.makespan,
+            "device_elapsed_s": list(self.device_elapsed),
+            "device_peak_bytes": [int(p) for p in self.device_peaks],
+            "budget_bytes": [int(b) for b in self.budgets],
+            "cache": dict(self.cache),
+            "plan_seconds": self.plan_seconds,
+            "dry_runs": self.dry_runs,
+            "requests": [r.to_dict() for r in self.results],
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"requests         {len(self.results)} "
+            f"({sum(1 for r in self.results if r.ok)} ok, "
+            f"{sum(1 for r in self.results if not r.ok)} failed)",
+            f"makespan         {self.makespan * 1e3:.3f} ms",
+            f"plan cache       {self.cache.get('hits', 0)} hit(s), "
+            f"{self.cache.get('misses', 0)} miss(es) "
+            f"(hit rate {float(self.cache.get('hit_rate', 0.0)):.0%}), "
+            f"{self.dry_runs} dry run(s)",
+        ]
+        for i, (el, pk, bd) in enumerate(
+            zip(self.device_elapsed, self.device_peaks, self.budgets)
+        ):
+            lines.append(
+                f"device {i}         elapsed {el * 1e3:.3f} ms, "
+                f"peak {pk / 1e6:.1f} MB of {bd / 1e6:.1f} MB budget"
+            )
+        hdr = (
+            f"{'id':>3} {'tenant':<10} {'label':<10} {'prio':>4} {'dev':>3} "
+            f"{'wait(ms)':>9} {'service(ms)':>12} {'cache':>5}  status"
+        )
+        lines.append(hdr)
+        for r in self.results:
+            lines.append(
+                f"{r.request_id:>3} {r.tenant:<10.10} {r.label:<10.10} "
+                f"{r.priority:>4} {r.device:>3} "
+                f"{r.queue_wait * 1e3:>9.3f} {r.service * 1e3:>12.3f} "
+                f"{'hit' if r.cache_hit else 'miss':>5}  {r.status}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Waiting:
+    """Bookkeeping for a submitted, not-yet-admitted request."""
+
+    seq: int
+    req: RegionRequest
+    passed_over: int = 0
+    overtaken: int = 0
+    oom_deferred: bool = False
+    dry_runs: int = 0
+    cache_hit: bool = False
+    ever_planned: bool = False
+    #: device index -> tuned plan, filled lazily by the placement pass
+    planned: Dict[int, RegionPlan] = field(default_factory=dict)
+
+
+@dataclass
+class _Active:
+    """An admitted request with its live pipeline issuer."""
+
+    admit_seq: int
+    waiting: _Waiting
+    issuer: PipelineIssuer
+    device: int
+    plan: RegionPlan
+    reserved: int
+    admit_t: float
+
+
+class RegionScheduler:
+    """Deterministic weighted-fair scheduler over a device pool.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`~repro.serve.DevicePool`.
+    config:
+        Policy knobs; defaults to :class:`ServeConfig`'s defaults.
+    cache:
+        A :class:`~repro.serve.PlanCache` to consult; a private one is
+        created when omitted.  Pass a shared instance to model warm
+        repeat traffic across :meth:`run` calls.
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        config: Optional[ServeConfig] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or ServeConfig()
+        self.cache = cache if cache is not None else PlanCache()
+        self.obs = pool.obs
+        self._waiting: List[_Waiting] = []
+        self._active: List[_Active] = []
+        self._results: List[RequestResult] = []
+        self._seq = 0
+        self._admit_seq = 0
+        self.plan_seconds = 0.0
+        self.dry_runs = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: RegionRequest) -> int:
+        """Queue a request; returns its request id (submission order)."""
+        seq = self._seq
+        self._seq += 1
+        self._waiting.append(_Waiting(seq=seq, req=request))
+        return seq
+
+    def submit_all(self, requests) -> List[int]:
+        """Queue many requests in order; returns their ids."""
+        return [self.submit(r) for r in requests]
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _limit_for(self, req: RegionRequest, device: int) -> int:
+        """Memory limit for planning: explicit clause, else the budget."""
+        if req.region.mem_limit is not None:
+            return min(req.region.mem_limit.limit_bytes, self.pool.budgets[device])
+        return self.pool.budgets[device]
+
+    def _plan(self, w: _Waiting, device: int) -> RegionPlan:
+        """Tuned plan for ``w`` on ``device`` (cached per device).
+
+        Cache misses run the autotune search and record its dry-run
+        count; the virtual planning charge is applied at admission.
+        """
+        plan = w.planned.get(device)
+        if plan is not None:
+            return plan
+        req = w.req
+        rt = self.pool.runtimes[device]
+        limit = self._limit_for(req, device)
+        bound = req.region.bind(req.arrays)
+        key = PlanCache.key_for(bound, req.kernel, rt.profile.name, limit)
+        params = self.cache.get(key)
+        if params is not None:
+            plan = tune_plan(bound.with_params(*params), limit)
+            if not w.ever_planned:
+                w.cache_hit = True
+        else:
+            if not w.ever_planned:
+                w.cache_hit = False
+            if self.config.autotune:
+                report = autotune(
+                    req.region, rt, req.arrays, req.kernel,
+                    max_streams=self.config.max_streams,
+                )
+                w.dry_runs += report.dry_runs
+                self.dry_runs += report.dry_runs
+                plan = tune_plan(
+                    bound.with_params(
+                        report.best.chunk_size, report.best.num_streams
+                    ),
+                    limit,
+                )
+            else:
+                plan = tune_plan(bound, limit)
+            self.cache.put(key, plan.chunk_size, plan.num_streams)
+        w.ever_planned = True
+        w.planned[device] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _effective_priority(self, w: _Waiting) -> int:
+        return min(
+            w.req.priority + w.passed_over // self.config.aging_every,
+            self.config.max_priority,
+        )
+
+    def _placements(self) -> List:
+        """(waiting, device, plan) for every request that fits now."""
+        out = []
+        for w in list(self._waiting):
+            if w.oom_deferred:
+                continue
+            try:
+                # plan against the fullest device first; fall back to any
+                # device whose current headroom fits the tuned plan
+                order = sorted(
+                    range(len(self.pool)),
+                    key=lambda i: (-self.pool.headroom(i), i),
+                )
+                placed = None
+                for di in order:
+                    plan = self._plan(w, di)
+                    if self.pool.fits(di, plan.device_bytes()):
+                        placed = (w, di, plan)
+                        break
+                if placed is not None:
+                    out.append(placed)
+            except (MemLimitError, DirectiveError) as exc:
+                self._fail(w, exc)
+        return out
+
+    def _admit(self) -> bool:
+        """Admit fitting requests by effective priority; True if any."""
+        cfg = self.config
+        admitted_any = False
+        while self._waiting:
+            if cfg.max_active is not None and len(self._active) >= cfg.max_active:
+                break
+            fits = self._placements()
+            if not fits:
+                break
+            pick = max(fits, key=lambda t: (self._effective_priority(t[0]), -t[0].seq))
+            w, device, plan = pick
+            # aging and starvation accounting for everyone passed over
+            for other, _odi, _op in fits:
+                if other is w:
+                    continue
+                other.passed_over += 1
+                if other.seq < w.seq:
+                    other.overtaken += 1
+            if self._open(w, device, plan):
+                admitted_any = True
+        return admitted_any
+
+    def _open(self, w: _Waiting, device: int, plan: RegionPlan) -> bool:
+        """Reserve, charge planning, and open the pipeline for ``w``."""
+        rt = self.pool.runtimes[device]
+        nbytes = plan.device_bytes()
+        self.pool.reserve(device, nbytes)
+        admit_t = rt.elapsed
+        if w.dry_runs:
+            charge = w.dry_runs * self.config.plan_charge
+            rt.host_now += charge
+            self.plan_seconds += charge
+            w.dry_runs = 0  # charge once
+        issuer = PipelineIssuer(
+            rt, plan, w.req.arrays, w.req.kernel,
+            stream_prefix=f"t{w.seq}.pipe", region_span=False,
+        )
+        try:
+            issuer.open()
+        except OutOfDeviceMemory:
+            # budget fits but the allocator is fragmented: retire
+            # something first, then retry this request
+            issuer.abort()
+            self.pool.release(device, nbytes)
+            w.planned.pop(device, None)
+            if self._active:
+                w.oom_deferred = True
+                return False
+            self._fail(w, MemLimitError(nbytes, self.pool.budgets[device]))
+            return False
+        except Exception as exc:
+            issuer.abort()
+            self.pool.release(device, nbytes)
+            self._fail(w, exc)
+            return False
+        self._waiting.remove(w)
+        self._active.append(_Active(
+            admit_seq=self._admit_seq,
+            waiting=w,
+            issuer=issuer,
+            device=device,
+            plan=plan,
+            reserved=nbytes,
+            admit_t=admit_t,
+        ))
+        self._admit_seq += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _fail(self, w: _Waiting, exc: Exception) -> None:
+        if w in self._waiting:
+            self._waiting.remove(w)
+        req = w.req
+        self._results.append(RequestResult(
+            request_id=w.seq,
+            tenant=req.tenant,
+            label=req.label,
+            status="failed",
+            priority=req.priority,
+            overtaken=w.overtaken,
+            deadline=req.deadline,
+            error=f"{type(exc).__name__}: {exc}",
+        ))
+
+    def _retire(self, a: _Active) -> None:
+        """Drain, finalize, account, and release one active region."""
+        rt = self.pool.runtimes[a.device]
+        a.issuer.drain()
+        a.issuer.account_stalls()
+        a.issuer.finalize()
+        finish_t = rt.elapsed
+        self.pool.release(a.device, a.reserved)
+        w, req = a.waiting, a.waiting.req
+        busy: Dict[str, float] = {"h2d": 0.0, "d2h": 0.0, "kernel": 0.0}
+        for cmd in a.issuer.commands:
+            if cmd.kind in busy:
+                busy[cmd.kind] += cmd.duration
+        queue_wait = max(0.0, a.admit_t - req.arrival)
+        result = RequestResult(
+            request_id=w.seq,
+            tenant=req.tenant,
+            label=req.label,
+            status="ok",
+            priority=req.priority,
+            device=a.device,
+            admitted=a.admit_t,
+            finished=finish_t,
+            queue_wait=queue_wait,
+            service=finish_t - a.admit_t,
+            cache_hit=w.cache_hit,
+            chunk_size=a.plan.chunk_size,
+            num_streams=a.issuer.streams_n,
+            nchunks=len(a.issuer.chunks),
+            device_bytes=a.reserved,
+            overtaken=w.overtaken,
+            busy=busy,
+            commands=len(a.issuer.commands),
+            deadline=req.deadline,
+            deadline_met=(finish_t <= req.deadline)
+            if req.deadline is not None else None,
+        )
+        self._results.append(result)
+        self._active.remove(a)
+        # memory was released: blocked requests may fit now
+        for w2 in self._waiting:
+            w2.oom_deferred = False
+        self._observe(result)
+
+    def _observe(self, r: RequestResult) -> None:
+        tracer, metrics = self.obs.tracer, self.obs.metrics
+        if tracer.enabled:
+            tracer.emit(
+                f"request:{r.request_id}:{r.tenant}",
+                category="serve",
+                track=f"serve:dev{r.device}",
+                start=r.admitted,
+                end=r.finished,
+                tenant=r.tenant,
+                label=r.label,
+                priority=r.priority,
+                cache_hit=r.cache_hit,
+                nchunks=r.nchunks,
+            )
+        if metrics.enabled:
+            metrics.counter("serve.requests").inc()
+            metrics.counter(
+                "serve.cache.hits" if r.cache_hit else "serve.cache.misses"
+            ).inc()
+            metrics.histogram("serve.queue_wait.seconds").observe(r.queue_wait)
+            metrics.histogram("serve.service.seconds").observe(r.service)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> ServeReport:
+        """Serve every submitted request to completion.
+
+        Deterministic: the loop alternates admission, weighted-fair
+        chunk issue, and FIFO retirement until the queue drains.
+        """
+        cfg = self.config
+        while self._waiting or self._active:
+            admitted = self._admit()
+            issuable = [a for a in self._active if a.issuer.remaining]
+            if issuable:
+                a = min(
+                    issuable,
+                    key=lambda a: (
+                        a.issuer.issued / (1 + a.waiting.req.priority),
+                        a.admit_seq,
+                    ),
+                )
+                for _ in range(cfg.issue_quantum):
+                    if a.issuer.issue_next() is None:
+                        break
+            elif self._active:
+                # everything issued: retire in admission order
+                self._retire(min(self._active, key=lambda a: a.admit_seq))
+            elif self._waiting and not admitted:
+                # idle pool, nothing fits: the head request is infeasible
+                candidates = [w for w in self._waiting if not w.oom_deferred]
+                w = candidates[0] if candidates else self._waiting[0]
+                needed = min(
+                    (p.device_bytes() for p in w.planned.values()),
+                    default=0,
+                )
+                self._fail(w, MemLimitError(needed, max(self.pool.budgets)))
+        self._results.sort(key=lambda r: r.request_id)
+        return ServeReport(
+            results=list(self._results),
+            makespan=self.pool.elapsed,
+            device_elapsed=[rt.elapsed for rt in self.pool.runtimes],
+            device_peaks=self.pool.data_peaks(),
+            budgets=list(self.pool.budgets),
+            cache=self.cache.stats(),
+            plan_seconds=self.plan_seconds,
+            dry_runs=self.dry_runs,
+        )

@@ -1,0 +1,209 @@
+"""Workload construction: JSON files and seeded random mixes.
+
+A workload file is a JSON object::
+
+    {
+      "device": "k40m",          // profile name (default k40m)
+      "devices": 1,              // pool size (default 1)
+      "budget_mb": 512,          // optional per-device budget
+      "requests": [
+        {"app": "stencil", "tenant": "alice", "priority": 2,
+         "config": {"nz": 32, "ny": 128, "nx": 128}},
+        {"app": "matmul",  "tenant": "bob",
+         "config": {"n": 768, "block": 128}},
+        ...
+      ]
+    }
+
+``app`` selects one of the paper's four applications; ``config`` maps
+onto that app's config dataclass (unknown keys are rejected).  Request
+order in the file is submission order.
+
+:func:`random_workload` builds a seeded deterministic mix of
+transfer-heavy (stencil/conv3d/qcd) and compute-heavy (matmul) regions
+for tests and benchmarks: the same seed always yields the same apps,
+sizes, priorities, and host array contents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.request import RegionRequest
+
+__all__ = ["WorkloadSpec", "build_request", "load_workload", "random_workload"]
+
+APPS = ("stencil", "conv3d", "matmul", "qcd")
+
+
+@dataclass
+class WorkloadSpec:
+    """A parsed workload file: pool settings plus the request list."""
+
+    requests: List[RegionRequest]
+    device: str = "k40m"
+    devices: int = 1
+    budget_bytes: Optional[int] = None
+
+
+def _stencil(config: Dict[str, object], virtual: bool):
+    from repro.apps import stencil
+    from repro.kernels.stencil3d import StencilKernel
+
+    cfg = stencil.StencilConfig(**config)
+    arrays = stencil.make_arrays(cfg, virtual=virtual)
+    return stencil.make_region(cfg), arrays, StencilKernel(cfg.ny, cfg.nx)
+
+
+def _conv3d(config: Dict[str, object], virtual: bool):
+    from repro.apps import conv3d
+    from repro.kernels.conv3d import Conv3dKernel
+
+    cfg = conv3d.Conv3dConfig(**config)
+    arrays = conv3d.make_arrays(cfg, virtual=virtual)
+    return conv3d.make_region(cfg), arrays, Conv3dKernel(cfg.ny, cfg.nx)
+
+
+def _matmul(config: Dict[str, object], virtual: bool):
+    from repro.apps import matmul
+    from repro.kernels.matmul import MatmulChunkKernel
+
+    cfg = matmul.MatmulConfig(**config)
+    arrays = matmul.make_arrays(cfg, virtual=virtual)
+    return matmul.make_region(cfg), arrays, MatmulChunkKernel(cfg.n, cfg.block)
+
+
+def _qcd(config: Dict[str, object], virtual: bool):
+    from repro.apps import qcd
+    from repro.kernels.qcd import DslashKernel
+
+    cfg = qcd.QcdConfig(**config)
+    arrays = qcd.make_arrays(cfg, virtual=virtual)
+    return qcd.make_region(cfg), arrays, DslashKernel(cfg.n, cfg.n, cfg.n)
+
+
+_BUILDERS = {
+    "stencil": _stencil,
+    "conv3d": _conv3d,
+    "matmul": _matmul,
+    "qcd": _qcd,
+}
+
+
+def build_request(
+    app: str,
+    *,
+    tenant: str = "anon",
+    priority: int = 0,
+    deadline: Optional[float] = None,
+    config: Optional[Dict[str, object]] = None,
+    virtual: bool = True,
+) -> RegionRequest:
+    """Build one request from an application name and config dict."""
+    try:
+        builder = _BUILDERS[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {app!r}; expected one of {', '.join(APPS)}"
+        ) from None
+    region, arrays, kernel = builder(dict(config or {}), virtual)
+    return RegionRequest(
+        tenant=tenant,
+        region=region,
+        arrays=arrays,
+        kernel=kernel,
+        priority=priority,
+        deadline=deadline,
+        label=app,
+    )
+
+
+def load_workload(
+    source: Union[str, Dict[str, object]], *, virtual: bool = True
+) -> WorkloadSpec:
+    """Parse a workload file (path) or an already-loaded dict."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            data = json.load(fh)
+    else:
+        data = source
+    if not isinstance(data, dict) or "requests" not in data:
+        raise ValueError("workload must be an object with a 'requests' list")
+    requests = []
+    for i, spec in enumerate(data["requests"]):
+        if "app" not in spec:
+            raise ValueError(f"request {i}: missing 'app'")
+        requests.append(build_request(
+            spec["app"],
+            tenant=spec.get("tenant", f"tenant{i}"),
+            priority=int(spec.get("priority", 0)),
+            deadline=spec.get("deadline"),
+            config=spec.get("config"),
+            virtual=virtual,
+        ))
+    budget_mb = data.get("budget_mb")
+    return WorkloadSpec(
+        requests=requests,
+        device=data.get("device", "k40m"),
+        devices=int(data.get("devices", 1)),
+        budget_bytes=int(budget_mb * 1e6) if budget_mb is not None else None,
+    )
+
+
+#: (app, config ladder) used by the seeded generator — small enough for
+#: tests, large enough that pipelines have several chunks in flight
+_RANDOM_MENU: List[Tuple[str, List[Dict[str, object]]]] = [
+    ("stencil", [
+        {"nz": 18, "ny": 48, "nx": 48},
+        {"nz": 26, "ny": 64, "nx": 64},
+        {"nz": 34, "ny": 64, "nx": 64},
+    ]),
+    ("conv3d", [
+        {"nz": 18, "ny": 48, "nx": 48},
+        {"nz": 26, "ny": 64, "nx": 64},
+    ]),
+    ("matmul", [
+        {"n": 96, "block": 16},
+        {"n": 128, "block": 16},
+        {"n": 160, "block": 32},
+    ]),
+    ("qcd", [
+        {"n": 6},
+        {"n": 7},
+    ]),
+]
+
+
+def random_workload(
+    seed: int,
+    n: int,
+    *,
+    virtual: bool = True,
+    apps: Tuple[str, ...] = APPS,
+) -> List[RegionRequest]:
+    """A deterministic random mix of ``n`` small requests.
+
+    The same ``seed`` yields the same workload — including host array
+    contents — so two calls produce independent but identical array
+    sets (what the differential tests need to compare execution modes).
+    """
+    menu = [(a, cfgs) for a, cfgs in _RANDOM_MENU if a in apps]
+    if not menu:
+        raise ValueError(f"no known apps in {apps!r}")
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(n):
+        app, cfgs = menu[int(rng.integers(len(menu)))]
+        config = cfgs[int(rng.integers(len(cfgs)))]
+        requests.append(build_request(
+            app,
+            tenant=f"tenant{i}",
+            priority=int(rng.integers(0, 3)),
+            config=config,
+            virtual=virtual,
+        ))
+    return requests

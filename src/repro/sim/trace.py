@@ -77,6 +77,16 @@ class Timeline:
         """All records of one kind."""
         return [r for r in self.records if r.kind == kind]
 
+    def for_streams(self, prefix: str) -> "Timeline":
+        """Sub-timeline of records whose stream name starts with ``prefix``.
+
+        Multi-tenant runs name each region's streams with a per-request
+        prefix (``t<id>.pipe<i>``), so this slices one tenant's commands
+        out of a shared device timeline for attribution and busy-time
+        conservation checks.
+        """
+        return Timeline([r for r in self.records if r.stream.startswith(prefix)])
+
     @property
     def makespan(self) -> float:
         """End-to-end virtual time (first start to last finish)."""

@@ -9,6 +9,22 @@ from repro.gpu import Runtime
 from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden Chrome-trace files under tests/golden/ "
+        "from the current simulator output instead of comparing to them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden files, not compare."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def k40m() -> Runtime:
     """A fresh runtime on a simulated K40m."""

@@ -1,0 +1,139 @@
+"""Golden Chrome-trace regression tests.
+
+Each of the paper's four applications has a canonical trace under
+``tests/golden/<app>.json``: the full Chrome trace-event export of one
+small pipelined-buffer run on a virtual K40m, passed through a
+normalizing scrub (timestamps/durations rounded to 1e-4 us, keys
+sorted).  The simulator is virtual-time deterministic, so the rendered
+trace must match the golden file **byte for byte** — any schedule
+change (command order, overlap, engine assignment, span attribution)
+shows up as a diff here before it shows up as a silent perf shift.
+
+When a schedule change is *intentional*, regenerate the files and
+review the diff like source::
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+    git diff tests/golden/
+
+The scrub keeps the comparison stable across float-repr jitter without
+hiding real changes: 1e-4 us is ~6 orders below any modelled duration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Observability
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: (config, runner) per app — tiny problems so the traces stay small
+#: but still pipeline over several chunks and streams.
+def _run_stencil(obs):
+    from repro.apps import stencil as st
+
+    return st.run_model(
+        "pipelined-buffer",
+        st.StencilConfig(nz=10, ny=16, nx=16, iters=1),
+        "k40m", virtual=True, obs=obs,
+    )
+
+
+def _run_conv3d(obs):
+    from repro.apps import conv3d as cv
+
+    return cv.run_model(
+        "pipelined-buffer",
+        cv.Conv3dConfig(nz=10, ny=16, nx=16),
+        "k40m", virtual=True, obs=obs,
+    )
+
+
+def _run_matmul(obs):
+    from repro.apps import matmul as mm
+
+    return mm.run_model(
+        "pipeline-buffer",
+        mm.MatmulConfig(n=96, block=16),
+        "k40m", virtual=True, obs=obs,
+    )
+
+
+def _run_qcd(obs):
+    from repro.apps import qcd as qc
+
+    return qc.run_model(
+        "pipelined-buffer",
+        qc.QcdConfig(n=6),
+        "k40m", virtual=True, obs=obs,
+    )
+
+
+CASES = {
+    "conv3d": _run_conv3d,
+    "matmul": _run_matmul,
+    "qcd": _run_qcd,
+    "stencil": _run_stencil,
+}
+
+
+def scrub(trace: dict) -> dict:
+    """Normalize a Chrome trace for byte-stable comparison.
+
+    Rounds ``ts``/``dur`` (and float args) to 1e-4 us and re-builds
+    every event dict so ``json.dumps(..., sort_keys=True)`` yields a
+    canonical byte stream.  Non-numeric content passes through intact.
+    """
+    def _num(v):
+        return round(v, 4) if isinstance(v, float) else v
+
+    events = []
+    for e in trace["traceEvents"]:
+        e = {k: _num(v) for k, v in e.items()}
+        if isinstance(e.get("args"), dict):
+            e["args"] = {k: _num(v) for k, v in e["args"].items()}
+        events.append(e)
+    return {"displayTimeUnit": trace["displayTimeUnit"], "traceEvents": events}
+
+
+def render(trace: dict) -> str:
+    """Canonical text form of a scrubbed trace."""
+    return json.dumps(scrub(trace), indent=1, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("app", sorted(CASES))
+def test_golden_trace(app, update_golden):
+    obs = Observability()
+    res = CASES[app](obs)
+    assert res is not None
+    text = render(obs.chrome_trace())
+    path = GOLDEN_DIR / f"{app}.json"
+    if update_golden:
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate with "
+        f"pytest tests/golden --update-golden"
+    )
+    assert text == path.read_text(encoding="utf-8"), (
+        f"{app} trace drifted from tests/golden/{app}.json — if the "
+        f"schedule change is intentional, rerun with --update-golden "
+        f"and review the diff"
+    )
+
+
+@pytest.mark.parametrize("app", sorted(CASES))
+def test_golden_trace_is_self_consistent(app):
+    """Two fresh runs render byte-identical text (determinism guard)."""
+    first = render(obs_trace(app))
+    second = render(obs_trace(app))
+    assert first == second
+
+
+def obs_trace(app: str) -> dict:
+    obs = Observability()
+    CASES[app](obs)
+    return obs.chrome_trace()

@@ -1,0 +1,137 @@
+"""Unit tests of the structural plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import PlanCache, build_request
+
+
+def _bound_plan(app="stencil", config=None):
+    req = build_request(app, config=config or {"nz": 18, "ny": 48, "nx": 48})
+    return req.region.bind(req.arrays), req.kernel
+
+
+# ----------------------------------------------------------------------
+# key structure
+# ----------------------------------------------------------------------
+def test_same_request_same_key():
+    p1, k1 = _bound_plan()
+    p2, k2 = _bound_plan()
+    assert PlanCache.key_for(p1, k1, "k40m", 100) == PlanCache.key_for(
+        p2, k2, "k40m", 100
+    )
+
+
+@pytest.mark.parametrize(
+    "other",
+    [
+        {"nz": 26, "ny": 48, "nx": 48},  # different split extent
+        {"nz": 18, "ny": 64, "nx": 64},  # different inner shape
+        {"nz": 18, "ny": 48, "nx": 48, "chunk_size": 4},  # pragma params
+        {"nz": 18, "ny": 48, "nx": 48, "num_streams": 3},
+    ],
+)
+def test_shape_or_param_change_changes_key(other):
+    p1, k1 = _bound_plan()
+    p2, k2 = _bound_plan(config=other)
+    assert PlanCache.key_for(p1, k1, "k40m", 100) != PlanCache.key_for(
+        p2, k2, "k40m", 100
+    )
+
+
+def test_profile_and_limit_are_part_of_the_key():
+    plan, kernel = _bound_plan()
+    base = PlanCache.key_for(plan, kernel, "k40m", 100)
+    assert base != PlanCache.key_for(plan, kernel, "hd7970", 100)
+    assert base != PlanCache.key_for(plan, kernel, "k40m", 200)
+    assert base != PlanCache.key_for(plan, kernel, "k40m", None)
+
+
+def test_different_apps_never_collide():
+    p1, k1 = _bound_plan("stencil")
+    p2, k2 = _bound_plan("conv3d", config={"nz": 18, "ny": 48, "nx": 48})
+    assert PlanCache.key_for(p1, k1, "k40m", 100) != PlanCache.key_for(
+        p2, k2, "k40m", 100
+    )
+
+
+def test_dep_fn_regions_are_uncacheable():
+    import numpy as np
+
+    from repro.core import TargetRegion, make_kernel
+    from repro.directives.clauses import (
+        Affine,
+        Loop,
+        PipelineClause,
+        PipelineMapClause,
+    )
+
+    clause = PipelineMapClause(
+        direction="to",
+        var="A",
+        split_dim=0,
+        split_iter=Affine(1, 0),
+        size=1,
+        dims=((0, 8), (0, 8)),
+        dep_fn=lambda k: (k, k + 1),
+    )
+    region = TargetRegion(
+        pipeline=PipelineClause("static", 1, 2),
+        pipeline_maps=[clause],
+        loop=Loop("k", 0, 8),
+    )
+    kernel = make_kernel(
+        cost=lambda profile, t0, t1: (t1 - t0) * 1e-6,
+        body=lambda views, t0, t1: None,
+        name="noop",
+    )
+    plan = region.bind({"A": np.zeros((8, 8))})
+    assert PlanCache.key_for(plan, kernel, "k40m", 100) is None
+    cache = PlanCache()
+    assert cache.get(None) is None
+    cache.put(None, 1, 2)
+    assert len(cache) == 0
+    assert cache.stats()["uncacheable"] == 1
+
+
+# ----------------------------------------------------------------------
+# LRU mechanics
+# ----------------------------------------------------------------------
+def test_get_put_and_counters():
+    cache = PlanCache()
+    key = ("k",)
+    assert cache.get(key) is None
+    cache.put(key, 4, 2)
+    assert cache.get(key) == (4, 2)
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.5
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_lru_eviction_order():
+    cache = PlanCache(capacity=2)
+    cache.put(("a",), 1, 1)
+    cache.put(("b",), 2, 2)
+    assert cache.get(("a",)) == (1, 1)  # refresh a; b is now LRU
+    cache.put(("c",), 3, 3)
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) == (1, 1)
+    assert cache.get(("c",)) == (3, 3)
+    assert len(cache) == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_mismatched_key_never_returns_a_plan():
+    cache = PlanCache()
+    cache.put(("a",), 8, 4)
+    assert cache.get(("b",)) is None
+    assert cache.get(("a", "x")) is None
+    assert cache.get(("a",)) == (8, 4)
