@@ -47,12 +47,25 @@ fi
 
 echo "== CLI smoke: multi-tenant serve on the 3-tenant example =="
 serve_out="$(python -m repro serve examples/serve_workload.json)"
-if ! echo "$serve_out" | grep -q "requests         3 (3 ok, 0 failed)"; then
+if ! echo "$serve_out" | grep -q "requests         3 (3 ok, 0 failed, 0 shed, 0 cancelled)"; then
     echo "serve smoke did not complete all 3 tenants:" >&2
     echo "$serve_out" >&2
     exit 1
 fi
 # the serial baseline must also drain cleanly
 python -m repro serve examples/serve_workload.json --serial >/dev/null
+
+echo "== CLI smoke: serve survives a mid-run device loss =="
+chaos_serve="$(python -m repro serve examples/serve_workload.json \
+    --chaos failover --devices 2 --seed 1 --json)"
+python - <<EOF
+import json
+report = json.loads('''$chaos_serve''')
+assert report["migrated"] >= 1, "chaos serve smoke saw no migration"
+assert all(r["status"] == "ok" for r in report["requests"]), (
+    "chaos serve smoke lost a request: "
+    + str([r["status"] for r in report["requests"]])
+)
+EOF
 
 echo "CI checks passed."

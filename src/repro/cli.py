@@ -280,26 +280,44 @@ def _chaos(args) -> int:
 def _serve(args) -> int:
     """Replay a JSON workload through the multi-tenant scheduler.
 
+    ``--chaos PROFILE`` installs per-device seeded fault injectors
+    (``--seed``), turning on the scheduler's replay/failover/breaker
+    machinery; ``--devices N`` overrides the workload's pool size.
     Exit code 0 iff every request completed successfully.
     """
     import json
 
+    from repro.errors import ReproError
     from repro.obs import Observability
     from repro.serve import DevicePool, RegionScheduler, ServeConfig, load_workload
 
     try:
         spec = load_workload(args.workload)
-    except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError, TypeError, ReproError, json.JSONDecodeError) as exc:
         print(f"bad workload {args.workload!r}: {exc}", file=sys.stderr)
         return 2
+    devices = args.devices if args.devices is not None else spec.devices
+    plans = None
+    if args.chaos:
+        from repro.faults import pool_fault_plans
+
+        try:
+            plans = pool_fault_plans(args.chaos, seed=args.seed, count=devices)
+        except (KeyError, ValueError) as exc:
+            print(
+                exc.args[0] if exc.args else str(exc), file=sys.stderr
+            )
+            return 2
     obs = Observability() if args.trace else None
     config = ServeConfig(max_active=1 if args.serial else None)
     with DevicePool(
         spec.device,
-        count=spec.devices,
+        count=devices,
         budget_bytes=spec.budget_bytes,
         obs=obs,
     ) as pool:
+        if plans is not None:
+            pool.install_faults(plans)
         sched = RegionScheduler(pool, config)
         sched.submit_all(spec.requests)
         report = sched.run()
@@ -383,6 +401,16 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--json", action="store_true",
         help="print the full report as JSON instead of the summary table",
+    )
+    sv.add_argument(
+        "--chaos", default=None, metavar="PROFILE",
+        help="install per-device fault injectors from a named profile "
+        "(transient, jitter, pressure, chaos, failover)",
+    )
+    sv.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    sv.add_argument(
+        "--devices", type=int, default=None,
+        help="override the workload's pool size",
     )
     return p
 

@@ -258,13 +258,15 @@ def _axis_slice(ndim: int, dim: int, lo: int, hi: int) -> tuple:
     return tuple(idx)
 
 
-def _cleanup_after_failure(runtime: Runtime, device_arrays) -> None:
+def _cleanup_after_failure(runtime: Runtime, device_arrays, claim=None) -> None:
     """Best-effort teardown after a failed region.
 
     Drains the device without letting sync-point fault reporting mask
-    the original exception, claims any fault backlog, and releases the
-    region's device allocations so a degraded re-attempt (or the
-    caller) starts from a clean allocator.
+    the original exception, claims any fault backlog (via ``claim``
+    when given, so a scheduler can route co-tenant faults to their
+    owners instead of dropping them), and releases the region's device
+    allocations so a degraded re-attempt (or the caller) starts from a
+    clean allocator.
     """
     old_defer, runtime.defer_faults = runtime.defer_faults, True
     try:
@@ -274,7 +276,10 @@ def _cleanup_after_failure(runtime: Runtime, device_arrays) -> None:
             pass
     finally:
         runtime.defer_faults = old_defer
-    runtime.pop_faults()
+    try:
+        (claim or runtime.pop_faults)()
+    except Exception:
+        pass
     for arr in device_arrays:
         try:
             runtime.free(arr)
@@ -325,12 +330,18 @@ class PipelineIssuer:
         policy: Optional[FaultPolicy] = None,
         stream_prefix: str = "pipe",
         region_span: bool = True,
+        claim_faults=None,
     ) -> None:
         self.runtime = runtime
         self.plan = plan
         self.arrays = arrays
         self.kernel = kernel
         self.policy = policy
+        #: callable claiming this issuer's fault backlog.  Defaults to
+        #: ``runtime.pop_faults`` (sole tenant); a scheduler installs a
+        #: router here so one tenant's recovery never claims — and
+        #: silently drops — another tenant's faults.
+        self.claim_faults = claim_faults if claim_faults is not None else runtime.pop_faults
         self.profile = runtime.profile
         self.chunks = plan.chunks()
         self.streams_n = min(plan.num_streams, len(self.chunks))
@@ -410,8 +421,12 @@ class PipelineIssuer:
             return
         attempt = 0
         while True:
-            self.commands.append(issue())
-            bad = runtime.pop_faults()
+            cmd = issue()
+            self.commands.append(cmd)
+            # chunkless sentinel: lets a fault router attribute the
+            # blocking copy to this issuer without making it a replay unit
+            self.meta[cmd] = -1
+            bad = self.claim_faults()
             if not bad:
                 return
             self.faults_n += len(bad)
@@ -744,7 +759,7 @@ class PipelineIssuer:
                 self.commands.append(dcmd)
                 meta[dcmd] = chunk.index
 
-    def recover(self) -> None:
+    def recover(self, budget: Optional[int] = None) -> None:
         """Chunk-granular fault recovery (requires a policy).
 
         The pipeline has drained; map every faulted command back to its
@@ -752,13 +767,19 @@ class PipelineIssuer:
         kernel → d2h).  Faulted kernels never ran their payloads
         (poison propagation suppresses consumers of faulted data too),
         so replay is exact — even for accumulating kernels.
+
+        ``budget`` optionally caps the *total* number of chunk replays
+        this call may perform (on top of the per-chunk
+        ``policy.max_retries``); a scheduler uses it to enforce a
+        per-request retry budget.  Exceeding it raises
+        :class:`~repro.faults.RegionFailure`.
         """
         runtime, policy = self.runtime, self.policy
         tracer, m_on, chunks = self.tracer, self.m_on, self.chunks
         with self._overheads():
             chunk_status = {c.index: CHUNK_OK for c in chunks}
             attempts = {c.index: 0 for c in chunks}
-            pending = runtime.pop_faults()
+            pending = self.claim_faults()
             self.faults_n += len(pending)
             while pending:
                 if runtime.device.lost:
@@ -766,11 +787,28 @@ class PipelineIssuer:
                         "device lost during pipelined region",
                         pending=len(pending),
                     )
-                affected = sorted({self.meta[c] for c in pending if c in self.meta})
+                affected = sorted({
+                    k for k in (self.meta[c] for c in pending if c in self.meta)
+                    if k >= 0
+                })
                 if not affected:
-                    # faults on commands this region did not issue;
+                    # faults on commands this region did not issue (or
+                    # on blocking copies already retried in place);
                     # claimed above, nothing to replay here
                     break
+                if budget is not None and len(affected) > budget:
+                    for k in affected:
+                        chunk_status[k] = CHUNK_FAILED
+                    raise RegionFailure(
+                        f"{len(affected)} chunk(s) faulted but only "
+                        f"{budget} replay(s) left in the request budget",
+                        chunk_status=chunk_status,
+                        attempts=[
+                            f"buffer: request retry budget exhausted with "
+                            f"{len(affected)} chunk(s) pending"
+                        ],
+                        retries=self.retries_n,
+                    )
                 exhausted = [
                     k for k in affected if attempts[k] >= policy.max_retries
                 ]
@@ -792,6 +830,8 @@ class PipelineIssuer:
                         retries=self.retries_n,
                     )
                 for k in affected:
+                    if budget is not None:
+                        budget -= 1
                     attempts[k] += 1
                     delay = policy.backoff_for(attempts[k] - 1)
                     runtime.host_now += delay
@@ -812,7 +852,7 @@ class PipelineIssuer:
                     # waits, so concurrency here would race
                     runtime.synchronize()
                     chunk_status[k] = CHUNK_RECOVERED
-                pending = runtime.pop_faults()
+                pending = self.claim_faults()
                 self.faults_n += len(pending)
 
     def account_stalls(self) -> None:
@@ -862,6 +902,7 @@ class PipelineIssuer:
         _cleanup_after_failure(
             self.runtime,
             list(self.resident_dev.values()) + [r.darr for r in self.rings.values()],
+            claim=self.claim_faults,
         )
         if self.rspan is not None:
             self.tracer.end(self.rspan)

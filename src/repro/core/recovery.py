@@ -19,9 +19,12 @@ execution models through a :class:`~repro.faults.FaultPolicy`:
   ``buffer`` needs the least memory but the most moving parts,
   ``naive`` the reverse.
 
-Only :class:`~repro.gpu.errors.DeviceLostError` is terminal: nothing
-can be re-enqueued on a lost device, so it converts straight into
-:class:`~repro.faults.RegionFailure`.
+Only :class:`~repro.gpu.errors.DeviceLostError` is terminal *at this
+layer*: nothing can be re-enqueued on a lost device, so it converts
+straight into :class:`~repro.faults.RegionFailure`.  One level up,
+:class:`~repro.serve.RegionScheduler` treats device loss as
+non-terminal — it quarantines the dead device and restarts the region
+from chunk 0 on a healthy pool member (see ``docs/serve.md``).
 """
 
 from __future__ import annotations

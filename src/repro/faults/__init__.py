@@ -41,7 +41,14 @@ from __future__ import annotations
 from repro.faults.inject import FaultInjector, hash_u01
 from repro.faults.plan import FaultPlan, InjectedFault, PressureEvent
 from repro.faults.policy import FaultPolicy, RegionFailure
-from repro.faults.profiles import CHAOS_APPS, PROFILES, ChaosReport, fault_profile, run_chaos
+from repro.faults.profiles import (
+    CHAOS_APPS,
+    PROFILES,
+    ChaosReport,
+    fault_profile,
+    pool_fault_plans,
+    run_chaos,
+)
 
 __all__ = [
     "CHAOS_APPS",
@@ -55,5 +62,6 @@ __all__ = [
     "RegionFailure",
     "fault_profile",
     "hash_u01",
+    "pool_fault_plans",
     "run_chaos",
 ]

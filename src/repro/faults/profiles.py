@@ -15,13 +15,20 @@ dragging in :mod:`repro.apps`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan, PressureEvent
 from repro.faults.policy import FaultPolicy
 
-__all__ = ["CHAOS_APPS", "ChaosReport", "PROFILES", "fault_profile", "run_chaos"]
+__all__ = [
+    "CHAOS_APPS",
+    "ChaosReport",
+    "PROFILES",
+    "fault_profile",
+    "pool_fault_plans",
+    "run_chaos",
+]
 
 #: named fault-plan templates (seed applied by :func:`fault_profile`)
 PROFILES: Dict[str, FaultPlan] = {
@@ -50,6 +57,14 @@ PROFILES: Dict[str, FaultPlan] = {
         pressure_events=(
             PressureEvent(at_retirement=5, nbytes=1 << 30, release_at=40),
         ),
+    ),
+    # mild transients plus a mid-run device loss: exercises the serving
+    # layer's pool-level failover (on a multi-device pool only one
+    # device carries the loss; see :func:`pool_fault_plans`)
+    "failover": FaultPlan(
+        h2d_fault_rate=0.05,
+        kernel_fault_rate=0.02,
+        device_lost_at=8,
     ),
 }
 
@@ -101,6 +116,34 @@ def fault_profile(name: str, seed: int = 0) -> FaultPlan:
             f"unknown fault profile {name!r}; know {sorted(PROFILES)}"
         ) from None
     return plan.with_seed(seed)
+
+
+def pool_fault_plans(
+    name: str, *, seed: int = 0, count: int = 1
+) -> List[Optional[FaultPlan]]:
+    """Per-device fault plans for a :class:`~repro.serve.DevicePool`.
+
+    Each device gets the named profile under a distinct seed derived
+    from ``seed`` (independent but deterministic fault timelines).  If
+    the profile schedules a device loss and the pool has more than one
+    device, only one device — ``seed % count``, deterministic — keeps
+    the loss, so the pool always retains survivors to fail over to.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    template = fault_profile(name, seed)
+    lost_device = seed % count
+    plans: List[Optional[FaultPlan]] = []
+    for i in range(count):
+        plan = template.with_seed(seed * 1_000_003 + i)
+        if (
+            template.device_lost_at is not None
+            and count > 1
+            and i != lost_device
+        ):
+            plan = replace(plan, device_lost_at=None)
+        plans.append(plan)
+    return plans
 
 
 def _app_setup(app: str, device: str, obs):

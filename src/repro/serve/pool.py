@@ -9,6 +9,14 @@ reservations — and therefore the device's data peak — never exceeds
 the budget.  Engines are shared naturally: every admitted region
 enqueues onto the same simulated device, so one tenant's kernels hide
 another's transfers exactly as on real shared hardware.
+
+The pool also carries the serving layer's *fault surface*:
+:meth:`DevicePool.install_faults` installs per-device seeded
+:class:`~repro.faults.FaultInjector` instances (so a chaos profile
+yields independent but deterministic fault timelines per device), and
+:attr:`DevicePool.health` tracks which devices are still in service —
+a device the injector kills is marked ``"lost"`` by the scheduler and
+never placed on again, but the pool itself stays up.
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ from repro.sim.device import Device
 from repro.sim.profiles import DeviceProfile, profile_by_name
 
 __all__ = ["DevicePool"]
+
+#: device health states tracked by the pool
+HEALTH_OK = "ok"
+HEALTH_LOST = "lost"
 
 
 class DevicePool:
@@ -80,9 +92,61 @@ class DevicePool:
                     f"memory {rt.device.memory.free} B"
                 )
         self.reserved: List[int] = [0] * len(self.runtimes)
+        #: per-device health: ``"ok"`` or ``"lost"`` (set by the scheduler)
+        self.health: List[str] = [HEALTH_OK] * len(self.runtimes)
+        #: per-device installed fault injectors (``None`` = fault-free)
+        self.injectors: List[Optional[object]] = [None] * len(self.runtimes)
 
     def __len__(self) -> int:
         return len(self.runtimes)
+
+    # ------------------------------------------------------------------
+    # fault injection and device health
+    # ------------------------------------------------------------------
+    def install_faults(self, plans) -> List[Optional[object]]:
+        """Install fault plans on the pool's devices.
+
+        ``plans`` is either one :class:`~repro.faults.FaultPlan`
+        (re-stamped with a distinct per-device seed derived from its
+        own, so devices fault independently but deterministically) or a
+        sequence of per-device ``Optional[FaultPlan]`` entries.
+        Inactive/``None`` entries leave that device fault-free.
+        Returns the installed injectors (``None`` where fault-free).
+        """
+        from repro.faults.plan import FaultPlan
+
+        if isinstance(plans, FaultPlan):
+            plans = [
+                plans.with_seed(plans.seed * 1_000_003 + i)
+                for i in range(len(self.runtimes))
+            ]
+        plans = list(plans)
+        if len(plans) != len(self.runtimes):
+            raise ValueError(
+                f"got {len(plans)} fault plan(s) for {len(self.runtimes)} device(s)"
+            )
+        for i, plan in enumerate(plans):
+            if plan is None or not plan.active:
+                continue
+            self.injectors[i] = self.runtimes[i].install_faults(plan)
+        return list(self.injectors)
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any device carries a fault injector."""
+        return any(inj is not None for inj in self.injectors)
+
+    def mark_lost(self, device: int) -> None:
+        """Take ``device`` permanently out of service."""
+        self.health[device] = HEALTH_LOST
+
+    def is_lost(self, device: int) -> bool:
+        """Whether ``device`` has been marked lost."""
+        return self.health[device] == HEALTH_LOST
+
+    def alive(self) -> List[int]:
+        """Indices of devices not marked lost."""
+        return [i for i, h in enumerate(self.health) if h != HEALTH_LOST]
 
     # ------------------------------------------------------------------
     # reservation accounting

@@ -44,7 +44,10 @@ class RegionRequest:
         proportionally larger share of chunk-issue slots.
     deadline:
         Optional deadline in virtual seconds on the serving device's
-        clock.  Advisory: the result records whether it was met.
+        clock.  With ``ServeConfig(enforce_deadlines=True)`` (the
+        default) a provably unreachable deadline cancels the request
+        at the next chunk boundary and sheds it from the queue; with
+        enforcement off the result merely records whether it was met.
     arrival:
         Virtual arrival time (defaults to region start); queue wait is
         measured from it.
@@ -74,12 +77,22 @@ class RequestResult:
     served the request.  ``queue_wait`` covers submit → admission
     (including any planning the admission performed); ``service``
     covers admission → completion (staging, pipeline, drain).
+
+    ``status`` is one of:
+
+    - ``"ok"`` — completed (``migrated=True`` when it failed over from
+      a lost device and completed elsewhere);
+    - ``"failed"`` — planning or execution failed terminally;
+    - ``"cancelled"`` — in-flight region cut at a chunk boundary once
+      its deadline became provably unreachable;
+    - ``"shed"`` — dropped while still waiting (deadline already
+      passed, or deterministic load shedding under ``max_waiting``).
     """
 
     request_id: int
     tenant: str
     label: str
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "cancelled" | "shed"
     priority: int
     device: int = -1
     admitted: float = 0.0
@@ -97,6 +110,12 @@ class RequestResult:
     deadline: Optional[float] = None
     deadline_met: Optional[bool] = None
     error: str = ""
+    #: whether the request failed over from a lost device
+    migrated: bool = False
+    #: faulted commands absorbed (injected + poisoned) serving this request
+    faults: int = 0
+    #: recovery replays performed (chunk replays + blocking reissues)
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -130,4 +149,9 @@ class RequestResult:
             d["deadline_met"] = self.deadline_met
         if self.error:
             d["error"] = self.error
+        if self.migrated:
+            d["migrated"] = True
+        if self.faults or self.retries:
+            d["faults"] = self.faults
+            d["retries"] = self.retries
         return d

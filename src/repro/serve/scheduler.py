@@ -29,6 +29,31 @@ a shared :class:`~repro.serve.DevicePool`:
   which is the back-to-back serial baseline the differential tests and
   the throughput benchmark compare against.
 
+When the pool carries fault injectors the scheduler additionally runs
+a **failure-handling state machine** (all of it inert — and the
+schedule bit-identical — on fault-free pools):
+
+- **chunk replay in place**: at retirement the issuer's
+  :meth:`~repro.core.executor.PipelineIssuer.recover` replays faulted
+  chunks under the request's retry budget; a per-issuer *fault router*
+  makes sure one tenant's recovery never claims another tenant's
+  faults off the shared runtime.
+- **failover**: ``DeviceLostError`` is non-terminal at the pool level.
+  The dead device is marked lost, its reservations released, and its
+  in-flight and waiting requests re-queued (restarting from chunk 0 —
+  ring-buffer slots died with the device) to be placed on healthy
+  devices; completed migrations report ``migrated=True``.
+- **circuit breaker**: ``breaker_threshold`` faults within a sliding
+  ``breaker_window`` of a device's virtual time quarantine that device
+  for ``breaker_cooldown`` seconds; placement skips it until the
+  cooldown expires, then probes it back into service.
+- **deadline enforcement**: an in-flight region is cancelled at the
+  next chunk boundary once ``elapsed + remaining-chunk lower bound``
+  (from the plan's cost model) provably exceeds its deadline, and
+  still-waiting requests whose deadline already passed are shed.
+- **bounded admission**: ``max_waiting`` caps the queue; overload
+  sheds the lowest-effective-priority request deterministically.
+
 Everything is virtual-time deterministic: the loop consults no wall
 clock and breaks every tie by submission/admission order, so the same
 workload produces the bit-identical schedule, trace, and report every
@@ -45,6 +70,9 @@ from repro.core.executor import PipelineIssuer
 from repro.core.memlimit import MemLimitError, tune_plan
 from repro.core.plan import RegionPlan
 from repro.directives.clauses import DirectiveError
+from repro.faults.plan import KIND_DEVICE_LOST
+from repro.faults.policy import FaultPolicy, RegionFailure
+from repro.gpu.errors import DeviceLostError, KernelFaultError, TransferError
 from repro.serve.cache import PlanCache
 from repro.serve.pool import DevicePool
 from repro.serve.request import RegionRequest, RequestResult
@@ -81,6 +109,30 @@ class ServeConfig:
         Stream-count ceiling for the autotune ladder.
     issue_quantum:
         Chunks issued per scheduling turn for the selected region.
+    fault_policy:
+        Per-chunk replay policy used when the pool carries fault
+        injectors (``None`` = a default :class:`~repro.faults.FaultPolicy`
+        when faults are installed; ignored on fault-free pools).
+    max_request_retries:
+        Total recovery replays (chunk replays + blocking reissues) one
+        request may consume across its lifetime, on top of the
+        policy's per-chunk cap (``None`` = unlimited).
+    breaker_threshold:
+        Circuit breaker: quarantine a device after this many faults
+        within ``breaker_window`` virtual seconds of its clock.
+    breaker_window:
+        Sliding window (virtual seconds) for the breaker count.
+    breaker_cooldown:
+        Quarantine duration (virtual seconds) before the device is
+        probed back into service.
+    enforce_deadlines:
+        Cancel in-flight regions whose deadline is provably
+        unreachable (remaining-chunk lower bound) and shed waiting
+        requests whose deadline already passed.  Off, deadlines are
+        advisory (``deadline_met`` is still recorded).
+    max_waiting:
+        Admission-queue bound; when full, the lowest-effective-priority
+        waiting request is shed deterministically (``None`` = unbounded).
     """
 
     max_active: Optional[int] = None
@@ -90,6 +142,13 @@ class ServeConfig:
     plan_charge: float = 2e-5
     max_streams: int = 4
     issue_quantum: int = 1
+    fault_policy: Optional[FaultPolicy] = None
+    max_request_retries: Optional[int] = None
+    breaker_threshold: int = 3
+    breaker_window: float = 0.02
+    breaker_cooldown: float = 0.05
+    enforce_deadlines: bool = True
+    max_waiting: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_active is not None and self.max_active < 1:
@@ -100,6 +159,16 @@ class ServeConfig:
             raise ValueError("issue_quantum must be >= 1")
         if self.plan_charge < 0:
             raise ValueError("plan_charge must be >= 0")
+        if self.max_request_retries is not None and self.max_request_retries < 0:
+            raise ValueError("max_request_retries must be >= 0 (or None)")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_window <= 0:
+            raise ValueError("breaker_window must be > 0")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
+        if self.max_waiting is not None and self.max_waiting < 1:
+            raise ValueError("max_waiting must be >= 1 (or None)")
 
 
 @dataclass
@@ -119,11 +188,75 @@ class ServeReport:
     cache: Dict[str, object]
     plan_seconds: float
     dry_runs: int
+    #: per-device health at the end of the run ("ok" / "quarantined" / "lost")
+    device_health: List[str] = field(default_factory=list)
+    #: per-device circuit-breaker trip counts
+    breaker_trips: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """Whether every request completed successfully."""
         return all(r.ok for r in self.results)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def failed(self) -> int:
+        """Requests that failed terminally."""
+        return self._count("failed")
+
+    @property
+    def shed(self) -> int:
+        """Requests shed while still waiting."""
+        return self._count("shed")
+
+    @property
+    def cancelled(self) -> int:
+        """In-flight requests cancelled at a chunk boundary."""
+        return self._count("cancelled")
+
+    @property
+    def migrated(self) -> int:
+        """Requests that failed over from a lost device."""
+        return sum(1 for r in self.results if r.migrated)
+
+    @property
+    def deadlines_missed(self) -> int:
+        """Deadline-carrying requests that did not provably meet it."""
+        return sum(
+            1 for r in self.results
+            if r.deadline is not None and r.deadline_met is not True
+        )
+
+    @property
+    def faults(self) -> int:
+        """Total faulted commands absorbed across all requests."""
+        return sum(r.faults for r in self.results)
+
+    @property
+    def retries(self) -> int:
+        """Total recovery replays across all requests."""
+        return sum(r.retries for r in self.results)
+
+    @property
+    def tenants(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant outcome / fault / failover / deadline counters."""
+        out: Dict[str, Dict[str, int]] = {}
+        for r in self.results:
+            t = out.setdefault(r.tenant, {
+                "ok": 0, "failed": 0, "shed": 0, "cancelled": 0,
+                "migrated": 0, "deadlines_missed": 0,
+                "faults": 0, "retries": 0,
+            })
+            t[r.status] += 1
+            if r.migrated:
+                t["migrated"] += 1
+            if r.deadline is not None and r.deadline_met is not True:
+                t["deadlines_missed"] += 1
+            t["faults"] += r.faults
+            t["retries"] += r.retries
+        return out
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe digest (stable key order for golden comparison)."""
@@ -136,6 +269,16 @@ class ServeReport:
             "plan_seconds": self.plan_seconds,
             "dry_runs": self.dry_runs,
             "requests": [r.to_dict() for r in self.results],
+            "failed": self.failed,
+            "shed": self.shed,
+            "cancelled": self.cancelled,
+            "migrated": self.migrated,
+            "deadlines_missed": self.deadlines_missed,
+            "faults": self.faults,
+            "retries": self.retries,
+            "device_health": list(self.device_health),
+            "breaker_trips": [int(n) for n in self.breaker_trips],
+            "tenants": {t: dict(c) for t, c in sorted(self.tenants.items())},
         }
 
     def summary(self) -> str:
@@ -143,19 +286,37 @@ class ServeReport:
         lines = [
             f"requests         {len(self.results)} "
             f"({sum(1 for r in self.results if r.ok)} ok, "
-            f"{sum(1 for r in self.results if not r.ok)} failed)",
+            f"{self.failed} failed, {self.shed} shed, "
+            f"{self.cancelled} cancelled)",
             f"makespan         {self.makespan * 1e3:.3f} ms",
             f"plan cache       {self.cache.get('hits', 0)} hit(s), "
             f"{self.cache.get('misses', 0)} miss(es) "
             f"(hit rate {float(self.cache.get('hit_rate', 0.0)):.0%}), "
             f"{self.dry_runs} dry run(s)",
         ]
+        if any(r.deadline is not None for r in self.results):
+            tracked = sum(1 for r in self.results if r.deadline is not None)
+            lines.append(
+                f"deadlines        {tracked} tracked, "
+                f"{self.deadlines_missed} missed"
+            )
+        if self.migrated or self.faults or any(
+            h != "ok" for h in self.device_health
+        ):
+            lines.append(
+                f"fault tolerance  {self.faults} fault(s) absorbed, "
+                f"{self.retries} replay(s), {self.migrated} migration(s)"
+            )
         for i, (el, pk, bd) in enumerate(
             zip(self.device_elapsed, self.device_peaks, self.budgets)
         ):
+            health = (
+                self.device_health[i] if i < len(self.device_health) else "ok"
+            )
+            tag = f" [{health}]" if health != "ok" else ""
             lines.append(
                 f"device {i}         elapsed {el * 1e3:.3f} ms, "
-                f"peak {pk / 1e6:.1f} MB of {bd / 1e6:.1f} MB budget"
+                f"peak {pk / 1e6:.1f} MB of {bd / 1e6:.1f} MB budget{tag}"
             )
         hdr = (
             f"{'id':>3} {'tenant':<10} {'label':<10} {'prio':>4} {'dev':>3} "
@@ -163,11 +324,12 @@ class ServeReport:
         )
         lines.append(hdr)
         for r in self.results:
+            status = r.status + (" (migrated)" if r.migrated else "")
             lines.append(
                 f"{r.request_id:>3} {r.tenant:<10.10} {r.label:<10.10} "
                 f"{r.priority:>4} {r.device:>3} "
                 f"{r.queue_wait * 1e3:>9.3f} {r.service * 1e3:>12.3f} "
-                f"{'hit' if r.cache_hit else 'miss':>5}  {r.status}"
+                f"{'hit' if r.cache_hit else 'miss':>5}  {status}"
             )
         return "\n".join(lines)
 
@@ -186,6 +348,11 @@ class _Waiting:
     ever_planned: bool = False
     #: device index -> tuned plan, filled lazily by the placement pass
     planned: Dict[int, RegionPlan] = field(default_factory=dict)
+    #: whether this request was re-queued off a lost device
+    migrated: bool = False
+    #: faults/replays accumulated on earlier (abandoned) attempts
+    faults_seen: int = 0
+    retries_used: int = 0
 
 
 @dataclass
@@ -199,6 +366,9 @@ class _Active:
     plan: RegionPlan
     reserved: int
     admit_t: float
+    #: faulted commands owned by this issuer, claimed off the runtime
+    #: by another tenant's sync and parked here for its own recovery
+    backlog: List = field(default_factory=list)
 
 
 class RegionScheduler:
@@ -233,15 +403,44 @@ class RegionScheduler:
         self._admit_seq = 0
         self.plan_seconds = 0.0
         self.dry_runs = 0
+        # fault-tolerance state (inert on fault-free pools)
+        self._policy: Optional[FaultPolicy] = self.config.fault_policy
+        self._fault_mode = False
+        n = len(pool)
+        #: per-device recent fault times (sliding breaker window)
+        self._fault_times: List[List[float]] = [[] for _ in range(n)]
+        #: per-device quarantine expiry on that device's clock (None = in service)
+        self._quarantined_until: List[Optional[float]] = [None] * n
+        self._breaker_trips: List[int] = [0] * n
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit(self, request: RegionRequest) -> int:
-        """Queue a request; returns its request id (submission order)."""
+        """Queue a request; returns its request id (submission order).
+
+        With ``max_waiting`` set, submitting to a full queue sheds the
+        lowest-effective-priority request (the incoming one included;
+        ties shed the youngest) — deterministic load shedding.
+        """
         seq = self._seq
         self._seq += 1
-        self._waiting.append(_Waiting(seq=seq, req=request))
+        w = _Waiting(seq=seq, req=request)
+        limit = self.config.max_waiting
+        if limit is not None and len(self._waiting) >= limit:
+            victim = min(
+                self._waiting + [w],
+                key=lambda x: (self._effective_priority(x), -x.seq),
+            )
+            if victim is not w:
+                self._waiting.remove(victim)
+                self._waiting.append(w)
+            self._shed(
+                victim,
+                f"admission queue full (max_waiting={limit})",
+            )
+        else:
+            self._waiting.append(w)
         return seq
 
     def submit_all(self, requests) -> List[int]:
@@ -300,6 +499,84 @@ class RegionScheduler:
         return plan
 
     # ------------------------------------------------------------------
+    # device health: loss, quarantine, fault routing
+    # ------------------------------------------------------------------
+    def _in_service(self, device: int) -> bool:
+        """Whether placement may use ``device`` right now.
+
+        Lost devices never return; a quarantined device is probed back
+        into service once its own clock passes the quarantine expiry.
+        """
+        if self.pool.is_lost(device):
+            return False
+        until = self._quarantined_until[device]
+        if until is not None:
+            if self.pool.runtimes[device].elapsed >= until:
+                # cooldown over: probe the device back into service
+                self._quarantined_until[device] = None
+                self._fault_times[device] = []
+                if self.obs.metrics.enabled:
+                    self.obs.metrics.counter("serve.breaker.closes").inc()
+            else:
+                return False
+        return True
+
+    def _record_device_fault(self, device: int, t: float) -> None:
+        """Feed one fault into the device's circuit-breaker window."""
+        cfg = self.config
+        times = self._fault_times[device]
+        times.append(t)
+        cutoff = t - cfg.breaker_window
+        while times and times[0] < cutoff:
+            times.pop(0)
+        if (
+            len(times) >= cfg.breaker_threshold
+            and self._quarantined_until[device] is None
+        ):
+            rt = self.pool.runtimes[device]
+            self._quarantined_until[device] = rt.elapsed + cfg.breaker_cooldown
+            self._breaker_trips[device] += 1
+            times.clear()
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("serve.breaker.trips").inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    f"breaker:dev{device}", "serve",
+                    device=device, until=self._quarantined_until[device],
+                )
+
+    def _claim_for(self, issuer: PipelineIssuer, device: int) -> List:
+        """Fault router: claim ``issuer``'s faults off its runtime.
+
+        ``Runtime.pop_faults`` hands over *every* unclaimed fault on
+        the device — including other tenants'.  This router pops them
+        once, feeds real faults to the circuit breaker, parks faults
+        owned by other issuers in their actives' backlogs, and returns
+        the asking issuer's own faults plus anything previously parked
+        for it.  Orphans (commands no live issuer owns) go to the asker,
+        which claims-and-ignores them exactly as ``recover`` always did.
+        """
+        rec = next((a for a in self._active if a.issuer is issuer), None)
+        out: List = []
+        if rec is not None and rec.backlog:
+            out.extend(rec.backlog)
+            rec.backlog = []
+        for cmd in self.pool.runtimes[device].pop_faults():
+            err = getattr(cmd, "error", None)
+            if err is not None and err.kind != KIND_DEVICE_LOST:
+                self._record_device_fault(device, cmd.finish_time)
+            owner = None
+            for a in self._active:
+                if a.device == device and cmd in a.issuer.meta:
+                    owner = a
+                    break
+            if owner is not None and owner is not rec:
+                owner.backlog.append(cmd)
+            else:
+                out.append(cmd)
+        return out
+
+    # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
     def _effective_priority(self, w: _Waiting) -> int:
@@ -315,10 +592,10 @@ class RegionScheduler:
             if w.oom_deferred:
                 continue
             try:
-                # plan against the fullest device first; fall back to any
-                # device whose current headroom fits the tuned plan
+                # plan against the fullest in-service device first; fall
+                # back to any device whose current headroom fits the plan
                 order = sorted(
-                    range(len(self.pool)),
+                    (i for i in range(len(self.pool)) if self._in_service(i)),
                     key=lambda i: (-self.pool.headroom(i), i),
                 )
                 placed = None
@@ -367,10 +644,16 @@ class RegionScheduler:
             rt.host_now += charge
             self.plan_seconds += charge
             w.dry_runs = 0  # charge once
+        policy = self._policy if self._fault_mode else None
         issuer = PipelineIssuer(
             rt, plan, w.req.arrays, w.req.kernel,
             stream_prefix=f"t{w.seq}.pipe", region_span=False,
+            policy=policy,
         )
+        if policy is not None:
+            issuer.claim_faults = (
+                lambda i=issuer, d=device: self._claim_for(i, d)
+            )
         try:
             issuer.open()
         except OutOfDeviceMemory:
@@ -383,6 +666,15 @@ class RegionScheduler:
                 w.oom_deferred = True
                 return False
             self._fail(w, MemLimitError(nbytes, self.pool.budgets[device]))
+            return False
+        except DeviceLostError:
+            # the device died while staging: fail over, not fail
+            issuer.abort()
+            self.pool.release(device, nbytes)
+            w.faults_seen += issuer.faults_n
+            w.retries_used += issuer.retries_n
+            w.migrated = True
+            self._device_lost(device)
             return False
         except Exception as exc:
             issuer.abort()
@@ -405,27 +697,218 @@ class RegionScheduler:
     # ------------------------------------------------------------------
     # completion
     # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        """Least-advanced healthy device clock (decision time for
+        queue-side outcomes, which belong to no single device)."""
+        alive = self.pool.alive()
+        if not alive:
+            return self.pool.elapsed
+        return min(self.pool.runtimes[i].elapsed for i in alive)
+
     def _fail(self, w: _Waiting, exc: Exception) -> None:
         if w in self._waiting:
             self._waiting.remove(w)
         req = w.req
-        self._results.append(RequestResult(
+        finished = self._clock()
+        result = RequestResult(
             request_id=w.seq,
             tenant=req.tenant,
             label=req.label,
             status="failed",
             priority=req.priority,
+            finished=finished,
+            queue_wait=max(0.0, finished - req.arrival),
             overtaken=w.overtaken,
             deadline=req.deadline,
+            deadline_met=False if req.deadline is not None else None,
             error=f"{type(exc).__name__}: {exc}",
-        ))
+            migrated=w.migrated,
+            faults=w.faults_seen,
+            retries=w.retries_used,
+        )
+        self._results.append(result)
+        self._observe(result)
+
+    def _shed(self, w: _Waiting, reason: str) -> None:
+        """Drop a still-waiting request (overload or hopeless deadline)."""
+        if w in self._waiting:
+            self._waiting.remove(w)
+        req = w.req
+        finished = self._clock()
+        result = RequestResult(
+            request_id=w.seq,
+            tenant=req.tenant,
+            label=req.label,
+            status="shed",
+            priority=req.priority,
+            finished=finished,
+            queue_wait=max(0.0, finished - req.arrival),
+            overtaken=w.overtaken,
+            deadline=req.deadline,
+            deadline_met=False if req.deadline is not None else None,
+            error=reason,
+            migrated=w.migrated,
+            faults=w.faults_seen,
+            retries=w.retries_used,
+        )
+        self._results.append(result)
+        self._observe(result)
+
+    def _release_active(self, a: _Active) -> None:
+        """Abort an in-flight region and hand its memory back."""
+        a.issuer.abort()
+        self.pool.release(a.device, a.reserved)
+        self._active.remove(a)
+        # memory was released: blocked requests may fit now
+        for w2 in self._waiting:
+            w2.oom_deferred = False
+
+    def _cancel(self, a: _Active, reason: str) -> None:
+        """Cut an in-flight region at the current chunk boundary."""
+        self._release_active(a)
+        rt = self.pool.runtimes[a.device]
+        finish_t = rt.elapsed
+        w, req = a.waiting, a.waiting.req
+        result = RequestResult(
+            request_id=w.seq,
+            tenant=req.tenant,
+            label=req.label,
+            status="cancelled",
+            priority=req.priority,
+            device=a.device,
+            admitted=a.admit_t,
+            finished=finish_t,
+            queue_wait=max(0.0, a.admit_t - req.arrival),
+            service=finish_t - a.admit_t,
+            cache_hit=w.cache_hit,
+            chunk_size=a.plan.chunk_size,
+            num_streams=a.issuer.streams_n,
+            nchunks=a.issuer.issued,
+            device_bytes=a.reserved,
+            overtaken=w.overtaken,
+            commands=len(a.issuer.commands),
+            deadline=req.deadline,
+            deadline_met=False if req.deadline is not None else None,
+            error=reason,
+            migrated=w.migrated,
+            faults=w.faults_seen + a.issuer.faults_n,
+            retries=w.retries_used + a.issuer.retries_n,
+        )
+        self._results.append(result)
+        self._observe(result)
+
+    def _fail_active(self, a: _Active, exc: Exception) -> None:
+        """Terminal in-flight failure (retry budget / policy exhausted)."""
+        self._release_active(a)
+        rt = self.pool.runtimes[a.device]
+        finish_t = rt.elapsed
+        w, req = a.waiting, a.waiting.req
+        result = RequestResult(
+            request_id=w.seq,
+            tenant=req.tenant,
+            label=req.label,
+            status="failed",
+            priority=req.priority,
+            device=a.device,
+            admitted=a.admit_t,
+            finished=finish_t,
+            queue_wait=max(0.0, a.admit_t - req.arrival),
+            service=finish_t - a.admit_t,
+            cache_hit=w.cache_hit,
+            chunk_size=a.plan.chunk_size,
+            num_streams=a.issuer.streams_n,
+            nchunks=a.issuer.issued,
+            device_bytes=a.reserved,
+            overtaken=w.overtaken,
+            commands=len(a.issuer.commands),
+            deadline=req.deadline,
+            deadline_met=False if req.deadline is not None else None,
+            error=f"{type(exc).__name__}: {exc}",
+            migrated=w.migrated,
+            faults=w.faults_seen + a.issuer.faults_n,
+            retries=w.retries_used + a.issuer.retries_n,
+        )
+        self._results.append(result)
+        self._observe(result)
+
+    def _device_lost(self, device: int) -> None:
+        """Pool-level failover: quarantine the device, re-queue its work.
+
+        Every in-flight region on the device is aborted (its ring
+        slots died with the device), its reservation released, and its
+        request re-queued to restart from chunk 0 on a healthy device.
+        Restarting is exact: resident arrays only copy back at
+        finalize (which never ran) and pipelined outputs are pure
+        functions of unmodified inputs.
+        """
+        if self.pool.is_lost(device):
+            return
+        self.pool.mark_lost(device)
+        self._quarantined_until[device] = None
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter("serve.device_lost").inc()
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                f"device-lost:dev{device}", "serve", device=device,
+            )
+        victims = sorted(
+            (a for a in self._active if a.device == device),
+            key=lambda a: a.admit_seq,
+        )
+        for a in victims:
+            a.issuer.abort()
+            self.pool.release(device, a.reserved)
+            self._active.remove(a)
+            w = a.waiting
+            w.faults_seen += a.issuer.faults_n
+            w.retries_used += a.issuer.retries_n
+            w.migrated = True
+            w.oom_deferred = False
+            self._waiting.append(w)
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("serve.failover").inc()
+        # plans for the dead device are useless now
+        for w in self._waiting:
+            w.planned.pop(device, None)
+        self._waiting.sort(key=lambda w: w.seq)
+        if not self.pool.alive():
+            for w in list(self._waiting):
+                self._fail(w, DeviceLostError(
+                    f"device {device} lost and no healthy devices remain"
+                ))
+
+    def _check_lost_devices(self) -> None:
+        """Catch devices the injector killed outside a handled call."""
+        for di, rt in enumerate(self.pool.runtimes):
+            if rt.device.lost and not self.pool.is_lost(di):
+                self._device_lost(di)
 
     def _retire(self, a: _Active) -> None:
-        """Drain, finalize, account, and release one active region."""
+        """Drain, recover, finalize, account, and release one region."""
         rt = self.pool.runtimes[a.device]
-        a.issuer.drain()
-        a.issuer.account_stalls()
-        a.issuer.finalize()
+        try:
+            a.issuer.drain()
+            if self._fault_mode and self.pool.injectors[a.device] is not None:
+                budget = None
+                if self.config.max_request_retries is not None:
+                    budget = max(
+                        0,
+                        self.config.max_request_retries
+                        - a.waiting.retries_used - a.issuer.retries_n,
+                    )
+                a.issuer.recover(budget=budget)
+            a.issuer.account_stalls()
+            a.issuer.finalize()
+        except DeviceLostError:
+            self._device_lost(a.device)
+            return
+        except RegionFailure as exc:
+            self._fail_active(a, exc)
+            return
+        except (TransferError, KernelFaultError) as exc:
+            # a blocking resident copy exhausted its per-copy retries
+            self._fail_active(a, exc)
+            return
         finish_t = rt.elapsed
         self.pool.release(a.device, a.reserved)
         w, req = a.waiting, a.waiting.req
@@ -456,6 +939,9 @@ class RegionScheduler:
             deadline=req.deadline,
             deadline_met=(finish_t <= req.deadline)
             if req.deadline is not None else None,
+            migrated=w.migrated,
+            faults=w.faults_seen + a.issuer.faults_n,
+            retries=w.retries_used + a.issuer.retries_n,
         )
         self._results.append(result)
         self._active.remove(a)
@@ -467,25 +953,110 @@ class RegionScheduler:
     def _observe(self, r: RequestResult) -> None:
         tracer, metrics = self.obs.tracer, self.obs.metrics
         if tracer.enabled:
-            tracer.emit(
-                f"request:{r.request_id}:{r.tenant}",
-                category="serve",
-                track=f"serve:dev{r.device}",
-                start=r.admitted,
-                end=r.finished,
-                tenant=r.tenant,
-                label=r.label,
-                priority=r.priority,
-                cache_hit=r.cache_hit,
-                nchunks=r.nchunks,
-            )
+            if r.device >= 0:
+                # the request was admitted: a real span on its device
+                tracer.emit(
+                    f"request:{r.request_id}:{r.tenant}",
+                    category="serve",
+                    track=f"serve:dev{r.device}",
+                    start=r.admitted,
+                    end=r.finished,
+                    tenant=r.tenant,
+                    label=r.label,
+                    priority=r.priority,
+                    cache_hit=r.cache_hit,
+                    nchunks=r.nchunks,
+                    status=r.status,
+                )
+            else:
+                # never admitted (failed planning / shed while waiting)
+                tracer.instant(
+                    f"request:{r.request_id}:{r.tenant}",
+                    "serve",
+                    tenant=r.tenant,
+                    label=r.label,
+                    priority=r.priority,
+                    status=r.status,
+                    error=r.error,
+                )
         if metrics.enabled:
             metrics.counter("serve.requests").inc()
-            metrics.counter(
-                "serve.cache.hits" if r.cache_hit else "serve.cache.misses"
-            ).inc()
-            metrics.histogram("serve.queue_wait.seconds").observe(r.queue_wait)
-            metrics.histogram("serve.service.seconds").observe(r.service)
+            metrics.counter(f"serve.requests.{r.status}").inc()
+            metrics.counter(f"serve.tenant.{r.tenant}.{r.status}").inc()
+            if r.status == "ok":
+                metrics.counter(
+                    "serve.cache.hits" if r.cache_hit else "serve.cache.misses"
+                ).inc()
+                metrics.histogram("serve.queue_wait.seconds").observe(r.queue_wait)
+                metrics.histogram("serve.service.seconds").observe(r.service)
+            if r.migrated:
+                metrics.counter("serve.migrated").inc()
+            if r.deadline is not None and r.deadline_met is not True:
+                metrics.counter("serve.deadlines_missed").inc()
+                metrics.counter(f"serve.tenant.{r.tenant}.deadlines_missed").inc()
+            if r.faults:
+                metrics.counter("serve.faults").inc(r.faults)
+            if r.retries:
+                metrics.counter("serve.retries").inc(r.retries)
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+    def _remaining_lower_bound(self, a: _Active) -> float:
+        """Cost-model lower bound on ``a``'s unissued chunks.
+
+        Pure kernel occupancy of the chunks not yet issued — transfers
+        and queueing can only add to it, so ``elapsed + bound`` is a
+        certified lower bound on the finish time.
+        """
+        kernel = a.waiting.req.kernel
+        profile = self.pool.runtimes[a.device].profile
+        return sum(
+            kernel.chunk_cost(profile, c.t0, c.t1, translated=True)
+            for c in a.issuer.chunks[a.issuer.issued:]
+        )
+
+    def _enforce_deadlines(self) -> None:
+        """Cancel provably-late in-flight regions; shed hopeless waiters."""
+        now = self._clock()
+        for w in list(self._waiting):
+            if w.req.deadline is not None and now > w.req.deadline:
+                self._shed(
+                    w,
+                    f"deadline {w.req.deadline:.6g}s already passed "
+                    f"at {now:.6g}s",
+                )
+        for a in sorted(self._active, key=lambda a: a.admit_seq):
+            deadline = a.waiting.req.deadline
+            if deadline is None or not a.issuer.remaining:
+                continue
+            rt = self.pool.runtimes[a.device]
+            bound = rt.elapsed + self._remaining_lower_bound(a)
+            if bound > deadline:
+                self._cancel(
+                    a,
+                    f"deadline {deadline:.6g}s unreachable: "
+                    f"lower bound {bound:.6g}s with "
+                    f"{a.issuer.remaining} chunk(s) unissued",
+                )
+
+    def _advance_past_quarantine(self) -> bool:
+        """Idle pool, nothing fits, a device is quarantined: advance its
+        clock to the quarantine expiry so it can be probed back.  True
+        if a clock moved (the caller should retry admission)."""
+        pending = [
+            (until, di)
+            for di, until in enumerate(self._quarantined_until)
+            if until is not None and not self.pool.is_lost(di)
+        ]
+        if not pending:
+            return False
+        until, di = min(pending)
+        rt = self.pool.runtimes[di]
+        if rt.host_now < until:
+            rt.host_now = until
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # main loop
@@ -493,37 +1064,73 @@ class RegionScheduler:
     def run(self) -> ServeReport:
         """Serve every submitted request to completion.
 
-        Deterministic: the loop alternates admission, weighted-fair
-        chunk issue, and FIFO retirement until the queue drains.
+        Deterministic: the loop alternates deadline enforcement,
+        admission, weighted-fair chunk issue, and FIFO retirement until
+        the queue drains.  On a fault-free pool the failure-handling
+        branches are all inert and the schedule is bit-identical to the
+        pre-fault-tolerance scheduler.
         """
         cfg = self.config
-        while self._waiting or self._active:
-            admitted = self._admit()
-            issuable = [a for a in self._active if a.issuer.remaining]
-            if issuable:
-                a = min(
-                    issuable,
-                    key=lambda a: (
-                        a.issuer.issued / (1 + a.waiting.req.priority),
-                        a.admit_seq,
-                    ),
-                )
-                for _ in range(cfg.issue_quantum):
-                    if a.issuer.issue_next() is None:
-                        break
-            elif self._active:
-                # everything issued: retire in admission order
-                self._retire(min(self._active, key=lambda a: a.admit_seq))
-            elif self._waiting and not admitted:
-                # idle pool, nothing fits: the head request is infeasible
-                candidates = [w for w in self._waiting if not w.oom_deferred]
-                w = candidates[0] if candidates else self._waiting[0]
-                needed = min(
-                    (p.device_bytes() for p in w.planned.values()),
-                    default=0,
-                )
-                self._fail(w, MemLimitError(needed, max(self.pool.budgets)))
+        self._fault_mode = self.pool.has_faults
+        if self._fault_mode and self._policy is None:
+            self._policy = FaultPolicy()
+        old_defer: List[bool] = []
+        if self._fault_mode:
+            # the scheduler owns async fault reporting: sync points
+            # stash faults for the per-issuer router instead of raising
+            for rt in self.pool.runtimes:
+                old_defer.append(rt.defer_faults)
+                rt.defer_faults = True
+        try:
+            while self._waiting or self._active:
+                if self._fault_mode:
+                    self._check_lost_devices()
+                if cfg.enforce_deadlines:
+                    self._enforce_deadlines()
+                admitted = self._admit()
+                issuable = [a for a in self._active if a.issuer.remaining]
+                if issuable:
+                    a = min(
+                        issuable,
+                        key=lambda a: (
+                            a.issuer.issued / (1 + a.waiting.req.priority),
+                            a.admit_seq,
+                        ),
+                    )
+                    try:
+                        for _ in range(cfg.issue_quantum):
+                            if a.issuer.issue_next() is None:
+                                break
+                    except DeviceLostError:
+                        self._device_lost(a.device)
+                elif self._active:
+                    # everything issued: retire in admission order
+                    self._retire(min(self._active, key=lambda a: a.admit_seq))
+                elif self._waiting and not admitted:
+                    if self._advance_past_quarantine():
+                        # a quarantined device just became probeable
+                        continue
+                    # idle pool, nothing fits: the head request is infeasible
+                    candidates = [w for w in self._waiting if not w.oom_deferred]
+                    if not candidates:
+                        candidates = self._waiting
+                    w = candidates[0]
+                    needed = min(
+                        (p.device_bytes() for p in w.planned.values()),
+                        default=0,
+                    )
+                    self._fail(w, MemLimitError(needed, max(self.pool.budgets)))
+        finally:
+            if self._fault_mode:
+                for rt, was in zip(self.pool.runtimes, old_defer):
+                    rt.defer_faults = was
         self._results.sort(key=lambda r: r.request_id)
+        health = [
+            "quarantined"
+            if h == "ok" and self._quarantined_until[i] is not None
+            else h
+            for i, h in enumerate(self.pool.health)
+        ]
         return ServeReport(
             results=list(self._results),
             makespan=self.pool.elapsed,
@@ -533,4 +1140,6 @@ class RegionScheduler:
             cache=self.cache.stats(),
             plan_seconds=self.plan_seconds,
             dry_runs=self.dry_runs,
+            device_health=health,
+            breaker_trips=list(self._breaker_trips),
         )

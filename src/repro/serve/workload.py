@@ -9,15 +9,18 @@ A workload file is a JSON object::
       "requests": [
         {"app": "stencil", "tenant": "alice", "priority": 2,
          "config": {"nz": 32, "ny": 128, "nx": 128}},
-        {"app": "matmul",  "tenant": "bob",
+        {"app": "matmul",  "tenant": "bob", "deadline": 0.25,
          "config": {"n": 768, "block": 128}},
         ...
       ]
     }
 
 ``app`` selects one of the paper's four applications; ``config`` maps
-onto that app's config dataclass (unknown keys are rejected).  Request
-order in the file is submission order.
+onto that app's config dataclass (unknown keys are rejected).  A
+request's optional ``deadline`` is virtual seconds and must be > 0;
+unknown request keys raise
+:class:`~repro.gpu.errors.InvalidValueError` naming the offending
+request index.  Request order in the file is submission order.
 
 :func:`random_workload` builds a seeded deterministic mix of
 transfer-heavy (stencil/conv3d/qcd) and compute-heavy (matmul) regions
@@ -33,11 +36,15 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.gpu.errors import InvalidValueError
 from repro.serve.request import RegionRequest
 
 __all__ = ["WorkloadSpec", "build_request", "load_workload", "random_workload"]
 
 APPS = ("stencil", "conv3d", "matmul", "qcd")
+
+#: keys a workload request object may carry
+_REQUEST_KEYS = frozenset({"app", "tenant", "priority", "deadline", "config"})
 
 
 @dataclass
@@ -135,13 +142,31 @@ def load_workload(
         raise ValueError("workload must be an object with a 'requests' list")
     requests = []
     for i, spec in enumerate(data["requests"]):
+        if not isinstance(spec, dict):
+            raise ValueError(f"request {i}: must be an object")
         if "app" not in spec:
             raise ValueError(f"request {i}: missing 'app'")
+        unknown = sorted(set(spec) - _REQUEST_KEYS)
+        if unknown:
+            raise InvalidValueError(
+                f"request {i}: unknown key(s) {', '.join(map(repr, unknown))}; "
+                f"known keys are {', '.join(sorted(_REQUEST_KEYS))}"
+            )
+        deadline = spec.get("deadline")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+                raise InvalidValueError(
+                    f"request {i}: deadline must be a number, got {deadline!r}"
+                )
+            if deadline <= 0:
+                raise InvalidValueError(
+                    f"request {i}: deadline must be > 0 seconds, got {deadline}"
+                )
         requests.append(build_request(
             spec["app"],
             tenant=spec.get("tenant", f"tenant{i}"),
             priority=int(spec.get("priority", 0)),
-            deadline=spec.get("deadline"),
+            deadline=deadline,
             config=spec.get("config"),
             virtual=virtual,
         ))

@@ -109,6 +109,42 @@ def test_same_seed_same_report(seed, n):
 
 
 # ----------------------------------------------------------------------
+# fault tolerance: reservations always return to zero; chaos is replayable
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    profile=stn.sampled_from(["transient", "jitter", "chaos", "failover"]),
+    seed=stn.integers(0, 100),
+    devices=stn.integers(1, 2),
+)
+def test_chaos_reservations_zero_and_report_deterministic(profile, seed, devices):
+    import json
+
+    from repro.faults import pool_fault_plans
+
+    def once():
+        pool = DevicePool("k40m", count=devices, budget_bytes=64 * MB)
+        pool.install_faults(pool_fault_plans(profile, seed=seed, count=devices))
+        sched = RegionScheduler(pool)
+        sched.submit_all(random_workload(seed=seed, n=3))
+        report = sched.run()
+        # every reservation handed back no matter how the run ended
+        assert pool.reserved == [0] * devices
+        pool.close()
+        return report
+
+    a, b = once(), once()
+    # every request accounted for exactly once, with a legal status
+    assert sorted(r.request_id for r in a.results) == [0, 1, 2]
+    for r in a.results:
+        assert r.status in ("ok", "failed", "shed", "cancelled")
+    # same seed, same chaos -> byte-identical report
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+
+
+# ----------------------------------------------------------------------
 # cache-key safety
 # ----------------------------------------------------------------------
 _GEOM = stn.fixed_dictionaries({

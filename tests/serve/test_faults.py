@@ -1,0 +1,302 @@
+"""Fault-tolerant serving: replay, failover, breaker, deadlines, shedding.
+
+The acceptance scenarios of the robustness PR:
+
+* chunk replay absorbs transient faults in place (status stays ``ok``);
+* device loss is non-terminal at pool level — victims restart from
+  chunk 0 on a healthy device with ``migrated=True`` and reconstruct
+  **bit-identical** output (real-payload comparison vs a fault-free
+  single-device baseline);
+* the circuit breaker quarantines a flapping device and probes it back
+  after cooldown;
+* provably-unreachable deadlines cancel at a chunk boundary and free
+  the window for feasible lower-priority work;
+* a bounded admission queue sheds deterministically by effective
+  priority.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, pool_fault_plans
+from repro.serve import (
+    DevicePool,
+    RegionScheduler,
+    ServeConfig,
+    build_request,
+    random_workload,
+)
+
+
+def _run(requests, *, plans=None, devices=1, config=None, virtual=True):
+    pool = DevicePool("k40m", count=devices, virtual=virtual)
+    if plans is not None:
+        pool.install_faults(plans)
+    sched = RegionScheduler(pool, config)
+    sched.submit_all(requests)
+    report = sched.run()
+    assert pool.reserved == [0] * devices  # no reservation leaks, ever
+    pool.close()
+    return report
+
+
+# ----------------------------------------------------------------------
+# chunk replay
+# ----------------------------------------------------------------------
+def test_chunk_replay_absorbs_transient_faults():
+    report = _run(
+        random_workload(seed=2, n=3),
+        plans=[FaultPlan(seed=1, kernel_fault_rate=0.25, h2d_fault_rate=0.15)],
+    )
+    assert report.ok
+    assert report.faults > 0
+    assert report.retries > 0
+    assert report.migrated == 0
+    text = report.summary()
+    assert "fault tolerance" in text and "replay" in text
+
+
+def test_request_retry_budget_exhaustion_fails_request():
+    report = _run(
+        random_workload(seed=2, n=2),
+        plans=[FaultPlan(seed=0, kernel_fault_rate=0.5)],
+        config=ServeConfig(max_request_retries=0),
+    )
+    assert not report.ok
+    failed = [r for r in report.results if r.status == "failed"]
+    assert failed
+    for r in failed:
+        assert "0 replay(s) left" in r.error
+
+
+# ----------------------------------------------------------------------
+# device loss and failover
+# ----------------------------------------------------------------------
+def _real_requests():
+    # real payloads (virtual=False): outputs can be compared bit-for-bit
+    return [
+        build_request("stencil", tenant="alice",
+                      config={"nz": 12, "ny": 24, "nx": 24}, virtual=False),
+        build_request("matmul", tenant="bob",
+                      config={"n": 48, "block": 8}, virtual=False),
+        build_request("qcd", tenant="carol",
+                      config={"n": 6}, virtual=False),
+    ]
+
+
+def test_failover_migrates_and_matches_fault_free_baseline():
+    baseline = _real_requests()
+    base_report = _run(baseline, virtual=False)
+    assert base_report.ok
+
+    victims = _real_requests()
+    report = _run(
+        victims,
+        plans=[FaultPlan(seed=7, device_lost_at=4), None],
+        devices=2,
+        virtual=False,
+    )
+    assert report.ok  # every request completed despite losing a device
+    assert report.migrated >= 1
+    assert report.device_health == ["lost", "ok"]
+    for r in report.results:
+        assert r.status == "ok"
+        if r.migrated:
+            assert r.device == 1  # restarted on the survivor
+    # failover restarted from chunk 0: output is exact, not approximate
+    for b, v in zip(baseline, victims):
+        for name in b.arrays:
+            assert np.array_equal(b.arrays[name], v.arrays[name]), (
+                f"{b.tenant}:{name} diverged after failover"
+            )
+
+
+def test_failover_report_is_deterministic():
+    def once():
+        return _run(
+            random_workload(seed=13, n=4),
+            plans=pool_fault_plans("failover", seed=1, count=2),
+            devices=2,
+        )
+
+    a, b = once(), once()
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+
+
+def test_whole_pool_loss_fails_cleanly():
+    report = _run(
+        random_workload(seed=2, n=3),
+        plans=[FaultPlan(seed=0, device_lost_at=4)],
+    )
+    assert not report.ok
+    assert report.device_health == ["lost"]
+    for r in report.results:
+        assert r.status == "failed"
+        assert "DeviceLostError" in r.error
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_quarantines_then_probes_back():
+    report = _run(
+        random_workload(seed=2, n=3),
+        plans=[FaultPlan(seed=1, kernel_fault_rate=0.25, h2d_fault_rate=0.15)],
+        config=ServeConfig(
+            breaker_threshold=2, breaker_window=1.0, breaker_cooldown=1e-4
+        ),
+    )
+    assert report.breaker_trips == [1]
+    # quarantine delayed but never killed the work
+    assert report.ok
+
+
+def test_breaker_knob_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(breaker_threshold=0)
+    with pytest.raises(ValueError):
+        ServeConfig(breaker_window=-1.0)
+    with pytest.raises(ValueError):
+        ServeConfig(breaker_cooldown=-0.1)
+    with pytest.raises(ValueError):
+        ServeConfig(max_request_retries=-1)
+    with pytest.raises(ValueError):
+        ServeConfig(max_waiting=0)
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_cancel_frees_window_for_feasible_request():
+    # A: higher priority, 16 chunks, deadline reachable by the kernel-only
+    # lower bound but not by the real (transfer-laden) execution -> it is
+    # admitted, falls behind, and is cancelled at a chunk boundary
+    a = build_request(
+        "stencil", tenant="doomed", priority=5, deadline=2e-4,
+        config={"nz": 34, "ny": 64, "nx": 64, "chunk_size": 2,
+                "num_streams": 2},
+    )
+    # B: lower priority but feasible in the freed window
+    b = build_request("qcd", tenant="patient", priority=0, deadline=2e-3,
+                      config={"n": 5})
+    report = _run(
+        [a, b], config=ServeConfig(max_active=1, autotune=False)
+    )
+    by = {r.tenant: r for r in report.results}
+    doomed, patient = by["doomed"], by["patient"]
+    assert doomed.status == "cancelled"
+    assert doomed.deadline_met is False
+    assert 1 <= doomed.nchunks < 16  # stopped mid-run at a chunk boundary
+    assert "unreachable" in doomed.error
+    assert patient.status == "ok"
+    assert patient.deadline_met is True
+    assert patient.admitted >= doomed.finished  # ran in the freed window
+    assert report.cancelled == 1
+    assert report.deadlines_missed == 1
+
+
+def test_expired_waiting_request_is_shed():
+    slow = build_request("matmul", tenant="hog", priority=5,
+                         config={"n": 160, "block": 16})
+    late = build_request("qcd", tenant="late", deadline=1e-6,
+                         config={"n": 5})
+    report = _run([slow, late], config=ServeConfig(max_active=1))
+    by = {r.tenant: r for r in report.results}
+    assert by["hog"].status == "ok"
+    assert by["late"].status == "shed"
+    assert "deadline" in by["late"].error
+    assert by["late"].deadline_met is False
+    assert report.deadlines_missed == 1
+
+
+# ----------------------------------------------------------------------
+# bounded admission queue
+# ----------------------------------------------------------------------
+def test_max_waiting_sheds_lowest_effective_priority():
+    reqs = [
+        build_request("qcd", tenant=f"t{p}", priority=p, config={"n": 5})
+        for p in (0, 1, 2)
+    ]
+    report = _run(reqs, config=ServeConfig(max_waiting=1, max_active=1))
+    by = {r.tenant: r for r in report.results}
+    assert by["t0"].status == "shed"
+    assert by["t1"].status == "shed"
+    assert by["t2"].status == "ok"
+    for t in ("t0", "t1"):
+        assert "admission queue full" in by[t].error
+    assert report.shed == 2
+    assert report.tenants["t0"]["shed"] == 1
+
+
+# ----------------------------------------------------------------------
+# report surface
+# ----------------------------------------------------------------------
+def test_report_surfaces_fault_counters():
+    report = _run(
+        random_workload(seed=13, n=4),
+        plans=pool_fault_plans("failover", seed=1, count=2),
+        devices=2,
+    )
+    d = report.to_dict()
+    for key in ("failed", "shed", "cancelled", "migrated",
+                "deadlines_missed", "faults", "retries",
+                "device_health", "breaker_trips", "tenants"):
+        assert key in d
+    assert d["migrated"] == report.migrated
+    text = report.summary()
+    assert "shed" in text and "cancelled" in text
+    if report.migrated:
+        assert "migration" in text
+
+
+def test_fault_free_request_dicts_have_no_fault_keys():
+    report = _run(random_workload(seed=3, n=2))
+    for r in report.to_dict()["requests"]:
+        assert "migrated" not in r
+        assert "faults" not in r
+        assert "retries" not in r
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _workload_file(tmp_path):
+    path = tmp_path / "w.json"
+    path.write_text(json.dumps({
+        "requests": [
+            {"app": "stencil", "tenant": "alice", "priority": 1,
+             "config": {"nz": 26, "ny": 64, "nx": 64}},
+            {"app": "matmul", "tenant": "bob",
+             "config": {"n": 128, "block": 16}},
+            {"app": "conv3d", "tenant": "carol", "priority": 2,
+             "config": {"nz": 18, "ny": 48, "nx": 48}},
+        ]
+    }))
+    return str(path)
+
+
+def test_cli_serve_chaos_failover(tmp_path, capsys):
+    from repro.cli import main
+
+    path = _workload_file(tmp_path)
+    rc = main(["serve", path, "--chaos", "failover",
+               "--devices", "2", "--seed", "1", "--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["migrated"] >= 1
+    assert "lost" in data["device_health"]
+    assert all(r["status"] == "ok" for r in data["requests"])
+
+
+def test_cli_serve_unknown_chaos_profile_is_exit_2(tmp_path, capsys):
+    from repro.cli import main
+
+    path = _workload_file(tmp_path)
+    assert main(["serve", path, "--chaos", "nope"]) == 2
+    assert "unknown fault profile" in capsys.readouterr().err

@@ -78,14 +78,32 @@ def test_priority_admits_first_in_serial_mode():
     assert by["low"].overtaken == 1
 
 
-def test_deadline_recorded():
+def test_unreachable_deadline_is_cancelled():
     ok = build_request("qcd", tenant="fast", deadline=10.0, config={"n": 5})
     late = build_request("qcd", tenant="slow", deadline=1e-9, config={"n": 5})
     report = _sched([ok, late]).run()
     by = {r.tenant: r for r in report.results}
+    assert by["fast"].status == "ok"
     assert by["fast"].deadline_met is True
+    assert by["slow"].status == "cancelled"
     assert by["slow"].deadline_met is False
-    assert report.ok  # deadlines are advisory
+    assert "deadline" in by["slow"].error
+    assert report.cancelled == 1
+    assert report.deadlines_missed == 1
+    assert not report.ok
+
+
+def test_deadline_advisory_when_enforcement_off():
+    ok = build_request("qcd", tenant="fast", deadline=10.0, config={"n": 5})
+    late = build_request("qcd", tenant="slow", deadline=1e-9, config={"n": 5})
+    config = ServeConfig(enforce_deadlines=False)
+    report = _sched([ok, late], config=config).run()
+    by = {r.tenant: r for r in report.results}
+    assert by["fast"].deadline_met is True
+    assert by["slow"].status == "ok"  # ran to completion anyway
+    assert by["slow"].deadline_met is False
+    assert report.deadlines_missed == 1
+    assert report.ok
 
 
 def test_infeasible_request_fails_cleanly():
@@ -255,6 +273,37 @@ def test_load_workload_rejects_bad_shapes():
         load_workload({"nope": []})
     with pytest.raises(ValueError):
         load_workload({"requests": [{"tenant": "x"}]})
+
+
+def test_load_workload_rejects_unknown_request_keys():
+    from repro.gpu.errors import InvalidValueError
+
+    good = {"app": "qcd", "config": {"n": 5}}
+    with pytest.raises(InvalidValueError, match=r"request 1: unknown key"):
+        load_workload({"requests": [good, {"app": "qcd", "prio": 2}]})
+
+
+@pytest.mark.parametrize("deadline", [0, -1, -0.5, 0.0])
+def test_load_workload_rejects_nonpositive_deadline(deadline):
+    from repro.gpu.errors import InvalidValueError
+
+    with pytest.raises(InvalidValueError, match=r"request 0: deadline"):
+        load_workload({"requests": [{"app": "qcd", "deadline": deadline}]})
+
+
+@pytest.mark.parametrize("deadline", ["soon", True, [1]])
+def test_load_workload_rejects_non_numeric_deadline(deadline):
+    from repro.gpu.errors import InvalidValueError
+
+    with pytest.raises(InvalidValueError, match=r"request 0: deadline"):
+        load_workload({"requests": [{"app": "qcd", "deadline": deadline}]})
+
+
+def test_load_workload_accepts_valid_deadline():
+    spec = load_workload({
+        "requests": [{"app": "qcd", "deadline": 0.25, "config": {"n": 5}}]
+    })
+    assert spec.requests[0].deadline == 0.25
 
 
 def test_random_workload_same_seed_same_mix():
