@@ -68,4 +68,26 @@ assert all(r["status"] == "ok" for r in report["requests"]), (
 )
 EOF
 
+
+echo "== CLI smoke: analyze breakdown sums to wall =="
+analyze_out="$(python -m repro analyze stencil --json)"
+python - <<EOF2
+import json
+snap = json.loads('''$analyze_out''')
+total = sum(snap["causes"].values())
+assert abs(total - snap["wall_s"]) <= 1e-9, (
+    f"wait breakdown does not sum to wall: {total} vs {snap['wall_s']}"
+)
+assert abs(snap["critical_path_length_s"] - snap["makespan_s"]) <= 1e-9, (
+    "critical-path length drifted from the simulated makespan"
+)
+assert snap["what_if"]["perfect_overlap"]["bound_s"] <= snap["wall_s"] + 1e-12, (
+    "perfect-overlap bound exceeds measured wall"
+)
+EOF2
+
+echo "== CLI smoke: analyze --baseline regression gate =="
+# the checked-in golden snapshot is the baseline: the current build
+# must not regress against it (exit code is the gate)
+python -m repro analyze stencil --baseline tests/golden/analyze_stencil.json
 echo "CI checks passed."

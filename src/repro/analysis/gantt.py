@@ -14,9 +14,9 @@ it:
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List, Optional
 
+from repro.obs.io import atomic_write_json
 from repro.sim.trace import Timeline
 
 __all__ = ["ascii_gantt", "to_chrome_trace", "write_chrome_trace"]
@@ -65,9 +65,8 @@ def to_chrome_trace(timeline: Timeline, *, time_unit: float = 1e6) -> Dict:
 
 
 def write_chrome_trace(timeline: Timeline, path: str) -> None:
-    """Write a timeline as a ``chrome://tracing`` JSON file."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(timeline), fh)
+    """Write a timeline as a ``chrome://tracing`` JSON file (atomically)."""
+    atomic_write_json(path, to_chrome_trace(timeline))
 
 
 def ascii_gantt(

@@ -137,6 +137,8 @@ def _aggregate(model: str, results, rt) -> RegionResult:
         nchunks=sum(r.nchunks for r in results),
         chunk_size=first.chunk_size,
         num_streams=first.num_streams,
+        t_begin=first.t_begin,
+        commands=[c for res in results for c in res.commands],
         faults=sum(r.faults for r in results),
         retries=sum(r.retries for r in results),
     )

@@ -11,6 +11,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro profile 3dconv      # span/metrics profile report
     python -m repro chaos stencil --profile transient --seed 7
     python -m repro serve examples/serve_workload.json   # multi-tenant
+    python -m repro analyze stencil                      # critical path
+    python -m repro analyze stencil --baseline base.json # perf gate
 
 The figure experiments mirror ``benchmarks/`` (which additionally
 asserts shape bands under pytest); the CLI is for interactive
@@ -247,6 +249,76 @@ def _profile(app: str, device: str, top: int) -> str:
     return profile_report(obs, top=top)
 
 
+def _analysis_run(app: str, device: str):
+    """One small deterministic pipelined-buffer run for the analyzer."""
+    if app == "stencil":
+        from repro.apps import stencil as st
+
+        return st.run_model(
+            "pipelined-buffer",
+            st.StencilConfig(nz=16, ny=64, nx=64, iters=1),
+            device, virtual=True,
+        )
+    if app == "3dconv":
+        from repro.apps import conv3d as cv
+
+        return cv.run_model(
+            "pipelined-buffer", cv.Conv3dConfig(nz=16, ny=64, nx=64),
+            device, virtual=True,
+        )
+    if app == "qcd":
+        from repro.apps import qcd as qc
+
+        return qc.run_model(
+            "pipelined-buffer", qc.QcdConfig(n=8), device, virtual=True
+        )
+    if app == "matmul":
+        from repro.apps import matmul as mm
+
+        return mm.run_model(
+            "pipeline-buffer", mm.MatmulConfig(n=48, block=8),
+            device, virtual=True,
+        )
+    raise SystemExit(f"unknown app {app!r}; know {_APPS}")
+
+
+def _analyze(args) -> int:
+    """Critical-path / bottleneck analysis of one pipelined run.
+
+    Default prints the human report; ``--json`` the snapshot.  With
+    ``--baseline FILE`` the snapshot is diffed against the stored one
+    and the exit code is non-zero when anything regressed beyond
+    ``--tolerance`` — the CI perf gate.
+    """
+    import json
+
+    from repro.obs import analyze_result, diff_analyses, write_analysis
+
+    res = _analysis_run(args.app, args.device)
+    analysis = analyze_result(
+        res, meta={"app": args.app, "device": args.device}
+    )
+    snap = analysis.to_dict()
+    if args.out:
+        write_analysis(snap, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                base = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bad baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_analyses(base, snap, tolerance=args.tolerance)
+        print(diff.report())
+        return 0 if diff.ok else 1
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        print(analysis.report())
+    return 0
+
+
 def _chaos(args) -> int:
     """Run one app under a named fault profile with self-healing on.
 
@@ -363,6 +435,30 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--device", default="k40m")
     pr.add_argument("--top", type=int, default=8, help="longest spans to list")
 
+    an = sub.add_parser(
+        "analyze",
+        help="critical-path and bottleneck analysis of a pipelined run",
+    )
+    an.add_argument("app", help="/".join(_APPS))
+    an.add_argument("--device", default="k40m")
+    an.add_argument(
+        "--json", action="store_true",
+        help="print the analysis snapshot as JSON instead of the report",
+    )
+    an.add_argument(
+        "-o", "--out", default=None,
+        help="also write the snapshot JSON here (atomic, byte-stable)",
+    )
+    an.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="diff against this stored snapshot; exit 1 on regression",
+    )
+    an.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="regression threshold as a fraction of baseline wall "
+        "(default 0.05)",
+    )
+
     ch = sub.add_parser(
         "chaos",
         help="run one app under injected faults and verify recovery",
@@ -445,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cmd == "profile":
         print(_profile(args.app, args.device, args.top))
         return 0
+    if args.cmd == "analyze":
+        return _analyze(args)
     if args.cmd == "chaos":
         return _chaos(args)
     if args.cmd == "serve":

@@ -88,6 +88,15 @@ class RegionResult:
         :meth:`repro.obs.MetricsRegistry.snapshot` taken when the
         region finished — populated only when the runtime carries an
         enabled :class:`~repro.obs.Observability`; ``{}`` otherwise.
+    t_begin:
+        Virtual time (``runtime.elapsed``) when the measurement window
+        opened; ``t_begin + elapsed`` closes it.  The critical-path
+        analyzer partitions exactly this window.
+    commands:
+        The retired :class:`~repro.sim.engine.Command` objects behind
+        ``timeline``, with their dependency metadata — the input of
+        :func:`repro.obs.analyze.analyze_result`.  Excluded from
+        :meth:`to_dict`.
     faults:
         Faulted commands (injected + poisoned) the region absorbed.
         Zero unless a fault injector was installed.
@@ -105,6 +114,8 @@ class RegionResult:
     chunk_size: int
     num_streams: int
     metrics: Dict[str, object] = field(default_factory=dict)
+    t_begin: float = 0.0
+    commands: List[Command] = field(default_factory=list, repr=False)
     faults: int = 0
     retries: int = 0
 
@@ -191,8 +202,9 @@ class _Measurer:
         from repro.sim.trace import TimelineRecord
         from repro.sim.stream import SimStream
 
+        cmds = list(rt.device.sim.completed[self.n0:])
         recs = []
-        for c in rt.device.sim.completed[self.n0:]:
+        for c in cmds:
             recs.append(
                 TimelineRecord(
                     kind=c.kind,
@@ -225,6 +237,8 @@ class _Measurer:
             chunk_size=chunk_size,
             num_streams=num_streams,
             metrics=snapshot,
+            t_begin=self.t0,
+            commands=cmds,
             faults=faults,
             retries=retries,
         )
@@ -331,6 +345,7 @@ class PipelineIssuer:
         stream_prefix: str = "pipe",
         region_span: bool = True,
         claim_faults=None,
+        recorder=None,
     ) -> None:
         self.runtime = runtime
         self.plan = plan
@@ -342,6 +357,10 @@ class PipelineIssuer:
         #: router here so one tenant's recovery never claims — and
         #: silently drops — another tenant's faults.
         self.claim_faults = claim_faults if claim_faults is not None else runtime.pop_faults
+        #: optional :class:`~repro.obs.recorder.FlightRecorder`; when
+        #: set, chunk issues / replays / claimed faults are logged into
+        #: its bounded ring (no effect on timing)
+        self.recorder = recorder
         self.profile = runtime.profile
         self.chunks = plan.chunks()
         self.streams_n = min(plan.num_streams, len(self.chunks))
@@ -408,6 +427,17 @@ class PipelineIssuer:
         finally:
             rt.call_overhead_scale, rt.command_overhead = prev
 
+    def _record_faults(self, pending) -> None:
+        """Log claimed faults into the flight recorder (if any)."""
+        if self.recorder is None or not pending:
+            return
+        for c in pending:
+            self.recorder.record(
+                "fault", t=self.runtime.elapsed,
+                fault=(getattr(c.error, "kind", None) or "poisoned"),
+                label=c.label, chunk=self.meta.get(c),
+            )
+
     def _blocking_with_retry(self, issue, what: str) -> None:
         """Run a blocking resident copy, reissuing it under the policy.
 
@@ -430,6 +460,7 @@ class PipelineIssuer:
             if not bad:
                 return
             self.faults_n += len(bad)
+            self._record_faults(bad)
             if runtime.device.lost:
                 raise DeviceLostError(
                     f"device lost during {what}", pending=len(bad)
@@ -605,6 +636,7 @@ class PipelineIssuer:
                                 row_bytes=row_bytes,
                                 label=f"h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                             )
+                            cmd.chunk = chunk.index
                             self.commands.append(cmd)
                             if policy is not None:
                                 meta[cmd] = chunk.index
@@ -643,6 +675,7 @@ class PipelineIssuer:
                 poison_waits=in_tokens,
                 label=f"{kernel.name}[{chunk.t0}:{chunk.t1})",
             )
+            kcmd.chunk = chunk.index
             self.commands.append(kcmd)
             if policy is not None:
                 meta[kcmd] = chunk.index
@@ -673,6 +706,7 @@ class PipelineIssuer:
                             row_bytes=row_bytes,
                             label=f"d2h:{var}[{piece.g_lo}:{piece.g_hi})",
                         )
+                        dcmd.chunk = chunk.index
                         self.commands.append(dcmd)
                         if policy is not None:
                             meta[dcmd] = chunk.index
@@ -689,6 +723,11 @@ class PipelineIssuer:
                     },
                 )
                 tracer.end(cspan)
+        if self.recorder is not None:
+            self.recorder.record(
+                "chunk.issue", t=runtime.elapsed, chunk=chunk.index,
+                stream=st.name, region=kernel.name,
+            )
         return chunk
 
     def drain(self) -> None:
@@ -725,6 +764,7 @@ class PipelineIssuer:
                     row_bytes=row_bytes,
                     label=f"replay:h2d:{var}[{piece.g_lo}:{piece.g_hi})",
                 )
+                cmd.chunk = chunk.index
                 self.commands.append(cmd)
                 meta[cmd] = chunk.index
                 rtoks.append(tok)
@@ -737,6 +777,7 @@ class PipelineIssuer:
             records=[ktok],
             label=f"replay:{kernel.name}[{chunk.t0}:{chunk.t1})",
         )
+        kcmd.chunk = chunk.index
         self.commands.append(kcmd)
         meta[kcmd] = chunk.index
         for var, spec in plan.specs.items():
@@ -756,6 +797,7 @@ class PipelineIssuer:
                     row_bytes=row_bytes,
                     label=f"replay:d2h:{var}[{piece.g_lo}:{piece.g_hi})",
                 )
+                dcmd.chunk = chunk.index
                 self.commands.append(dcmd)
                 meta[dcmd] = chunk.index
 
@@ -781,6 +823,7 @@ class PipelineIssuer:
             attempts = {c.index: 0 for c in chunks}
             pending = self.claim_faults()
             self.faults_n += len(pending)
+            self._record_faults(pending)
             while pending:
                 if runtime.device.lost:
                     raise DeviceLostError(
@@ -841,6 +884,11 @@ class PipelineIssuer:
                         runtime.metrics.counter(
                             "faults.backoff_seconds"
                         ).inc(delay)
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "chunk.replay", t=runtime.elapsed, chunk=k,
+                            attempt=attempts[k], backoff=delay,
+                        )
                     with tracer.span(
                         f"replay:chunk{k}", "fault",
                         chunk=k, attempt=attempts[k], backoff=delay,
@@ -854,6 +902,7 @@ class PipelineIssuer:
                     chunk_status[k] = CHUNK_RECOVERED
                 pending = self.claim_faults()
                 self.faults_n += len(pending)
+                self._record_faults(pending)
 
     def account_stalls(self) -> None:
         """Resolve slot-reuse stall metrics once all tokens have times."""

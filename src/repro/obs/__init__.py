@@ -19,6 +19,12 @@ is that profiler for the simulated runtime:
 * :mod:`~repro.obs.export` — Chrome trace-event JSON
   (``chrome://tracing`` / Perfetto) and a plain-text profile report,
   surfaced as the ``repro trace`` / ``repro profile`` CLI commands.
+* :mod:`~repro.obs.analyze` — deterministic critical-path extraction,
+  per-chunk wait breakdown (sums exactly to wall time), analytic
+  what-if bounds, and the byte-stable snapshots behind the
+  ``repro analyze`` perf-regression gate.
+* :class:`~repro.obs.recorder.FlightRecorder` — bounded deterministic
+  event ring dumped as structured JSON on scheduler failures.
 
 Usage::
 
@@ -48,6 +54,8 @@ from repro.obs.export import (
     spans_to_chrome,
     write_span_trace,
 )
+from repro.obs.intervals import union_length
+from repro.obs.io import atomic_write_json, atomic_write_text
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -56,10 +64,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "AnalysisDiff",
     "Counter",
+    "CriticalPath",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -69,13 +81,50 @@ __all__ = [
     "NullTracer",
     "OBS_NULL",
     "Observability",
+    "RegionAnalysis",
     "Span",
     "Tracer",
+    "WaitBreakdown",
+    "analyze_commands",
+    "analyze_result",
+    "atomic_write_json",
+    "atomic_write_text",
+    "diff_analyses",
+    "extract_critical_path",
     "overlap_from_events",
     "profile_report",
     "spans_to_chrome",
+    "union_length",
+    "what_if_bounds",
+    "write_analysis",
     "write_span_trace",
 ]
+
+#: names resolved lazily from :mod:`repro.obs.analyze` (PEP 562) so the
+#: analyzer — which imports :mod:`repro.sim.engine` — never joins the
+#: eager import graph of packages that only want the tracer/metrics
+_ANALYZE_NAMES = frozenset(
+    {
+        "AnalysisDiff",
+        "CriticalPath",
+        "RegionAnalysis",
+        "WaitBreakdown",
+        "analyze_commands",
+        "analyze_result",
+        "diff_analyses",
+        "extract_critical_path",
+        "what_if_bounds",
+        "write_analysis",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _ANALYZE_NAMES:
+        import repro.obs.analyze as _analyze
+
+        return getattr(_analyze, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Observability:

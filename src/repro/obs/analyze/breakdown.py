@@ -1,0 +1,108 @@
+"""Per-chunk wait breakdown: wall time, attributed and exact.
+
+Each :class:`~repro.obs.analyze.critpath.PathSegment` is assigned one
+``(category, chunk)`` bucket.  Because the segments partition the
+analysis window, the bucket totals sum to wall time exactly (up to
+float summation error) — there is no unattributed remainder and no
+double counting.
+
+Category taxonomy:
+
+- ``exec.h2d`` / ``exec.d2h`` / ``exec.kernel`` / ``exec.other`` —
+  productive occupancy on the critical path (the work itself),
+- ``queue.dma`` / ``queue.compute`` — time a chunk's command spent
+  blocked behind *other* work occupying its engine (the blocker's
+  execution is attributed to the waiting chunk: that time exists on
+  the path only because of the contention),
+- ``wait.slot_reuse`` — ring-buffer anti-dependency: a transfer or
+  kernel gated on a previous lap's drain of the slot it reuses,
+- ``wait.stream`` — in-order stream serialization across chunks,
+- ``replay`` — fault-recovery replay commands,
+- ``api`` — host-side: API-call overhead, planning charges, backoff,
+  lead-in/teardown.
+
+The ``chunk`` key is the pipeline chunk index the time is charged to
+(the *waiting* chunk for contention categories), or ``None`` for
+region-level time (resident staging, host lead/tail, markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.obs.analyze.critpath import (
+    EDGE_QUEUE_COMPUTE,
+    EDGE_QUEUE_DMA,
+    EDGE_SLOT,
+    EDGE_STREAM,
+    CriticalPath,
+    PathSegment,
+)
+
+__all__ = ["WaitBreakdown", "breakdown_from_path", "categorize_segment"]
+
+_EXEC_CAT = {"h2d": "exec.h2d", "d2h": "exec.d2h", "kernel": "exec.kernel"}
+_CONTENTION = (EDGE_QUEUE_DMA, EDGE_QUEUE_COMPUTE, EDGE_SLOT)
+
+
+def categorize_segment(seg: PathSegment) -> Tuple[str, Optional[int]]:
+    """Map one path segment to its ``(category, chunk)`` bucket."""
+    if seg.cmd is None:
+        # pure wait or host gap: charged to whoever was waiting
+        chunk = seg.waiter.chunk if seg.waiter is not None else None
+        return seg.edge, chunk
+    cmd = seg.cmd
+    if cmd.label.startswith("replay:"):
+        return "replay", cmd.chunk
+    if seg.edge in _CONTENTION and seg.waiter is not None:
+        # the successor chunk was stuck behind this execution — charge
+        # the slice to the waiter as contention, not to the executor
+        return seg.edge, seg.waiter.chunk
+    if (
+        seg.edge == EDGE_STREAM
+        and seg.waiter is not None
+        and seg.waiter.chunk != cmd.chunk
+    ):
+        return EDGE_STREAM, seg.waiter.chunk
+    return _EXEC_CAT.get(cmd.kind, "exec.other"), cmd.chunk
+
+
+@dataclass
+class WaitBreakdown:
+    """Wall time bucketed by ``(chunk, category)``; sums to wall."""
+
+    wall: float
+    #: chunk index (or None for region-level) -> category -> seconds
+    per_chunk: Dict[Optional[int], Dict[str, float]] = field(default_factory=dict)
+
+    def add(self, chunk: Optional[int], category: str, seconds: float) -> None:
+        """Accumulate one slice."""
+        row = self.per_chunk.setdefault(chunk, {})
+        row[category] = row.get(category, 0.0) + seconds
+
+    def totals(self) -> Dict[str, float]:
+        """Seconds per category across all chunks."""
+        out: Dict[str, float] = {}
+        for row in self.per_chunk.values():
+            for cat, s in row.items():
+                out[cat] = out.get(cat, 0.0) + s
+        return out
+
+    @property
+    def total(self) -> float:
+        """Sum over every bucket — equals ``wall`` by construction."""
+        return sum(s for row in self.per_chunk.values() for s in row.values())
+
+    def chunk_totals(self) -> Dict[Optional[int], float]:
+        """Seconds charged to each chunk."""
+        return {k: sum(row.values()) for k, row in self.per_chunk.items()}
+
+
+def breakdown_from_path(path: CriticalPath) -> WaitBreakdown:
+    """Bucket a critical path's segments into the wait taxonomy."""
+    bd = WaitBreakdown(wall=path.wall)
+    for seg in path.segments:
+        cat, chunk = categorize_segment(seg)
+        bd.add(chunk, cat, seg.duration)
+    return bd

@@ -19,9 +19,10 @@ carries the same information as the in-memory timeline.
 
 from __future__ import annotations
 
-import json
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.obs.intervals import union_length
+from repro.obs.io import atomic_write_json
 from repro.obs.tracer import Span
 
 __all__ = [
@@ -76,24 +77,8 @@ def spans_to_chrome(spans: Sequence[Span], *, time_unit: float = 1e6) -> Dict:
 
 
 def write_span_trace(spans: Sequence[Span], path: str, *, time_unit: float = 1e6) -> None:
-    """Write spans as a ``chrome://tracing`` JSON file."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(spans_to_chrome(spans, time_unit=time_unit), fh)
-
-
-def _union(intervals: List[Tuple[float, float]]) -> float:
-    """Total measure of a union of intervals."""
-    if not intervals:
-        return 0.0
-    intervals.sort()
-    total, (cur_lo, cur_hi) = 0.0, intervals[0]
-    for lo, hi in intervals[1:]:
-        if lo > cur_hi:
-            total += cur_hi - cur_lo
-            cur_lo, cur_hi = lo, hi
-        else:
-            cur_hi = max(cur_hi, hi)
-    return total + (cur_hi - cur_lo)
+    """Write spans as a ``chrome://tracing`` JSON file (atomically)."""
+    atomic_write_json(path, spans_to_chrome(spans, time_unit=time_unit))
 
 
 def overlap_from_events(trace: Dict, *, time_unit: float = 1e6) -> float:
@@ -127,7 +112,7 @@ def overlap_from_events(trace: Dict, *, time_unit: float = 1e6) -> float:
             for k_lo, k_hi in kernels
             if k_hi > t_lo and k_lo < t_hi
         ]
-        hidden += _union(pieces)
+        hidden += union_length(pieces)
     return hidden / total if total else 0.0
 
 

@@ -1,0 +1,34 @@
+"""Interval arithmetic shared by the overlap/occupancy computations.
+
+Both the in-memory timeline (:func:`repro.sim.trace.overlap_fraction`)
+and the exported-trace recomputation
+(:func:`repro.obs.export.overlap_from_events`) need the measure of a
+union of half-open time intervals; this module is the single
+implementation both build on.  It deliberately has no dependencies so
+it can sit below :mod:`repro.sim` and :mod:`repro.obs` alike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["union_length"]
+
+
+def union_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total measure of the union of ``(lo, hi)`` intervals.
+
+    Overlapping and touching intervals are merged; empty and inverted
+    intervals (``hi <= lo``) measure nothing.  Empty input is ``0.0``.
+    """
+    intervals = sorted(iv for iv in intervals if iv[1] > iv[0])
+    if not intervals:
+        return 0.0
+    total, (cur_lo, cur_hi) = 0.0, intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    return total + (cur_hi - cur_lo)

@@ -1,0 +1,39 @@
+"""Atomic file output for traces, reports, and analysis dumps.
+
+Every exporter writes through :func:`atomic_write_text`: the content
+lands in a temporary file in the destination directory and is moved
+into place with :func:`os.replace`, so an interrupted run never leaves
+a truncated JSON where a previous good file (or nothing) used to be.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj, **dump_kwargs) -> None:
+    """Serialize ``obj`` with :func:`json.dumps` and write it atomically."""
+    atomic_write_text(path, json.dumps(obj, **dump_kwargs))

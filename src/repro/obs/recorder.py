@@ -1,0 +1,103 @@
+"""Bounded deterministic flight recorder.
+
+A :class:`FlightRecorder` is a fixed-capacity ring of structured
+events.  Hot paths (the region scheduler, the pipeline issuer) record
+one small dict per interesting transition — admissions, chunk issues,
+faults, replays, device loss, deadline cancellations — and on failure
+the recorder *dumps*: the surviving window of events plus context is
+packaged into a JSON-safe snapshot, optionally written to disk.
+
+Design constraints:
+
+* **Bounded.**  The ring holds ``capacity`` events; older ones fall
+  off (the ``dropped`` counter says how many).  Recording never
+  allocates beyond the ring, so it is safe to leave on in long runs.
+* **Deterministic.**  Timestamps come from the injected ``clock``
+  (virtual time), sequence numbers are monotone, and event fields are
+  emitted in sorted key order — two identical runs produce identical
+  dumps, so dumps are golden-testable like everything else here.
+* **Zero virtual-time cost.**  ``record`` never touches the simulator;
+  it is pure host-side bookkeeping, like the tracer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.io import atomic_write_json
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Fixed-size ring of structured events with failure dumps."""
+
+    __slots__ = ("capacity", "clock", "dropped", "dumps", "_ring", "_seq")
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: virtual-clock callable; ``record`` falls back to it when no
+        #: explicit timestamp is passed
+        self.clock = clock
+        self.dropped = 0
+        #: every snapshot produced by :meth:`dump`, in order
+        self.dumps: List[Dict] = []
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> List[Dict]:
+        """The surviving event window, oldest first."""
+        return list(self._ring)
+
+    def record(self, kind: str, *, t: Optional[float] = None, **fields) -> None:
+        """Append one event to the ring.
+
+        ``t`` defaults to the injected clock (or 0.0 without one);
+        ``fields`` with value ``None`` are skipped so events stay
+        compact and stable.
+        """
+        if t is None:
+            t = self.clock() if self.clock is not None else 0.0
+        ev: Dict = {"seq": self._seq, "t": t, "kind": kind}
+        for k in sorted(fields):
+            if fields[k] is not None:
+                ev[k] = fields[k]
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(ev)
+
+    def dump(
+        self, reason: str, *, path: Optional[str] = None, **context
+    ) -> Dict:
+        """Package the surviving window into a snapshot.
+
+        The snapshot carries the dump ``reason``, any ``context``
+        key/values (``None`` values skipped), counters, and the event
+        window.  It is kept in :attr:`dumps` and, when ``path`` is
+        given, atomically written as JSON.
+        """
+        snap: Dict = {
+            "reason": reason,
+            "context": {
+                k: context[k] for k in sorted(context) if context[k] is not None
+            },
+            "recorded": self._seq,
+            "dropped": self.dropped,
+            "events": self.events,
+        }
+        self.dumps.append(snap)
+        if path is not None:
+            atomic_write_json(path, snap, indent=2, sort_keys=True)
+        return snap

@@ -73,6 +73,8 @@ from repro.directives.clauses import DirectiveError
 from repro.faults.plan import KIND_DEVICE_LOST
 from repro.faults.policy import FaultPolicy, RegionFailure
 from repro.gpu.errors import DeviceLostError, KernelFaultError, TransferError
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import FlightRecorder
 from repro.serve.cache import PlanCache
 from repro.serve.pool import DevicePool
 from repro.serve.request import RegionRequest, RequestResult
@@ -133,6 +135,10 @@ class ServeConfig:
     max_waiting:
         Admission-queue bound; when full, the lowest-effective-priority
         waiting request is shed deterministically (``None`` = unbounded).
+    flight_recorder_capacity:
+        Size of the scheduler's bounded flight-recorder ring (events
+        kept for post-mortem dumps on device loss, region failure, or
+        deadline cancellation).
     """
 
     max_active: Optional[int] = None
@@ -149,6 +155,7 @@ class ServeConfig:
     breaker_cooldown: float = 0.05
     enforce_deadlines: bool = True
     max_waiting: Optional[int] = None
+    flight_recorder_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_active is not None and self.max_active < 1:
@@ -169,6 +176,8 @@ class ServeConfig:
             raise ValueError("breaker_cooldown must be >= 0")
         if self.max_waiting is not None and self.max_waiting < 1:
             raise ValueError("max_waiting must be >= 1 (or None)")
+        if self.flight_recorder_capacity < 1:
+            raise ValueError("flight_recorder_capacity must be >= 1")
 
 
 @dataclass
@@ -192,6 +201,10 @@ class ServeReport:
     device_health: List[str] = field(default_factory=list)
     #: per-device circuit-breaker trip counts
     breaker_trips: List[int] = field(default_factory=list)
+    #: flight-recorder snapshots produced during the run (device loss,
+    #: region failure, deadline cancellation, run-end); excluded from
+    #: :meth:`to_dict` — dumps are post-mortem artifacts, not metrics
+    flight_dumps: List[Dict] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -258,6 +271,40 @@ class ServeReport:
             t["retries"] += r.retries
         return out
 
+    @property
+    def tenant_latency(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant latency percentiles over completed requests.
+
+        ``queue_wait`` and ``service`` p50/p95/p99 (nearest-rank, via
+        :meth:`~repro.obs.metrics.Histogram.percentile`) for each
+        tenant's ``ok`` requests.  Tenants with no completed request
+        are omitted.  Deterministic: same workload, same digits.
+        """
+        waits: Dict[str, Histogram] = {}
+        svcs: Dict[str, Histogram] = {}
+        for r in self.results:
+            if r.status != "ok":
+                continue
+            waits.setdefault(r.tenant, Histogram("queue_wait")).observe(r.queue_wait)
+            svcs.setdefault(r.tenant, Histogram("service")).observe(r.service)
+        out: Dict[str, Dict[str, object]] = {}
+        for tenant in sorted(waits):
+            w, s = waits[tenant], svcs[tenant]
+            out[tenant] = {
+                "count": w.count,
+                "queue_wait": {
+                    "p50": w.percentile(50),
+                    "p95": w.percentile(95),
+                    "p99": w.percentile(99),
+                },
+                "service": {
+                    "p50": s.percentile(50),
+                    "p95": s.percentile(95),
+                    "p99": s.percentile(99),
+                },
+            }
+        return out
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe digest (stable key order for golden comparison)."""
         return {
@@ -279,6 +326,9 @@ class ServeReport:
             "device_health": list(self.device_health),
             "breaker_trips": [int(n) for n in self.breaker_trips],
             "tenants": {t: dict(c) for t, c in sorted(self.tenants.items())},
+            "tenant_latency": {
+                t: dict(d) for t, d in sorted(self.tenant_latency.items())
+            },
         }
 
     def summary(self) -> str:
@@ -317,6 +367,18 @@ class ServeReport:
             lines.append(
                 f"device {i}         elapsed {el * 1e3:.3f} ms, "
                 f"peak {pk / 1e6:.1f} MB of {bd / 1e6:.1f} MB budget{tag}"
+            )
+        latency = self.tenant_latency
+        for tenant in sorted(latency):
+            d = latency[tenant]
+            qw, sv = d["queue_wait"], d["service"]
+            lines.append(
+                f"tenant {tenant:<10.10} {d['count']:>3} ok  "
+                f"wait p50/p95/p99 "
+                f"{qw['p50'] * 1e3:.3f}/{qw['p95'] * 1e3:.3f}/"
+                f"{qw['p99'] * 1e3:.3f} ms  service "
+                f"{sv['p50'] * 1e3:.3f}/{sv['p95'] * 1e3:.3f}/"
+                f"{sv['p99'] * 1e3:.3f} ms"
             )
         hdr = (
             f"{'id':>3} {'tenant':<10} {'label':<10} {'prio':>4} {'dev':>3} "
@@ -412,6 +474,10 @@ class RegionScheduler:
         #: per-device quarantine expiry on that device's clock (None = in service)
         self._quarantined_until: List[Optional[float]] = [None] * n
         self._breaker_trips: List[int] = [0] * n
+        #: bounded post-mortem event ring; dumped on failures
+        self.recorder = FlightRecorder(
+            capacity=self.config.flight_recorder_capacity, clock=self._clock
+        )
 
     # ------------------------------------------------------------------
     # submission
@@ -426,6 +492,13 @@ class RegionScheduler:
         seq = self._seq
         self._seq += 1
         w = _Waiting(seq=seq, req=request)
+        self.recorder.record(
+            "request.submit",
+            request=seq,
+            tenant=request.tenant,
+            label=request.label,
+            priority=request.priority,
+        )
         limit = self.config.max_waiting
         if limit is not None and len(self._waiting) >= limit:
             victim = min(
@@ -526,6 +599,7 @@ class RegionScheduler:
         cfg = self.config
         times = self._fault_times[device]
         times.append(t)
+        self.recorder.record("device.fault", t=t, device=device)
         cutoff = t - cfg.breaker_window
         while times and times[0] < cutoff:
             times.pop(0)
@@ -537,6 +611,12 @@ class RegionScheduler:
             self._quarantined_until[device] = rt.elapsed + cfg.breaker_cooldown
             self._breaker_trips[device] += 1
             times.clear()
+            self.recorder.record(
+                "breaker.trip",
+                t=rt.elapsed,
+                device=device,
+                until=self._quarantined_until[device],
+            )
             if self.obs.metrics.enabled:
                 self.obs.metrics.counter("serve.breaker.trips").inc()
             if self.obs.tracer.enabled:
@@ -654,6 +734,7 @@ class RegionScheduler:
             issuer.claim_faults = (
                 lambda i=issuer, d=device: self._claim_for(i, d)
             )
+        issuer.recorder = self.recorder
         try:
             issuer.open()
         except OutOfDeviceMemory:
@@ -682,6 +763,16 @@ class RegionScheduler:
             self._fail(w, exc)
             return False
         self._waiting.remove(w)
+        self.recorder.record(
+            "request.admit",
+            t=admit_t,
+            request=w.seq,
+            tenant=w.req.tenant,
+            device=device,
+            chunk_size=plan.chunk_size,
+            num_streams=plan.num_streams,
+            migrated=True if w.migrated else None,
+        )
         self._active.append(_Active(
             admit_seq=self._admit_seq,
             waiting=w,
@@ -726,6 +817,13 @@ class RegionScheduler:
             faults=w.faults_seen,
             retries=w.retries_used,
         )
+        self.recorder.record(
+            "request.fail",
+            t=finished,
+            request=w.seq,
+            tenant=req.tenant,
+            error=result.error,
+        )
         self._results.append(result)
         self._observe(result)
 
@@ -750,6 +848,13 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen,
             retries=w.retries_used,
+        )
+        self.recorder.record(
+            "request.shed",
+            t=finished,
+            request=w.seq,
+            tenant=req.tenant,
+            reason=reason,
         )
         self._results.append(result)
         self._observe(result)
@@ -794,6 +899,21 @@ class RegionScheduler:
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
         )
+        self.recorder.record(
+            "request.cancel",
+            t=finish_t,
+            request=w.seq,
+            tenant=req.tenant,
+            device=a.device,
+            reason=reason,
+        )
+        self.recorder.dump(
+            "deadline-cancel",
+            request=w.seq,
+            tenant=req.tenant,
+            device=a.device,
+            cause=reason,
+        )
         self._results.append(result)
         self._observe(result)
 
@@ -828,6 +948,21 @@ class RegionScheduler:
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
         )
+        self.recorder.record(
+            "request.fail",
+            t=finish_t,
+            request=w.seq,
+            tenant=req.tenant,
+            device=a.device,
+            error=result.error,
+        )
+        self.recorder.dump(
+            "region-failure",
+            request=w.seq,
+            tenant=req.tenant,
+            device=a.device,
+            error=result.error,
+        )
         self._results.append(result)
         self._observe(result)
 
@@ -844,6 +979,12 @@ class RegionScheduler:
         if self.pool.is_lost(device):
             return
         self.pool.mark_lost(device)
+        self.recorder.record(
+            "device.lost",
+            t=self.pool.runtimes[device].elapsed,
+            device=device,
+            error="DeviceLostError",
+        )
         self._quarantined_until[device] = None
         if self.obs.metrics.enabled:
             self.obs.metrics.counter("serve.device_lost").inc()
@@ -865,12 +1006,20 @@ class RegionScheduler:
             w.migrated = True
             w.oom_deferred = False
             self._waiting.append(w)
+            self.recorder.record(
+                "request.requeue",
+                request=w.seq,
+                tenant=w.req.tenant,
+                device=device,
+                migrated=True,
+            )
             if self.obs.metrics.enabled:
                 self.obs.metrics.counter("serve.failover").inc()
         # plans for the dead device are useless now
         for w in self._waiting:
             w.planned.pop(device, None)
         self._waiting.sort(key=lambda w: w.seq)
+        self.recorder.dump("device-lost", device=device, victims=len(victims))
         if not self.pool.alive():
             for w in list(self._waiting):
                 self._fail(w, DeviceLostError(
@@ -942,6 +1091,16 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+        )
+        self.recorder.record(
+            "request.retire",
+            t=finish_t,
+            request=w.seq,
+            tenant=req.tenant,
+            device=a.device,
+            migrated=True if w.migrated else None,
+            faults=result.faults or None,
+            retries=result.retries or None,
         )
         self._results.append(result)
         self._active.remove(a)
@@ -1125,6 +1284,15 @@ class RegionScheduler:
                 for rt, was in zip(self.pool.runtimes, old_defer):
                     rt.defer_faults = was
         self._results.sort(key=lambda r: r.request_id)
+        if self.recorder.dumps:
+            # something failed mid-run: one final dump whose window also
+            # covers the recovery tail (e.g. the migrated re-admission
+            # after a device loss)
+            self.recorder.dump(
+                "run-end",
+                requests=len(self._results),
+                failures=len(self.recorder.dumps),
+            )
         health = [
             "quarantined"
             if h == "ok" and self._quarantined_until[i] is not None
@@ -1142,4 +1310,5 @@ class RegionScheduler:
             dry_runs=self.dry_runs,
             device_health=health,
             breaker_trips=list(self._breaker_trips),
+            flight_dumps=list(self.recorder.dumps),
         )

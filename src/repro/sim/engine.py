@@ -57,13 +57,16 @@ class EventToken:
         Completion time in virtual seconds, or ``None`` while pending.
     """
 
-    __slots__ = ("name", "time", "_waiters", "_recorded", "poisoned")
+    __slots__ = ("name", "time", "_waiters", "_recorded", "recorded_by", "poisoned")
 
     def __init__(self, name: str = "event") -> None:
         self.name = name
         self.time: Optional[float] = None
         self._waiters: List["Command"] = []
         self._recorded = False
+        #: the command that records this token (set at enqueue) —
+        #: dependency metadata for post-run critical-path analysis
+        self.recorded_by: Optional["Command"] = None
         #: True when the recording command faulted (or was itself
         #: poisoned); waiters inherit the poison so they never consume
         #: data a faulted command failed to produce
@@ -124,6 +127,9 @@ class Command:
         "error",
         "poisoned",
         "_poison_waits",
+        "wait_toks",
+        "stream_pred",
+        "chunk",
     )
 
     PENDING = "pending"
@@ -174,6 +180,17 @@ class Command:
         #: pass a subset when some waits are ordering-only
         #: anti-dependencies (e.g. ring-slot reuse guards).
         self._poison_waits: Optional[frozenset] = None
+        #: tokens this command waited on, captured at enqueue.  The
+        #: event loop clears its live dependency lists at retirement,
+        #: so analysis reads these instead.
+        self.wait_toks: Tuple[EventToken, ...] = ()
+        #: the command this one implicitly follows on its stream
+        #: (``None`` for the first command on a stream / stream-less)
+        self.stream_pred: Optional["Command"] = None
+        #: pipeline chunk index that issued this command (``None`` for
+        #: resident copies, markers, and non-pipelined work) — set by
+        #: the executor, consumed by bottleneck attribution
+        self.chunk: Optional[int] = None
 
     @property
     def done(self) -> bool:
@@ -317,11 +334,14 @@ class Simulator:
         # implicit in-order stream dependency
         if cmd.stream is not None:
             tail = self._stream_tail.get(id(cmd.stream))
+            cmd.stream_pred = tail
             if tail is not None and not tail.done:
                 tail._dependents.append(cmd)
                 unresolved += 1
             self._stream_tail[id(cmd.stream)] = cmd
 
+        waits = tuple(waits)
+        cmd.wait_toks = waits
         for tok in waits:
             if not tok.done:
                 if not tok._recorded:
@@ -337,6 +357,7 @@ class Simulator:
             if tok._recorded:
                 raise SimulationError(f"event {tok.name!r} recorded twice")
             tok._recorded = True
+            tok.recorded_by = cmd
             cmd._records.append(tok)
 
         cmd._unresolved = unresolved

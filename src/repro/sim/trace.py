@@ -15,7 +15,9 @@ questions the paper's figures ask of a profiler:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.intervals import union_length
 
 __all__ = [
     "TimelineRecord",
@@ -119,23 +121,6 @@ def time_distribution(timeline: Timeline, kinds: Iterable[str] = ("h2d", "d2h", 
     return {k: timeline.busy_time(k) for k in kinds}
 
 
-def _union_intervals(intervals: List[Tuple[float, float]]) -> float:
-    """Total measure of a union of intervals."""
-    if not intervals:
-        return 0.0
-    intervals.sort()
-    total = 0.0
-    cur_lo, cur_hi = intervals[0]
-    for lo, hi in intervals[1:]:
-        if lo > cur_hi:
-            total += cur_hi - cur_lo
-            cur_lo, cur_hi = lo, hi
-        else:
-            cur_hi = max(cur_hi, hi)
-    total += cur_hi - cur_lo
-    return total
-
-
 def overlap_fraction(timeline: Timeline) -> float:
     """Fraction of transfer busy-time overlapped with kernel execution.
 
@@ -158,7 +143,7 @@ def overlap_fraction(timeline: Timeline) -> float:
             if lo >= t.finish:
                 break
             pieces.append((max(lo, t.start), min(hi, t.finish)))
-        hidden += _union_intervals(pieces)
+        hidden += union_length(pieces)
     return hidden / total if total else 0.0
 
 

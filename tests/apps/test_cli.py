@@ -108,3 +108,55 @@ class TestChaos:
                    "--profile", "chaos", "--seed", "3"])
         assert rc == 1
         assert "recovery failed" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_analyze_parses(self):
+        args = build_parser().parse_args(
+            ["analyze", "stencil", "--baseline", "b.json",
+             "--tolerance", "0.1", "-o", "out.json"]
+        )
+        assert (args.app, args.baseline, args.tolerance, args.out) == (
+            "stencil", "b.json", 0.1, "out.json",
+        )
+
+    def test_analyze_report(self, capsys):
+        assert main(["analyze", "stencil"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path analysis" in out
+        assert "where the wall time went" in out
+        assert "what-if bounds" in out
+
+    def test_analyze_json_and_out_are_identical(self, tmp_path, capsys):
+        out_file = tmp_path / "a.json"
+        assert main(["analyze", "matmul", "--json", "-o", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        # stdout JSON begins after the "wrote ..." line
+        doc = json.loads(printed[printed.index("{"):])
+        assert doc == json.loads(out_file.read_text())
+        assert doc["model"] == "pipelined-buffer"
+        assert doc["causes"]
+
+    def test_analyze_baseline_gate(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["analyze", "qcd", "-o", str(base)]) == 0
+        capsys.readouterr()
+        # identical baseline: gate passes
+        assert main(["analyze", "qcd", "--baseline", str(base)]) == 0
+        assert "no regression" in capsys.readouterr().out
+        # doctored faster baseline: gate trips
+        doc = json.loads(base.read_text())
+        doc["wall_s"] *= 0.5
+        base.write_text(json.dumps(doc))
+        assert main(["analyze", "qcd", "--baseline", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_analyze_bad_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["analyze", "stencil", "--baseline", str(bad)]) == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_analyze_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "raytracer"])

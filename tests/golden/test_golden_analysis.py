@@ -1,0 +1,66 @@
+"""Golden analysis-snapshot regression test.
+
+``tests/golden/analyze_stencil.json`` is the byte-exact analysis
+snapshot of the same small stencil run the ``repro analyze stencil``
+CLI performs (floats rounded to 12 digits, keys sorted).  Any change
+to the critical-path walk, the wait taxonomy, the what-if formulas, or
+the underlying schedule shows up as a diff here.
+
+The same file doubles as the ``--baseline`` input for the CI
+regression-gate smoke in ``scripts/ci_check.sh``.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+    git diff tests/golden/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import analyze_result
+from repro.obs.analyze.snapshot import round_floats
+
+GOLDEN = Path(__file__).resolve().parent / "analyze_stencil.json"
+
+
+def _snapshot() -> str:
+    from repro.apps import stencil as st
+
+    res = st.run_model(
+        "pipelined-buffer",
+        st.StencilConfig(nz=16, ny=64, nx=64, iters=1),
+        "k40m", virtual=True,
+    )
+    analysis = analyze_result(res, meta={"app": "stencil", "device": "k40m"})
+    return json.dumps(analysis.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def test_golden_analysis_snapshot(update_golden):
+    text = _snapshot()
+    if update_golden:
+        GOLDEN.write_text(text, encoding="utf-8")
+        return
+    assert GOLDEN.exists(), (
+        f"missing golden file {GOLDEN}; generate with "
+        f"pytest tests/golden --update-golden"
+    )
+    assert text == GOLDEN.read_text(encoding="utf-8"), (
+        "analysis snapshot drifted from tests/golden/analyze_stencil.json "
+        "— if the analyzer or schedule change is intentional, rerun with "
+        "--update-golden and review the diff"
+    )
+
+
+def test_golden_analysis_is_self_consistent():
+    """Two fresh runs produce byte-identical snapshots."""
+    assert _snapshot() == _snapshot()
+
+
+def test_snapshot_floats_are_canonical():
+    """The serialized snapshot survives round_floats unchanged (no
+    hidden precision the 12-digit rounding missed)."""
+    snap = json.loads(_snapshot())
+    assert round_floats(snap) == snap

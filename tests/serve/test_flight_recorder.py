@@ -1,0 +1,177 @@
+"""Scheduler flight recorder and per-tenant latency percentiles.
+
+The post-mortem acceptance scenario: a run that loses a device mid-way
+must produce flight-recorder dumps whose event window shows the
+``DeviceLostError`` and the migrated request's restart on a healthy
+device.  Plus: deadline cancellations dump, dumps stay deterministic,
+fault-free runs dump nothing, and the new ``tenant_latency``
+percentiles are deterministic and internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve import (
+    DevicePool,
+    RegionScheduler,
+    ServeConfig,
+    build_request,
+    random_workload,
+)
+
+
+def _run(requests, *, plans=None, devices=1, config=None):
+    pool = DevicePool("k40m", count=devices, virtual=True)
+    if plans is not None:
+        pool.install_faults(plans)
+    sched = RegionScheduler(pool, config)
+    sched.submit_all(requests)
+    report = sched.run()
+    pool.close()
+    return report
+
+
+def _failover_requests():
+    return [
+        build_request("stencil", tenant="alice",
+                      config={"nz": 12, "ny": 24, "nx": 24}, virtual=True),
+        build_request("matmul", tenant="bob",
+                      config={"n": 48, "block": 8}, virtual=True),
+        build_request("qcd", tenant="carol",
+                      config={"n": 6}, virtual=True),
+    ]
+
+
+class TestFailoverDump:
+    def test_device_loss_dump_shows_error_and_migrated_restart(self):
+        report = _run(
+            _failover_requests(),
+            plans=[FaultPlan(seed=7, device_lost_at=4), None],
+            devices=2,
+        )
+        assert report.ok and report.migrated >= 1
+        reasons = [d["reason"] for d in report.flight_dumps]
+        assert "device-lost" in reasons
+        assert reasons[-1] == "run-end"
+        final = report.flight_dumps[-1]
+        events = final["events"]
+        assert any(
+            e["kind"] == "device.lost" and e.get("error") == "DeviceLostError"
+            for e in events
+        ), "dump must contain the DeviceLostError event"
+        lost_seq = next(
+            e["seq"] for e in events if e["kind"] == "device.lost"
+        )
+        restart = [
+            e for e in events
+            if e["kind"] == "request.admit" and e.get("migrated")
+        ]
+        assert restart, "dump must contain the migrated request's restart"
+        assert all(e["seq"] > lost_seq for e in restart)
+        requeued = {
+            e["request"] for e in events if e["kind"] == "request.requeue"
+        }
+        assert {e["request"] for e in restart} <= requeued
+
+    def test_dumps_are_deterministic(self):
+        def once():
+            return _run(
+                _failover_requests(),
+                plans=[FaultPlan(seed=7, device_lost_at=4), None],
+                devices=2,
+            )
+
+        a, b = once(), once()
+        assert json.dumps(a.flight_dumps, sort_keys=True) == json.dumps(
+            b.flight_dumps, sort_keys=True
+        )
+
+    def test_fault_free_run_dumps_nothing(self):
+        report = _run(random_workload(seed=3, n=3))
+        assert report.ok
+        assert report.flight_dumps == []
+
+    def test_deadline_cancel_dumps(self):
+        reqs = [
+            build_request(
+                "stencil", tenant="late",
+                config={"nz": 24, "ny": 48, "nx": 48},
+                deadline=1e-6, virtual=True,
+            ),
+        ]
+        report = _run(reqs)
+        statuses = {r.status for r in report.results}
+        assert statuses & {"cancelled", "shed"}
+        if report.cancelled:
+            assert any(
+                d["reason"] == "deadline-cancel" for d in report.flight_dumps
+            )
+
+    def test_ring_is_bounded(self):
+        report = _run(
+            _failover_requests(),
+            plans=[FaultPlan(seed=7, device_lost_at=4), None],
+            devices=2,
+            config=ServeConfig(flight_recorder_capacity=4),
+        )
+        for d in report.flight_dumps:
+            assert len(d["events"]) <= 4
+        assert report.flight_dumps[-1]["dropped"] > 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="flight_recorder_capacity"):
+            ServeConfig(flight_recorder_capacity=0)
+
+
+class TestTenantLatency:
+    def test_percentiles_are_deterministic(self):
+        def once():
+            return _run(random_workload(seed=11, n=6))
+
+        a, b = once(), once()
+        assert a.tenant_latency == b.tenant_latency
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_percentiles_are_consistent_with_results(self):
+        report = _run(random_workload(seed=11, n=6))
+        lat = report.tenant_latency
+        ok = [r for r in report.results if r.status == "ok"]
+        assert sum(d["count"] for d in lat.values()) == len(ok)
+        for tenant, d in lat.items():
+            waits = sorted(
+                r.queue_wait for r in ok if r.tenant == tenant
+            )
+            assert d["queue_wait"]["p50"] in waits
+            assert d["queue_wait"]["p99"] == waits[-1]
+            assert (
+                d["queue_wait"]["p50"]
+                <= d["queue_wait"]["p95"]
+                <= d["queue_wait"]["p99"]
+            )
+            assert (
+                d["service"]["p50"]
+                <= d["service"]["p95"]
+                <= d["service"]["p99"]
+            )
+
+    def test_summary_and_to_dict_carry_latency(self):
+        report = _run(random_workload(seed=11, n=4))
+        assert "tenant_latency" in report.to_dict()
+        text = report.summary()
+        assert "wait p50/p95/p99" in text
+
+    def test_no_ok_requests_means_empty_latency(self):
+        report = _run(
+            random_workload(seed=2, n=2),
+            plans=[FaultPlan(seed=0, kernel_fault_rate=0.5)],
+            config=ServeConfig(max_request_retries=0),
+        )
+        assert not report.ok
+        ok_tenants = {r.tenant for r in report.results if r.status == "ok"}
+        assert set(report.tenant_latency) == ok_tenants
