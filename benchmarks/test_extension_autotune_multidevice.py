@@ -8,9 +8,18 @@ quantified:
   num_streams) per device.  On the HD 7970, where the hand-chosen
   default is catastrophic (Figure 8), the tuner must recover the
   hand-tuned optimum.
-* **Multi-device co-scheduling** ("multi-nodes with different
+* **Multi-device sharding** ("multi-nodes with different
   accelerators", building on CoreTSAR): the loop splits across devices
-  by probed throughput, then pipelines per device.
+  by probed throughput and the shards pipeline concurrently on a
+  shared clock, contending for one host PCIe link and exchanging
+  halos at shard boundaries.
+
+The sharded numbers are deliberately honest: 768^3 convolution is
+transfer-bound on the K40m, so a second card on the *same* host link
+buys roughly parity, and adding a slower HD 7970 costs time even
+though the probed split keeps both shards finishing together.  The
+workloads where sharding pays off (independent regions across a
+pool) are measured in ``test_sharding_scaling.py``.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from __future__ import annotations
 from repro.analysis.report import format_table
 from repro.apps import conv3d as cv
 from repro.core.autotune import autotune
-from repro.core.multidevice import execute_multi_device
+from repro.core.multidevice import execute_sharded
 from repro.gpu import Runtime
 from repro.kernels.conv3d import Conv3dKernel
 from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
@@ -98,7 +107,7 @@ def test_extension_multidevice(benchmark, cache, report):
 
     def dual():
         arrays = _virtual_conv_arrays(cfg)
-        return execute_multi_device(
+        return execute_sharded(
             [Runtime(Device(NVIDIA_K40M), virtual=True) for _ in range(2)],
             region, arrays, kernel, weights=[1, 1],
         )
@@ -107,28 +116,44 @@ def test_extension_multidevice(benchmark, cache, report):
     single = cv.run_model("pipelined-buffer", cfg, virtual=True)
 
     arrays = _virtual_conv_arrays(cfg)
-    hetero = execute_multi_device(
+    hetero = execute_sharded(
         [Runtime(Device(NVIDIA_K40M), virtual=True),
          Runtime(Device(AMD_HD7970), virtual=True)],
         region, arrays, kernel,
     )
 
     report.emit(
-        "Extension: multi-device co-scheduling (3dconv 768^3)",
+        "Extension: multi-device sharding, shared PCIe (3dconv 768^3)",
         format_table(
-            ["configuration", "elapsed s", "shares"],
+            ["configuration", "elapsed s", "shares", "halo MiB"],
             [
-                ["1x K40m", single.elapsed, "766"],
-                ["2x K40m", res_dual.elapsed, "/".join(map(str, res_dual.shares))],
-                ["K40m + HD7970", hetero.elapsed, "/".join(map(str, hetero.shares))],
+                ["1x K40m", single.elapsed, "766", 0],
+                [
+                    "2x K40m",
+                    res_dual.elapsed,
+                    "/".join(map(str, res_dual.shares)),
+                    res_dual.halo_bytes / 2**20,
+                ],
+                [
+                    "K40m + HD7970",
+                    hetero.elapsed,
+                    "/".join(map(str, hetero.shares)),
+                    hetero.halo_bytes / 2**20,
+                ],
             ],
         ),
     )
 
-    # two identical devices: close to 2x
-    assert res_dual.elapsed < 0.62 * single.elapsed
+    # every shard configuration covers the full loop
+    assert sum(res_dual.shares) == sum(hetero.shares) == 766
+    # halo exchange at the shard seam is charged, not elided
+    assert res_dual.halo_bytes > 0
+    # transfer-bound region on one host link: a second identical card
+    # buys at best parity — but must not *cost* time either
+    assert res_dual.elapsed < 1.05 * single.elapsed
     # heterogeneous pair: the probe gives the K40m the larger share and
-    # still beats a single K40m
+    # balances shard finish times, but the slower card plus link
+    # contention makes the pair slower than the K40m alone
     assert hetero.shares[0] > hetero.shares[1]
-    assert hetero.elapsed < single.elapsed
     assert hetero.imbalance() < 0.25
+    assert hetero.elapsed > res_dual.elapsed

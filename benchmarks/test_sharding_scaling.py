@@ -1,0 +1,233 @@
+"""Sharding scaling bench: speedup@2/@4 and the heterogeneous split.
+
+Two levels of multi-device scaling, both under the shared-PCIe
+contention model, each measured against a single-K40m baseline:
+
+* **pool level** — the mixed 8-region serve workload (4x qcd
+  alternating 4x stencil, the ``test_serve_throughput`` mix) on
+  ``DevicePool`` sizes 1/2/4: independent regions spread across
+  devices, so throughput scales without any region paying halo or
+  link-sharing costs.  A contrast row serves the same mix with every
+  request ``shards=2`` — sharding a *transfer-heavy* mix makes it
+  slower, which is the point of measuring honestly;
+* **region level** — one compute-rich sweep region (profile-aware
+  kernel cost, so the probe sees real device speed) sharded via
+  ``execute_sharded`` across 2 and 4 K40m and across a K40m + HD 7970
+  pair: near-linear homogeneous scaling, and an uneven probed split
+  that still beats the K40m alone.
+
+Every metric lands in ``BENCH_sharding.json`` next to this file.  When
+a ``BENCH_sharding.baseline.json`` is checked in, each speedup is
+additionally gated against it (>= baseline - 10%), the same
+snapshot-as-baseline pattern as ``repro analyze --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core import RegionKernel, TargetRegion
+from repro.core.multidevice import execute_sharded
+from repro.directives.clauses import Loop
+from repro.gpu import Runtime
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
+
+from conftest import memo
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sharding.json")
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_sharding.baseline.json"
+)
+#: a new measurement may trail its baseline by at most this factor
+BASELINE_SLACK = 0.90
+
+# -- pool level: the mixed 8-region serve workload ---------------------
+POOL_SPEEDUP_FLOOR_2 = 1.6  # acceptance: 2-device homogeneous >= 1.6x
+POOL_SPEEDUP_FLOOR_4 = 2.4
+
+# -- region level: one compute-rich region, sharded --------------------
+SHARD_SPEEDUP_FLOOR_2 = 1.6
+SHARD_SPEEDUP_FLOOR_4 = 2.2
+HETERO_SPEEDUP_FLOOR = 1.1
+
+FLOPS_PER_ITER = 7e7
+WIDTH = 4096
+SWEEP_N = 258
+SWEEP_CHUNK = 16  # coarse chunks keep the HD 7970 off its latency floor
+
+
+class SweepKernel(RegionKernel):
+    """out[k] = 2*in[k] + in[k-1] + in[k+1], priced by device flops.
+
+    The per-iteration cost scales with ``profile.flops_f64``, so
+    ``probe_rates`` sees the K40m / HD 7970 speed gap and the split
+    comes out uneven — the CoreTSAR association the paper builds on.
+    """
+
+    name = "sweep"
+    index_penalty = 0.0
+
+    def cost(self, profile, t0, t1):
+        return (t1 - t0) * FLOPS_PER_ITER / profile.flops_f64
+
+    def run(self, views, t0, t1):
+        src = views["IN"].take(t0 - 1, t1 + 1)
+        dst = views["OUT"].take(t0, t1)
+        dst[...] = 2 * src[1:-1] + src[:-2] + src[2:]
+
+
+def sweep_region():
+    return TargetRegion.parse(
+        f"pipeline(static[{SWEEP_CHUNK},2]) "
+        f"pipeline_map(to: IN[k-1:3][0:{WIDTH}]) "
+        f"pipeline_map(from: OUT[k:1][0:{WIDTH}]) ",
+        loop=Loop("k", 1, SWEEP_N - 1),
+    )
+
+
+def sweep_arrays():
+    rng = np.random.default_rng(5)
+    a = rng.random((SWEEP_N, WIDTH))
+    return {"IN": a, "OUT": np.zeros_like(a)}
+
+
+def mixed_workload(shards=1):
+    reqs = []
+    for i in range(4):
+        reqs.append(build_request(
+            "qcd", tenant=f"qcd{i}", config={"n": 8}, shards=shards,
+        ))
+        reqs.append(build_request(
+            "stencil", tenant=f"sten{i}",
+            config={"nz": 26, "ny": 64, "nx": 64}, shards=shards,
+        ))
+    return reqs
+
+
+def serve_mixed(count, shards=1):
+    pool = DevicePool("k40m", count=count)
+    sched = RegionScheduler(pool, ServeConfig())
+    sched.submit_all(mixed_workload(shards))
+    report = sched.run()
+    assert report.ok
+    return report.makespan
+
+
+def shard_sweep(profiles, weights=None):
+    region = sweep_region()
+    arrays = sweep_arrays()
+    res = execute_sharded(
+        [Runtime(Device(p), virtual=False) for p in profiles],
+        region, arrays, SweepKernel(), weights=weights,
+    )
+    # scaling claims only count if the answer stays exact
+    src = arrays["IN"]
+    exp = np.zeros_like(src)
+    exp[1:SWEEP_N - 1] = 2 * src[1:SWEEP_N - 1] + src[:SWEEP_N - 2] + src[2:SWEEP_N]
+    assert np.array_equal(arrays["OUT"], exp)
+    return res
+
+
+def measure(cache):
+    def compute():
+        pool1 = serve_mixed(1)
+        out = {
+            "pool_speedup_2": pool1 / serve_mixed(2),
+            "pool_speedup_4": pool1 / serve_mixed(4),
+            "pool_sharded_mix_speedup_2": pool1 / serve_mixed(2, shards=2),
+        }
+        single = sweep_region().run(
+            Runtime(NVIDIA_K40M), sweep_arrays(), SweepKernel()
+        )
+        dual = shard_sweep([NVIDIA_K40M] * 2, weights=[1, 1])
+        quad = shard_sweep([NVIDIA_K40M] * 4, weights=[1] * 4)
+        hetero = shard_sweep([NVIDIA_K40M, AMD_HD7970])
+        out.update({
+            "shard_speedup_2": single.elapsed / dual.elapsed,
+            "shard_speedup_4": single.elapsed / quad.elapsed,
+            "hetero_speedup": single.elapsed / hetero.elapsed,
+            "hetero_shares": list(hetero.shares),
+            "hetero_imbalance": hetero.imbalance(),
+        })
+        return out
+
+    return memo(cache, "sharding_scaling", compute)
+
+
+def _write_bench(data):
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _check_baseline(data):
+    if not os.path.exists(BASELINE_PATH):
+        return
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    for key, ref in baseline.items():
+        if not isinstance(ref, (int, float)) or isinstance(ref, bool):
+            continue
+        if not key.endswith(("speedup", "speedup_2", "speedup_4")):
+            continue
+        assert data[key] >= ref * BASELINE_SLACK, (
+            f"{key} regressed: {data[key]:.3f} vs baseline {ref:.3f} "
+            f"(floor {ref * BASELINE_SLACK:.3f})"
+        )
+
+
+def test_sharding_scaling(benchmark, cache, report):
+    data = measure(cache)
+    benchmark.pedantic(
+        lambda: shard_sweep([NVIDIA_K40M] * 2, weights=[1, 1]),
+        rounds=3, iterations=1,
+    )
+
+    report.emit(
+        "Sharding scaling (vs one K40m, shared-PCIe model)",
+        format_table(
+            ["level", "configuration", "speedup", "floor"],
+            [
+                ["pool", "mixed 8-region, 2 devices",
+                 data["pool_speedup_2"], POOL_SPEEDUP_FLOOR_2],
+                ["pool", "mixed 8-region, 4 devices",
+                 data["pool_speedup_4"], POOL_SPEEDUP_FLOOR_4],
+                ["pool", "mixed 8-region, 2 devices, all shards=2",
+                 data["pool_sharded_mix_speedup_2"], "-"],
+                ["region", "sweep, 2x K40m",
+                 data["shard_speedup_2"], SHARD_SPEEDUP_FLOOR_2],
+                ["region", "sweep, 4x K40m",
+                 data["shard_speedup_4"], SHARD_SPEEDUP_FLOOR_4],
+                ["region",
+                 "sweep, K40m + HD7970 (shares "
+                 + "/".join(map(str, data["hetero_shares"])) + ")",
+                 data["hetero_speedup"], HETERO_SPEEDUP_FLOOR],
+            ],
+            floatfmt="{:.2f}",
+        ),
+    )
+    report.record("sharding_scaling", data)
+    _write_bench(data)
+
+    # pool level: independent regions scale across devices …
+    assert data["pool_speedup_2"] >= POOL_SPEEDUP_FLOOR_2
+    assert data["pool_speedup_4"] >= POOL_SPEEDUP_FLOOR_4
+    # … while sharding every transfer-heavy region onto a shared link
+    # is a net loss — the model must not flatter it
+    assert data["pool_sharded_mix_speedup_2"] < data["pool_speedup_2"]
+
+    # region level: a compute-rich region shards near-linearly …
+    assert data["shard_speedup_2"] >= SHARD_SPEEDUP_FLOOR_2
+    assert data["shard_speedup_4"] >= SHARD_SPEEDUP_FLOOR_4
+    # … and the heterogeneous pair beats a lone K40m with the probed
+    # split giving the faster card the larger share
+    assert data["hetero_speedup"] >= HETERO_SPEEDUP_FLOOR
+    assert data["hetero_shares"][0] > data["hetero_shares"][1]
+    assert data["hetero_imbalance"] < 0.3
+
+    _check_baseline(data)

@@ -7,8 +7,11 @@ This example:
 
 1. lets the autotuner pick ``(chunk_size, num_streams)`` for the 3-D
    convolution on each device via virtual dry runs, then
-2. co-schedules the convolution across a K40m + HD 7970 pair, with the
-   loop split proportionally to each device's probed throughput.
+2. shards the convolution across a K40m + HD 7970 pair through the
+   placement API (``region.run(..., devices=[...])``): the loop is
+   split proportionally to each device's probed throughput on a shared
+   virtual clock, with halo exchange and shared-PCIe contention
+   modelled.
 
 Run::
 
@@ -17,7 +20,6 @@ Run::
 
 from repro.apps import conv3d as cv
 from repro.core.autotune import autotune
-from repro.core.multidevice import execute_multi_device
 from repro.gpu import Runtime
 from repro.kernels.conv3d import Conv3dKernel
 from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
@@ -41,29 +43,40 @@ def main() -> None:
             f"({rep.dry_runs} dry runs)"
         )
 
-    # -- 2. heterogeneous co-scheduling --------------------------------
+    # -- 2. heterogeneous sharding via the placement API ---------------
     cfg = cv.Conv3dConfig(nz=384, ny=384, nx=384, chunk_size=8, num_streams=2)
     region = cv.make_region(cfg)
     kernel = Conv3dKernel(cfg.ny, cfg.nx)
 
     single = cv.run_model("pipelined-buffer", cfg, virtual=True)
-    arrays = cv.make_arrays(cfg, virtual=True)
-    pair = execute_multi_device(
-        [Runtime(Device(NVIDIA_K40M), virtual=True),
-         Runtime(Device(AMD_HD7970), virtual=True)],
-        region, arrays, kernel,
+    twin = region.run(
+        None, cv.make_arrays(cfg, virtual=True), kernel,
+        devices=[Runtime(Device(NVIDIA_K40M), virtual=True),
+                 Runtime(Device(NVIDIA_K40M), virtual=True)],
+    )
+    pair = region.run(
+        None, cv.make_arrays(cfg, virtual=True), kernel,
+        devices=[Runtime(Device(NVIDIA_K40M), virtual=True),
+                 Runtime(Device(AMD_HD7970), virtual=True)],
     )
 
-    print("\nco-scheduled 3dconv 384^3 across K40m + HD 7970:")
+    print("\nsharded 3dconv 384^3 over a shared PCIe link:")
     print(f"  single K40m:      {single.elapsed * 1e3:7.1f} ms")
     print(
+        f"  K40m + K40m:      {twin.elapsed * 1e3:7.1f} ms "
+        f"({single.elapsed / twin.elapsed:.2f}x)"
+    )
+    print(
         f"  K40m + HD7970:    {pair.elapsed * 1e3:7.1f} ms "
-        f"(shares {pair.shares[0]}/{pair.shares[1]} planes, "
+        f"({single.elapsed / pair.elapsed:.2f}x, shares "
+        f"{pair.shares[0]}/{pair.shares[1]} planes, "
         f"imbalance {100 * pair.imbalance():.0f}%)"
     )
     print(
-        f"  scaling:          {single.elapsed / pair.elapsed:.2f}x from adding "
-        f"the (much slower) AMD card"
+        "  the probed split keeps both shards finishing together, but a\n"
+        "  transfer-bound region gains little from a second card when\n"
+        "  both shards contend for the same host link — the honest\n"
+        "  multi-GPU story a per-device-link model would hide"
     )
 
 

@@ -69,6 +69,35 @@ assert all(r["status"] == "ok" for r in report["requests"]), (
 EOF
 
 
+echo "== CLI smoke: sharded serve spans two devices =="
+sharded_serve="$(python -m repro serve examples/serve_workload.json \
+    --devices 2 --json)"
+python - <<EOF3
+import json
+report = json.loads('''$sharded_serve''')
+assert all(r["status"] == "ok" for r in report["requests"]), (
+    "sharded serve smoke lost a request"
+)
+alice = [r for r in report["requests"] if r["tenant"] == "alice"][0]
+assert alice.get("shards") == 2, f"alice not sharded: {alice}"
+assert sorted(alice.get("devices", [])) == [0, 1], (
+    f"alice's shards not on both devices: {alice}"
+)
+EOF3
+
+echo "== CLI smoke: sharded analyze invariants hold =="
+# --devices 2 runs the region sharded and exits non-zero if the
+# aggregate clock or the share partition violates the sharding model
+sharded_analyze="$(python -m repro analyze stencil --devices 2 --json)"
+python - <<EOF4
+import json
+snap = json.loads('''$sharded_analyze''')
+assert snap["shards"] == 2, f"expected 2 shards, got {snap.get('shards')}"
+assert len(snap["shares"]) == 2 and all(s >= 1 for s in snap["shares"]), (
+    f"bad shard shares: {snap.get('shares')}"
+)
+EOF4
+
 echo "== CLI smoke: analyze breakdown sums to wall =="
 analyze_out="$(python -m repro analyze stencil --json)"
 python - <<EOF2

@@ -6,10 +6,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.executor import RegionResult
+from repro.core.placement import resolve_profile_spec
 from repro.gpu.runtime import Runtime
 from repro.obs import Observability
 from repro.sim.device import Device
-from repro.sim.profiles import DeviceProfile, profile_by_name
+from repro.sim.profiles import DeviceProfile
 
 __all__ = ["MODELS", "VersionSet", "new_runtime", "resolve_profile"]
 
@@ -18,10 +19,9 @@ MODELS = ("naive", "pipelined", "pipelined-buffer")
 
 
 def resolve_profile(device) -> DeviceProfile:
-    """Accept a profile object or a short name (``"k40m"``/``"hd7970"``)."""
-    if isinstance(device, DeviceProfile):
-        return device
-    return profile_by_name(str(device))
+    """Accept a profile object, a :class:`Runtime`/``Device``, or a short
+    name (``"k40m"``/``"hd7970"``)."""
+    return resolve_profile_spec(device, field="device")
 
 
 def new_runtime(

@@ -249,6 +249,36 @@ def _profile(app: str, device: str, top: int) -> str:
     return profile_report(obs, top=top)
 
 
+#: the analyzer's small deterministic configs, keyed by CLI app name
+#: (``value[0]`` is the workload-builder app name)
+_ANALYSIS_CONFIGS = {
+    "stencil": ("stencil", {"nz": 16, "ny": 64, "nx": 64, "iters": 1}),
+    "3dconv": ("conv3d", {"nz": 16, "ny": 64, "nx": 64}),
+    "qcd": ("qcd", {"n": 8}),
+    "matmul": ("matmul", {"n": 48, "block": 8}),
+}
+
+
+def _sharded_analysis_run(app: str, device: str, devices: int):
+    """The analyzer's run sharded over ``devices`` virtual devices.
+
+    Returns the primary shard's per-device result (same protocol as
+    the single-device run) plus the sharded aggregate for invariants.
+    """
+    from repro.core import execute_sharded
+    from repro.core.placement import resolve_runtimes
+    from repro.serve.workload import build_request
+
+    try:
+        wl_app, config = _ANALYSIS_CONFIGS[app]
+    except KeyError:
+        raise SystemExit(f"unknown app {app!r}; know {_APPS}") from None
+    req = build_request(wl_app, config=dict(config), virtual=True)
+    runtimes = resolve_runtimes([device] * devices, virtual=True)
+    sharded = execute_sharded(runtimes, req.region, req.arrays, req.kernel)
+    return sharded.per_device[0], sharded
+
+
 def _analysis_run(app: str, device: str):
     """One small deterministic pipelined-buffer run for the analyzer."""
     if app == "stencil":
@@ -294,10 +324,25 @@ def _analyze(args) -> int:
 
     from repro.obs import analyze_result, diff_analyses, write_analysis
 
-    res = _analysis_run(args.app, args.device)
-    analysis = analyze_result(
-        res, meta={"app": args.app, "device": args.device}
-    )
+    meta = {"app": args.app, "device": args.device}
+    devices = getattr(args, "devices", None) or 1
+    if devices > 1:
+        res, sharded = _sharded_analysis_run(args.app, args.device, devices)
+        # sharding invariants the CI smoke leans on
+        if sharded.elapsed > max(r.elapsed for r in sharded.per_device) + 1e-12:
+            print("sharding invariant violated: aggregate elapsed exceeds "
+                  "slowest shard", file=sys.stderr)
+            return 1
+        if len(sharded.shares) != devices or any(
+            s < 1 for s in sharded.shares
+        ):
+            print("sharding invariant violated: expected one positive "
+                  "iteration share per device", file=sys.stderr)
+            return 1
+        meta.update(shards=len(sharded.shares), shares=list(sharded.shares))
+    else:
+        res = _analysis_run(args.app, args.device)
+    analysis = analyze_result(res, meta=meta)
     snap = analysis.to_dict()
     if args.out:
         write_analysis(snap, args.out)
@@ -354,11 +399,14 @@ def _serve(args) -> int:
 
     ``--chaos PROFILE`` installs per-device seeded fault injectors
     (``--seed``), turning on the scheduler's replay/failover/breaker
-    machinery; ``--devices N`` overrides the workload's pool size.
-    Exit code 0 iff every request completed successfully.
+    machinery; ``--devices SPEC`` overrides the workload's pool with a
+    device count (``"2"``) or comma-separated profile names
+    (``"k40m,hd7970"``).  Exit code 0 iff every request completed
+    successfully.
     """
     import json
 
+    from repro.core.placement import parse_devices_arg
     from repro.errors import ReproError
     from repro.obs import Observability
     from repro.serve import DevicePool, RegionScheduler, ServeConfig, load_workload
@@ -368,13 +416,24 @@ def _serve(args) -> int:
     except (OSError, ValueError, TypeError, ReproError, json.JSONDecodeError) as exc:
         print(f"bad workload {args.workload!r}: {exc}", file=sys.stderr)
         return 2
-    devices = args.devices if args.devices is not None else spec.devices
+    pool_spec, count = spec.device, spec.devices
+    if args.devices is not None:
+        try:
+            parsed = parse_devices_arg(args.devices)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if isinstance(parsed, int):
+            count = parsed
+        else:
+            pool_spec, count = parsed, 1
+    n_devices = count if isinstance(pool_spec, str) else len(pool_spec)
     plans = None
     if args.chaos:
         from repro.faults import pool_fault_plans
 
         try:
-            plans = pool_fault_plans(args.chaos, seed=args.seed, count=devices)
+            plans = pool_fault_plans(args.chaos, seed=args.seed, count=n_devices)
         except (KeyError, ValueError) as exc:
             print(
                 exc.args[0] if exc.args else str(exc), file=sys.stderr
@@ -383,8 +442,8 @@ def _serve(args) -> int:
     obs = Observability() if args.trace else None
     config = ServeConfig(max_active=1 if args.serial else None)
     with DevicePool(
-        spec.device,
-        count=devices,
+        pool_spec,
+        count=count,
         budget_bytes=spec.budget_bytes,
         obs=obs,
     ) as pool:
@@ -441,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     an.add_argument("app", help="/".join(_APPS))
     an.add_argument("--device", default="k40m")
+    an.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="shard the analyzed region across N devices of --device "
+        "(default 1: single-device run)",
+    )
     an.add_argument(
         "--json", action="store_true",
         help="print the analysis snapshot as JSON instead of the report",
@@ -505,8 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     sv.add_argument(
-        "--devices", type=int, default=None,
-        help="override the workload's pool size",
+        "--devices", default=None, metavar="SPEC",
+        help="override the workload's pool: a count (\"2\") or "
+        "comma-separated profile names (\"k40m,hd7970\")",
     )
     return p
 

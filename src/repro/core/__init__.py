@@ -34,7 +34,18 @@ from repro.core.block2d import Block2DRegion, TileKernel, TileView
 from repro.core.executor import PipelineIssuer
 from repro.core.kernel import ChunkView, RegionKernel, make_kernel
 from repro.core.memlimit import MemLimitError, tune_plan
-from repro.core.multidevice import MultiDeviceResult, execute_multi_device
+from repro.core.multidevice import (
+    MultiDeviceResult,
+    ShardedIssuer,
+    ShardedResult,
+    execute_multi_device,
+    execute_sharded,
+)
+from repro.core.placement import (
+    parse_devices_arg,
+    resolve_profile_spec,
+    resolve_runtimes,
+)
 from repro.core.plan import Chunk, RegionPlan
 from repro.core.region import RegionResult, TargetRegion
 
@@ -51,9 +62,15 @@ __all__ = [
     "RegionKernel",
     "RegionPlan",
     "RegionResult",
+    "ShardedIssuer",
+    "ShardedResult",
     "TargetRegion",
     "autotune",
     "make_kernel",
     "execute_multi_device",
+    "execute_sharded",
+    "parse_devices_arg",
+    "resolve_profile_spec",
+    "resolve_runtimes",
     "tune_plan",
 ]

@@ -346,12 +346,22 @@ class PipelineIssuer:
         region_span: bool = True,
         claim_faults=None,
         recorder=None,
+        reduction_residents=None,
     ) -> None:
         self.runtime = runtime
         self.plan = plan
         self.arrays = arrays
         self.kernel = kernel
         self.policy = policy
+        #: resident vars treated as *reduction accumulators*: staged as
+        #: zeros, per-chunk deltas snapshotted into
+        #: :attr:`reduction_parts`, and the final writeback suppressed
+        #: (a sharded merge applies the deltas in global chunk order).
+        #: Only valid for kernels whose resident update is additive and
+        #: independent of the resident's prior value (``C += f(in)``).
+        self.reduction_residents = frozenset(reduction_residents or ())
+        #: ``(chunk_t0, {var: delta})`` snapshots, one per executed chunk
+        self.reduction_parts: List[Tuple[int, Dict[str, np.ndarray]]] = []
         #: callable claiming this issuer's fault backlog.  Defaults to
         #: ``runtime.pop_faults`` (sole tenant); a scheduler installs a
         #: router here so one tenant's recovery never claims — and
@@ -518,6 +528,11 @@ class PipelineIssuer:
                         ),
                         f"resident h2d of {var!r}",
                     )
+                if var in self.reduction_residents and not self.virtual:
+                    # reduction accumulator: this shard contributes a
+                    # delta on top of zeros; the staged host value is
+                    # merged exactly once, by the sharded merge
+                    dev.backing[...] = 0
 
             # ring buffers
             for var, spec in plan.specs.items():
@@ -559,6 +574,19 @@ class PipelineIssuer:
             kernel.run(views, chunk.t0, chunk.t1)
             for var, (lo, hi) in out_ranges.items():
                 rings[var].scatter(views[var].data, lo, hi)
+            if self.reduction_residents:
+                # snapshot this chunk's delta and reset the accumulator
+                # so every chunk's contribution is isolated; a replayed
+                # chunk snapshots the identical delta again (the merge
+                # dedups by chunk start)
+                part = {}
+                for var in self.reduction_residents:
+                    dev = resident_dev.get(var)
+                    if dev is None:
+                        continue
+                    part[var] = np.array(dev.backing, copy=True)
+                    dev.backing[...] = 0
+                self.reduction_parts.append((chunk.t0, part))
 
         return run
 
@@ -931,6 +959,20 @@ class PipelineIssuer:
         with self._overheads():
             for var, clause in plan.residents.items():
                 if clause.direction in ("from", "tofrom"):
+                    if var in self.reduction_residents and not self.virtual:
+                        # charge the writeback but keep the host value:
+                        # the accumulator holds only this shard's (now
+                        # snapshotted) deltas, which the sharded merge
+                        # applies in global chunk order
+                        sink = np.empty_like(arrays[var])
+                        self._blocking_with_retry(
+                            lambda v=var, s=sink: runtime.memcpy_d2h(
+                                s, self.resident_dev[v],
+                                label=f"d2h:{v}:resident"
+                            ),
+                            f"resident d2h of {var!r}",
+                        )
+                        continue
                     self._blocking_with_retry(
                         lambda v=var: runtime.memcpy_d2h(
                             arrays[v], self.resident_dev[v], label=f"d2h:{v}:resident"

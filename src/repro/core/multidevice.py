@@ -1,4 +1,4 @@
-"""Multi-device co-scheduling (the paper's future work).
+"""Sharding one pipelined region across several devices.
 
 The paper's conclusion: "we will test and analyze our approach on
 other systems, such as Intel Xeon Phi co-processors, and even
@@ -12,30 +12,74 @@ through its own ring buffer.  Because ``pipeline_map`` already states
 which array slice each iteration needs, the same clauses drive both
 levels — no new annotation is required.
 
-Device shares are chosen proportionally to measured device throughput:
-each device gets a virtual **dry-run probe** of a few chunks (the same
-simulator-as-performance-model trick the autotuner uses), and the loop
-is split by the resulting rates.  A heterogeneous pair (K40m + HD 7970)
-therefore gets an uneven split rather than a naive half/half.
+The heart is :class:`ShardedIssuer`, which speaks the same protocol as
+:class:`~repro.core.executor.PipelineIssuer` (``open`` / ``issue_next``
+/ ``drain`` / ``recover`` / ``finalize`` / ``abort``) so the serving
+scheduler can drive a sharded region exactly like a single-device one.
+A sharded open:
+
+* synchronizes the member host clocks to a **shared virtual clock**
+  (the shards start together, so wall time is the max over shards),
+* splits the loop by probed throughput (:func:`probe_rates` +
+  :func:`split_loop`; a K40m + HD 7970 pair gets an uneven split),
+* charges a **halo exchange** at each interior shard boundary for
+  stencil-style regions — the overlap of neighboring shards'
+  ``SplitSpec`` ranges moves as a D2D modeled as D2H + H2D (the H2D
+  half is the consumer pipeline's ordinary first-lap transfer, already
+  charged; the producer's D2H push is charged here), and
+* routes every shard's transfers through one
+  :class:`~repro.sim.bandwidth.BandwidthShared` link, so scaling
+  curves pay for PCIe contention instead of being embarrassingly
+  parallel.
+
+Failover: a shard's device dying (``DeviceLostError``) re-splits its
+incomplete iterations across the surviving shards (``self_heal=True``,
+the standalone :func:`execute_sharded` path).  Completed chunks'
+outputs already live in the host arrays and re-running a chunk is
+idempotent, so the healed output is ``np.array_equal``-exact.  Under
+the scheduler ``self_heal=False`` and the loss escalates to pool-level
+failover instead.
+
+``execute_multi_device`` — the old serial per-device entry point — is
+kept as a deprecated shim; use ``region.run(devices=...)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import warnings
+from collections import ChainMap
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.executor import RegionResult, execute_pipeline
+from repro.core.executor import (
+    PipelineIssuer,
+    RegionResult,
+    _Measurer,
+    execute_pipeline,
+)
 from repro.core.kernel import RegionKernel
+from repro.core.memlimit import tune_plan
 from repro.core.plan import RegionPlan
 from repro.directives.clauses import DirectiveError, Loop
 from repro.directives.splitspec import SplitSpec
+from repro.gpu.errors import DeviceLostError
 from repro.gpu.runtime import Runtime
+from repro.sim.bandwidth import BandwidthShared
 from repro.sim.device import Device
 from repro.sim.varray import VirtualArray
 
-__all__ = ["MultiDeviceResult", "execute_multi_device", "probe_rates", "split_loop"]
+__all__ = [
+    "MultiDeviceResult",
+    "ShardedIssuer",
+    "ShardedResult",
+    "execute_multi_device",
+    "execute_sharded",
+    "probe_rates",
+    "split_loop",
+]
 
 
 @dataclass
@@ -82,6 +126,36 @@ class MultiDeviceResult:
             f"wall (max): {self.elapsed * 1e3:.3f} ms  "
             f"imbalance {self.imbalance():.1%}"
         )
+        return "\n".join(lines)
+
+
+@dataclass
+class ShardedResult(MultiDeviceResult):
+    """A :class:`MultiDeviceResult` from a shared-clock sharded run.
+
+    Adds the failover and contention-model accounting the scheduler
+    and the differential tests assert on.
+    """
+
+    #: whether a shard's device died and its work re-split onto survivors
+    migrated: bool = False
+    #: number of re-split events (0 on a healthy run)
+    resplits: int = 0
+    #: bytes charged as halo pushes between neighboring shards
+    halo_bytes: int = 0
+    #: faulted commands absorbed across shards
+    faults: int = 0
+    #: recovery replays performed across shards
+    retries: int = 0
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        if self.halo_bytes:
+            lines.append(f"halo exchange: {self.halo_bytes / 1e6:.2f} MB")
+        if self.migrated:
+            lines.append(
+                f"failover: {self.resplits} re-split(s), output exact"
+            )
         return "\n".join(lines)
 
 
@@ -133,9 +207,25 @@ def probe_rates(
 def split_loop(loop: Loop, weights: Sequence[float]) -> List[Tuple[int, int]]:
     """Partition the loop into contiguous shares proportional to
     ``weights``; every device gets at least one iteration when
-    possible."""
-    if not weights or any(w <= 0 for w in weights):
-        raise DirectiveError("device weights must be positive")
+    possible.
+
+    Weights must be positive finite numbers (a NaN or infinite weight
+    would silently corrupt the proportional bounds).  If the forced
+    one-iteration minimum cannot be satisfied with monotonic bounds —
+    more devices than iterations, or inconsistent loop metadata — a
+    :class:`~repro.directives.clauses.DirectiveError` is raised instead
+    of returning overlapping or empty shares.
+    """
+    if not weights or any(
+        not isinstance(w, (int, float))
+        or isinstance(w, bool)
+        or not math.isfinite(w)
+        or w <= 0
+        for w in weights
+    ):
+        raise DirectiveError(
+            f"device weights must be positive finite numbers, got {list(weights)!r}"
+        )
     trip = loop.trip_count
     if trip < len(weights):
         raise DirectiveError(
@@ -156,7 +246,646 @@ def split_loop(loop: Loop, weights: Sequence[float]) -> List[Tuple[int, int]]:
     for i in range(len(bounds) - 1, 0, -1):
         if bounds[i] <= bounds[i - 1]:
             bounds[i - 1] = bounds[i] - 1
+    # the fix-ups above are greedy; verify they produced a partition
+    # (reachable only with inconsistent loop metadata, but silently
+    # returning overlapping or empty shares would corrupt outputs)
+    if bounds[0] != loop.start or bounds[-1] != loop.stop or any(
+        bounds[i] <= bounds[i - 1] for i in range(1, len(bounds))
+    ):
+        raise DirectiveError(
+            f"cannot split {trip} iterations over {len(weights)} devices: "
+            f"the one-iteration minimum forces non-monotonic bounds {bounds}"
+        )
     return [(bounds[i], bounds[i + 1]) for i in range(len(weights))]
+
+
+@dataclass
+class _Shard:
+    """One shard: a runtime, its iteration range, and its sub-issuer."""
+
+    runtime: Runtime
+    t0: int
+    t1: int
+    plan: RegionPlan
+    weight: float
+    issuer: Optional[PipelineIssuer] = None
+    measurer: Optional[_Measurer] = None
+    alive: bool = True
+    #: whether this is one of the original shards (re-split shards
+    #: report through their runtime's original shard)
+    primary: bool = True
+
+
+class ShardedIssuer:
+    """One region's pipeline sharded across several devices.
+
+    Speaks the :class:`~repro.core.executor.PipelineIssuer` protocol so
+    :func:`execute_sharded` and the serving scheduler can drive it like
+    a single-device issuer.  See the module docstring for the model.
+
+    Parameters
+    ----------
+    runtimes:
+        One runtime per shard (distinct devices).
+    plan:
+        The full, memory-tuned :class:`RegionPlan` for the region.
+    shares:
+        Optional precomputed ``[(t0, t1), ...]`` per shard; computed
+        from ``weights`` (or probed rates) when omitted.
+    weights:
+        Optional split weights (one per runtime); probed when omitted.
+    policy:
+        Optional per-chunk :class:`~repro.faults.FaultPolicy`, applied
+        to every sub-issuer.
+    self_heal:
+        When True (standalone), a shard's ``DeviceLostError`` is
+        absorbed by re-splitting its incomplete iterations over the
+        survivors.  When False (under a scheduler), the loss
+        propagates for pool-level failover.
+    measure:
+        Capture a per-shard measurement window at ``open`` so
+        :meth:`results` can produce per-device :class:`RegionResult`\\ s
+        (standalone only; a scheduler owns its own accounting).
+    """
+
+    def __init__(
+        self,
+        runtimes: Sequence[Runtime],
+        plan: RegionPlan,
+        arrays: Dict[str, np.ndarray],
+        kernel: RegionKernel,
+        *,
+        shares: Optional[Sequence[Tuple[int, int]]] = None,
+        weights: Optional[Sequence[float]] = None,
+        policy=None,
+        stream_prefix: str = "shard",
+        claim_faults=None,
+        recorder=None,
+        self_heal: bool = True,
+        measure: bool = False,
+    ) -> None:
+        if not runtimes:
+            raise DirectiveError("need at least one device")
+        self.runtimes = list(runtimes)
+        self.plan = plan
+        self.arrays = arrays
+        self.kernel = kernel
+        self.policy = policy
+        self.stream_prefix = stream_prefix
+        self.claim_faults = claim_faults
+        self.recorder = recorder
+        self.self_heal = self_heal
+        self.measure = measure
+        if shares is None:
+            if weights is None:
+                weights = probe_rates(self.runtimes, plan, arrays, kernel)
+            if len(weights) != len(self.runtimes):
+                raise DirectiveError("one weight per device required")
+            shares = split_loop(plan.loop, weights)
+        if weights is None:
+            weights = [float(t1 - t0) for t0, t1 in shares]
+        self.shares = [(int(t0), int(t1)) for t0, t1 in shares]
+        self._shards: List[_Shard] = [
+            _Shard(
+                runtime=rt,
+                t0=t0,
+                t1=t1,
+                plan=_subloop_plan(plan, t0, t1),
+                weight=float(w),
+            )
+            for rt, (t0, t1), w in zip(self.runtimes, self.shares, weights)
+        ]
+        #: shared PCIe link (attached while the region is in flight)
+        self.link: Optional[BandwidthShared] = (
+            BandwidthShared() if len(self._shards) > 1 else None
+        )
+        #: written residents become cross-shard reduction accumulators:
+        #: each shard computes deltas over zeros and the merge replays
+        #: them in global chunk order, reproducing the single-device
+        #: accumulation fold bit-for-bit (valid for additive updates
+        #: like matmul's ``C += A_band @ B_band``)
+        self.reduction_residents = frozenset(
+            var
+            for var, cl in plan.residents.items()
+            if cl.direction in ("from", "tofrom")
+        ) if len(self._shards) > 1 else frozenset()
+        self.migrated = False
+        self.resplits = 0
+        self.halo_bytes = 0
+        #: faults/retries accumulated by shards that have since died
+        self._base_faults = 0
+        self._base_retries = 0
+        #: chunks a dead shard completed before dying (kept for counts)
+        self._retired_chunks: List = []
+        self._base_issued = 0
+        #: faults popped off member runtimes, parked per owning issuer
+        self._parked: Dict[int, List] = {}
+        self._rr = 0
+        self._opened = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # aggregate protocol surface
+    # ------------------------------------------------------------------
+    def _live(self) -> List[_Shard]:
+        return [sh for sh in self._shards if sh.alive and sh.issuer is not None]
+
+    @property
+    def issued(self) -> int:
+        """Chunks issued so far (completed chunks of dead shards count)."""
+        return self._base_issued + sum(sh.issuer.issued for sh in self._live())
+
+    @property
+    def remaining(self) -> int:
+        """Chunks not yet issued across live shards."""
+        if not self._opened:
+            return sum(len(sh.plan.chunks()) for sh in self._shards)
+        return sum(sh.issuer.remaining for sh in self._live())
+
+    @property
+    def done_issuing(self) -> bool:
+        return self.remaining == 0
+
+    @property
+    def chunks(self) -> List:
+        """All shards' chunks (live issuers' plus dead-shard completions)."""
+        if not self._opened:
+            return [c for sh in self._shards for c in sh.plan.chunks()]
+        out = list(self._retired_chunks)
+        for sh in self._live():
+            out.extend(sh.issuer.chunks)
+        return out
+
+    @property
+    def commands(self) -> List:
+        return [c for sh in self._shards if sh.issuer is not None
+                for c in sh.issuer.commands]
+
+    @property
+    def streams_n(self) -> int:
+        subs = [sh.issuer.streams_n for sh in self._shards if sh.issuer is not None]
+        return max(subs, default=min(self.plan.num_streams, max(1, self.remaining)))
+
+    @property
+    def faults_n(self) -> int:
+        return self._base_faults + sum(sh.issuer.faults_n for sh in self._live())
+
+    @property
+    def retries_n(self) -> int:
+        return self._base_retries + sum(sh.issuer.retries_n for sh in self._live())
+
+    @property
+    def meta(self):
+        """Command -> chunk mapping across shards (supports ``in``)."""
+        maps = [sh.issuer.meta for sh in self._shards if sh.issuer is not None]
+        return ChainMap(*maps) if maps else {}
+
+    def remaining_kernel_bound(self, kernel) -> float:
+        """Lower bound on remaining work: shards run concurrently, so
+        the max over shards of their unissued kernel cost."""
+        bounds = [
+            sum(
+                kernel.chunk_cost(sh.runtime.profile, c.t0, c.t1, translated=True)
+                for c in sh.issuer.chunks[sh.issuer.issued:]
+            )
+            for sh in self._live()
+        ]
+        return max(bounds, default=0.0)
+
+    # ------------------------------------------------------------------
+    # fault routing
+    # ------------------------------------------------------------------
+    def _claim_all(self) -> List:
+        """Pop every member runtime's fault backlog (or the installed
+        scheduler router's view of it)."""
+        if self.claim_faults is not None:
+            return list(self.claim_faults())
+        out: List = []
+        for rt in {id(sh.runtime): sh.runtime for sh in self._shards}.values():
+            out.extend(rt.pop_faults())
+        return out
+
+    def _route_faults(self, asker: PipelineIssuer) -> List:
+        """Per-sub-issuer claim: park each fault with its owner, return
+        the asker's own (plus anything parked for it earlier).  Orphans
+        go to the asker, which claims-and-ignores them."""
+        out = self._parked.pop(id(asker), [])
+        for cmd in self._claim_all():
+            owner = None
+            for sh in self._shards:
+                if sh.issuer is not None and cmd in sh.issuer.meta:
+                    owner = sh.issuer
+                    break
+            if owner is None or owner is asker:
+                out.append(cmd)
+            else:
+                self._parked.setdefault(id(owner), []).append(cmd)
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _sync_clocks(self, shards: Sequence[_Shard]) -> float:
+        """Barrier the member host clocks to the latest one."""
+        t = max(sh.runtime.elapsed for sh in shards)
+        for sh in shards:
+            if sh.runtime.host_now < t:
+                sh.runtime.host_now = t
+        return t
+
+    def _make_issuer(self, sh: _Shard, index: int, *, prefix: str) -> None:
+        issuer = PipelineIssuer(
+            sh.runtime, sh.plan, self.arrays, self.kernel,
+            policy=self.policy,
+            stream_prefix=f"{prefix}{index}.",
+            region_span=False,
+            recorder=self.recorder,
+            reduction_residents=self.reduction_residents,
+        )
+        issuer.claim_faults = lambda i=issuer: self._route_faults(i)
+        sh.issuer = issuer
+
+    def _charge_halo(self) -> None:
+        """Charge the boundary pushes between neighboring shards.
+
+        For each interior boundary, the overlap of the two shards'
+        input ``SplitSpec`` ranges is data both sides touch — the halo.
+        Its producer-side D2H (the push half of the modeled D2D) is
+        charged to the left shard's device before the pipelines start;
+        the consumer's H2D half is the ordinary first-lap transfer its
+        own pipeline already pays for.  Purely a cost: every shard's
+        pipeline reads its full dependency range from the host, so
+        correctness never depends on this transfer.
+        """
+        for i in range(1, len(self._shards)):
+            left, right = self._shards[i - 1], self._shards[i]
+            for var, spec in self.plan.specs.items():
+                if not spec.clause.is_input:
+                    continue
+                l_lo, l_hi = left.plan.specs[var].total_range()
+                r_lo, r_hi = right.plan.specs[var].total_range()
+                rows = min(l_hi, r_hi) - max(l_lo, r_lo)
+                if rows <= 0:
+                    continue
+                nbytes = rows * spec.bytes_per_unit(
+                    np.dtype(self.plan.dtypes[var]).itemsize
+                )
+                rt = left.runtime
+                cmd = rt.device.submit_copy(
+                    "d2h", int(nbytes),
+                    enqueue_time=rt.host_now,
+                    label=f"halo:{var}[{max(l_lo, r_lo)}:{min(l_hi, r_hi)})",
+                )
+                finish = rt.device.wait(cmd)
+                if rt.host_now < finish:
+                    rt.host_now = finish
+                self.halo_bytes += int(nbytes)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "shard.halo", t=rt.elapsed, var=var,
+                        rows=rows, nbytes=int(nbytes), boundary=i,
+                    )
+        if self.halo_bytes:
+            m = self._shards[0].runtime.metrics
+            if m.enabled:
+                m.counter("sharded.halo_bytes").inc(self.halo_bytes)
+
+    def open(self) -> None:
+        """Sync clocks, attach the shared link, charge halos, open shards."""
+        if self._opened:
+            return
+        self._opened = True
+        self._sync_clocks(self._shards)
+        if self.measure:
+            for sh in self._shards:
+                sh.measurer = _Measurer(sh.runtime)
+        if self.link is not None:
+            for sh in self._shards:
+                self.link.attach(sh.runtime.device)
+        for idx, sh in enumerate(self._shards):
+            self._make_issuer(sh, idx, prefix=self.stream_prefix)
+        self._charge_halo()
+        # consumers start after their halo arrived
+        self._sync_clocks(self._shards)
+        for sh in self._shards:
+            sh.issuer.open()
+            if self.recorder is not None:
+                self.recorder.record(
+                    "shard.open", t=sh.runtime.elapsed,
+                    shard=self._shards.index(sh), t0=sh.t0, t1=sh.t1,
+                    device=sh.runtime.profile.name,
+                )
+        m = self._shards[0].runtime.metrics
+        if m.enabled:
+            m.counter("sharded.regions").inc()
+            m.counter("sharded.shards").inc(len(self._shards))
+
+    def issue_next(self):
+        """Issue one chunk on the least-advanced live shard.
+
+        Round-robin weighted by progress: the live shard with the most
+        chunks remaining issues next (ties to shard order), so shards
+        finish issuing together and the scheduler's fairness accounting
+        sees one region, not N.  Returns the issued chunk, or ``None``
+        when every shard has issued everything.
+        """
+        while True:
+            candidates = [sh for sh in self._live() if sh.issuer.remaining]
+            if not candidates:
+                return None
+            sh = max(candidates, key=lambda s: s.issuer.remaining)
+            try:
+                return sh.issuer.issue_next()
+            except DeviceLostError:
+                if not self.self_heal:
+                    raise
+                self._reshard(sh)
+
+    def drain(self) -> None:
+        """Issue any remaining work and wait for all shards' streams.
+
+        Self-healing: a shard dying mid-drain re-splits its incomplete
+        iterations, and the loop continues until a full pass issues
+        nothing and drains cleanly.
+        """
+        while True:
+            while self.issue_next() is not None:
+                pass
+            retry = False
+            for sh in list(self._shards):
+                if not sh.alive or sh.issuer is None:
+                    continue
+                try:
+                    sh.issuer.drain()
+                except DeviceLostError:
+                    if not self.self_heal:
+                        raise
+                    self._reshard(sh)
+                    retry = True
+                    break
+            if not retry:
+                return
+
+    def recover(self, budget: Optional[int] = None) -> None:
+        """Per-shard chunk-granular recovery (requires a policy)."""
+        if self.policy is None:
+            return
+        while True:
+            retry = False
+            for sh in list(self._shards):
+                if not sh.alive or sh.issuer is None:
+                    continue
+                before = sh.issuer.retries_n
+                try:
+                    sh.issuer.recover(budget=budget)
+                except DeviceLostError:
+                    if not self.self_heal:
+                        raise
+                    self._reshard(sh)
+                    self.drain()
+                    retry = True
+                if budget is not None:
+                    budget = max(0, budget - (sh.issuer.retries_n - before))
+                if retry:
+                    break
+            if not retry:
+                return
+
+    def account_stalls(self) -> None:
+        for sh in self._live():
+            sh.issuer.account_stalls()
+
+    def finalize(self) -> None:
+        """Finalize every live shard and detach the shared link."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for sh in self._live():
+            sh.issuer.finalize()
+        self._merge_reductions()
+        self._detach_link()
+
+    def _merge_reductions(self) -> None:
+        """Apply reduction-resident deltas in global chunk order.
+
+        Replays the exact left fold a single device performs: the host
+        value is the fold's seed, each chunk's delta its addend, and
+        ordering by chunk start iteration reproduces single-device
+        chunk order.  Deltas are deduped by chunk start — a chunk both
+        computed on a since-dead shard and re-run on a survivor
+        produced the identical delta twice.
+        """
+        if not self.reduction_residents:
+            return
+        parts: Dict[int, Dict[str, np.ndarray]] = {}
+        for sh in self._shards:
+            if sh.issuer is None:
+                continue
+            for t0, part in sh.issuer.reduction_parts:
+                parts[t0] = part
+        for t0 in sorted(parts):
+            for var, delta in parts[t0].items():
+                self.arrays[var] += delta
+
+    def abort(self) -> None:
+        """Failure-path teardown of every shard."""
+        self._finalized = True
+        for sh in self._shards:
+            if sh.issuer is not None:
+                sh.issuer.abort()
+        self._detach_link()
+
+    def _detach_link(self) -> None:
+        if self.link is not None:
+            for sh in self._shards:
+                self.link.detach(sh.runtime.device)
+
+    # ------------------------------------------------------------------
+    # failover: re-split a dead shard's work across survivors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _completed_chunks(issuer: PipelineIssuer) -> set:
+        """Chunk indices whose every command retired cleanly.
+
+        A chunk is complete iff all its commands finished without an
+        injected error or poison — in particular its D2H drains, so its
+        output rows are final in the host arrays.  Unissued chunks have
+        no commands and are never complete.
+        """
+        status: Dict[int, bool] = {}
+        for cmd in issuer.commands:
+            k = getattr(cmd, "chunk", None)
+            if k is None:
+                continue
+            ok = (
+                cmd.finish_time is not None
+                and cmd.error is None
+                and not cmd.poisoned
+            )
+            status[k] = status.get(k, True) and ok
+        return {k for k, ok in status.items() if ok}
+
+    def _reshard(self, dead: _Shard) -> None:
+        """Absorb ``dead``'s loss: re-split its incomplete iterations.
+
+        Completed chunks' outputs already reached the host; incomplete
+        ones (including any chunk whose commands were in flight when
+        the device died — poison propagation guarantees no partial
+        kernel output reached the host) re-run on the survivors.
+        Re-running a chunk is idempotent, so the result is exact.
+        """
+        dead.alive = False
+        self.migrated = True
+        self.resplits += 1
+        rt = dead.runtime
+        if self.link is not None:
+            self.link.detach(rt.device)
+        if self.recorder is not None:
+            self.recorder.record(
+                "shard.lost", t=rt.elapsed,
+                shard=self._shards.index(dead),
+                device=rt.profile.name, t0=dead.t0, t1=dead.t1,
+            )
+        issuer = dead.issuer
+        issuer.abort()
+        self._base_faults += issuer.faults_n
+        self._base_retries += issuer.retries_n
+        self._parked.pop(id(issuer), None)
+        done = self._completed_chunks(issuer)
+        pending = [c for c in issuer.chunks if c.index not in done]
+        completed = [c for c in issuer.chunks if c.index in done]
+        self._retired_chunks.extend(completed)
+        self._base_issued += len(completed)
+        survivors = [sh for sh in self._shards if sh.alive]
+        if not survivors:
+            raise DeviceLostError(
+                "every shard device lost; no survivors to re-split onto"
+            )
+        if not pending:
+            return
+        t_r = min(c.t0 for c in pending)
+        end = dead.t1
+        trip = end - t_r
+        takers = survivors[: max(1, min(len(survivors), trip))]
+        parts = split_loop(
+            Loop(self.plan.loop.var, t_r, end), [sh.weight for sh in takers]
+        )
+        self._sync_clocks(takers)
+        new_shards: List[_Shard] = []
+        for j, (sh_s, (a, b)) in enumerate(zip(takers, parts)):
+            sub = _Shard(
+                runtime=sh_s.runtime,
+                t0=a,
+                t1=b,
+                plan=_subloop_plan(self.plan, a, b),
+                weight=sh_s.weight,
+                primary=False,
+            )
+            self._make_issuer(
+                sub, j, prefix=f"{self.stream_prefix}r{self.resplits}_"
+            )
+            sub.issuer.open()
+            new_shards.append(sub)
+        self._shards.extend(new_shards)
+        if self.recorder is not None:
+            self.recorder.record(
+                "shard.resplit", t=self._clock(),
+                t0=t_r, t1=end, survivors=len(takers),
+                resplit=self.resplits,
+            )
+        m = self._shards[0].runtime.metrics
+        if m.enabled:
+            m.counter("sharded.resplits").inc()
+
+    def _clock(self) -> float:
+        return max(sh.runtime.elapsed for sh in self._shards)
+
+    # ------------------------------------------------------------------
+    # results (standalone mode)
+    # ------------------------------------------------------------------
+    def results(self) -> List[RegionResult]:
+        """Per-device results (requires ``measure=True`` at open).
+
+        One result per *original* shard; a re-split shard's work lands
+        on a survivor's runtime, inside that survivor's measurement
+        window.
+        """
+        out = []
+        for sh in self._shards:
+            if not sh.primary or sh.measurer is None:
+                continue
+            issuer = sh.issuer
+            out.append(sh.measurer.finish(
+                "pipelined-buffer",
+                len(issuer.chunks),
+                self.plan.chunk_size,
+                issuer.streams_n,
+                faults=issuer.faults_n,
+                retries=issuer.retries_n,
+            ))
+        return out
+
+
+def execute_sharded(
+    runtimes: Sequence[Runtime],
+    region,
+    arrays: Dict[str, np.ndarray],
+    kernel: RegionKernel,
+    *,
+    weights: Optional[Sequence[float]] = None,
+    policy=None,
+    recorder=None,
+) -> ShardedResult:
+    """Run one region sharded across several devices on a shared clock.
+
+    The standalone entry behind ``region.run(devices=...)``: splits the
+    loop by probed throughput (or explicit ``weights``), runs one
+    sub-pipeline per device with halo-exchange charges and shared-PCIe
+    contention, and self-heals a mid-run device loss by re-splitting
+    the dead shard's incomplete iterations across the survivors
+    (``migrated=True`` in the result; outputs stay exact).
+    """
+    if not runtimes:
+        raise DirectiveError("need at least one device")
+    plan = region.bind(arrays)
+    limit = (
+        region.mem_limit.limit_bytes
+        if region.mem_limit is not None
+        else min(rt.device.memory.free for rt in runtimes)
+    )
+    plan = tune_plan(plan, limit)
+    issuer = ShardedIssuer(
+        runtimes, plan, arrays, kernel,
+        weights=weights, policy=policy, recorder=recorder,
+        self_heal=True, measure=True,
+    )
+    old_defer = [rt.defer_faults for rt in issuer.runtimes]
+    if policy is not None:
+        for rt in issuer.runtimes:
+            rt.defer_faults = True
+    try:
+        issuer.open()
+        while issuer.issue_next() is not None:
+            pass
+        issuer.drain()
+        issuer.recover()
+        issuer.account_stalls()
+        issuer.finalize()
+    except BaseException:
+        issuer.abort()
+        raise
+    finally:
+        for rt, was in zip(issuer.runtimes, old_defer):
+            rt.defer_faults = was
+    return ShardedResult(
+        per_device=issuer.results(),
+        shares=[t1 - t0 for t0, t1 in issuer.shares],
+        migrated=issuer.migrated,
+        resplits=issuer.resplits,
+        halo_bytes=issuer.halo_bytes,
+        faults=issuer.faults_n,
+        retries=issuer.retries_n,
+    )
 
 
 def execute_multi_device(
@@ -167,24 +896,20 @@ def execute_multi_device(
     *,
     weights: Optional[Sequence[float]] = None,
 ) -> MultiDeviceResult:
-    """Run one pipelined region across several devices.
+    """Deprecated: run one region's shares serially, one per device.
 
-    Parameters
-    ----------
-    runtimes:
-        One runtime per device.  Each must be freshly created (its
-        clocks define that device's wall time).
-    region:
-        A :class:`~repro.core.region.TargetRegion`.
-    arrays:
-        Host arrays, shared by all devices (each device reads the
-        slices its iterations depend on and writes its own outputs).
-    kernel:
-        The region kernel (shared).
-    weights:
-        Optional explicit split weights; by default device throughput
-        is probed via virtual dry runs.
+    This is the pre-sharding entry point: each device's share runs as
+    an independent :func:`execute_pipeline` on a private link and a
+    private clock — no shared-clock barrier, no halo exchange, no PCIe
+    contention.  Use ``region.run(arrays, kernel, devices=...)`` (or
+    :func:`execute_sharded`) for the honest multi-device model.
     """
+    warnings.warn(
+        "execute_multi_device() is deprecated; use "
+        "region.run(..., devices=...) or execute_sharded()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not runtimes:
         raise DirectiveError("need at least one device")
     plan = region.bind(arrays)

@@ -1,0 +1,143 @@
+"""One device-spec resolver for every placement surface.
+
+Device specifications arrive from many directions — app ``run_all``
+calls, workload JSON, CLI ``--devices``, ``region.run(devices=...)`` —
+and historically each surface coerced them ad hoc.  This module is the
+single normalization point:
+
+* :func:`resolve_profile_spec` turns one spec (a short name like
+  ``"k40m"``, a :class:`~repro.sim.profiles.DeviceProfile`, a
+  :class:`~repro.sim.device.Device`, or a
+  :class:`~repro.gpu.runtime.Runtime`) into a ``DeviceProfile``;
+* :func:`resolve_runtimes` turns a *placement* spec (a device count, a
+  sequence of specs, or a :class:`~repro.serve.DevicePool`) into the
+  list of runtimes a sharded execution spans;
+* :func:`parse_devices_arg` parses the CLI's ``--devices`` string
+  (``"2"`` or ``"k40m,hd7970"``).
+
+Invalid specs raise :class:`~repro.gpu.errors.InvalidValueError`
+naming the offending field, so a bad workload file or CLI flag fails
+with the field that carried it rather than a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.gpu.errors import InvalidValueError
+from repro.gpu.runtime import Runtime
+from repro.sim.device import Device
+from repro.sim.profiles import DeviceProfile, profile_by_name
+
+__all__ = [
+    "parse_devices_arg",
+    "resolve_profile_spec",
+    "resolve_runtimes",
+]
+
+
+def resolve_profile_spec(spec, *, field: str = "device") -> DeviceProfile:
+    """Normalize one device spec to a :class:`DeviceProfile`.
+
+    Accepts a profile object, a :class:`Device`, a :class:`Runtime`,
+    or a short profile name (``"k40m"``/``"hd7970"``).  Anything else
+    — including an unknown name — raises
+    :class:`~repro.gpu.errors.InvalidValueError` naming ``field``.
+    """
+    if isinstance(spec, DeviceProfile):
+        return spec
+    if isinstance(spec, Runtime):
+        return spec.profile
+    if isinstance(spec, Device):
+        return spec.profile
+    if isinstance(spec, str):
+        try:
+            return profile_by_name(spec)
+        except KeyError as exc:
+            raise InvalidValueError(f"{field}: {exc.args[0]}") from None
+    raise InvalidValueError(
+        f"{field}: cannot resolve device spec {spec!r} "
+        f"(expected a profile name, DeviceProfile, Device, or Runtime)"
+    )
+
+
+def _runtime_for(spec, *, virtual: bool, field: str) -> Runtime:
+    """One runtime for one spec entry; Runtimes pass through as-is."""
+    if isinstance(spec, Runtime):
+        return spec
+    if isinstance(spec, Device):
+        return Runtime(spec, virtual=virtual)
+    return Runtime(Device(resolve_profile_spec(spec, field=field)), virtual=virtual)
+
+
+def resolve_runtimes(
+    devices,
+    *,
+    base: Optional[Runtime] = None,
+    virtual: bool = False,
+    field: str = "devices",
+) -> List[Runtime]:
+    """Normalize a placement spec into the runtimes it spans.
+
+    ``devices`` may be:
+
+    * an ``int`` count ``n >= 1`` — ``n`` fresh devices of ``base``'s
+      profile (or the default ``"k40m"`` when no base runtime exists);
+    * a single spec or a sequence of specs, each a profile name,
+      :class:`DeviceProfile`, :class:`Device`, or :class:`Runtime`
+      (runtimes are used as-is, preserving their clocks);
+    * a :class:`~repro.serve.DevicePool` — its healthy runtimes.
+
+    ``virtual`` selects metadata-only payloads for freshly created
+    runtimes (existing runtimes keep their own mode).
+    """
+    if isinstance(devices, bool):
+        raise InvalidValueError(f"{field}: expected a device spec, got {devices!r}")
+    if isinstance(devices, int):
+        if devices < 1:
+            raise InvalidValueError(
+                f"{field}: device count must be >= 1, got {devices}"
+            )
+        profile = base.profile if base is not None else profile_by_name("k40m")
+        return [
+            Runtime(Device(profile), virtual=virtual) for _ in range(devices)
+        ]
+    # a DevicePool (duck-typed to avoid a core -> serve import cycle)
+    runtimes = getattr(devices, "runtimes", None)
+    if runtimes is not None and hasattr(devices, "alive"):
+        alive = devices.alive()
+        if not alive:
+            raise InvalidValueError(f"{field}: pool has no healthy devices")
+        return [runtimes[i] for i in alive]
+    if isinstance(devices, (str, DeviceProfile, Device, Runtime)):
+        devices = [devices]
+    try:
+        entries = list(devices)
+    except TypeError:
+        raise InvalidValueError(
+            f"{field}: cannot resolve device spec {devices!r} "
+            f"(expected a count, spec sequence, or DevicePool)"
+        ) from None
+    if not entries:
+        raise InvalidValueError(f"{field}: need at least one device")
+    return [_runtime_for(d, virtual=virtual, field=field) for d in entries]
+
+
+def parse_devices_arg(value: str, *, field: str = "--devices"):
+    """Parse a CLI ``--devices`` value: a count or comma-separated names.
+
+    ``"2"`` -> ``2``; ``"k40m,hd7970"`` -> ``["k40m", "hd7970"]`` with
+    each name validated.  Returns the parsed spec (int or list of
+    names) ready for :func:`resolve_runtimes` or ``DevicePool``.
+    """
+    text = value.strip()
+    if not text:
+        raise InvalidValueError(f"{field}: empty device spec")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    names = [part.strip() for part in text.split(",")]
+    for name in names:
+        resolve_profile_spec(name, field=field)  # validate eagerly
+    return names

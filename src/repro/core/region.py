@@ -213,12 +213,14 @@ class TargetRegion:
     # ------------------------------------------------------------------
     def run(
         self,
-        runtime: Runtime,
+        runtime: Optional[Runtime],
         arrays: Dict[str, np.ndarray],
         kernel: RegionKernel,
         *,
         model: str = "buffer",
         fault_policy=None,
+        devices=None,
+        weights=None,
     ) -> RegionResult:
         """Execute the region under one of the paper's three models.
 
@@ -239,6 +241,19 @@ class TargetRegion:
             ``degrade`` chain falls back across models.  Exhaustion
             raises :class:`~repro.faults.RegionFailure` with per-chunk
             status instead of a bare fault error.
+        devices:
+            Optional placement spec: a device count, a sequence of
+            profile names / :class:`Device` / :class:`Runtime` entries,
+            or a :class:`~repro.serve.DevicePool`.  When given, the
+            region is **sharded** across those devices on a shared
+            virtual clock (``model`` must be ``"buffer"``) and a
+            :class:`~repro.core.multidevice.ShardedResult` is returned.
+            ``runtime`` may be ``None``; when given, it supplies the
+            default profile for a bare count.  See
+            :func:`~repro.core.multidevice.execute_sharded`.
+        weights:
+            Optional per-device split weights for the ``devices`` path
+            (defaults to probed throughput).
         """
         canonical = _MODEL_ALIASES.get(model)
         if canonical is None:
@@ -246,6 +261,28 @@ class TargetRegion:
                 f"unknown execution model {model!r}; expected one of "
                 f"'buffer' (alias 'pipelined-buffer'), 'pipelined', 'naive'"
             )
+        if devices is not None:
+            if canonical != "buffer":
+                raise DirectiveError(
+                    f"devices= placement requires the 'buffer' model, "
+                    f"not {model!r}"
+                )
+            from repro.core.multidevice import execute_sharded
+            from repro.core.placement import resolve_runtimes
+            from repro.sim.varray import is_virtual
+
+            virtual = (
+                runtime.virtual
+                if runtime is not None
+                else any(is_virtual(a) for a in arrays.values())
+            )
+            runtimes = resolve_runtimes(devices, base=runtime, virtual=virtual)
+            return execute_sharded(
+                runtimes, self, arrays, kernel,
+                weights=weights, policy=fault_policy,
+            )
+        if runtime is None:
+            raise DirectiveError("run() needs a runtime (or a devices= spec)")
         if fault_policy is not None:
             from repro.core.recovery import run_with_recovery
 

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
+from repro.core.placement import resolve_profile_spec
 from repro.gpu.runtime import Runtime
 from repro.obs import OBS_NULL, Observability
 from repro.sim.device import Device
-from repro.sim.profiles import DeviceProfile, profile_by_name
+from repro.sim.profiles import DeviceProfile
 
 __all__ = ["DevicePool"]
 
@@ -74,7 +75,8 @@ class DevicePool:
             raise ValueError("pool needs at least one device")
         self.obs = obs if obs is not None else OBS_NULL
         self.profiles: List[DeviceProfile] = [
-            d if isinstance(d, DeviceProfile) else profile_by_name(d) for d in devices
+            resolve_profile_spec(d, field=f"devices[{i}]")
+            for i, d in enumerate(devices)
         ]
         self.runtimes: List[Runtime] = [
             Runtime(Device(p), virtual=virtual, obs=obs) for p in self.profiles

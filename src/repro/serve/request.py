@@ -53,6 +53,13 @@ class RegionRequest:
         measured from it.
     label:
         Human-readable tag (e.g. the application name).
+    shards:
+        Number of devices to shard this region across (>= 1, default
+        1).  With ``shards > 1`` the scheduler splits the region's
+        loop over up to that many healthy pool devices on a shared
+        virtual clock (halo exchange and shared-PCIe contention
+        modelled); fewer devices than requested degrade gracefully to
+        however many fit, down to ordinary single-device service.
     """
 
     tenant: str
@@ -63,10 +70,14 @@ class RegionRequest:
     deadline: Optional[float] = None
     arrival: float = 0.0
     label: str = ""
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.priority < 0:
             raise ValueError("priority must be >= 0")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ValueError("shards must be an int >= 1")
 
 
 @dataclass
@@ -116,6 +127,10 @@ class RequestResult:
     faults: int = 0
     #: recovery replays performed (chunk replays + blocking reissues)
     retries: int = 0
+    #: devices the region was sharded across (1 = ordinary service)
+    shards: int = 1
+    #: all devices that served this request (``[device]`` when not sharded)
+    devices: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -154,4 +169,7 @@ class RequestResult:
         if self.faults or self.retries:
             d["faults"] = self.faults
             d["retries"] = self.retries
+        if self.shards > 1:
+            d["shards"] = self.shards
+            d["devices"] = list(self.devices)
         return d

@@ -28,6 +28,16 @@ a shared :class:`~repro.serve.DevicePool`:
   region's kernels.  ``ServeConfig(max_active=1)`` disables it,
   which is the back-to-back serial baseline the differential tests and
   the throughput benchmark compare against.
+- **Sharding**: a request with ``shards > 1`` is placed on up to that
+  many in-service devices at once and served by one
+  :class:`~repro.core.multidevice.ShardedIssuer` — the region's loop
+  split by probed throughput on a shared virtual clock, halo exchange
+  and shared-PCIe contention modelled, the plan's footprint reserved
+  on every member.  Fewer fitting devices degrade gracefully down to
+  ordinary single-device service; a member's death escalates to
+  pool-level failover (the whole request re-queues).  On workloads
+  with no sharded requests every branch here is inert and the
+  schedule bit-identical to the single-device scheduler.
 
 When the pool carries fault injectors the scheduler additionally runs
 a **failure-handling state machine** (all of it inert — and the
@@ -68,6 +78,7 @@ from typing import Dict, List, Optional
 from repro.core.autotune import autotune
 from repro.core.executor import PipelineIssuer
 from repro.core.memlimit import MemLimitError, tune_plan
+from repro.core.multidevice import ShardedIssuer
 from repro.core.plan import RegionPlan
 from repro.directives.clauses import DirectiveError
 from repro.faults.plan import KIND_DEVICE_LOST
@@ -431,6 +442,10 @@ class _Active:
     #: faulted commands owned by this issuer, claimed off the runtime
     #: by another tenant's sync and parked here for its own recovery
     backlog: List = field(default_factory=list)
+    #: member device indices when the region is sharded across several
+    #: devices (``None`` = ordinary single-device service; ``device``
+    #: is then the primary member and ``reserved`` is per member)
+    devices: Optional[List[int]] = None
 
 
 class RegionScheduler:
@@ -647,7 +662,7 @@ class RegionScheduler:
                 self._record_device_fault(device, cmd.finish_time)
             owner = None
             for a in self._active:
-                if a.device == device and cmd in a.issuer.meta:
+                if device in (a.devices or [a.device]) and cmd in a.issuer.meta:
                     owner = a
                     break
             if owner is not None and owner is not rec:
@@ -666,7 +681,8 @@ class RegionScheduler:
         )
 
     def _placements(self) -> List:
-        """(waiting, device, plan) for every request that fits now."""
+        """(waiting, device, plan, members) for every request that fits
+        now (``members`` is None for ordinary single-device service)."""
         out = []
         for w in list(self._waiting):
             if w.oom_deferred:
@@ -679,16 +695,40 @@ class RegionScheduler:
                     key=lambda i: (-self.pool.headroom(i), i),
                 )
                 placed = None
-                for di in order:
-                    plan = self._plan(w, di)
-                    if self.pool.fits(di, plan.device_bytes()):
-                        placed = (w, di, plan)
-                        break
+                if w.req.shards > 1:
+                    placed = self._placement_sharded(w, order)
+                if placed is None:
+                    for di in order:
+                        plan = self._plan(w, di)
+                        if self.pool.fits(di, plan.device_bytes()):
+                            placed = (w, di, plan, None)
+                            break
                 if placed is not None:
                     out.append(placed)
             except (MemLimitError, DirectiveError) as exc:
                 self._fail(w, exc)
         return out
+
+    def _placement_sharded(self, w: _Waiting, order: List[int]):
+        """Member set for a ``shards > 1`` request.
+
+        Picks up to ``shards`` in-service devices (most headroom first)
+        whose unreserved budgets each fit the plan's full footprint, and
+        caps the member count at the loop trip (each shard needs at
+        least one iteration).  Fewer members than requested degrade
+        gracefully; fewer than two fall back to ordinary single-device
+        placement (returns ``None``).
+        """
+        if not order:
+            return None
+        plan = self._plan(w, order[0])
+        trip = plan.loop.stop - plan.loop.start
+        nbytes = plan.device_bytes()
+        members = [di for di in order if self.pool.fits(di, nbytes)]
+        members = members[: max(1, min(w.req.shards, trip))]
+        if len(members) < 2:
+            return None
+        return (w, members[0], plan, members)
 
     def _admit(self) -> bool:
         """Admit fitting requests by effective priority; True if any."""
@@ -701,20 +741,28 @@ class RegionScheduler:
             if not fits:
                 break
             pick = max(fits, key=lambda t: (self._effective_priority(t[0]), -t[0].seq))
-            w, device, plan = pick
+            w, device, plan, members = pick
             # aging and starvation accounting for everyone passed over
-            for other, _odi, _op in fits:
+            for other, _odi, _op, _om in fits:
                 if other is w:
                     continue
                 other.passed_over += 1
                 if other.seq < w.seq:
                     other.overtaken += 1
-            if self._open(w, device, plan):
+            if self._open(w, device, plan, members):
                 admitted_any = True
         return admitted_any
 
-    def _open(self, w: _Waiting, device: int, plan: RegionPlan) -> bool:
+    def _open(
+        self,
+        w: _Waiting,
+        device: int,
+        plan: RegionPlan,
+        members: Optional[List[int]] = None,
+    ) -> bool:
         """Reserve, charge planning, and open the pipeline for ``w``."""
+        if members is not None and len(members) > 1:
+            return self._open_sharded(w, members, plan)
         rt = self.pool.runtimes[device]
         nbytes = plan.device_bytes()
         self.pool.reserve(device, nbytes)
@@ -785,9 +833,133 @@ class RegionScheduler:
         self._admit_seq += 1
         return True
 
+    def _open_sharded(
+        self, w: _Waiting, members: List[int], plan: RegionPlan
+    ) -> bool:
+        """Reserve on every member and open one sharded pipeline.
+
+        The region's loop is split over the member devices by probed
+        throughput on a shared virtual clock (halo exchange and shared
+        PCIe contention modelled by the :class:`ShardedIssuer`); the
+        plan's full footprint is reserved on each member.  Device loss
+        is *not* self-healed here — it escalates to pool-level failover
+        so the whole request re-queues onto healthy devices.
+        """
+        primary = members[0]
+        rt = self.pool.runtimes[primary]
+        nbytes = plan.device_bytes()
+        reserved: List[int] = []
+        try:
+            for di in members:
+                self.pool.reserve(di, nbytes)
+                reserved.append(di)
+        except Exception:
+            for di in reserved:
+                self.pool.release(di, nbytes)
+            raise
+        admit_t = rt.elapsed
+        if w.dry_runs:
+            charge = w.dry_runs * self.config.plan_charge
+            rt.host_now += charge
+            self.plan_seconds += charge
+            w.dry_runs = 0  # charge once
+        policy = self._policy if self._fault_mode else None
+        try:
+            issuer = ShardedIssuer(
+                [self.pool.runtimes[di] for di in members],
+                plan, w.req.arrays, w.req.kernel,
+                policy=policy,
+                stream_prefix=f"t{w.seq}.shard",
+                recorder=self.recorder,
+                self_heal=False,
+                measure=False,
+            )
+        except Exception as exc:
+            for di in members:
+                self.pool.release(di, nbytes)
+            self._fail(w, exc)
+            return False
+        if policy is not None:
+            issuer.claim_faults = (
+                lambda i=issuer, ds=tuple(members): [
+                    cmd for d in ds for cmd in self._claim_for(i, d)
+                ]
+            )
+        try:
+            issuer.open()
+        except OutOfDeviceMemory:
+            issuer.abort()
+            for di in members:
+                self.pool.release(di, nbytes)
+                w.planned.pop(di, None)
+            if self._active:
+                w.oom_deferred = True
+                return False
+            self._fail(w, MemLimitError(nbytes, self.pool.budgets[primary]))
+            return False
+        except DeviceLostError:
+            # a member died while staging: fail over, not fail
+            issuer.abort()
+            for di in members:
+                self.pool.release(di, nbytes)
+            w.faults_seen += issuer.faults_n
+            w.retries_used += issuer.retries_n
+            w.migrated = True
+            for di in self._lost_members(members):
+                self._device_lost(di)
+            return False
+        except Exception as exc:
+            issuer.abort()
+            for di in members:
+                self.pool.release(di, nbytes)
+            self._fail(w, exc)
+            return False
+        self._waiting.remove(w)
+        self.recorder.record(
+            "request.admit",
+            t=admit_t,
+            request=w.seq,
+            tenant=w.req.tenant,
+            device=primary,
+            devices=list(members),
+            shards=len(members),
+            chunk_size=plan.chunk_size,
+            num_streams=plan.num_streams,
+            migrated=True if w.migrated else None,
+        )
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter("serve.sharded").inc()
+        self._active.append(_Active(
+            admit_seq=self._admit_seq,
+            waiting=w,
+            issuer=issuer,
+            device=primary,
+            plan=plan,
+            reserved=nbytes,
+            admit_t=admit_t,
+            devices=list(members),
+        ))
+        self._admit_seq += 1
+        return True
+
     # ------------------------------------------------------------------
     # completion
     # ------------------------------------------------------------------
+    @staticmethod
+    def _members_of(a: _Active) -> List[int]:
+        """All devices serving ``a`` (just its own for ordinary service)."""
+        return a.devices or [a.device]
+
+    def _lost_members(self, members: List[int]) -> List[int]:
+        """Which of ``members`` actually died (primary if undetectable)."""
+        dead = [d for d in members if self.pool.runtimes[d].device.lost]
+        return dead or [members[0]]
+
+    def _elapsed_of(self, a: _Active) -> float:
+        """Finish clock for ``a``: the latest member device's elapsed."""
+        return max(
+            self.pool.runtimes[di].elapsed for di in self._members_of(a)
+        )
     def _clock(self) -> float:
         """Least-advanced healthy device clock (decision time for
         queue-side outcomes, which belong to no single device)."""
@@ -862,7 +1034,8 @@ class RegionScheduler:
     def _release_active(self, a: _Active) -> None:
         """Abort an in-flight region and hand its memory back."""
         a.issuer.abort()
-        self.pool.release(a.device, a.reserved)
+        for di in self._members_of(a):
+            self.pool.release(di, a.reserved)
         self._active.remove(a)
         # memory was released: blocked requests may fit now
         for w2 in self._waiting:
@@ -871,8 +1044,7 @@ class RegionScheduler:
     def _cancel(self, a: _Active, reason: str) -> None:
         """Cut an in-flight region at the current chunk boundary."""
         self._release_active(a)
-        rt = self.pool.runtimes[a.device]
-        finish_t = rt.elapsed
+        finish_t = self._elapsed_of(a)
         w, req = a.waiting, a.waiting.req
         result = RequestResult(
             request_id=w.seq,
@@ -898,6 +1070,8 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            shards=len(a.devices) if a.devices else 1,
+            devices=tuple(a.devices or ()),
         )
         self.recorder.record(
             "request.cancel",
@@ -920,8 +1094,7 @@ class RegionScheduler:
     def _fail_active(self, a: _Active, exc: Exception) -> None:
         """Terminal in-flight failure (retry budget / policy exhausted)."""
         self._release_active(a)
-        rt = self.pool.runtimes[a.device]
-        finish_t = rt.elapsed
+        finish_t = self._elapsed_of(a)
         w, req = a.waiting, a.waiting.req
         result = RequestResult(
             request_id=w.seq,
@@ -947,6 +1120,8 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            shards=len(a.devices) if a.devices else 1,
+            devices=tuple(a.devices or ()),
         )
         self.recorder.record(
             "request.fail",
@@ -993,12 +1168,13 @@ class RegionScheduler:
                 f"device-lost:dev{device}", "serve", device=device,
             )
         victims = sorted(
-            (a for a in self._active if a.device == device),
+            (a for a in self._active if device in self._members_of(a)),
             key=lambda a: a.admit_seq,
         )
         for a in victims:
             a.issuer.abort()
-            self.pool.release(device, a.reserved)
+            for di in self._members_of(a):
+                self.pool.release(di, a.reserved)
             self._active.remove(a)
             w = a.waiting
             w.faults_seen += a.issuer.faults_n
@@ -1034,10 +1210,12 @@ class RegionScheduler:
 
     def _retire(self, a: _Active) -> None:
         """Drain, recover, finalize, account, and release one region."""
-        rt = self.pool.runtimes[a.device]
         try:
             a.issuer.drain()
-            if self._fault_mode and self.pool.injectors[a.device] is not None:
+            if self._fault_mode and any(
+                self.pool.injectors[di] is not None
+                for di in self._members_of(a)
+            ):
                 budget = None
                 if self.config.max_request_retries is not None:
                     budget = max(
@@ -1049,7 +1227,8 @@ class RegionScheduler:
             a.issuer.account_stalls()
             a.issuer.finalize()
         except DeviceLostError:
-            self._device_lost(a.device)
+            for di in self._lost_members(self._members_of(a)):
+                self._device_lost(di)
             return
         except RegionFailure as exc:
             self._fail_active(a, exc)
@@ -1058,8 +1237,9 @@ class RegionScheduler:
             # a blocking resident copy exhausted its per-copy retries
             self._fail_active(a, exc)
             return
-        finish_t = rt.elapsed
-        self.pool.release(a.device, a.reserved)
+        finish_t = self._elapsed_of(a)
+        for di in self._members_of(a):
+            self.pool.release(di, a.reserved)
         w, req = a.waiting, a.waiting.req
         busy: Dict[str, float] = {"h2d": 0.0, "d2h": 0.0, "kernel": 0.0}
         for cmd in a.issuer.commands:
@@ -1091,6 +1271,8 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            shards=len(a.devices) if a.devices else 1,
+            devices=tuple(a.devices or ()),
         )
         self.recorder.record(
             "request.retire",
@@ -1169,6 +1351,9 @@ class RegionScheduler:
         certified lower bound on the finish time.
         """
         kernel = a.waiting.req.kernel
+        if a.devices:
+            # shards run concurrently: the bound is the max over shards
+            return a.issuer.remaining_kernel_bound(kernel)
         profile = self.pool.runtimes[a.device].profile
         return sum(
             kernel.chunk_cost(profile, c.t0, c.t1, translated=True)
@@ -1189,8 +1374,7 @@ class RegionScheduler:
             deadline = a.waiting.req.deadline
             if deadline is None or not a.issuer.remaining:
                 continue
-            rt = self.pool.runtimes[a.device]
-            bound = rt.elapsed + self._remaining_lower_bound(a)
+            bound = self._elapsed_of(a) + self._remaining_lower_bound(a)
             if bound > deadline:
                 self._cancel(
                     a,
@@ -1261,7 +1445,8 @@ class RegionScheduler:
                             if a.issuer.issue_next() is None:
                                 break
                     except DeviceLostError:
-                        self._device_lost(a.device)
+                        for di in self._lost_members(self._members_of(a)):
+                            self._device_lost(di)
                 elif self._active:
                     # everything issued: retire in admission order
                     self._retire(min(self._active, key=lambda a: a.admit_seq))

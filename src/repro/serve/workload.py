@@ -11,16 +11,21 @@ A workload file is a JSON object::
          "config": {"nz": 32, "ny": 128, "nx": 128}},
         {"app": "matmul",  "tenant": "bob", "deadline": 0.25,
          "config": {"n": 768, "block": 128}},
+        {"app": "qcd", "tenant": "carol", "shards": 2,
+         "config": {"n": 8}},
         ...
       ]
     }
 
 ``app`` selects one of the paper's four applications; ``config`` maps
 onto that app's config dataclass (unknown keys are rejected).  A
-request's optional ``deadline`` is virtual seconds and must be > 0;
-unknown request keys raise
-:class:`~repro.gpu.errors.InvalidValueError` naming the offending
-request index.  Request order in the file is submission order.
+request's optional ``deadline`` is virtual seconds and must be > 0.
+``shards`` (int >= 1, default 1) asks the scheduler to shard the
+region's loop across up to that many pool devices on a shared virtual
+clock; it degrades gracefully when fewer healthy devices fit.  Unknown
+request keys raise :class:`~repro.gpu.errors.InvalidValueError` naming
+the offending request index.  Request order in the file is submission
+order.
 
 :func:`random_workload` builds a seeded deterministic mix of
 transfer-heavy (stencil/conv3d/qcd) and compute-heavy (matmul) regions
@@ -44,7 +49,9 @@ __all__ = ["WorkloadSpec", "build_request", "load_workload", "random_workload"]
 APPS = ("stencil", "conv3d", "matmul", "qcd")
 
 #: keys a workload request object may carry
-_REQUEST_KEYS = frozenset({"app", "tenant", "priority", "deadline", "config"})
+_REQUEST_KEYS = frozenset(
+    {"app", "tenant", "priority", "deadline", "config", "shards"}
+)
 
 
 @dataclass
@@ -109,6 +116,7 @@ def build_request(
     deadline: Optional[float] = None,
     config: Optional[Dict[str, object]] = None,
     virtual: bool = True,
+    shards: int = 1,
 ) -> RegionRequest:
     """Build one request from an application name and config dict."""
     try:
@@ -126,6 +134,7 @@ def build_request(
         priority=priority,
         deadline=deadline,
         label=app,
+        shards=shards,
     )
 
 
@@ -162,6 +171,11 @@ def load_workload(
                 raise InvalidValueError(
                     f"request {i}: deadline must be > 0 seconds, got {deadline}"
                 )
+        shards = spec.get("shards", 1)
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise InvalidValueError(
+                f"request {i}: shards must be an int >= 1, got {shards!r}"
+            )
         requests.append(build_request(
             spec["app"],
             tenant=spec.get("tenant", f"tenant{i}"),
@@ -169,6 +183,7 @@ def load_workload(
             deadline=deadline,
             config=spec.get("config"),
             virtual=virtual,
+            shards=shards,
         ))
     budget_mb = data.get("budget_mb")
     return WorkloadSpec(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["LinkModel", "transfer_time_1d", "transfer_time_2d"]
+__all__ = ["BandwidthShared", "LinkModel", "transfer_time_1d", "transfer_time_2d"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,51 @@ def transfer_time_1d(link: LinkModel, nbytes: int, *, pinned: bool = True) -> fl
     if not pinned:
         t = link.latency + (nbytes + link.n_half) * link.pageable_penalty / link.bw_peak
     return t
+
+
+class BandwidthShared:
+    """A host link (PCIe root complex) shared by several devices.
+
+    Each :class:`~repro.sim.device.Device` has its own simulator, so
+    transfers on different devices cannot contend dynamically the way
+    commands on one device's DMA engine do.  This models the shared
+    link statically instead: while ``k`` devices are attached, every
+    transfer's bandwidth term is stretched by ``k`` (the fair share of
+    the root complex under saturation); the fixed setup latency is
+    unaffected.  The model is deliberately pessimistic — it assumes the
+    sharers transfer concurrently for the whole region, which is the
+    regime sharded execution creates — so multi-device scaling curves
+    stay honest instead of embarrassingly parallel.
+
+    Attach/detach are refcount-free set operations keyed by the device
+    object; :class:`~repro.core.multidevice.ShardedIssuer` attaches its
+    member devices at ``open()`` and detaches them at
+    ``finalize()``/``abort()``.
+    """
+
+    def __init__(self) -> None:
+        self._attached: "set" = set()
+
+    @property
+    def sharers(self) -> int:
+        """Devices currently attached (minimum 1: a link never speeds
+        a transfer up)."""
+        return max(1, len(self._attached))
+
+    def attach(self, device) -> None:
+        """Route ``device``'s transfers through this shared link."""
+        self._attached.add(device)
+        device.shared_link = self
+
+    def detach(self, device) -> None:
+        """Give ``device`` its private link back (idempotent)."""
+        self._attached.discard(device)
+        if getattr(device, "shared_link", None) is self:
+            device.shared_link = None
+
+    def contend(self, duration: float, latency: float) -> float:
+        """Stretch a transfer's bandwidth term by the sharer count."""
+        return latency + (duration - latency) * self.sharers
 
 
 def transfer_time_2d(

@@ -56,6 +56,9 @@ class Device:
         )
         #: installed :class:`~repro.faults.inject.FaultInjector` (or None)
         self.injector = None
+        #: :class:`~repro.sim.bandwidth.BandwidthShared` this device's
+        #: transfers contend on (None = private link, the default)
+        self.shared_link = None
 
     # ------------------------------------------------------------------
     # fault injection
@@ -146,6 +149,8 @@ class Device:
             duration = transfer_time_2d(link, rows, row_bytes, pinned=pinned)
         else:
             duration = transfer_time_1d(link, nbytes, pinned=pinned)
+        if self.shared_link is not None:
+            duration = self.shared_link.contend(duration, link.latency)
         duration += extra_seconds
         cmd = Command(
             direction,

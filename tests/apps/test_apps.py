@@ -11,6 +11,7 @@ from repro.apps import matmul as mm
 from repro.apps import qcd as qc
 from repro.apps import stencil as st
 from repro.apps.common import MODELS, new_runtime, resolve_profile
+from repro.gpu.errors import InvalidValueError
 from repro.kernels.matmul import init_matrices
 from repro.sim import AMD_HD7970, NVIDIA_K40M
 from repro.sim.trace import audit
@@ -21,7 +22,7 @@ class TestCommon:
         assert resolve_profile("k40m") is NVIDIA_K40M
         assert resolve_profile("amd") is AMD_HD7970
         assert resolve_profile(NVIDIA_K40M) is NVIDIA_K40M
-        with pytest.raises(KeyError):
+        with pytest.raises(InvalidValueError, match="device"):
             resolve_profile("voodoo2")
 
     def test_new_runtime_isolated(self):

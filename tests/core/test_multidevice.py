@@ -1,4 +1,11 @@
-"""Tests for multi-device co-scheduling (paper future work)."""
+"""Tests for multi-device co-scheduling (paper future work).
+
+``execute_multi_device`` is the deprecated serial-per-device entry
+point — every call here goes through :func:`legacy_multi_device`,
+which asserts the :class:`DeprecationWarning` the shim must emit.
+The honest shared-clock model (``execute_sharded``) is covered by
+``tests/serve/test_sharding.py``.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +23,12 @@ from repro.gpu import Runtime
 from repro.sim import AMD_HD7970, NVIDIA_K40M
 
 from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+
+def legacy_multi_device(*args, **kwargs):
+    """The deprecated entry point, asserting it still warns."""
+    with pytest.warns(DeprecationWarning, match="execute_sharded"):
+        return execute_multi_device(*args, **kwargs)
 
 
 class TestSplitLoop:
@@ -46,9 +59,40 @@ class TestSplitLoop:
         with pytest.raises(DirectiveError):
             split_loop(Loop("k", 0, 10), [1, -1])
 
+    def test_nonfinite_weights_rejected(self):
+        """NaN/inf slipped through the old ``w <= 0`` guard and blew up
+        deep inside ``round``; now they fail fast with a clear error."""
+        for bad in (
+            [float("nan"), 1.0],
+            [float("inf"), 1.0],
+            [1.0, float("-inf")],
+        ):
+            with pytest.raises(DirectiveError, match="positive finite"):
+                split_loop(Loop("k", 0, 10), bad)
+
+    def test_non_numeric_weights_rejected(self):
+        with pytest.raises(DirectiveError, match="positive finite"):
+            split_loop(Loop("k", 0, 10), ["2", 1])
+        with pytest.raises(DirectiveError, match="positive finite"):
+            split_loop(Loop("k", 0, 10), [True, 1])
+
     def test_more_devices_than_iterations_rejected(self):
         with pytest.raises(DirectiveError):
             split_loop(Loop("k", 0, 2), [1, 1, 1])
+
+    def test_inconsistent_loop_metadata_rejected(self):
+        """A loop whose trip count disagrees with its bounds can force
+        the one-iteration-minimum fixup to produce non-monotonic
+        bounds; the post-fixup validation must catch it."""
+
+        class BadLoop:
+            var = "k"
+            start = 0
+            stop = 2
+            trip_count = 40
+
+        with pytest.raises(DirectiveError, match="monotonic"):
+            split_loop(BadLoop(), [1, 1, 1, 1])
 
 
 class TestExecution:
@@ -62,7 +106,7 @@ class TestExecution:
         arrays = make_arrays(n)
         region = make_region(n, 2, 2)
         rts = [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)]
-        res = execute_multi_device(rts, region, arrays, ScaleKernel(), weights=[1, 1])
+        res = legacy_multi_device(rts, region, arrays, ScaleKernel(), weights=[1, 1])
         assert isinstance(res, MultiDeviceResult)
         assert np.allclose(arrays["OUT"], expected(arrays, n))
         assert sum(res.shares) == n - 2
@@ -72,7 +116,7 @@ class TestExecution:
         arrays = make_arrays(n)
         region = make_region(n, 2, 2)
         rts = [Runtime(NVIDIA_K40M), Runtime(AMD_HD7970)]
-        execute_multi_device(rts, region, arrays, ScaleKernel())
+        legacy_multi_device(rts, region, arrays, ScaleKernel())
         assert np.allclose(arrays["OUT"], expected(arrays, n))
 
     def test_two_devices_faster_than_one(self):
@@ -81,7 +125,7 @@ class TestExecution:
         arrays = self.heavy(n)
         region = make_region(n, 4, 2)
         single = region.run(Runtime(NVIDIA_K40M), dict(arrays), kernel)
-        dual = execute_multi_device(
+        dual = legacy_multi_device(
             [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)],
             region, arrays, kernel, weights=[1, 1],
         )
@@ -94,12 +138,12 @@ class TestExecution:
         kernel = ScaleKernel(cost_per_iter=25e-6)
         region = make_region(n, 4, 2)
         arrays = self.heavy(n)
-        even = execute_multi_device(
+        even = legacy_multi_device(
             [Runtime(NVIDIA_K40M), Runtime(AMD_HD7970)],
             region, dict(arrays) | {"OUT": np.zeros_like(arrays["OUT"])},
             kernel, weights=[1, 1],
         )
-        probed = execute_multi_device(
+        probed = legacy_multi_device(
             [Runtime(NVIDIA_K40M), Runtime(AMD_HD7970)],
             region, arrays, kernel,
         )
@@ -121,7 +165,7 @@ class TestExecution:
         n = 128
         arrays = self.heavy(n)
         region = make_region(n, 2, 2)
-        res = execute_multi_device(
+        res = legacy_multi_device(
             [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)],
             region, arrays, ScaleKernel(), weights=[1, 1],
         )
@@ -131,14 +175,34 @@ class TestExecution:
 
     def test_no_devices_rejected(self):
         with pytest.raises(DirectiveError):
-            execute_multi_device([], make_region(16), make_arrays(16), ScaleKernel())
+            legacy_multi_device(
+                [], make_region(16), make_arrays(16), ScaleKernel()
+            )
 
     def test_summary_text(self):
         n = 32
-        res = execute_multi_device(
+        res = legacy_multi_device(
             [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)],
             make_region(n), make_arrays(n), ScaleKernel(), weights=[1, 1],
         )
         text = res.summary()
         assert "device 0" in text and "device 1" in text
         assert "wall (max)" in text and "imbalance" in text
+
+    def test_shim_matches_sharded_numerics(self):
+        """Deprecated serial path and the sharded path agree on the
+        output arrays (timing models differ by design)."""
+        from repro.core.multidevice import execute_sharded
+
+        n = 64
+        region = make_region(n, 2, 2)
+        a1, a2 = make_arrays(n), make_arrays(n)
+        legacy_multi_device(
+            [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)],
+            region, a1, ScaleKernel(), weights=[1, 1],
+        )
+        execute_sharded(
+            [Runtime(NVIDIA_K40M), Runtime(NVIDIA_K40M)],
+            region, a2, ScaleKernel(), weights=[1, 1],
+        )
+        assert np.array_equal(a1["OUT"], a2["OUT"])

@@ -7,7 +7,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as stn
 
 from repro.core.autotune import candidate_grid
-from repro.core.multidevice import execute_multi_device, split_loop
+from repro.core.multidevice import execute_sharded, split_loop
 from repro.directives.clauses import Loop
 from repro.gpu import Runtime
 from repro.sim import NVIDIA_K40M
@@ -66,14 +66,16 @@ def multi_cases(draw):
 
 @given(multi_cases())
 @settings(max_examples=40, deadline=None)
-def test_multidevice_always_matches_reference(case):
+def test_sharded_always_matches_reference(case):
     """Any device count / weighting / pipeline shape computes the same
-    answer: halo'd sub-loops must stitch together seamlessly."""
+    answer: halo'd sub-loops must stitch together seamlessly, with
+    halo exchange and shared-PCIe contention charged on top."""
     n, weights, cs, ns = case
     arrays = make_arrays(n)
     region = make_region(n, cs, ns)
     rts = [Runtime(NVIDIA_K40M) for _ in weights]
-    res = execute_multi_device(rts, region, arrays, ScaleKernel(), weights=weights)
-    assert np.allclose(arrays["OUT"], expected(arrays, n))
+    res = execute_sharded(rts, region, arrays, ScaleKernel(), weights=weights)
+    assert np.array_equal(arrays["OUT"], expected(arrays, n))
     assert sum(res.shares) == n - 2
     assert res.elapsed == max(r.elapsed for r in res.per_device)
+    assert not res.migrated and res.resplits == 0

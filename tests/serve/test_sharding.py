@@ -1,0 +1,268 @@
+"""Differential tests for sharded execution (one region, many devices).
+
+Sharding a region's loop across a pool must change *where* chunks run
+and *what the clock reads* — never the bytes the region computes.
+These tests pin that contract from both entry points:
+
+* **standalone** (:func:`~repro.core.multidevice.execute_sharded`, the
+  engine behind ``region.run(devices=...)``): each of the paper's four
+  applications is byte-identical (``np.array_equal``) at 2 and 3
+  shards to a single-device run — including matmul, whose reduction
+  resident is merged across shards in loop order;
+* **served** (:class:`~repro.serve.RegionScheduler` with
+  ``shards > 1`` requests): the same bit-identity against a
+  serially-served baseline.  The served differential runs with
+  ``autotune=False`` so shard seams stay aligned with chunk seams:
+  matmul's per-chunk GEMM folds its chunk's whole k-range in one
+  contraction, so re-chunking *within* a seam-misaligned shard is the
+  one case where a reduction may legitimately differ in the last ulp;
+* **failover**: a shard's device dying mid-run still yields exact
+  output — re-split across survivors standalone (``migrated``,
+  ``resplits``), whole-request re-admission under the scheduler;
+* **contention model**: halo bytes grow one seam at a time and the
+  shared-PCIe link forbids super-linear scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multidevice import ShardedResult, execute_sharded
+from repro.faults import FaultPlan
+from repro.gpu import Runtime
+from repro.gpu.errors import InvalidValueError
+from repro.serve import DevicePool, RegionScheduler, ServeConfig
+from repro.serve.workload import build_request, load_workload
+from repro.sim import NVIDIA_K40M, Device
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+#: small real-payload configs, one per app — big enough to pipeline,
+#: small enough that bit-for-bit comparison stays cheap
+APP_CONFIGS = {
+    "stencil": {"nz": 18, "ny": 48, "nx": 48},
+    "conv3d": {"nz": 18, "ny": 48, "nx": 48},
+    "matmul": {"n": 96, "block": 16},
+    "qcd": {"n": 6},
+}
+
+
+def _k40m_runtimes(n):
+    return [Runtime(Device(NVIDIA_K40M)) for _ in range(n)]
+
+
+def _arrays_equal(a, b):
+    return all(
+        np.array_equal(np.asarray(a[var]), np.asarray(b[var])) for var in a
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone: every app, byte-identical at 2 and 3 shards
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app", sorted(APP_CONFIGS))
+@pytest.mark.parametrize("n_shards", [2, 3])
+def test_sharded_app_bit_identical_to_single_device(app, n_shards):
+    ref = build_request(app, config=APP_CONFIGS[app], virtual=False)
+    ref.region.run(Runtime(Device(NVIDIA_K40M)), ref.arrays, ref.kernel)
+
+    sh = build_request(app, config=APP_CONFIGS[app], virtual=False)
+    res = execute_sharded(
+        _k40m_runtimes(n_shards), sh.region, sh.arrays, sh.kernel,
+        weights=[1] * n_shards,
+    )
+    assert isinstance(res, ShardedResult)
+    assert _arrays_equal(ref.arrays, sh.arrays), (
+        f"{app} diverged when sharded {n_shards} ways"
+    )
+    assert len(res.shares) == n_shards
+    assert not res.migrated and res.resplits == 0
+
+
+def test_stencil_apps_charge_halo_reductions_do_not():
+    """Stencil-shaped regions pay a halo push per interior seam; the
+    matmul reduction has no spatial seam to exchange."""
+    halo = {}
+    for app in ("stencil", "matmul"):
+        req = build_request(app, config=APP_CONFIGS[app], virtual=False)
+        res = execute_sharded(
+            _k40m_runtimes(2), req.region, req.arrays, req.kernel,
+            weights=[1, 1],
+        )
+        halo[app] = res.halo_bytes
+    assert halo["stencil"] > 0
+    assert halo["matmul"] == 0
+
+
+# ----------------------------------------------------------------------
+# halo accounting and the shared-link contention model
+# ----------------------------------------------------------------------
+def test_halo_bytes_grow_one_seam_at_a_time():
+    """k shards have k-1 interior seams; an even split moves the same
+    overlap across each, so halo bytes are exactly linear in seams."""
+    n = 64
+    per_seam = None
+    for k in (2, 3, 4):
+        arrays = make_arrays(n)
+        res = execute_sharded(
+            _k40m_runtimes(k), make_region(n, 2, 2), arrays,
+            ScaleKernel(), weights=[1] * k,
+        )
+        assert np.array_equal(arrays["OUT"], expected(arrays, n))
+        if per_seam is None:
+            per_seam = res.halo_bytes
+            assert per_seam > 0
+        assert res.halo_bytes == per_seam * (k - 1)
+
+
+def test_shared_link_forbids_superlinear_scaling():
+    """Wall time on k shards can never beat elapsed/k: the shards share
+    one host PCIe link, and halo pushes only add work."""
+    n = 64
+    region = make_region(n, 2, 2)
+    arrays = make_arrays(n)
+    single = region.run(Runtime(NVIDIA_K40M), arrays, ScaleKernel())
+    prev = None
+    for k in (2, 4):
+        arrays = make_arrays(n)
+        res = execute_sharded(
+            _k40m_runtimes(k), region, arrays, ScaleKernel(), weights=[1] * k,
+        )
+        assert res.elapsed >= single.elapsed / k - 1e-12
+        assert res.elapsed == max(r.elapsed for r in res.per_device)
+        if prev is not None:
+            # more shards: more link sharers and more halo traffic, so
+            # scaling efficiency can only fall
+            assert single.elapsed / (k * res.elapsed) <= prev + 1e-9
+        prev = single.elapsed / (k * res.elapsed)
+
+
+# ----------------------------------------------------------------------
+# failover: device loss mid-run stays exact
+# ----------------------------------------------------------------------
+def test_standalone_loss_resplits_on_survivors_exactly():
+    n = 64
+    rts = _k40m_runtimes(3)
+    rts[1].install_faults(FaultPlan(seed=7, device_lost_at=6))
+    arrays = make_arrays(n)
+    res = execute_sharded(
+        rts, make_region(n, 2, 2), arrays, ScaleKernel(), weights=[1, 1, 1],
+    )
+    assert res.migrated
+    assert res.resplits >= 1
+    assert rts[1].device.lost
+    # re-running a chunk is idempotent, so the healed output is exact
+    assert np.array_equal(arrays["OUT"], expected(arrays, n))
+    assert sum(res.shares) == n - 2
+
+
+def test_scheduler_reshards_request_after_member_loss():
+    cfg = APP_CONFIGS["stencil"]
+    clean = build_request("stencil", config=cfg, virtual=False)
+    clean.region.run(Runtime(Device(NVIDIA_K40M)), clean.arrays, clean.kernel)
+
+    victim = build_request("stencil", config=cfg, virtual=False, shards=2)
+    pool = DevicePool("k40m", count=3, virtual=False)
+    pool.install_faults([None, FaultPlan(seed=7, device_lost_at=2), None])
+    sched = RegionScheduler(pool, ServeConfig())
+    sched.submit(victim)
+    report = sched.run()
+    assert pool.reserved == [0, 0, 0]
+
+    (r,) = report.results
+    assert r.status == "ok"
+    assert r.migrated
+    # the sharded request lost device 1 and was re-served on survivors
+    assert pool.health == ["ok", "lost", "ok"]
+    assert r.shards == 2 and r.devices == (0, 2)
+    assert _arrays_equal(clean.arrays, victim.arrays)
+
+
+# ----------------------------------------------------------------------
+# served sharding: differential vs serial service
+# ----------------------------------------------------------------------
+def _serve(requests, count):
+    pool = DevicePool("k40m", count=count, virtual=False)
+    # autotune off keeps chunk_size at the configs' 1, so shard seams
+    # align with chunk seams and the matmul reduction folds identically
+    sched = RegionScheduler(pool, ServeConfig(autotune=False))
+    sched.submit_all(requests)
+    report = sched.run()
+    assert report.ok
+    assert pool.reserved == [0] * count
+    return report
+
+
+def test_served_sharded_outputs_bit_identical_to_serial():
+    serial = [
+        build_request(a, config=c, virtual=False)
+        for a, c in sorted(APP_CONFIGS.items())
+    ]
+    sharded = [
+        build_request(a, config=c, virtual=False, shards=2)
+        for a, c in sorted(APP_CONFIGS.items())
+    ]
+    _serve(serial, 1)
+    report = _serve(sharded, 2)
+    for a, b, r in zip(serial, sharded, report.results):
+        assert r.shards == 2 and r.devices == (0, 1)
+        assert _arrays_equal(a.arrays, b.arrays), (
+            f"{a.label} diverged between serial and sharded service"
+        )
+
+
+def test_served_sharding_degrades_to_single_device():
+    # shards=4 on a 2-device pool: serve on what exists, don't fail
+    req = build_request(
+        "stencil", config=APP_CONFIGS["stencil"], virtual=False, shards=4
+    )
+    report = _serve([req], 2)
+    (r,) = report.results
+    assert r.status == "ok"
+    assert r.shards == 2 and r.devices == (0, 1)
+
+    # shards=2 on a 1-device pool: ordinary single-device service
+    req = build_request(
+        "stencil", config=APP_CONFIGS["stencil"], virtual=False, shards=2
+    )
+    report = _serve([req], 1)
+    (r,) = report.results
+    assert r.status == "ok"
+    assert r.shards == 1 and r.devices == ()
+
+
+def test_sharded_result_dict_carries_devices():
+    req = build_request("qcd", config={"n": 6}, shards=2)
+    report = _serve([req], 2)
+    d = report.results[0].to_dict()
+    assert d["shards"] == 2
+    assert d["devices"] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# placement surfaces: workload JSON and request validation
+# ----------------------------------------------------------------------
+def test_workload_json_accepts_shards():
+    spec = load_workload({
+        "devices": 2,
+        "requests": [
+            {"app": "qcd", "shards": 2, "config": {"n": 6}},
+            {"app": "stencil", "config": APP_CONFIGS["stencil"]},
+        ],
+    })
+    assert spec.requests[0].shards == 2
+    assert spec.requests[1].shards == 1
+
+
+@pytest.mark.parametrize("bad", [0, -1, "2", True, 1.5])
+def test_workload_json_rejects_bad_shards(bad):
+    with pytest.raises(InvalidValueError, match="request 0.*shards"):
+        load_workload({
+            "requests": [{"app": "qcd", "shards": bad, "config": {"n": 6}}],
+        })
+
+
+def test_request_validates_shards():
+    with pytest.raises(ValueError, match="shards"):
+        build_request("qcd", config={"n": 6}, shards=0)
