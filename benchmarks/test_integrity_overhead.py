@@ -1,0 +1,135 @@
+"""Integrity overhead bench: what silent-failure defense costs.
+
+Serves the mixed 8-region workload (4x qcd alternating 4x stencil, the
+``test_serve_throughput`` mix) three times on one K40m — verification
+off, chunk-granular checksums, and dual-execution voting — and reports
+the makespan inflation of each mode.  Checksum verification runs on a
+dedicated verify stream at the modelled digest bandwidth, so most of
+its cost hides under transfer/compute overlap; voting re-executes
+every kernel, so its floor is roughly the compute fraction of the
+workload.
+
+Asserted bounds: checksums stay under ``CHECKSUM_OVERHEAD_BOUND`` (a
+defense cheap enough to leave on for suspect fleets), voting under
+``VOTE_OVERHEAD_BOUND``, and neither mode is free (the cost model is
+real).  Every metric lands in ``BENCH_integrity.json`` next to this
+file.  When a ``BENCH_integrity.baseline.json`` is checked in, each
+overhead is additionally gated against it (<= baseline + 10%), the
+same snapshot-as-baseline pattern as ``repro analyze --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.report import format_table
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+
+from conftest import memo
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_integrity.json")
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_integrity.baseline.json"
+)
+#: a new overhead may exceed its baseline by at most this factor
+BASELINE_SLACK = 1.10
+
+#: checksum verification must stay cheap enough to always leave on
+CHECKSUM_OVERHEAD_BOUND = 0.30
+#: voting re-runs every kernel; anything past 2x means modeling gone bad
+VOTE_OVERHEAD_BOUND = 1.00
+
+
+def mixed_workload():
+    reqs = []
+    for i in range(4):
+        reqs.append(build_request(
+            "qcd", tenant=f"qcd{i}", config={"n": 8},
+        ))
+        reqs.append(build_request(
+            "stencil", tenant=f"sten{i}",
+            config={"nz": 26, "ny": 64, "nx": 64},
+        ))
+    return reqs
+
+
+def serve_mixed(integrity):
+    pool = DevicePool("k40m", count=1)
+    sched = RegionScheduler(pool, ServeConfig(integrity=integrity))
+    sched.submit_all(mixed_workload())
+    report = sched.run()
+    assert report.ok
+    return report
+
+
+def measure(cache):
+    def compute():
+        off = serve_mixed("off")
+        checksum = serve_mixed("checksum")
+        vote = serve_mixed("vote")
+        return {
+            "makespan_off": off.makespan,
+            "makespan_checksum": checksum.makespan,
+            "makespan_vote": vote.makespan,
+            "checksum_overhead": checksum.makespan / off.makespan - 1.0,
+            "vote_overhead": vote.makespan / off.makespan - 1.0,
+            "checksum_verified": checksum.verified,
+            "vote_verified": vote.verified,
+        }
+
+    return memo(cache, "integrity_overhead", compute)
+
+
+def _write_bench(data):
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _check_baseline(data):
+    if not os.path.exists(BASELINE_PATH):
+        return
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    for key, ref in baseline.items():
+        if not isinstance(ref, (int, float)) or isinstance(ref, bool):
+            continue
+        if not key.endswith("_overhead"):
+            continue
+        assert data[key] <= ref * BASELINE_SLACK + 1e-9, (
+            f"{key} regressed: {data[key]:.3f} vs baseline {ref:.3f} "
+            f"(ceiling {ref * BASELINE_SLACK:.3f})"
+        )
+
+
+def test_integrity_overhead(benchmark, cache, report):
+    data = measure(cache)
+    benchmark.pedantic(lambda: serve_mixed("checksum"), rounds=3, iterations=1)
+
+    report.emit(
+        "Integrity overhead (mixed 8-region workload, one K40m)",
+        format_table(
+            ["mode", "makespan (ms)", "overhead", "checks"],
+            [
+                ["off", data["makespan_off"] * 1e3, 0.0, 0],
+                ["checksum", data["makespan_checksum"] * 1e3,
+                 data["checksum_overhead"], data["checksum_verified"]],
+                ["vote", data["makespan_vote"] * 1e3,
+                 data["vote_overhead"], data["vote_verified"]],
+            ],
+            floatfmt="{:.3f}",
+        ),
+    )
+    report.record("integrity_overhead", data)
+    _write_bench(data)
+    _check_baseline(data)
+
+    # verification is modeled, not free …
+    assert data["checksum_overhead"] > 0.0
+    assert data["checksum_verified"] > 0
+    # … but checksums hide under overlap and stay cheap enough to
+    # leave on, while voting pays roughly the compute fraction again
+    assert data["checksum_overhead"] <= CHECKSUM_OVERHEAD_BOUND
+    assert data["checksum_overhead"] < data["vote_overhead"]
+    assert data["vote_overhead"] <= VOTE_OVERHEAD_BOUND

@@ -85,6 +85,47 @@ assert sorted(alice.get("devices", [])) == [0, 1], (
 )
 EOF3
 
+echo "== CLI smoke: sdc chaos is detected and recovered under checksums =="
+sdc_serve="$(python -m repro serve examples/serve_workload.json \
+    --chaos sdc --integrity checksum --seed 2 --json)"
+python - <<EOF5
+import json
+report = json.loads('''$sdc_serve''')
+assert report["corruptions"] >= 1, "sdc serve smoke detected no corruption"
+assert report["verified"] > report["corruptions"], "sdc smoke barely verified"
+assert all(r["status"] == "ok" for r in report["requests"]), (
+    "sdc serve smoke failed to recover a request: "
+    + str([r["status"] for r in report["requests"]])
+)
+EOF5
+
+echo "== CLI smoke: straggler watchdog re-splits a slow device away =="
+straggler_wl="$(mktemp -t repro-straggler-XXXXXX.json)"
+trap 'rm -f "$tmp" "$straggler_wl"' EXIT
+cat > "$straggler_wl" <<'EOF6'
+{
+  "device": "k40m",
+  "devices": 3,
+  "budget_mb": 0.5,
+  "requests": [
+    {"app": "stencil", "tenant": "s0", "shards": 3,
+     "config": {"nz": 194, "ny": 64, "nx": 64}},
+    {"app": "stencil", "tenant": "s1", "shards": 3,
+     "config": {"nz": 194, "ny": 64, "nx": 64}}
+  ]
+}
+EOF6
+straggler_serve="$(python -m repro serve "$straggler_wl" \
+    --chaos straggler --watchdog --seed 0 --json)"
+python - <<EOF7
+import json
+report = json.loads('''$straggler_serve''')
+assert report["resplits"] >= 1, "straggler smoke never re-split"
+assert all(r["status"] == "ok" for r in report["requests"]), (
+    "straggler serve smoke lost a request"
+)
+EOF7
+
 echo "== CLI smoke: sharded analyze invariants hold =="
 # --devices 2 runs the region sharded and exits non-zero if the
 # aggregate clock or the share partition violates the sharding model

@@ -383,6 +383,7 @@ def _chaos(args) -> int:
             device=args.device,
             model=args.model,
             policy=policy,
+            integrity=args.integrity,
         )
     except KeyError as exc:  # unknown app or profile name
         print(exc.args[0], file=sys.stderr)
@@ -412,7 +413,9 @@ def _serve(args) -> int:
     from repro.serve import DevicePool, RegionScheduler, ServeConfig, load_workload
 
     try:
-        spec = load_workload(args.workload)
+        # integrity verification needs real payloads to digest; plain
+        # scheduling runs stay virtual (metadata-only arrays)
+        spec = load_workload(args.workload, virtual=args.integrity == "off")
     except (OSError, ValueError, TypeError, ReproError, json.JSONDecodeError) as exc:
         print(f"bad workload {args.workload!r}: {exc}", file=sys.stderr)
         return 2
@@ -440,12 +443,18 @@ def _serve(args) -> int:
             )
             return 2
     obs = Observability() if args.trace else None
-    config = ServeConfig(max_active=1 if args.serial else None)
+    config = ServeConfig(
+        max_active=1 if args.serial else None,
+        integrity=args.integrity,
+        straggler_watchdog=args.watchdog,
+    )
     with DevicePool(
         pool_spec,
         count=count,
         budget_bytes=spec.budget_bytes,
         obs=obs,
+        # checksums need executing payloads: a real pool, not a virtual one
+        virtual=args.integrity == "off",
     ) as pool:
         if plans is not None:
             pool.install_faults(plans)
@@ -530,7 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("app", help="/".join(_APPS))
     ch.add_argument(
         "--profile", default="transient",
-        help="fault profile: transient (default), jitter, pressure, chaos",
+        help="fault profile: transient (default), jitter, pressure, "
+        "chaos, failover, sdc, straggler",
     )
     ch.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     ch.add_argument("--device", default="k40m")
@@ -543,6 +553,12 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--no-degrade", action="store_true",
         help="fail instead of falling back to pipelined/naive models",
+    )
+    ch.add_argument(
+        "--integrity", default="off", choices=("off", "checksum", "vote"),
+        help="verify data integrity at chunk granularity: checksum "
+        "(transfer checksums) or vote (plus dual-execution kernel "
+        "voting); detected corruptions are recomputed in place",
     )
 
     sv = sub.add_parser(
@@ -565,9 +581,19 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--chaos", default=None, metavar="PROFILE",
         help="install per-device fault injectors from a named profile "
-        "(transient, jitter, pressure, chaos, failover)",
+        "(transient, jitter, pressure, chaos, failover, sdc, straggler)",
     )
     sv.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    sv.add_argument(
+        "--integrity", default="off", choices=("off", "checksum", "vote"),
+        help="pool-wide integrity verification mode (workload requests "
+        "may override per tenant); implies real array payloads",
+    )
+    sv.add_argument(
+        "--watchdog", action="store_true",
+        help="enable the sharded-region straggler watchdog (re-splits "
+        "work away from slow-but-alive devices)",
+    )
     sv.add_argument(
         "--devices", default=None, metavar="SPEC",
         help="override the workload's pool: a count (\"2\") or "

@@ -53,8 +53,15 @@ from repro.faults.policy import (
     FaultPolicy,
     RegionFailure,
 )
-from repro.gpu.errors import DeviceLostError, TransferError
+from repro.gpu.errors import DeviceLostError, InvalidValueError, TransferError
 from repro.gpu.runtime import Runtime
+from repro.integrity import (
+    INTEGRITY_OFF,
+    INTEGRITY_VOTE,
+    digest,
+    validate_integrity,
+    verify_cost,
+)
 from repro.sim.engine import Command, EventToken
 from repro.sim.trace import Timeline, overlap_fraction, time_distribution
 from repro.sim.varray import is_virtual
@@ -103,6 +110,12 @@ class RegionResult:
     retries:
         Recovery replays (chunk replays, blocking-copy reissues, whole
         region re-attempts) performed to produce this result.
+    verified:
+        Integrity checks performed (checksum/vote commands plus
+        synchronous replay re-verifications).  Zero with integrity off.
+    corruptions:
+        Silent corruptions detected (and recovered from) by those
+        checks.
     """
 
     model: str
@@ -118,6 +131,8 @@ class RegionResult:
     commands: List[Command] = field(default_factory=list, repr=False)
     faults: int = 0
     retries: int = 0
+    verified: int = 0
+    corruptions: int = 0
 
     @property
     def time_distribution(self) -> Dict[str, float]:
@@ -155,6 +170,9 @@ class RegionResult:
         if self.faults or self.retries:
             d["faults"] = self.faults
             d["retries"] = self.retries
+        if self.verified or self.corruptions:
+            d["verified"] = self.verified
+            d["corruptions"] = self.corruptions
         if self.metrics:
             d["metrics"] = self.metrics
         return d
@@ -181,6 +199,11 @@ class RegionResult:
                 f"fault recovery   {self.faults} fault(s) absorbed, "
                 f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}"
             )
+        if self.verified or self.corruptions:
+            lines.append(
+                f"integrity        {self.verified} check(s), "
+                f"{self.corruptions} corruption(s) detected"
+            )
         return "\n".join(lines)
 
 
@@ -195,7 +218,8 @@ class _Measurer:
 
     def finish(
         self, model: str, nchunks: int, chunk_size: int, num_streams: int,
-        faults: int = 0, retries: int = 0,
+        faults: int = 0, retries: int = 0, verified: int = 0,
+        corruptions: int = 0,
     ) -> RegionResult:
         """Close the measurement window and package the result."""
         rt = self.rt
@@ -241,6 +265,8 @@ class _Measurer:
             commands=cmds,
             faults=faults,
             retries=retries,
+            verified=verified,
+            corruptions=corruptions,
         )
 
 
@@ -347,6 +373,8 @@ class PipelineIssuer:
         claim_faults=None,
         recorder=None,
         reduction_residents=None,
+        integrity: str = INTEGRITY_OFF,
+        halo_ranges=None,
     ) -> None:
         self.runtime = runtime
         self.plan = plan
@@ -401,6 +429,49 @@ class PipelineIssuer:
         self._cursor = 0
         self._opened = False
         self._finalized = False
+        #: silent-failure defense mode: off / checksum / vote
+        self.integrity = validate_integrity(integrity)
+        #: split-dim ranges of ``arrays`` this shard receives across a
+        #: seam from a neighbouring shard — verify commands covering
+        #: them are classified as halo checks (``{var: [(lo, hi), ...]}``)
+        self.halo_ranges = {
+            v: [tuple(r) for r in rs] for v, rs in (halo_ranges or {}).items()
+        }
+        #: integrity checks performed / corruptions detected
+        self.verified_n = 0
+        self.corruptions_n = 0
+        self.seam_verified_n = 0
+        #: append-only log of every detection, as
+        #: ``(var, lo, hi, chunk, kind, time)``
+        self.corruption_log: List[Tuple] = []
+        #: detections awaiting recovery (drained by :meth:`recover`)
+        self._corruptions: List[Tuple] = []
+        self.verify_stream = None
+        #: retry bounds for corruption replays when no policy is set
+        self._ipolicy = policy if policy is not None else FaultPolicy()
+        #: single-device reduction self-merge: with integrity on,
+        #: writable residents run in reduction mode so a corrupted
+        #: chunk's replay supersedes its delta (keep-last dedup) —
+        #: without it, replaying an accumulating chunk would
+        #: double-apply its contribution
+        self.merge_reductions = False
+        if self.integrity != INTEGRITY_OFF:
+            if self.integrity == INTEGRITY_VOTE:
+                for var, spec in plan.specs.items():
+                    if spec.clause.is_input and spec.clause.is_output:
+                        raise InvalidValueError(
+                            f"integrity 'vote' cannot dual-execute over "
+                            f"tofrom pipelined array {var!r} (its input is "
+                            f"overwritten in place); use 'checksum'"
+                        )
+            if not self.reduction_residents:
+                red = frozenset(
+                    v for v, cl in plan.residents.items()
+                    if cl.direction in ("from", "tofrom")
+                )
+                if red:
+                    self.reduction_residents = red
+                    self.merge_reductions = True
 
     # ------------------------------------------------------------------
     # progress
@@ -448,26 +519,45 @@ class PipelineIssuer:
                 label=c.label, chunk=self.meta.get(c),
             )
 
-    def _blocking_with_retry(self, issue, what: str) -> None:
+    def _blocking_with_retry(self, issue, what: str, verify=None) -> None:
         """Run a blocking resident copy, reissuing it under the policy.
 
         Resident copies are whole-array and synchronous, so reissuing
-        the copy in place (with backoff) is an exact replay.
+        the copy in place (with backoff) is an exact replay.  With
+        integrity on, ``verify`` (a zero-arg callable returning the two
+        array views that must be byte-identical after the copy) is
+        digested synchronously — the cost charged to host time — and a
+        mismatch reissues the copy exactly like a fail-stop fault.
         """
         runtime = self.runtime
         policy = self.policy
-        if policy is None:
+        check = self.integrity != INTEGRITY_OFF and verify is not None
+        if policy is None and not check:
             self.commands.append(issue())
             return
+        retry = policy if policy is not None else self._ipolicy
         attempt = 0
         while True:
             cmd = issue()
             self.commands.append(cmd)
-            # chunkless sentinel: lets a fault router attribute the
-            # blocking copy to this issuer without making it a replay unit
-            self.meta[cmd] = -1
-            bad = self.claim_faults()
-            if not bad:
+            if policy is not None:
+                # chunkless sentinel: lets a fault router attribute the
+                # blocking copy to this issuer without making it a
+                # replay unit
+                self.meta[cmd] = -1
+            bad = self.claim_faults() if policy is not None else []
+            corrupt = False
+            if check and not bad:
+                runtime.host_now += verify_cost(cmd.nbytes)
+                self.verified_n += 1
+                if not self.virtual:
+                    a, b = verify()
+                    if digest(a) != digest(b):
+                        corrupt = True
+                        self._note_corruption(
+                            what, 0, 0, -1, "resident", recover=False
+                        )
+            if not bad and not corrupt:
                 return
             self.faults_n += len(bad)
             self._record_faults(bad)
@@ -475,20 +565,216 @@ class PipelineIssuer:
                 raise DeviceLostError(
                     f"device lost during {what}", pending=len(bad)
                 )
-            if attempt >= policy.max_retries:
+            if attempt >= retry.max_retries:
                 raise TransferError(
-                    f"{what} still faulting after {policy.max_retries} "
-                    f"retries",
-                    fault=bad[0].error,
-                    pending=len(bad),
+                    f"{what} still "
+                    f"{'corrupt' if corrupt else 'faulting'} after "
+                    f"{retry.max_retries} retries",
+                    fault=bad[0].error if bad else None,
+                    pending=len(bad) or 1,
                 )
-            delay = policy.backoff_for(attempt)
+            delay = retry.backoff_for(attempt)
             runtime.host_now += delay
             attempt += 1
             self.retries_n += 1
             if runtime.metrics.enabled:
                 runtime.metrics.counter("faults.retries").inc()
                 runtime.metrics.counter("faults.backoff_seconds").inc(delay)
+
+    # ------------------------------------------------------------------
+    # integrity: detection
+    # ------------------------------------------------------------------
+    def _in_halo(self, var: str, lo: int, hi: int) -> bool:
+        """Whether ``[lo, hi)`` of ``var`` crosses a shard-seam range."""
+        for rlo, rhi in self.halo_ranges.get(var, ()):
+            if rlo < hi and rhi > lo:
+                return True
+        return False
+
+    def _note_corruption(
+        self, var: str, lo: int, hi: int, chunk_index: int, kind: str,
+        *, recover: bool = True,
+    ) -> None:
+        """Log one detected corruption (and queue it for recovery)."""
+        runtime = self.runtime
+        self.corruptions_n += 1
+        entry = (var, lo, hi, chunk_index, kind, runtime.device.now)
+        self.corruption_log.append(entry)
+        if recover:
+            self._corruptions.append(entry)
+        if self.recorder is not None:
+            self.recorder.record(
+                "corruption", t=runtime.elapsed, var=var, lo=lo, hi=hi,
+                chunk=(chunk_index if chunk_index >= 0 else None), cause=kind,
+            )
+        if self.m_on:
+            runtime.metrics.counter("integrity.corruptions").inc()
+
+    def _checksum_payload(self, var: str, piece, chunk_index: int, kind: str):
+        if self.virtual:
+            return None
+        ring, host = self.rings[var], self.arrays[var]
+
+        def run() -> None:
+            if digest(ring.device_view(piece).backing) != digest(
+                ring.host_section(host, piece)
+            ):
+                self._note_corruption(
+                    var, piece.g_lo, piece.g_hi, chunk_index, kind
+                )
+
+        return run
+
+    def _issue_verify(
+        self, xfer: Command, tok: EventToken, var: str, piece,
+        chunk_index: int, kind: str, book: _Records,
+    ) -> None:
+        """Enqueue one checksum command covering a transfer piece.
+
+        The verify command waits on the transfer it checks, runs on the
+        dedicated verify stream at the modelled digest bandwidth
+        (:data:`~repro.integrity.CHECKSUM_BYTES_PER_SECOND`), and is
+        registered as a *reader* of the piece's range so ring-slot
+        reuse cannot overwrite data that has not been verified yet.
+        """
+        runtime = self.runtime
+        ckind = kind
+        if kind == "h2d" and self._in_halo(var, piece.g_lo, piece.g_hi):
+            ckind = "halo"
+            self.seam_verified_n += 1
+        vtok = EventToken(f"verify:{var}:{piece.g_lo}")
+        vcmd = runtime.launch(
+            verify_cost(xfer.nbytes),
+            self._checksum_payload(var, piece, chunk_index, ckind),
+            self.verify_stream,
+            waits=[tok],
+            records=[vtok],
+            nbytes=xfer.nbytes,
+            label=f"verify:{ckind}:{var}[{piece.g_lo}:{piece.g_hi})",
+        )
+        vcmd.chunk = chunk_index
+        self.commands.append(vcmd)
+        if self.policy is not None:
+            self.meta[vcmd] = chunk_index
+        book.readers.append((piece.g_lo, piece.g_hi, vtok))
+        self.verified_n += 1
+
+    def _dual_execute_check(self, chunk: Chunk):
+        """Payload for a vote command: re-run the chunk, compare outputs.
+
+        Inputs are re-gathered from the (checksum-verified) rings;
+        reduction residents recompute into scratch and are compared
+        against the chunk's snapshotted delta.  Any mismatch means the
+        primary kernel miscomputed — checksums alone cannot see that,
+        because a wrong-but-self-consistent output digests equal on
+        both sides of its drain.
+        """
+        if self.virtual:
+            return None
+        plan, arrays, rings = self.plan, self.arrays, self.rings
+        resident_dev, kernel = self.resident_dev, self.kernel
+
+        def run() -> None:
+            views: Dict[str, ChunkView] = {}
+            out_ranges: Dict[str, Tuple[int, int]] = {}
+            for var, spec in plan.specs.items():
+                lo, hi = plan.chunk_dep_range(var, chunk)
+                ring = rings[var]
+                cl = spec.clause
+                if cl.is_input:
+                    data = ring.gather(lo, hi)
+                else:
+                    shape = list(ring.host_shape)
+                    shape[spec.split_dim] = hi - lo
+                    data = np.zeros(shape, dtype=arrays[var].dtype)
+                views[var] = ChunkView(data, spec.split_dim, lo, hi)
+                if cl.is_output:
+                    out_ranges[var] = (lo, hi)
+            red_tmp: Dict[str, np.ndarray] = {}
+            for var, dev in resident_dev.items():
+                if var in self.reduction_residents:
+                    red_tmp[var] = np.zeros_like(arrays[var])
+                    views[var] = ChunkView(red_tmp[var], None, 0, dev.shape[0])
+                else:
+                    views[var] = ChunkView(dev.backing, None, 0, dev.shape[0])
+            kernel.run(views, chunk.t0, chunk.t1)
+            for var, (lo, hi) in out_ranges.items():
+                if digest(views[var].data) != digest(rings[var].gather(lo, hi)):
+                    self._note_corruption(var, lo, hi, chunk.index, "vote")
+            if red_tmp:
+                part = None
+                for t0, p in reversed(self.reduction_parts):
+                    if t0 == chunk.t0:
+                        part = p
+                        break
+                for var, tmp in red_tmp.items():
+                    if part is None or var not in part or \
+                            digest(tmp) != digest(part[var]):
+                        self._note_corruption(
+                            var, chunk.t0, chunk.t1, chunk.index, "vote"
+                        )
+
+        return run
+
+    def _issue_vote(self, chunk: Chunk, ktok: EventToken, ranges) -> None:
+        """Enqueue the dual-execution check for one chunk (vote mode).
+
+        The re-execution waits on the primary kernel (and inherits its
+        poison, so a fail-stop-faulted kernel never triggers a bogus
+        vote) and registers as a reader of every range it re-gathers,
+        keeping slot reuse honest.
+        """
+        runtime, kernel = self.runtime, self.kernel
+        v2tok = EventToken(f"vote:{chunk.index}")
+        vcmd = runtime.launch(
+            kernel.chunk_cost(self.profile, chunk.t0, chunk.t1, translated=True),
+            self._dual_execute_check(chunk),
+            self.verify_stream,
+            waits=[ktok],
+            records=[v2tok],
+            label=f"verify:vote:{kernel.name}[{chunk.t0}:{chunk.t1})",
+        )
+        vcmd.chunk = chunk.index
+        self.commands.append(vcmd)
+        if self.policy is not None:
+            self.meta[vcmd] = chunk.index
+        for var, (lo, hi) in ranges.items():
+            self.books[var].readers.append((lo, hi, v2tok))
+        self.verified_n += 1
+
+    def _kernel_sink(self, chunk: Chunk):
+        """Resolve where a silent kernel miscompute lands for ``chunk``.
+
+        Returned as a zero-arg callable so the injector reads the
+        written data at *retirement* (after the payload has scattered
+        outputs), not at enqueue time.  ``None`` in virtual mode — the
+        injector still logs the event, keeping real/virtual fault
+        timelines aligned.
+        """
+        if self.virtual:
+            return None
+        plan, rings = self.plan, self.rings
+
+        def resolve():
+            for var in sorted(plan.specs):
+                if not plan.specs[var].clause.is_output:
+                    continue
+                lo, hi = plan.chunk_dep_range(var, chunk)
+                pieces = rings[var].pieces(lo, hi)
+                if pieces:
+                    return rings[var].device_view(pieces[0]).backing
+            if self.reduction_residents:
+                for t0, part in reversed(self.reduction_parts):
+                    if t0 != chunk.t0:
+                        continue
+                    for var in sorted(part):
+                        return part[var]
+            for var in sorted(self.resident_dev):
+                if plan.residents[var].direction in ("from", "tofrom"):
+                    return self.resident_dev[var].backing
+            return None
+
+        return resolve
 
     # ------------------------------------------------------------------
     # lifecycle steps
@@ -515,6 +801,14 @@ class PipelineIssuer:
                 runtime.create_stream(f"{self.stream_prefix}{i}")
                 for i in range(self.streams_n)
             ]
+            if self.integrity != INTEGRITY_OFF:
+                # dedicated verify stream: checks overlap the pipeline's
+                # own streams instead of serializing behind chunk work;
+                # deliberately excluded from streams_n so the region's
+                # host-overhead scale matches an integrity-off run
+                self.verify_stream = runtime.create_stream(
+                    f"{self.stream_prefix}v"
+                )
 
             # resident arrays: whole-array data region
             for var, clause in plan.residents.items():
@@ -527,6 +821,7 @@ class PipelineIssuer:
                             d, h, label=f"h2d:{v}:resident"
                         ),
                         f"resident h2d of {var!r}",
+                        verify=lambda d=dev, h=host: (d.backing, h),
                     )
                 if var in self.reduction_residents and not self.virtual:
                     # reduction accumulator: this shard contributes a
@@ -671,6 +966,11 @@ class PipelineIssuer:
                             if m_on and reuse:
                                 self.stall_watch.append((cmd, list(reuse)))
                             book.h2d.append((piece.g_lo, piece.g_hi, tok))
+                            if self.integrity != INTEGRITY_OFF:
+                                self._issue_verify(
+                                    cmd, tok, var, piece, chunk.index,
+                                    "h2d", book,
+                                )
                         book.covered_hi = max(book.covered_hi or hi, hi)
                     in_tokens.extend(_intersecting(book.h2d, lo, hi))
                     _prune(book.h2d, lo)
@@ -704,6 +1004,7 @@ class PipelineIssuer:
                 label=f"{kernel.name}[{chunk.t0}:{chunk.t1})",
             )
             kcmd.chunk = chunk.index
+            kcmd.sink = self._kernel_sink(chunk)
             self.commands.append(kcmd)
             if policy is not None:
                 meta[kcmd] = chunk.index
@@ -739,6 +1040,13 @@ class PipelineIssuer:
                         if policy is not None:
                             meta[dcmd] = chunk.index
                         book.d2h.append((piece.g_lo, piece.g_hi, dtok))
+                        if self.integrity != INTEGRITY_OFF:
+                            self._issue_verify(
+                                dcmd, dtok, var, piece, chunk.index,
+                                "d2h", book,
+                            )
+            if self.integrity == INTEGRITY_VOTE:
+                self._issue_vote(chunk, ktok, ranges)
             if tr_on:
                 tracer.end(pd2h)
                 # the slots this chunk's retiring work hands back to the
@@ -767,6 +1075,8 @@ class PipelineIssuer:
         """
         for st in self.streams:
             self.runtime.stream_synchronize(st)
+        if self.verify_stream is not None:
+            self.runtime.stream_synchronize(self.verify_stream)
 
     def _enqueue_replay(self, chunk: Chunk) -> None:
         """Replay one chunk synchronously: full dep-range h2d→kernel→d2h."""
@@ -806,6 +1116,7 @@ class PipelineIssuer:
             label=f"replay:{kernel.name}[{chunk.t0}:{chunk.t1})",
         )
         kcmd.chunk = chunk.index
+        kcmd.sink = self._kernel_sink(chunk)
         self.commands.append(kcmd)
         meta[kcmd] = chunk.index
         for var, spec in plan.specs.items():
@@ -830,13 +1141,15 @@ class PipelineIssuer:
                 meta[dcmd] = chunk.index
 
     def recover(self, budget: Optional[int] = None) -> None:
-        """Chunk-granular fault recovery (requires a policy).
+        """Chunk-granular recovery from faults *and* silent corruption.
 
-        The pipeline has drained; map every faulted command back to its
-        chunk and replay the chunk synchronously (full dep-range h2d →
-        kernel → d2h).  Faulted kernels never ran their payloads
-        (poison propagation suppresses consumers of faulted data too),
-        so replay is exact — even for accumulating kernels.
+        The pipeline has drained.  Fail-stop faults (requires a policy)
+        map back to their chunks and replay synchronously; corruptions
+        flagged by integrity checks replay their owner chunk plus — for
+        corrupted input transfers — every issued chunk whose dependency
+        slice overlaps the corrupt range.  Replayed chunks are
+        re-verified in place, so a corruption *during* recovery loops
+        until clean or the retry bound trips.
 
         ``budget`` optionally caps the *total* number of chunk replays
         this call may perform (on top of the per-chunk
@@ -844,8 +1157,24 @@ class PipelineIssuer:
         per-request retry budget.  Exceeding it raises
         :class:`~repro.faults.RegionFailure`.
         """
+        state = {"budget": budget}
+        while True:
+            if self.policy is not None:
+                self._recover_faults(state)
+            if not self._corruptions:
+                return
+            self._recover_corruptions(state)
+
+    def _recover_faults(self, state: Dict[str, Optional[int]]) -> None:
+        """Replay chunks whose commands reported fail-stop faults.
+
+        Faulted kernels never ran their payloads (poison propagation
+        suppresses consumers of faulted data too), so replay is exact —
+        even for accumulating kernels.
+        """
         runtime, policy = self.runtime, self.policy
         tracer, m_on, chunks = self.tracer, self.m_on, self.chunks
+        budget = state["budget"]
         with self._overheads():
             chunk_status = {c.index: CHUNK_OK for c in chunks}
             attempts = {c.index: 0 for c in chunks}
@@ -903,6 +1232,7 @@ class PipelineIssuer:
                 for k in affected:
                     if budget is not None:
                         budget -= 1
+                        state["budget"] = budget
                     attempts[k] += 1
                     delay = policy.backoff_for(attempts[k] - 1)
                     runtime.host_now += delay
@@ -931,6 +1261,154 @@ class PipelineIssuer:
                 pending = self.claim_faults()
                 self.faults_n += len(pending)
                 self._record_faults(pending)
+
+    # ------------------------------------------------------------------
+    # integrity: response
+    # ------------------------------------------------------------------
+    def _affected_chunks(self, batch: List[Tuple]) -> List[int]:
+        """Chunks whose data a corruption batch may have poisoned.
+
+        The owner chunk always replays.  A corrupted *input* piece
+        (h2d/halo) may additionally have fed any issued chunk whose
+        dependency slice intersects the corrupt range — dedup mode
+        transfers each row once and shares it across chunks, and the
+        checksum verdict can land after a sharing kernel already ran.
+        """
+        plan = self.plan
+        affected = set()
+        for var, lo, hi, owner, kind, _t in batch:
+            if owner >= 0:
+                affected.add(owner)
+            if kind in ("h2d", "halo"):
+                for c in self.chunks[: self._cursor]:
+                    clo, chi = plan.chunk_dep_range(var, c)
+                    if clo < hi and chi > lo:
+                        affected.add(c.index)
+        return sorted(affected)
+
+    def _recover_corruptions(self, state: Dict[str, Optional[int]]) -> None:
+        """Replay chunks whose data an integrity check proved corrupt.
+
+        Works without a fault policy (corruption replay bounds come
+        from :attr:`_ipolicy`); exhaustion dumps the flight-recorder
+        ring before raising, so the detection trail survives the
+        failure.
+        """
+        runtime, chunks = self.runtime, self.chunks
+        ipolicy = self._ipolicy
+        attempts: Dict[int, int] = {}
+        with self._overheads():
+            while self._corruptions:
+                batch, self._corruptions = self._corruptions, []
+                affected = self._affected_chunks(batch)
+                budget = state["budget"]
+                if budget is not None and len(affected) > budget:
+                    if self.recorder is not None:
+                        self.recorder.dump(
+                            "integrity-exhausted", region=self.kernel.name,
+                            corruptions=self.corruptions_n,
+                        )
+                    raise RegionFailure(
+                        f"{len(affected)} corrupted chunk(s) but only "
+                        f"{budget} replay(s) left in the request budget",
+                        chunk_status={k: CHUNK_FAILED for k in affected},
+                        attempts=[
+                            "integrity: request retry budget exhausted "
+                            f"with {len(affected)} chunk(s) corrupt"
+                        ],
+                        retries=self.retries_n,
+                    )
+                exhausted = [
+                    k for k in affected
+                    if attempts.get(k, 0) >= ipolicy.max_retries
+                ]
+                if exhausted:
+                    if self.recorder is not None:
+                        self.recorder.dump(
+                            "integrity-exhausted", region=self.kernel.name,
+                            corruptions=self.corruptions_n,
+                        )
+                    raise RegionFailure(
+                        f"{len(exhausted)} chunk(s) still corrupt after "
+                        f"{ipolicy.max_retries} replays each",
+                        chunk_status={
+                            k: (CHUNK_EXHAUSTED if k in exhausted
+                                else CHUNK_FAILED)
+                            for k in affected
+                        },
+                        attempts=[
+                            f"integrity: chunk {k} exhausted "
+                            f"{attempts[k] + 1} attempts"
+                            for k in exhausted
+                        ],
+                        retries=self.retries_n,
+                    )
+                for k in affected:
+                    if state["budget"] is not None:
+                        state["budget"] -= 1
+                    attempts[k] = attempts.get(k, 0) + 1
+                    delay = ipolicy.backoff_for(attempts[k] - 1)
+                    runtime.host_now += delay
+                    self.retries_n += 1
+                    if self.m_on:
+                        runtime.metrics.counter("faults.retries").inc()
+                        runtime.metrics.counter("integrity.replays").inc()
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "chunk.replay", t=runtime.elapsed, chunk=k,
+                            attempt=attempts[k], backoff=delay,
+                            cause="corruption",
+                        )
+                    with self.tracer.span(
+                        f"replay:chunk{k}", "fault",
+                        chunk=k, attempt=attempts[k], cause="corruption",
+                    ):
+                        self._enqueue_replay(chunks[k])
+                    # drain before verifying: the re-verify reads host
+                    # and device sides of the replayed transfers, and
+                    # two replays can alias ring slots (mod capacity)
+                    runtime.synchronize()
+                    self._verify_chunk_sync(chunks[k])
+
+    def _verify_chunk_sync(self, chunk: Chunk) -> None:
+        """Synchronously re-verify a replayed chunk's data.
+
+        The pipeline is drained, so this runs host-side: each piece's
+        digest cost is charged to virtual host time (same cost model as
+        the async verify commands), keeping replay verification visible
+        in the clock and in wait attribution.
+        """
+        runtime, plan, rings = self.runtime, self.plan, self.rings
+        arrays = self.arrays
+        for var, spec in plan.specs.items():
+            lo, hi = plan.chunk_dep_range(var, chunk)
+            ring = rings[var]
+            host = arrays[var]
+            for piece in ring.pieces(lo, hi):
+                nbytes = piece.extent * ring.unit_elems * ring.itemsize
+                runtime.host_now += verify_cost(nbytes)
+                self.verified_n += 1
+                if self.virtual:
+                    continue
+                if digest(ring.device_view(piece).backing) != digest(
+                    ring.host_section(host, piece)
+                ):
+                    kind = "h2d" if spec.clause.is_input else "d2h"
+                    self._note_corruption(
+                        var, piece.g_lo, piece.g_hi, chunk.index, kind
+                    )
+        if self.integrity == INTEGRITY_VOTE:
+            self._vote_check_sync(chunk)
+
+    def _vote_check_sync(self, chunk: Chunk) -> None:
+        """Synchronous dual-execution recheck of a replayed chunk."""
+        self.runtime.host_now += self.kernel.chunk_cost(
+            self.profile, chunk.t0, chunk.t1, translated=True
+        )
+        self.verified_n += 1
+        check = self._dual_execute_check(chunk)
+        if check is not None:
+            check()
 
     def account_stalls(self) -> None:
         """Resolve slot-reuse stall metrics once all tokens have times."""
@@ -978,7 +1456,21 @@ class PipelineIssuer:
                             arrays[v], self.resident_dev[v], label=f"d2h:{v}:resident"
                         ),
                         f"resident d2h of {var!r}",
+                        verify=lambda v=var: (
+                            arrays[v], self.resident_dev[v].backing
+                        ),
                     )
+            if self.merge_reductions and not self.virtual:
+                # single-device reduction self-merge: apply each chunk's
+                # snapshotted delta exactly once, keep-last per chunk
+                # start so a corruption replay's corrected delta
+                # supersedes the corrupt one
+                latest: Dict[int, Dict[str, np.ndarray]] = {}
+                for t0, part in self.reduction_parts:
+                    latest[t0] = part
+                for t0 in sorted(latest):
+                    for var, delta in latest[t0].items():
+                        arrays[var] += delta
             for dev in self.resident_dev.values():
                 runtime.free(dev)
             for ring in self.rings.values():
@@ -1006,6 +1498,7 @@ def execute_pipeline(
     arrays: Dict[str, np.ndarray],
     kernel: RegionKernel,
     policy: Optional[FaultPolicy] = None,
+    integrity: str = INTEGRITY_OFF,
 ) -> RegionResult:
     """Run a region under the proposed Pipelined-buffer model.
 
@@ -1032,9 +1525,15 @@ def execute_pipeline(
         :class:`~repro.faults.RegionFailure` carries per-chunk
         status).  Chunks are the natural replay unit because the
         pipeline already computes each chunk's exact dependency slices.
+    integrity:
+        Silent-failure defense mode (``"off"`` / ``"checksum"`` /
+        ``"vote"``, see :mod:`repro.integrity`).  Detected corruptions
+        are recovered by chunk replay even without a fault policy.
     """
     meas = _Measurer(runtime)
-    issuer = PipelineIssuer(runtime, plan, arrays, kernel, policy=policy)
+    issuer = PipelineIssuer(
+        runtime, plan, arrays, kernel, policy=policy, integrity=integrity
+    )
     old_defer = runtime.defer_faults
     if policy is not None:
         # the executor owns fault reporting: sync points stash faults
@@ -1045,7 +1544,7 @@ def execute_pipeline(
         while issuer.issue_next() is not None:
             pass
         runtime.synchronize()
-        if policy is not None:
+        if policy is not None or issuer._corruptions:
             issuer.recover()
         issuer.account_stalls()
         issuer.finalize()
@@ -1057,4 +1556,5 @@ def execute_pipeline(
     return meas.finish(
         "pipelined-buffer", len(issuer.chunks), plan.chunk_size, issuer.streams_n,
         faults=issuer.faults_n, retries=issuer.retries_n,
+        verified=issuer.verified_n, corruptions=issuer.corruptions_n,
     )

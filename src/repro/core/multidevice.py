@@ -65,8 +65,9 @@ from repro.core.memlimit import tune_plan
 from repro.core.plan import RegionPlan
 from repro.directives.clauses import DirectiveError, Loop
 from repro.directives.splitspec import SplitSpec
-from repro.gpu.errors import DeviceLostError
+from repro.gpu.errors import DeviceLostError, InvalidValueError
 from repro.gpu.runtime import Runtime
+from repro.integrity import INTEGRITY_OFF, validate_integrity
 from repro.sim.bandwidth import BandwidthShared
 from repro.sim.device import Device
 from repro.sim.varray import VirtualArray
@@ -75,11 +76,60 @@ __all__ = [
     "MultiDeviceResult",
     "ShardedIssuer",
     "ShardedResult",
+    "WatchdogConfig",
     "execute_multi_device",
     "execute_sharded",
     "probe_rates",
     "split_loop",
 ]
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Tuning for the straggler watchdog on sharded runs.
+
+    A device can degrade without dying — thermal throttling, a flaky
+    link, ECC retirement storms — and a fail-stop failover never sees
+    it.  The watchdog compares per-shard *completed-chunk* progress
+    while issuing and re-splits work away from a shard that falls too
+    far behind its peers, exactly as if its device had been lost
+    (outputs stay ``np.array_equal``-exact; re-running a chunk is
+    idempotent).
+
+    Attributes
+    ----------
+    ratio:
+        A live shard is declared a straggler when its completed
+        fraction drops below ``ratio`` times the best shard's.
+    min_done:
+        Grace period: no verdicts until the best shard has completed
+        this many chunks.
+    max_inflight:
+        Per-shard cap on issued-but-incomplete chunks while the
+        watchdog runs; ``0`` means ``max(2 * streams, 4)``.  The cap
+        is what makes lag observable at issue time — without it every
+        chunk is enqueued up front and a slow device is only noticed
+        when the region's tail blocks on its drain.
+    """
+
+    ratio: float = 0.4
+    min_done: int = 2
+    max_inflight: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ratio < 1.0):
+            raise InvalidValueError(
+                f"watchdog ratio must be in (0, 1), got {self.ratio!r}"
+            )
+        if self.min_done < 1:
+            raise InvalidValueError(
+                f"watchdog min_done must be >= 1, got {self.min_done!r}"
+            )
+        if self.max_inflight < 0:
+            raise InvalidValueError(
+                f"watchdog max_inflight must be >= 0, got "
+                f"{self.max_inflight!r}"
+            )
 
 
 @dataclass
@@ -147,6 +197,14 @@ class ShardedResult(MultiDeviceResult):
     faults: int = 0
     #: recovery replays performed across shards
     retries: int = 0
+    #: integrity checks performed across shards (0 with integrity off)
+    verified: int = 0
+    #: silent corruptions detected (and recovered) across shards
+    corruptions: int = 0
+    #: seam (halo-range) checks among ``verified``
+    seam_verified: int = 0
+    #: re-splits triggered by the straggler watchdog (slow, not dead)
+    stragglers: int = 0
 
     def summary(self) -> str:
         lines = [super().summary()]
@@ -155,6 +213,17 @@ class ShardedResult(MultiDeviceResult):
         if self.migrated:
             lines.append(
                 f"failover: {self.resplits} re-split(s), output exact"
+            )
+        if self.stragglers:
+            lines.append(
+                f"straggler watchdog: {self.stragglers} shard(s) "
+                f"re-split away from slow devices"
+            )
+        if self.verified or self.corruptions:
+            lines.append(
+                f"integrity: {self.verified} check(s) "
+                f"({self.seam_verified} seam), "
+                f"{self.corruptions} corruption(s) detected"
             )
         return "\n".join(lines)
 
@@ -274,6 +343,8 @@ class _Shard:
     #: whether this is one of the original shards (re-split shards
     #: report through their runtime's original shard)
     primary: bool = True
+    #: virtual time this shard's issuer opened (watchdog rate window)
+    opened_at: float = 0.0
 
 
 class ShardedIssuer:
@@ -323,6 +394,8 @@ class ShardedIssuer:
         recorder=None,
         self_heal: bool = True,
         measure: bool = False,
+        integrity: str = INTEGRITY_OFF,
+        watchdog=None,
     ) -> None:
         if not runtimes:
             raise DirectiveError("need at least one device")
@@ -336,6 +409,19 @@ class ShardedIssuer:
         self.recorder = recorder
         self.self_heal = self_heal
         self.measure = measure
+        #: silent-failure defense mode, applied to every sub-issuer
+        #: (seam transfers verify as ``halo`` checks)
+        self.integrity = validate_integrity(integrity)
+        #: straggler watchdog: ``None`` off, ``True`` defaults, or a
+        #: :class:`WatchdogConfig`.  Independent of ``self_heal`` — a
+        #: slow device is re-split away even under a scheduler, because
+        #: the pool has no fail-stop signal to escalate on.
+        if watchdog is None or watchdog is False:
+            self.watchdog: Optional[WatchdogConfig] = None
+        elif watchdog is True:
+            self.watchdog = WatchdogConfig()
+        else:
+            self.watchdog = watchdog
         if shares is None:
             if weights is None:
                 weights = probe_rates(self.runtimes, plan, arrays, kernel)
@@ -371,10 +457,16 @@ class ShardedIssuer:
         ) if len(self._shards) > 1 else frozenset()
         self.migrated = False
         self.resplits = 0
+        #: re-splits caused by the watchdog (subset of ``resplits``)
+        self.straggler_resplits = 0
         self.halo_bytes = 0
         #: faults/retries accumulated by shards that have since died
         self._base_faults = 0
         self._base_retries = 0
+        #: integrity counters accumulated by since-dead shards
+        self._base_verified = 0
+        self._base_corruptions = 0
+        self._base_seam = 0
         #: chunks a dead shard completed before dying (kept for counts)
         self._retired_chunks: List = []
         self._base_issued = 0
@@ -435,6 +527,31 @@ class ShardedIssuer:
         return self._base_retries + sum(sh.issuer.retries_n for sh in self._live())
 
     @property
+    def verified_n(self) -> int:
+        return self._base_verified + sum(
+            sh.issuer.verified_n for sh in self._live()
+        )
+
+    @property
+    def corruptions_n(self) -> int:
+        return self._base_corruptions + sum(
+            sh.issuer.corruptions_n for sh in self._live()
+        )
+
+    @property
+    def seam_verified_n(self) -> int:
+        return self._base_seam + sum(
+            sh.issuer.seam_verified_n for sh in self._live()
+        )
+
+    @property
+    def _corruptions(self) -> List:
+        """Detections awaiting recovery across live shards."""
+        return [
+            e for sh in self._live() for e in sh.issuer._corruptions
+        ]
+
+    @property
     def meta(self):
         """Command -> chunk mapping across shards (supports ``in``)."""
         maps = [sh.issuer.meta for sh in self._shards if sh.issuer is not None]
@@ -493,6 +610,33 @@ class ShardedIssuer:
                 sh.runtime.host_now = t
         return t
 
+    def _halo_ranges_for(self, sh: _Shard) -> Optional[Dict]:
+        """Input ranges ``sh`` shares with other shards — its seams.
+
+        A transfer whose rows fall in a seam carries data another
+        shard also depends on; with integrity on, its checksum is
+        classified as a ``halo`` check so corruption at a shard seam
+        is attributed separately from interior transfer noise.
+        """
+        if self.integrity == INTEGRITY_OFF or len(self._shards) <= 1:
+            return None
+        out: Dict[str, List[Tuple[int, int]]] = {}
+        for var, spec in self.plan.specs.items():
+            if not spec.clause.is_input:
+                continue
+            lo, hi = sh.plan.specs[var].total_range()
+            ranges = []
+            for other in self._shards:
+                if other is sh or not other.alive:
+                    continue
+                olo, ohi = other.plan.specs[var].total_range()
+                a, b = max(lo, olo), min(hi, ohi)
+                if a < b:
+                    ranges.append((a, b))
+            if ranges:
+                out[var] = ranges
+        return out or None
+
     def _make_issuer(self, sh: _Shard, index: int, *, prefix: str) -> None:
         issuer = PipelineIssuer(
             sh.runtime, sh.plan, self.arrays, self.kernel,
@@ -501,6 +645,8 @@ class ShardedIssuer:
             region_span=False,
             recorder=self.recorder,
             reduction_residents=self.reduction_residents,
+            integrity=self.integrity,
+            halo_ranges=self._halo_ranges_for(sh),
         )
         issuer.claim_faults = lambda i=issuer: self._route_faults(i)
         sh.issuer = issuer
@@ -569,6 +715,7 @@ class ShardedIssuer:
         self._sync_clocks(self._shards)
         for sh in self._shards:
             sh.issuer.open()
+            sh.opened_at = sh.runtime.elapsed
             if self.recorder is not None:
                 self.recorder.record(
                     "shard.open", t=sh.runtime.elapsed,
@@ -588,11 +735,29 @@ class ShardedIssuer:
         finish issuing together and the scheduler's fairness accounting
         sees one region, not N.  Returns the issued chunk, or ``None``
         when every shard has issued everything.
+
+        With a :class:`WatchdogConfig`, a shard at its in-flight cap
+        stops issuing; instead the member simulators are pumped to the
+        globally-earliest pending event and per-shard progress is
+        compared — a shard falling behind the pack is re-split away
+        exactly like a lost device.
         """
         while True:
             candidates = [sh for sh in self._live() if sh.issuer.remaining]
             if not candidates:
                 return None
+            if self.watchdog is not None:
+                if self._watchdog_check():
+                    continue  # shard set changed: recompute candidates
+                cap = self._wd_cap()
+                ready = [
+                    sh for sh in candidates if self._inflight(sh) < cap
+                ]
+                if not ready:
+                    if self._pump():
+                        continue
+                    ready = candidates  # nothing in flight: no livelock
+                candidates = ready
             sh = max(candidates, key=lambda s: s.issuer.remaining)
             try:
                 return sh.issuer.issue_next()
@@ -600,6 +765,77 @@ class ShardedIssuer:
                 if not self.self_heal:
                     raise
                 self._reshard(sh)
+
+    # ------------------------------------------------------------------
+    # straggler watchdog
+    # ------------------------------------------------------------------
+    def _wd_cap(self) -> int:
+        cap = self.watchdog.max_inflight
+        if cap:
+            return cap
+        streams = max(
+            (sh.issuer.streams_n for sh in self._live()), default=1
+        )
+        return max(2 * streams, 4)
+
+    def _inflight(self, sh: _Shard) -> int:
+        """Issued-but-incomplete chunks on one shard."""
+        return sh.issuer.issued - len(self._completed_chunks(sh.issuer))
+
+    def _pump(self) -> bool:
+        """Advance member sims to the globally-earliest pending event.
+
+        Returns False when nothing is in flight anywhere (the caller
+        must then issue rather than spin).  Advancing every sim to the
+        same instant keeps the shared-clock discipline: no shard's
+        device ever runs ahead of a peer's observation of it.
+        """
+        sims = {
+            id(sh.runtime.device.sim): sh.runtime.device.sim
+            for sh in self._live()
+        }.values()
+        times = [
+            s.next_event_time for s in sims if s.next_event_time is not None
+        ]
+        if not times:
+            return False
+        t = min(times)
+        for s in sims:
+            s.advance_to(t)
+        return True
+
+    def _watchdog_check(self) -> bool:
+        """Compare per-shard completion *rates*; re-split stragglers.
+
+        Rates (completed chunks per virtual second since the shard's
+        own open) rather than raw fractions, so a freshly re-split
+        shard — zero completions, tiny window — is judged against its
+        own clock instead of being mistaken for a new straggler.  A
+        shard with no completions yet renders no verdict; a hung (as
+        opposed to slow) device is fail-stop territory, not the
+        watchdog's.  Returns whether a shard was re-split (the caller's
+        shard list is then stale).
+        """
+        live = self._live()
+        if len(live) < 2:
+            return False
+        progress = []
+        for sh in live:
+            total = len(sh.issuer.chunks)
+            done = len(self._completed_chunks(sh.issuer))
+            window = sh.runtime.elapsed - sh.opened_at
+            if total and done and window > 0.0:
+                progress.append((sh, done, total, done / window))
+        if len(progress) < 2:
+            return False
+        if max(done for _, done, _, _ in progress) < self.watchdog.min_done:
+            return False
+        best = max(rate for _, _, _, rate in progress)
+        for sh, done, total, rate in progress:
+            if done < total and rate < self.watchdog.ratio * best:
+                self._reshard(sh, cause="straggler")
+                return True
+        return False
 
     def drain(self) -> None:
         """Issue any remaining work and wait for all shards' streams.
@@ -627,8 +863,8 @@ class ShardedIssuer:
                 return
 
     def recover(self, budget: Optional[int] = None) -> None:
-        """Per-shard chunk-granular recovery (requires a policy)."""
-        if self.policy is None:
+        """Per-shard chunk-granular recovery: faults and corruptions."""
+        if self.policy is None and self.integrity == INTEGRITY_OFF:
             return
         while True:
             retry = False
@@ -725,7 +961,7 @@ class ShardedIssuer:
             status[k] = status.get(k, True) and ok
         return {k for k, ok in status.items() if ok}
 
-    def _reshard(self, dead: _Shard) -> None:
+    def _reshard(self, dead: _Shard, cause: str = "device-lost") -> None:
         """Absorb ``dead``'s loss: re-split its incomplete iterations.
 
         Completed chunks' outputs already reached the host; incomplete
@@ -733,16 +969,24 @@ class ShardedIssuer:
         the device died — poison propagation guarantees no partial
         kernel output reached the host) re-run on the survivors.
         Re-running a chunk is idempotent, so the result is exact.
+
+        ``cause="straggler"`` retires a slow-but-*alive* shard: its
+        completed outputs are valid and kept, but any chunk implicated
+        by a still-pending corruption verdict is treated as incomplete
+        so the re-run scrubs it.
         """
         dead.alive = False
         self.migrated = True
         self.resplits += 1
+        if cause == "straggler":
+            self.straggler_resplits += 1
         rt = dead.runtime
         if self.link is not None:
             self.link.detach(rt.device)
         if self.recorder is not None:
             self.recorder.record(
-                "shard.lost", t=rt.elapsed,
+                "shard.lost" if cause == "device-lost" else "straggler",
+                t=rt.elapsed,
                 shard=self._shards.index(dead),
                 device=rt.profile.name, t0=dead.t0, t1=dead.t1,
             )
@@ -750,8 +994,16 @@ class ShardedIssuer:
         issuer.abort()
         self._base_faults += issuer.faults_n
         self._base_retries += issuer.retries_n
+        self._base_verified += issuer.verified_n
+        self._base_corruptions += issuer.corruptions_n
+        self._base_seam += issuer.seam_verified_n
         self._parked.pop(id(issuer), None)
         done = self._completed_chunks(issuer)
+        if issuer._corruptions:
+            # a silently-corrupted chunk retires cleanly; anything a
+            # pending verdict implicates must re-run on a survivor
+            done -= set(issuer._affected_chunks(issuer._corruptions))
+            issuer._corruptions.clear()
         pending = [c for c in issuer.chunks if c.index not in done]
         completed = [c for c in issuer.chunks if c.index in done]
         self._retired_chunks.extend(completed)
@@ -785,6 +1037,7 @@ class ShardedIssuer:
                 sub, j, prefix=f"{self.stream_prefix}r{self.resplits}_"
             )
             sub.issuer.open()
+            sub.opened_at = sub.runtime.elapsed
             new_shards.append(sub)
         self._shards.extend(new_shards)
         if self.recorder is not None:
@@ -796,6 +1049,8 @@ class ShardedIssuer:
         m = self._shards[0].runtime.metrics
         if m.enabled:
             m.counter("sharded.resplits").inc()
+            if cause == "straggler":
+                m.counter("sharded.stragglers").inc()
 
     def _clock(self) -> float:
         return max(sh.runtime.elapsed for sh in self._shards)
@@ -822,6 +1077,8 @@ class ShardedIssuer:
                 issuer.streams_n,
                 faults=issuer.faults_n,
                 retries=issuer.retries_n,
+                verified=issuer.verified_n,
+                corruptions=issuer.corruptions_n,
             ))
         return out
 
@@ -835,6 +1092,8 @@ def execute_sharded(
     weights: Optional[Sequence[float]] = None,
     policy=None,
     recorder=None,
+    integrity: str = INTEGRITY_OFF,
+    watchdog=None,
 ) -> ShardedResult:
     """Run one region sharded across several devices on a shared clock.
 
@@ -843,7 +1102,10 @@ def execute_sharded(
     sub-pipeline per device with halo-exchange charges and shared-PCIe
     contention, and self-heals a mid-run device loss by re-splitting
     the dead shard's incomplete iterations across the survivors
-    (``migrated=True`` in the result; outputs stay exact).
+    (``migrated=True`` in the result; outputs stay exact).  With
+    ``integrity`` on, every shard's transfers are checksum-verified
+    (seam rows as ``halo`` checks); with a ``watchdog``, slow-but-alive
+    shards are re-split away too.
     """
     if not runtimes:
         raise DirectiveError("need at least one device")
@@ -858,6 +1120,7 @@ def execute_sharded(
         runtimes, plan, arrays, kernel,
         weights=weights, policy=policy, recorder=recorder,
         self_heal=True, measure=True,
+        integrity=integrity, watchdog=watchdog,
     )
     old_defer = [rt.defer_faults for rt in issuer.runtimes]
     if policy is not None:
@@ -885,6 +1148,10 @@ def execute_sharded(
         halo_bytes=issuer.halo_bytes,
         faults=issuer.faults_n,
         retries=issuer.retries_n,
+        verified=issuer.verified_n,
+        corruptions=issuer.corruptions_n,
+        seam_verified=issuer.seam_verified_n,
+        stragglers=issuer.straggler_resplits,
     )
 
 

@@ -81,6 +81,7 @@ def run_with_recovery(
     kernel: RegionKernel,
     model: str,
     policy: FaultPolicy,
+    integrity: str = "off",
 ) -> RegionResult:
     """Execute ``region`` under ``model``, healing faults per ``policy``.
 
@@ -137,7 +138,10 @@ def run_with_recovery(
                 try:
                     plan = _tuned_plan(region, runtime, arrays)
                     return finish(
-                        execute_pipeline(runtime, plan, arrays, kernel, policy)
+                        execute_pipeline(
+                            runtime, plan, arrays, kernel, policy,
+                            integrity=integrity,
+                        )
                     )
                 except DeviceLostError as exc:
                     raise lost(exc) from exc
@@ -163,6 +167,13 @@ def run_with_recovery(
                     attempts_log.append(f"buffer: cannot fit memory ({exc})")
                     break
         else:
+            if integrity != "off":
+                # baselines have no chunk machinery: no checksums, no
+                # replay unit — record the coverage gap in the trail
+                attempts_log.append(
+                    f"{m}: integrity {integrity!r} unavailable under a "
+                    f"baseline model"
+                )
             fn = execute_manual_pipelined if m == "pipelined" else execute_naive
             for attempt in range(policy.max_retries + 1):
                 try:

@@ -221,6 +221,8 @@ class TargetRegion:
         fault_policy=None,
         devices=None,
         weights=None,
+        integrity: str = "off",
+        watchdog=None,
     ) -> RegionResult:
         """Execute the region under one of the paper's three models.
 
@@ -254,12 +256,36 @@ class TargetRegion:
         weights:
             Optional per-device split weights for the ``devices`` path
             (defaults to probed throughput).
+        integrity:
+            Silent-failure defense mode (``"off"`` / ``"checksum"`` /
+            ``"vote"``; see :mod:`repro.integrity`).  Buffer model
+            only: the baselines have no chunk machinery to verify or
+            replay with.
+        watchdog:
+            Optional straggler watchdog for the ``devices`` path:
+            ``True`` (defaults) or a
+            :class:`~repro.core.multidevice.WatchdogConfig`.  Work is
+            re-split away from a slow-but-alive shard whose progress
+            falls behind its peers.
         """
+        from repro.integrity import validate_integrity
+
         canonical = _MODEL_ALIASES.get(model)
         if canonical is None:
             raise DirectiveError(
                 f"unknown execution model {model!r}; expected one of "
                 f"'buffer' (alias 'pipelined-buffer'), 'pipelined', 'naive'"
+            )
+        integrity = validate_integrity(integrity)
+        if integrity != "off" and canonical != "buffer":
+            raise DirectiveError(
+                f"integrity {integrity!r} requires the 'buffer' model "
+                f"(chunk-granular verification), not {model!r}"
+            )
+        if watchdog and devices is None:
+            raise DirectiveError(
+                "the straggler watchdog requires a devices= placement "
+                "(it compares progress across shards)"
             )
         if devices is not None:
             if canonical != "buffer":
@@ -280,6 +306,7 @@ class TargetRegion:
             return execute_sharded(
                 runtimes, self, arrays, kernel,
                 weights=weights, policy=fault_policy,
+                integrity=integrity, watchdog=watchdog,
             )
         if runtime is None:
             raise DirectiveError("run() needs a runtime (or a devices= spec)")
@@ -287,11 +314,14 @@ class TargetRegion:
             from repro.core.recovery import run_with_recovery
 
             return run_with_recovery(
-                self, runtime, arrays, kernel, canonical, fault_policy
+                self, runtime, arrays, kernel, canonical, fault_policy,
+                integrity=integrity,
             )
         if canonical == "buffer":
             plan = self.plan_for(runtime, arrays)
-            return execute_pipeline(runtime, plan, arrays, kernel)
+            return execute_pipeline(
+                runtime, plan, arrays, kernel, integrity=integrity
+            )
         plan = self.bind(arrays)  # full-footprint baselines: no buffer tuning
         if canonical == "pipelined":
             return execute_manual_pipelined(runtime, plan, arrays, kernel)

@@ -24,11 +24,16 @@ from __future__ import annotations
 import hashlib
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.faults.plan import (
+    KIND_BITFLIP,
     KIND_D2H,
     KIND_DEVICE_LOST,
     KIND_H2D,
     KIND_KERNEL,
+    KIND_MISCOMPUTE,
+    KIND_SLOW,
     KIND_STICKY,
     FaultPlan,
     InjectedFault,
@@ -63,7 +68,9 @@ class FaultInjector:
         ``("fault", kind, seq, time)``, ``("jitter", seq, extra)``,
         ``("pressure", nbytes, retirement)``,
         ``("pressure-release", nbytes, retirement)``,
-        ``("device-lost", retirement)`` — the deterministic fingerprint
+        ``("device-lost", retirement)``,
+        ``("silent", kind, seq, time)``,
+        ``("slow-device", retirement)`` — the deterministic fingerprint
         of one run.
     """
 
@@ -73,7 +80,9 @@ class FaultInjector:
         self.retired = 0
         self.transfer_faults = 0
         self.kernel_faults = 0
+        self.silent_faults = 0
         self.device_lost = False
+        self._slow_logged = False
         #: wired by ``Device.install_fault_injector``
         self._memory = None
         self._pressure_recs: List[Tuple[int, object]] = []  # (release_at, rec)
@@ -91,12 +100,22 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def latency_extra(self, cmd) -> float:
         """Extra occupancy seconds for ``cmd`` (0.0 for most)."""
-        if not self.plan.jitter or cmd.kind == "marker" or cmd.duration <= 0.0:
+        plan = self.plan
+        if cmd.kind == "marker" or cmd.duration <= 0.0:
             return 0.0
-        u = hash_u01(self.plan.seed, "jitter", cmd.seq)
-        extra = u * self.plan.jitter * cmd.duration
-        if extra:
-            self.events.append(("jitter", cmd.seq, extra))
+        extra = 0.0
+        if plan.jitter and plan.allows("jitter"):
+            u = hash_u01(plan.seed, "jitter", cmd.seq)
+            jit = u * plan.jitter * cmd.duration
+            if jit:
+                self.events.append(("jitter", cmd.seq, jit))
+                extra += jit
+        if plan.slow_factor != 1.0 and plan.allows(KIND_SLOW) \
+                and self.retired >= plan.slow_after:
+            if not self._slow_logged:
+                self._slow_logged = True
+                self.events.append(("slow-device", self.retired))
+            extra += cmd.duration * (plan.slow_factor - 1.0)
         return extra
 
     # ------------------------------------------------------------------
@@ -124,18 +143,20 @@ class FaultInjector:
             return None
         if cmd.kind in ("h2d", "d2h"):
             rate = plan.h2d_fault_rate if cmd.kind == "h2d" else plan.d2h_fault_rate
-            if rate and self._transfer_budget() and \
+            if rate and plan.allows(cmd.kind) and self._transfer_budget() and \
                     hash_u01(plan.seed, f"fault:{cmd.kind}", cmd.seq) < rate:
                 self.transfer_faults += 1
                 kind = KIND_H2D if cmd.kind == "h2d" else KIND_D2H
                 return self._record(InjectedFault(kind, cmd.seq, now, cmd.label))
         elif cmd.kind == "kernel":
-            if any(pat in cmd.label for pat in plan.sticky_kernels):
+            if plan.allows(KIND_STICKY) and \
+                    any(pat in cmd.label for pat in plan.sticky_kernels):
                 self.kernel_faults += 1
                 return self._record(
                     InjectedFault(KIND_STICKY, cmd.seq, now, cmd.label, sticky=True)
                 )
-            if plan.kernel_fault_rate and self._kernel_budget() and \
+            if plan.kernel_fault_rate and plan.allows(KIND_KERNEL) and \
+                    self._kernel_budget() and \
                     hash_u01(plan.seed, "fault:kernel", cmd.seq) < plan.kernel_fault_rate:
                 self.kernel_faults += 1
                 return self._record(InjectedFault(KIND_KERNEL, cmd.seq, now, cmd.label))
@@ -145,15 +166,62 @@ class FaultInjector:
         self.events.append(("fault", fault.kind, fault.seq, fault.time))
         return fault
 
+    # ------------------------------------------------------------------
+    # silent corruption
+    # ------------------------------------------------------------------
+    def _silent_rate(self, cmd) -> Tuple[float, str]:
+        plan = self.plan
+        if cmd.kind in ("h2d", "d2h"):
+            if plan.bitflip_rate and plan.allows(KIND_BITFLIP):
+                return plan.bitflip_rate, KIND_BITFLIP
+        elif cmd.kind == "kernel":
+            if plan.miscompute_rate and plan.allows(KIND_MISCOMPUTE):
+                return plan.miscompute_rate, KIND_MISCOMPUTE
+        return 0.0, ""
+
+    def corrupt_at_retirement(self, cmd, now: float) -> None:
+        """Maybe flip one bit in ``cmd``'s delivered data.
+
+        Called by the simulator *after* the command's payload ran (the
+        command retired successfully; this is what makes the fault
+        silent).  The decision — and the flipped element/bit — is a
+        pure hash of ``(seed, kind, cmd.seq)``, so the corruption
+        timeline is logged identically in virtual mode; the actual flip
+        only happens when ``cmd.sink`` resolves to a real ndarray.
+        """
+        if cmd.kind == "marker":
+            return
+        rate, kind = self._silent_rate(cmd)
+        if not rate or \
+                hash_u01(self.plan.seed, f"silent:{cmd.kind}", cmd.seq) >= rate:
+            return
+        self.silent_faults += 1
+        self.events.append(("silent", kind, cmd.seq, now))
+        sink = cmd.sink
+        if callable(sink):
+            sink = sink()
+        if not isinstance(sink, np.ndarray) or sink.size == 0:
+            return
+        u_elem = hash_u01(self.plan.seed, f"silent-elem:{cmd.kind}", cmd.seq)
+        u_bit = hash_u01(self.plan.seed, f"silent-bit:{cmd.kind}", cmd.seq)
+        flat_index = min(int(u_elem * sink.size), sink.size - 1)
+        idx = np.unravel_index(flat_index, sink.shape)
+        itemsize = sink.dtype.itemsize
+        bit = min(int(u_bit * 8 * itemsize), 8 * itemsize - 1)
+        raw = bytearray(sink[idx].tobytes())
+        raw[bit // 8] ^= 1 << (bit % 8)
+        sink[idx] = np.frombuffer(bytes(raw), dtype=sink.dtype)[0]
+
     def after_retirement(self, cmd, now: float) -> None:
         """Advance the retirement counter; fire scheduled events."""
         self.retired += 1
         plan = self.plan
         if plan.device_lost_at is not None and not self.device_lost \
+                and plan.allows(KIND_DEVICE_LOST) \
                 and self.retired >= plan.device_lost_at:
             self.device_lost = True
             self.events.append(("device-lost", self.retired))
-        if self._memory is None:
+        if self._memory is None or not plan.allows("pressure"):
             return
         for ev in plan.pressure_events:
             if ev.at_retirement == self.retired:
@@ -183,7 +251,8 @@ class FaultInjector:
     # ------------------------------------------------------------------
     @property
     def fault_count(self) -> int:
-        """Total injected faults (excluding propagated poison)."""
+        """Total injected faults (excluding propagated poison and
+        silent corruptions — those never surface as errors)."""
         return self.transfer_faults + self.kernel_faults
 
     def fingerprint(self) -> Tuple[Tuple, ...]:

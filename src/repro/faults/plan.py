@@ -27,6 +27,20 @@ Fault classes modelled (mirroring what production offload runtimes see):
 * **device loss** — after ``device_lost_at`` retirements the device
   disappears; every later command faults and the runtime raises
   :class:`~repro.gpu.errors.DeviceLostError`.
+
+Silent fault classes (PR 7) — the command retires *successfully* and
+no exception is ever raised; only data (or time) is wrong:
+
+* **bit flips** — an H2D/D2H DMA delivers its bytes with exactly one
+  bit flipped (``bitflip_rate``), modelling ECC-escaping DMA/link
+  corruption.
+* **miscomputes** — a kernel writes a subtly wrong output
+  (``miscompute_rate``), modelling silent data corruption in a
+  marginal SM.
+* **slow device** — every command's occupancy is multiplied by
+  ``slow_factor`` once ``slow_after`` commands have retired,
+  modelling a thermally-throttled or contended device that is slow
+  but alive (the straggler case).
 """
 
 from __future__ import annotations
@@ -34,7 +48,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
-__all__ = ["FaultPlan", "InjectedFault", "PressureEvent"]
+from repro.gpu.errors import InvalidValueError
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "InjectedFault", "PressureEvent"]
 
 
 #: fault kinds carried on :class:`InjectedFault` descriptors
@@ -44,6 +60,24 @@ KIND_KERNEL = "kernel"
 KIND_STICKY = "kernel-sticky"
 KIND_POISONED = "poisoned"
 KIND_DEVICE_LOST = "device-lost"
+#: silent fault kinds (the command retires OK; only data/time is wrong)
+KIND_BITFLIP = "bitflip"
+KIND_MISCOMPUTE = "miscompute"
+KIND_SLOW = "slow-device"
+
+#: every fault kind a plan may name in ``only_kinds``
+FAULT_KINDS = frozenset({
+    KIND_H2D,
+    KIND_D2H,
+    KIND_KERNEL,
+    KIND_STICKY,
+    KIND_DEVICE_LOST,
+    KIND_BITFLIP,
+    KIND_MISCOMPUTE,
+    KIND_SLOW,
+    "jitter",
+    "pressure",
+})
 
 
 @dataclass(frozen=True)
@@ -133,14 +167,79 @@ class FaultPlan:
     pressure_events: Tuple[PressureEvent, ...] = field(default_factory=tuple)
     #: retirement count after which the device is lost (``None`` = never)
     device_lost_at: Optional[int] = None
+    #: silent-corruption probability per H2D/D2H command: the transfer
+    #: retires successfully but delivers one flipped bit
+    bitflip_rate: float = 0.0
+    #: silent-miscompute probability per kernel launch: the kernel
+    #: retires successfully but its output carries one flipped bit
+    miscompute_rate: float = 0.0
+    #: persistent occupancy multiplier once ``slow_after`` commands
+    #: have retired (1.0 = healthy; 10.0 = a 10x straggler)
+    slow_factor: float = 1.0
+    #: retirement count at which the slowdown engages
+    slow_after: int = 0
+    #: restrict injection to these fault kinds (empty = no restriction);
+    #: unknown kind names are rejected at construction
+    only_kinds: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate"):
+        rates = (
+            "h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate",
+            "bitflip_rate", "miscompute_rate",
+        )
+        for name in rates:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {v}")
+                raise InvalidValueError(f"{name} must be in [0, 1], got {v}")
         if self.jitter < 0.0:
-            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+            raise InvalidValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.slow_factor <= 0.0:
+            raise InvalidValueError(
+                f"slow_factor must be > 0, got {self.slow_factor}"
+            )
+        if self.slow_after < 0:
+            raise InvalidValueError(
+                f"slow_after must be >= 0, got {self.slow_after}"
+            )
+        for name in ("max_transfer_faults", "max_kernel_faults"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise InvalidValueError(f"{name} must be >= 0, got {v}")
+        if self.device_lost_at is not None and self.device_lost_at < 1:
+            raise InvalidValueError(
+                f"device_lost_at must be >= 1, got {self.device_lost_at}"
+            )
+        for i, ev in enumerate(self.pressure_events):
+            if ev.nbytes <= 0:
+                raise InvalidValueError(
+                    f"pressure_events[{i}].nbytes must be > 0, got {ev.nbytes}"
+                )
+            if ev.at_retirement < 0:
+                raise InvalidValueError(
+                    f"pressure_events[{i}].at_retirement must be >= 0, "
+                    f"got {ev.at_retirement}"
+                )
+            if ev.release_at is not None and ev.release_at <= 0:
+                raise InvalidValueError(
+                    f"pressure_events[{i}].release_at must be > 0, "
+                    f"got {ev.release_at}"
+                )
+            if ev.leave_bytes is not None and ev.leave_bytes < 0:
+                raise InvalidValueError(
+                    f"pressure_events[{i}].leave_bytes must be >= 0, "
+                    f"got {ev.leave_bytes}"
+                )
+        unknown = sorted(set(self.only_kinds) - FAULT_KINDS)
+        if unknown:
+            raise InvalidValueError(
+                f"only_kinds names unknown fault kind(s) "
+                f"{', '.join(map(repr, unknown))}; known kinds are "
+                f"{', '.join(sorted(FAULT_KINDS))}"
+            )
+
+    def allows(self, kind: str) -> bool:
+        """Whether ``kind`` survives the ``only_kinds`` restriction."""
+        return not self.only_kinds or kind in self.only_kinds
 
     @property
     def active(self) -> bool:
@@ -153,6 +252,9 @@ class FaultPlan:
             or self.jitter
             or self.pressure_events
             or self.device_lost_at is not None
+            or self.bitflip_rate
+            or self.miscompute_rate
+            or self.slow_factor != 1.0
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":

@@ -66,6 +66,21 @@ PROFILES: Dict[str, FaultPlan] = {
         kernel_fault_rate=0.02,
         device_lost_at=8,
     ),
+    # silent data corruption: transfers retire successfully but
+    # occasionally deliver a flipped bit — invisible without integrity
+    # verification (bitflip-only so ``integrity="checksum"`` catches
+    # every event; add miscomputes via only_kinds/vote for the harder
+    # case)
+    "sdc": FaultPlan(
+        bitflip_rate=0.06,
+    ),
+    # a slow-but-alive device: 10x occupancy inflation once warmed up
+    # (on a multi-device pool only one device carries the slowdown;
+    # see :func:`pool_fault_plans`) — the straggler-watchdog case
+    "straggler": FaultPlan(
+        slow_factor=10.0,
+        slow_after=4,
+    ),
 }
 
 #: applications the chaos runner knows how to build and verify
@@ -88,23 +103,32 @@ class ChaosReport:
     chunks: int = 0
     matches_reference: Optional[bool] = None  # None in virtual mode
     max_error: float = 0.0
+    integrity: str = "off"
+    verified: int = 0
+    corruptions: int = 0
 
     def summary(self) -> str:
         """Multi-line human-readable recovery report."""
         kinds = "  ".join(f"{k}={v}" for k, v in sorted(self.faults_by_kind.items()))
         match = {True: "yes", False: "NO", None: "n/a (virtual)"}[self.matches_reference]
-        return "\n".join(
-            [
-                f"app              {self.app} ({self.device})",
-                f"fault profile    {self.profile} (seed {self.seed})",
-                f"model            {self.model}",
-                f"elapsed          {self.elapsed * 1e3:.3f} ms",
-                f"faults injected  {self.faults_injected}" + (f"  ({kinds})" if kinds else ""),
-                f"chunk retries    {self.retries} (over {self.chunks} chunks)",
-                f"reference match  {match}"
-                + (f" (max abs err {self.max_error:.3g})" if self.matches_reference else ""),
-            ]
+        lines = [
+            f"app              {self.app} ({self.device})",
+            f"fault profile    {self.profile} (seed {self.seed})",
+            f"model            {self.model}",
+            f"elapsed          {self.elapsed * 1e3:.3f} ms",
+            f"faults injected  {self.faults_injected}" + (f"  ({kinds})" if kinds else ""),
+            f"chunk retries    {self.retries} (over {self.chunks} chunks)",
+        ]
+        if self.integrity != "off":
+            lines.append(
+                f"integrity        {self.integrity}: {self.verified} "
+                f"check(s), {self.corruptions} corruption(s) detected"
+            )
+        lines.append(
+            f"reference match  {match}"
+            + (f" (max abs err {self.max_error:.3g})" if self.matches_reference else "")
         )
+        return "\n".join(lines)
 
 
 def fault_profile(name: str, seed: int = 0) -> FaultPlan:
@@ -128,20 +152,22 @@ def pool_fault_plans(
     the profile schedules a device loss and the pool has more than one
     device, only one device — ``seed % count``, deterministic — keeps
     the loss, so the pool always retains survivors to fail over to.
+    A persistent slowdown (``slow_factor``) is confined to the same
+    single carrier device, so a straggler profile produces one slow
+    member among healthy peers rather than a uniformly slow pool.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     template = fault_profile(name, seed)
-    lost_device = seed % count
+    carrier = seed % count
     plans: List[Optional[FaultPlan]] = []
     for i in range(count):
         plan = template.with_seed(seed * 1_000_003 + i)
-        if (
-            template.device_lost_at is not None
-            and count > 1
-            and i != lost_device
-        ):
-            plan = replace(plan, device_lost_at=None)
+        if count > 1 and i != carrier:
+            if template.device_lost_at is not None:
+                plan = replace(plan, device_lost_at=None)
+            if template.slow_factor != 1.0:
+                plan = replace(plan, slow_factor=1.0, slow_after=0)
         plans.append(plan)
     return plans
 
@@ -230,6 +256,7 @@ def run_chaos(
     model: str = "buffer",
     obs=None,
     atol: float = 1e-4,
+    integrity: str = "off",
 ) -> ChaosReport:
     """Run ``app`` under a named fault profile and report recovery.
 
@@ -252,7 +279,10 @@ def run_chaos(
             if app == "stencil":
                 arrays["Anext"].fill(0)
             results.append(
-                region.run(rt, arrays, kernel, model=model, fault_policy=policy)
+                region.run(
+                    rt, arrays, kernel, model=model, fault_policy=policy,
+                    integrity=integrity,
+                )
             )
             if app == "stencil":
                 arrays["A0"], arrays["Anext"] = arrays["Anext"], arrays["A0"]
@@ -279,4 +309,7 @@ def run_chaos(
         chunks=sum(r.nchunks for r in results),
         matches_reference=matches,
         max_error=max_err,
+        integrity=integrity,
+        verified=sum(r.verified for r in results),
+        corruptions=sum(r.corruptions for r in results),
     )

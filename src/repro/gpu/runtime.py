@@ -523,7 +523,7 @@ class Runtime:
         if self._obs_on:
             self._trace_api(label or "h2d", t0, op="memcpy_h2d_async",
                             nbytes=nbytes_of(src), stream=stream.name)
-        return self.device.submit_copy(
+        cmd = self.device.submit_copy(
             "h2d",
             nbytes_of(src),
             stream=stream,
@@ -538,6 +538,10 @@ class Runtime:
             extra_seconds=self.command_overhead,
             label=label or "h2d",
         )
+        # silent-fault surface: a bit flip on an H2D lands in the
+        # device copy of the data
+        cmd.sink = dst.backing
+        return cmd
 
     def memcpy_d2h_async(
         self,
@@ -561,7 +565,7 @@ class Runtime:
         if self._obs_on:
             self._trace_api(label or "d2h", t0, op="memcpy_d2h_async",
                             nbytes=nbytes_of(src.backing), stream=stream.name)
-        return self.device.submit_copy(
+        cmd = self.device.submit_copy(
             "d2h",
             nbytes_of(src.backing),
             stream=stream,
@@ -576,6 +580,10 @@ class Runtime:
             extra_seconds=self.command_overhead,
             label=label or "d2h",
         )
+        # silent-fault surface: a bit flip on a D2H lands in the host
+        # destination
+        cmd.sink = dst
+        return cmd
 
     def memcpy_h2d(self, dst: DeviceArray, src: HostArray, **kw) -> Command:
         """Blocking host-to-device copy (``cudaMemcpy``)."""

@@ -18,6 +18,8 @@ Category taxonomy:
   kernel gated on a previous lap's drain of the slot it reuses,
 - ``wait.stream`` — in-order stream serialization across chunks,
 - ``replay`` — fault-recovery replay commands,
+- ``exec.verify`` — integrity verification (checksum / vote) on the
+  dedicated verify stream when it lands on the critical path,
 - ``api`` — host-side: API-call overhead, planning charges, backoff,
   lead-in/teardown.
 
@@ -55,6 +57,8 @@ def categorize_segment(seg: PathSegment) -> Tuple[str, Optional[int]]:
     cmd = seg.cmd
     if cmd.label.startswith("replay:"):
         return "replay", cmd.chunk
+    if cmd.label.startswith("verify:"):
+        return "exec.verify", cmd.chunk
     if seg.edge in _CONTENTION and seg.waiter is not None:
         # the successor chunk was stuck behind this execution — charge
         # the slice to the waiter as contention, not to the executor

@@ -60,6 +60,12 @@ class RegionRequest:
         virtual clock (halo exchange and shared-PCIe contention
         modelled); fewer devices than requested degrade gracefully to
         however many fit, down to ordinary single-device service.
+    integrity:
+        Per-request integrity-verification override: ``"off"``,
+        ``"checksum"``, or ``"vote"`` (see ``docs/faults.md``).
+        ``None`` (the default) inherits ``ServeConfig.integrity``, so
+        one tenant can pay for verification without slowing the rest
+        of the pool.
     """
 
     tenant: str
@@ -71,6 +77,7 @@ class RegionRequest:
     arrival: float = 0.0
     label: str = ""
     shards: int = 1
+    integrity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.priority < 0:
@@ -78,6 +85,10 @@ class RegionRequest:
         if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
                 or self.shards < 1:
             raise ValueError("shards must be an int >= 1")
+        if self.integrity is not None:
+            from repro.integrity import validate_integrity
+
+            validate_integrity(self.integrity)
 
 
 @dataclass
@@ -127,6 +138,12 @@ class RequestResult:
     faults: int = 0
     #: recovery replays performed (chunk replays + blocking reissues)
     retries: int = 0
+    #: integrity checks performed serving this request
+    verified: int = 0
+    #: silent corruptions detected (and recomputed) serving this request
+    corruptions: int = 0
+    #: loop re-splits (device loss or straggler) while sharded
+    resplits: int = 0
     #: devices the region was sharded across (1 = ordinary service)
     shards: int = 1
     #: all devices that served this request (``[device]`` when not sharded)
@@ -169,6 +186,11 @@ class RequestResult:
         if self.faults or self.retries:
             d["faults"] = self.faults
             d["retries"] = self.retries
+        if self.verified or self.corruptions:
+            d["verified"] = self.verified
+            d["corruptions"] = self.corruptions
+        if self.resplits:
+            d["resplits"] = self.resplits
         if self.shards > 1:
             d["shards"] = self.shards
             d["devices"] = list(self.devices)

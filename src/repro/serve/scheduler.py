@@ -84,6 +84,7 @@ from repro.directives.clauses import DirectiveError
 from repro.faults.plan import KIND_DEVICE_LOST
 from repro.faults.policy import FaultPolicy, RegionFailure
 from repro.gpu.errors import DeviceLostError, KernelFaultError, TransferError
+from repro.integrity import INTEGRITY_OFF, validate_integrity
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import FlightRecorder
 from repro.serve.cache import PlanCache
@@ -150,6 +151,24 @@ class ServeConfig:
         Size of the scheduler's bounded flight-recorder ring (events
         kept for post-mortem dumps on device loss, region failure, or
         deadline cancellation).
+    integrity:
+        Default integrity-verification mode for every request:
+        ``"off"`` (default), ``"checksum"`` (chunk-granular transfer
+        checksums), or ``"vote"`` (checksums plus dual-execution
+        kernel voting).  A request's own ``integrity`` attribute
+        overrides it per tenant.  Detected corruptions are recomputed
+        in place under the request's retry budget and — on
+        single-device service — feed the device's circuit breaker, so
+        a device with an elevated silent-corruption rate is
+        quarantined exactly like one throwing hard faults.
+    straggler_watchdog:
+        Enable the sharded-region straggler watchdog: shards' chunk
+        completion rates are compared and a shard running slower than
+        ``ratio`` of the best has its remaining work re-split over the
+        other members (``False`` by default; ``True`` uses
+        :class:`~repro.core.multidevice.WatchdogConfig` defaults, or
+        pass a ``WatchdogConfig`` to tune it).  Only affects requests
+        with ``shards > 1``.
     """
 
     max_active: Optional[int] = None
@@ -167,8 +186,11 @@ class ServeConfig:
     enforce_deadlines: bool = True
     max_waiting: Optional[int] = None
     flight_recorder_capacity: int = 256
+    integrity: str = INTEGRITY_OFF
+    straggler_watchdog: object = False
 
     def __post_init__(self) -> None:
+        validate_integrity(self.integrity)
         if self.max_active is not None and self.max_active < 1:
             raise ValueError("max_active must be >= 1 (or None)")
         if self.aging_every < 1:
@@ -264,6 +286,21 @@ class ServeReport:
         return sum(r.retries for r in self.results)
 
     @property
+    def verified(self) -> int:
+        """Total integrity checks performed across all requests."""
+        return sum(r.verified for r in self.results)
+
+    @property
+    def corruptions(self) -> int:
+        """Total silent corruptions detected across all requests."""
+        return sum(r.corruptions for r in self.results)
+
+    @property
+    def resplits(self) -> int:
+        """Total sharded-loop re-splits (device loss + stragglers)."""
+        return sum(r.resplits for r in self.results)
+
+    @property
     def tenants(self) -> Dict[str, Dict[str, int]]:
         """Per-tenant outcome / fault / failover / deadline counters."""
         out: Dict[str, Dict[str, int]] = {}
@@ -334,6 +371,9 @@ class ServeReport:
             "deadlines_missed": self.deadlines_missed,
             "faults": self.faults,
             "retries": self.retries,
+            "verified": self.verified,
+            "corruptions": self.corruptions,
+            "resplits": self.resplits,
             "device_health": list(self.device_health),
             "breaker_trips": [int(n) for n in self.breaker_trips],
             "tenants": {t: dict(c) for t, c in sorted(self.tenants.items())},
@@ -367,6 +407,15 @@ class ServeReport:
             lines.append(
                 f"fault tolerance  {self.faults} fault(s) absorbed, "
                 f"{self.retries} replay(s), {self.migrated} migration(s)"
+            )
+        if self.verified or self.corruptions:
+            lines.append(
+                f"integrity        {self.verified} check(s), "
+                f"{self.corruptions} corruption(s) detected"
+            )
+        if self.resplits:
+            lines.append(
+                f"stragglers       {self.resplits} loop re-split(s)"
             )
         for i, (el, pk, bd) in enumerate(
             zip(self.device_elapsed, self.device_peaks, self.budgets)
@@ -609,12 +658,23 @@ class RegionScheduler:
                 return False
         return True
 
-    def _record_device_fault(self, device: int, t: float) -> None:
-        """Feed one fault into the device's circuit-breaker window."""
+    def _record_device_fault(
+        self, device: int, t: float, *, cause: str = "fault"
+    ) -> None:
+        """Feed one fault into the device's circuit-breaker window.
+
+        ``cause`` is ``"fault"`` for hard faults (the historical path)
+        or ``"corruption"`` for detected silent corruptions; both
+        count toward the same breaker threshold, so a device with an
+        elevated SDC rate is quarantined like a hard-faulting one.
+        Corruption-driven trips record a ``"quarantine"`` event
+        (the corruptions themselves are already in the ring).
+        """
         cfg = self.config
         times = self._fault_times[device]
         times.append(t)
-        self.recorder.record("device.fault", t=t, device=device)
+        if cause == "fault":
+            self.recorder.record("device.fault", t=t, device=device)
         cutoff = t - cfg.breaker_window
         while times and times[0] < cutoff:
             times.pop(0)
@@ -627,7 +687,7 @@ class RegionScheduler:
             self._breaker_trips[device] += 1
             times.clear()
             self.recorder.record(
-                "breaker.trip",
+                "quarantine" if cause == "corruption" else "breaker.trip",
                 t=rt.elapsed,
                 device=device,
                 until=self._quarantined_until[device],
@@ -674,6 +734,14 @@ class RegionScheduler:
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
+    def _integrity_for(self, req: RegionRequest) -> str:
+        """Effective integrity mode: the request's override, else the
+        pool-wide ``ServeConfig.integrity`` default."""
+        return (
+            req.integrity if req.integrity is not None
+            else self.config.integrity
+        )
+
     def _effective_priority(self, w: _Waiting) -> int:
         return min(
             w.req.priority + w.passed_over // self.config.aging_every,
@@ -777,6 +845,7 @@ class RegionScheduler:
             rt, plan, w.req.arrays, w.req.kernel,
             stream_prefix=f"t{w.seq}.pipe", region_span=False,
             policy=policy,
+            integrity=self._integrity_for(w.req),
         )
         if policy is not None:
             issuer.claim_faults = (
@@ -873,6 +942,8 @@ class RegionScheduler:
                 recorder=self.recorder,
                 self_heal=False,
                 measure=False,
+                integrity=self._integrity_for(w.req),
+                watchdog=self.config.straggler_watchdog,
             )
         except Exception as exc:
             for di in members:
@@ -1070,6 +1141,9 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            verified=a.issuer.verified_n,
+            corruptions=a.issuer.corruptions_n,
+            resplits=getattr(a.issuer, "resplits", 0),
             shards=len(a.devices) if a.devices else 1,
             devices=tuple(a.devices or ()),
         )
@@ -1120,6 +1194,9 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            verified=a.issuer.verified_n,
+            corruptions=a.issuer.corruptions_n,
+            resplits=getattr(a.issuer, "resplits", 0),
             shards=len(a.devices) if a.devices else 1,
             devices=tuple(a.devices or ()),
         )
@@ -1212,9 +1289,11 @@ class RegionScheduler:
         """Drain, recover, finalize, account, and release one region."""
         try:
             a.issuer.drain()
-            if self._fault_mode and any(
-                self.pool.injectors[di] is not None
-                for di in self._members_of(a)
+            if a.issuer._corruptions or (
+                self._fault_mode and any(
+                    self.pool.injectors[di] is not None
+                    for di in self._members_of(a)
+                )
             ):
                 budget = None
                 if self.config.max_request_retries is not None:
@@ -1237,6 +1316,15 @@ class RegionScheduler:
             # a blocking resident copy exhausted its per-copy retries
             self._fail_active(a, exc)
             return
+        if a.devices is None:
+            # single-device service: detected corruptions count toward
+            # the serving device's circuit breaker (sharded corruption
+            # entries carry no member attribution; the watchdog and
+            # seam verification cover member health there)
+            for entry in a.issuer.corruption_log:
+                self._record_device_fault(
+                    a.device, entry[5], cause="corruption"
+                )
         finish_t = self._elapsed_of(a)
         for di in self._members_of(a):
             self.pool.release(di, a.reserved)
@@ -1271,6 +1359,9 @@ class RegionScheduler:
             migrated=w.migrated,
             faults=w.faults_seen + a.issuer.faults_n,
             retries=w.retries_used + a.issuer.retries_n,
+            verified=a.issuer.verified_n,
+            corruptions=a.issuer.corruptions_n,
+            resplits=getattr(a.issuer, "resplits", 0),
             shards=len(a.devices) if a.devices else 1,
             devices=tuple(a.devices or ()),
         )

@@ -22,9 +22,12 @@ onto that app's config dataclass (unknown keys are rejected).  A
 request's optional ``deadline`` is virtual seconds and must be > 0.
 ``shards`` (int >= 1, default 1) asks the scheduler to shard the
 region's loop across up to that many pool devices on a shared virtual
-clock; it degrades gracefully when fewer healthy devices fit.  Unknown
-request keys raise :class:`~repro.gpu.errors.InvalidValueError` naming
-the offending request index.  Request order in the file is submission
+clock; it degrades gracefully when fewer healthy devices fit.
+``integrity`` (``"off"`` / ``"checksum"`` / ``"vote"``) overrides the
+scheduler's ``ServeConfig.integrity`` default for that one request.
+Unknown request keys raise
+:class:`~repro.gpu.errors.InvalidValueError` naming the offending
+request index.  Request order in the file is submission
 order.
 
 :func:`random_workload` builds a seeded deterministic mix of
@@ -42,6 +45,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.gpu.errors import InvalidValueError
+from repro.integrity import validate_integrity
 from repro.serve.request import RegionRequest
 
 __all__ = ["WorkloadSpec", "build_request", "load_workload", "random_workload"]
@@ -50,7 +54,7 @@ APPS = ("stencil", "conv3d", "matmul", "qcd")
 
 #: keys a workload request object may carry
 _REQUEST_KEYS = frozenset(
-    {"app", "tenant", "priority", "deadline", "config", "shards"}
+    {"app", "tenant", "priority", "deadline", "config", "shards", "integrity"}
 )
 
 
@@ -117,6 +121,7 @@ def build_request(
     config: Optional[Dict[str, object]] = None,
     virtual: bool = True,
     shards: int = 1,
+    integrity: Optional[str] = None,
 ) -> RegionRequest:
     """Build one request from an application name and config dict."""
     try:
@@ -135,6 +140,7 @@ def build_request(
         deadline=deadline,
         label=app,
         shards=shards,
+        integrity=integrity,
     )
 
 
@@ -176,6 +182,12 @@ def load_workload(
             raise InvalidValueError(
                 f"request {i}: shards must be an int >= 1, got {shards!r}"
             )
+        integrity = spec.get("integrity")
+        if integrity is not None:
+            try:
+                validate_integrity(integrity)
+            except InvalidValueError as exc:
+                raise InvalidValueError(f"request {i}: {exc}") from None
         requests.append(build_request(
             spec["app"],
             tenant=spec.get("tenant", f"tenant{i}"),
@@ -184,6 +196,7 @@ def load_workload(
             config=spec.get("config"),
             virtual=virtual,
             shards=shards,
+            integrity=integrity,
         ))
     budget_mb = data.get("budget_mb")
     return WorkloadSpec(

@@ -130,6 +130,7 @@ class Command:
         "wait_toks",
         "stream_pred",
         "chunk",
+        "sink",
     )
 
     PENDING = "pending"
@@ -191,6 +192,11 @@ class Command:
         #: resident copies, markers, and non-pipelined work) — set by
         #: the executor, consumed by bottleneck attribution
         self.chunk: Optional[int] = None
+        #: where this command's data lands — an ndarray (or a zero-arg
+        #: callable resolving to one) the silent-fault injector may
+        #: corrupt after the payload ran.  ``None`` (the default) makes
+        #: the command immune to silent corruption.
+        self.sink = None
 
     @property
     def done(self) -> bool:
@@ -414,6 +420,8 @@ class Simulator:
         faulted = cmd.error is not None or cmd.poisoned
         if cmd.payload is not None and not faulted:
             cmd.payload()
+        if self.injector is not None and not faulted:
+            self.injector.corrupt_at_retirement(cmd, now)
         for tok in cmd._records:
             tok.time = now
             if faulted:
@@ -480,6 +488,23 @@ class Simulator:
         if not tok._recorded and not tok.done:
             raise SimulationError(f"wait on never-recorded event {tok.name!r}")
         return self.run_until(lambda: tok.done)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def advance_to(self, t: float) -> float:
+        """Process every event scheduled at or before time ``t``.
+
+        Unlike :meth:`run_until`, draining the heap early is fine —
+        this is a bounded pump used by watchdogs to let in-flight work
+        retire without waiting for any particular command.  Returns the
+        current virtual time (which never goes backwards).
+        """
+        while self._heap and self._heap[0][0] <= t:
+            self._step()
+        return self.now
 
     def run_all(self) -> float:
         """Drain every pending command; returns the final virtual time."""

@@ -23,6 +23,7 @@ from repro.faults import (
 )
 from repro.faults.inject import hash_u01
 from repro.gpu import Runtime
+from repro.gpu.errors import InvalidValueError
 from repro.sim import NVIDIA_K40M
 
 from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
@@ -47,15 +48,59 @@ class TestHashU01:
 
 
 class TestFaultPlan:
-    @pytest.mark.parametrize("field", ["h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate"])
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "h2d_fault_rate", "d2h_fault_rate", "kernel_fault_rate",
+            "bitflip_rate", "miscompute_rate",
+        ],
+    )
     @pytest.mark.parametrize("bad", [-0.1, 1.5])
     def test_rate_out_of_range_rejected(self, field, bad):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidValueError, match=field):
             FaultPlan(**{field: bad})
 
     def test_negative_jitter_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidValueError, match="jitter"):
             FaultPlan(jitter=-0.5)
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(InvalidValueError, match="bitflop"):
+            FaultPlan(only_kinds=("bitflip", "bitflop"))
+
+    @pytest.mark.parametrize(
+        "kw, needle",
+        [
+            ({"slow_factor": 0.0}, "slow_factor"),
+            ({"slow_factor": -2.0}, "slow_factor"),
+            ({"slow_after": -1}, "slow_after"),
+            ({"device_lost_at": 0}, "device_lost_at"),
+            ({"max_transfer_faults": -1}, "max_transfer_faults"),
+            ({"max_kernel_faults": -3}, "max_kernel_faults"),
+            (
+                {"pressure_events": (PressureEvent(at_retirement=1, nbytes=0),)},
+                r"pressure_events\[0\].nbytes",
+            ),
+            (
+                {"pressure_events": (
+                    PressureEvent(at_retirement=-1, nbytes=64),)},
+                r"pressure_events\[0\].at_retirement",
+            ),
+            (
+                {"pressure_events": (
+                    PressureEvent(at_retirement=1, nbytes=64, release_at=0),)},
+                r"pressure_events\[0\].release_at",
+            ),
+            (
+                {"pressure_events": (
+                    PressureEvent(at_retirement=1, nbytes=64, leave_bytes=-5),)},
+                r"pressure_events\[0\].leave_bytes",
+            ),
+        ],
+    )
+    def test_bad_values_rejected_naming_entry(self, kw, needle):
+        with pytest.raises(InvalidValueError, match=needle):
+            FaultPlan(**kw)
 
     def test_default_plan_is_inactive(self):
         assert not FaultPlan().active
@@ -70,6 +115,9 @@ class TestFaultPlan:
             {"jitter": 0.1},
             {"pressure_events": (PressureEvent(at_retirement=1, nbytes=64),)},
             {"device_lost_at": 5},
+            {"bitflip_rate": 0.1},
+            {"miscompute_rate": 0.1},
+            {"slow_factor": 4.0},
         ],
     )
     def test_any_knob_activates(self, kw):

@@ -1,0 +1,114 @@
+"""Silent-failure injection: bitflips, miscomputes, slow devices.
+
+Unlike fail-stop faults, silent faults never raise — the command
+retires successfully and only the data (or the clock) is wrong.  These
+tests pin the injector-side guarantees the integrity layer builds on:
+
+* silent corruption is **seeded and replayable** — the same
+  ``(seed, program)`` flips the same bits at the same commands;
+* a bitflip visibly corrupts the output when nothing verifies it
+  (the whole reason `integrity="checksum"` exists);
+* a slow-device plan inflates occupancy persistently once engaged and
+  logs the engagement, without ever faulting;
+* :func:`pool_fault_plans` confines a slowdown (like a device loss) to
+  one deterministic carrier device so a pool keeps healthy peers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, fault_profile, pool_fault_plans
+from repro.gpu import Runtime
+from repro.sim import NVIDIA_K40M
+
+from tests.core.test_executor import ScaleKernel, expected, make_arrays, make_region
+
+
+def _run(plan=None, n=32, seed=5, integrity="off"):
+    """One real-payload pipelined run; returns (arrays, result, injector)."""
+    rng = np.random.default_rng(seed)
+    arrays = make_arrays(n, rng)
+    region = make_region(n)
+    rt = Runtime(NVIDIA_K40M)
+    injector = rt.install_faults(plan) if plan is not None else None
+    with rt:
+        res = region.run(rt, arrays, ScaleKernel(), integrity=integrity)
+    return arrays, res, injector
+
+
+class TestBitflip:
+    def test_corrupts_output_silently(self):
+        # a high-rate bitflip plan: no exception, wrong answer
+        plan = FaultPlan(seed=3, bitflip_rate=0.5)
+        arrays, res, inj = _run(plan)
+        assert res.faults == 0  # silent: nothing fail-stop
+        silent = [e for e in inj.events if e[0] == "silent"]
+        assert silent and all(e[1] == "bitflip" for e in silent)
+        assert not np.array_equal(arrays["OUT"], expected(arrays, 32))
+
+    def test_timeline_is_seeded_and_replayable(self):
+        plan = FaultPlan(seed=11, bitflip_rate=0.3)
+        a1, _, i1 = _run(plan)
+        a2, _, i2 = _run(plan)
+        assert i1.events == i2.events
+        assert a1["OUT"].tobytes() == a2["OUT"].tobytes()
+        _, _, i3 = _run(FaultPlan(seed=12, bitflip_rate=0.3))
+        assert i1.events != i3.events
+
+    def test_only_kinds_gate(self):
+        # restricting to miscompute mutes a bitflip-only plan entirely
+        plan = FaultPlan(seed=3, bitflip_rate=0.5, only_kinds=("miscompute",))
+        arrays, _, inj = _run(plan)
+        assert not [e for e in inj.events if e[0] == "silent"]
+        assert np.allclose(arrays["OUT"], expected(arrays, 32))
+
+
+class TestSlowDevice:
+    def test_inflates_elapsed_without_faulting(self):
+        _, clean, _ = _run()
+        plan = FaultPlan(seed=0, slow_factor=10.0, slow_after=4)
+        arrays, slow, inj = _run(plan)
+        assert slow.faults == 0
+        assert slow.elapsed > clean.elapsed
+        engaged = [e for e in inj.events if e[0] == "slow-device"]
+        assert engaged and engaged[0][1] >= 4  # logs actual retired count
+        # slow, not wrong: the data is still exact
+        assert np.allclose(arrays["OUT"], expected(arrays, 32))
+
+    def test_engagement_is_logged_once(self):
+        plan = FaultPlan(seed=0, slow_factor=4.0, slow_after=2)
+        _, _, inj = _run(plan)
+        assert sum(1 for e in inj.events if e[0] == "slow-device") == 1
+
+
+class TestProfiles:
+    def test_sdc_profile_is_bitflip_only(self):
+        plan = fault_profile("sdc", seed=7)
+        assert plan.bitflip_rate > 0
+        assert plan.miscompute_rate == 0
+        assert plan.h2d_fault_rate == plan.kernel_fault_rate == 0
+
+    def test_straggler_profile_slows_without_faulting(self):
+        plan = fault_profile("straggler", seed=7)
+        assert plan.slow_factor > 1.0
+        assert plan.bitflip_rate == plan.h2d_fault_rate == 0
+
+
+class TestPoolFaultPlans:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_straggler_confined_to_one_carrier(self, seed):
+        plans = pool_fault_plans("straggler", seed=seed, count=3)
+        slow = [i for i, p in enumerate(plans) if p.slow_factor != 1.0]
+        assert slow == [seed % 3]
+
+    def test_carrier_is_deterministic_and_seeds_distinct(self):
+        a = pool_fault_plans("straggler", seed=4, count=3)
+        b = pool_fault_plans("straggler", seed=4, count=3)
+        assert a == b
+        assert len({p.seed for p in a}) == 3
+
+    def test_single_device_pool_keeps_full_plan(self):
+        (plan,) = pool_fault_plans("straggler", seed=9, count=1)
+        assert plan.slow_factor != 1.0

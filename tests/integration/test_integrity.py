@@ -1,0 +1,170 @@
+"""End-to-end silent-failure defense: the differential proof.
+
+For each of the paper's four applications, single-device and 3-shard:
+
+* **sdc chaos + ``integrity="checksum"``** detects the injected
+  bitflips and recovers **byte-identical** output versus a fault-free
+  run (``.tobytes()`` equality — ``np.array_equal`` cannot see a
+  ``-0.0`` sign flip);
+* **sdc chaos + ``integrity="off"``** provably corrupts the output —
+  silent corruption is observable, so the checksum layer is doing real
+  work, not vacuously passing;
+* **vote mode** catches kernel *miscomputes* that checksums cannot
+  (a wrong-but-self-consistent output digests equal on both sides of
+  its drain);
+* verification cost is modeled in virtual time (integrity-on runs are
+  slower) and attributed on the critical path as ``exec.verify``.
+
+Seeds are per-(app, shards): inserting verify commands shifts the
+global command sequence the injector hashes on, so integrity-on and
+integrity-off runs corrupt at different points.  Each mode is compared
+against the *clean* baseline, never against the other mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.common import new_runtime
+from repro.faults import FaultPlan, fault_profile, pool_fault_plans
+from repro.faults.policy import FaultPolicy
+from repro.obs.analyze import analyze_result
+
+APPS = ("stencil", "conv3d", "matmul", "qcd")
+
+#: seeds where the sdc profile provably lands >= 1 bitflip on the
+#: integrity-on timeline (checksum detects) ...
+DETECT_SEED = {
+    ("stencil", 1): 4, ("stencil", 3): 0,
+    ("conv3d", 1): 4, ("conv3d", 3): 0,
+    ("matmul", 1): 2, ("matmul", 3): 3,
+    ("qcd", 1): 4, ("qcd", 3): 3,
+}
+#: ... and where the integrity-off timeline provably corrupts output
+CORRUPT_SEED = {
+    ("stencil", 1): 4, ("stencil", 3): 0,
+    ("conv3d", 1): 4, ("conv3d", 3): 0,
+    ("matmul", 1): 2, ("matmul", 3): 3,
+    ("qcd", 1): 4, ("qcd", 3): 2,
+}
+
+
+def _setup(app):
+    """(arrays, region, kernel, output var) at chaos-test sizes."""
+    if app == "stencil":
+        from repro.apps import stencil as m
+        from repro.kernels.stencil3d import StencilKernel
+
+        cfg = m.StencilConfig(nz=12, ny=24, nx=24, iters=1, num_streams=2)
+        return m.make_arrays(cfg), m.make_region(cfg), StencilKernel(cfg.ny, cfg.nx), "Anext"
+    if app == "conv3d":
+        from repro.apps import conv3d as m
+        from repro.kernels.conv3d import Conv3dKernel
+
+        cfg = m.Conv3dConfig(nz=12, ny=24, nx=24, num_streams=2)
+        return m.make_arrays(cfg), m.make_region(cfg), Conv3dKernel(cfg.ny, cfg.nx), "B"
+    if app == "matmul":
+        from repro.apps import matmul as m
+        from repro.kernels.matmul import MatmulChunkKernel
+
+        cfg = m.MatmulConfig(n=48, block=8, num_streams=2)
+        return m.make_arrays(cfg), m.make_region(cfg), MatmulChunkKernel(cfg.n, cfg.block), "C"
+    if app == "qcd":
+        from repro.apps import qcd as m
+        from repro.kernels.qcd import DslashKernel
+
+        cfg = m.QcdConfig(n=6, num_streams=2)
+        return m.make_arrays(cfg), m.make_region(cfg), DslashKernel(cfg.n, cfg.n, cfg.n), "eta"
+    raise KeyError(app)
+
+
+def _run(app, *, plan=None, integrity="off", shards=1):
+    """One run; returns (output bytes, result)."""
+    arrays, region, kernel, out = _setup(app)
+    policy = FaultPolicy(max_retries=4) if plan is not None else None
+    if shards == 1:
+        rt = new_runtime("k40m")
+        if plan is not None:
+            rt.install_faults(plan)
+        with rt:
+            res = region.run(
+                rt, arrays, kernel, integrity=integrity, fault_policy=policy
+            )
+    else:
+        rts = [new_runtime("k40m") for _ in range(shards)]
+        if plan is not None:
+            for rt, p in zip(rts, plan):
+                rt.install_faults(p)
+        for rt in rts:
+            rt.__enter__()
+        try:
+            res = region.run(
+                None, arrays, kernel, devices=rts,
+                integrity=integrity, fault_policy=policy,
+            )
+        finally:
+            for rt in rts:
+                rt.__exit__(None, None, None)
+    return arrays[out].tobytes(), res
+
+
+def _sdc(app, shards, seed):
+    if shards == 1:
+        return fault_profile("sdc", seed)
+    return pool_fault_plans("sdc", seed=seed, count=shards)
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+@pytest.mark.parametrize("app", APPS)
+class TestChecksumDifferential:
+    def test_checksum_detects_and_recovers_byte_exact(self, app, shards):
+        clean, _ = _run(app, shards=shards)
+        seed = DETECT_SEED[app, shards]
+        out, res = _run(
+            app, plan=_sdc(app, shards, seed),
+            integrity="checksum", shards=shards,
+        )
+        assert res.corruptions >= 1  # the chaos was real and was seen
+        assert res.verified > res.corruptions
+        assert out == clean  # byte-identical through injected bitflips
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # flipped exponents
+    def test_verification_off_provably_corrupts(self, app, shards):
+        clean, _ = _run(app, shards=shards)
+        seed = CORRUPT_SEED[app, shards]
+        out, res = _run(
+            app, plan=_sdc(app, shards, seed), integrity="off", shards=shards,
+        )
+        assert res.corruptions == 0  # nothing watching ...
+        assert out != clean  # ... and the output is silently wrong
+
+
+class TestVoteMode:
+    def test_vote_catches_miscompute_checksum_misses(self):
+        plan = FaultPlan(seed=0, miscompute_rate=0.15)
+        clean, _ = _run("conv3d")
+        vout, vres = _run("conv3d", plan=plan, integrity="vote")
+        assert vres.corruptions >= 1
+        assert vout == clean
+        # the same plan under checksum-only: undetected, wrong output
+        cout, cres = _run("conv3d", plan=plan, integrity="checksum")
+        assert cres.corruptions == 0
+        assert cout != clean
+
+
+class TestVerificationCost:
+    def test_modeled_in_virtual_time_and_attributed(self):
+        _, off = _run("stencil")
+        _, on = _run("stencil", integrity="checksum")
+        assert on.elapsed > off.elapsed  # checks cost virtual time
+        totals = analyze_result(on).breakdown.totals()
+        assert totals.get("exec.verify", 0.0) > 0.0
+        assert "exec.verify" not in analyze_result(off).breakdown.totals()
+
+    def test_fault_free_checksum_is_quiet_and_exact(self):
+        clean, _ = _run("qcd")
+        out, res = _run("qcd", integrity="checksum")
+        assert res.corruptions == 0  # no false positives
+        assert res.verified > 0
+        assert out == clean

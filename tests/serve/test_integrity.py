@@ -1,0 +1,238 @@
+"""Served silent-failure defense: policy, quarantine, straggler watchdog.
+
+The serving-layer acceptance scenarios of the integrity PR:
+
+* ``ServeConfig.integrity="checksum"`` under sdc chaos detects the
+  injected bitflips, recovers in place under the retry budget, and
+  delivers **byte-identical** outputs versus a fault-free run — on a
+  single device and sharded 3-ways across a 3-device pool;
+* with verification off the same chaos provably corrupts outputs
+  (the differential that proves injection is not a no-op);
+* a device with an elevated SDC rate trips the breaker through the
+  corruption path and is **quarantined** (``device_health``);
+* the straggler watchdog on the mixed-8 sharded workload re-splits
+  work away from a 10x-slowed device and beats the no-watchdog wall
+  time with exact outputs and a deterministic report;
+* the policy is **per-tenant overridable** and settable from workload
+  JSON, with unknown values rejected naming the request.
+
+Runs compare against a *clean* baseline, never integrity-on vs
+integrity-off directly: verify commands shift the global command
+sequence the injector hashes on, so the two modes corrupt at
+different points of their (individually deterministic) timelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multidevice import WatchdogConfig
+from repro.faults import pool_fault_plans
+from repro.gpu.errors import InvalidValueError
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+from repro.serve.workload import load_workload
+
+#: the four paper apps at chaos-test sizes, with their output arrays
+APPS = (
+    ("stencil", {"nz": 12, "ny": 24, "nx": 24, "iters": 1, "num_streams": 2}, "Anext"),
+    ("conv3d", {"nz": 12, "ny": 24, "nx": 24, "num_streams": 2}, "B"),
+    ("matmul", {"n": 48, "block": 8, "num_streams": 2}, "C"),
+    ("qcd", {"n": 6, "num_streams": 2}, "eta"),
+)
+
+
+def _serve_apps(
+    *, seed=0, chaos=None, integrity="off", shards=1, count=1,
+    config=None, request_integrity=None,
+):
+    """Serve the four apps; returns (report, output bytes, scheduler)."""
+    reqs = [
+        build_request(
+            app, tenant=f"t{i}", config=dict(cfg), virtual=False,
+            shards=shards, integrity=request_integrity,
+        )
+        for i, (app, cfg, _) in enumerate(APPS)
+    ]
+    cfg = config or {}
+    with DevicePool("k40m", count=count, virtual=False) as pool:
+        if chaos is not None:
+            pool.install_faults(pool_fault_plans(chaos, seed=seed, count=count))
+        sched = RegionScheduler(pool, ServeConfig(integrity=integrity, **cfg))
+        sched.submit_all(reqs)
+        report = sched.run()
+        assert pool.reserved == [0] * count  # no reservation leaks, ever
+    outs = [reqs[i].arrays[v].tobytes() for i, (_, _, v) in enumerate(APPS)]
+    return report, outs, sched
+
+
+# ----------------------------------------------------------------------
+# checksum differential, served
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "shards, count, seed", [(1, 1, 3), (3, 3, 0)],
+    ids=["single-device", "sharded-3x3"],
+)
+class TestServedChecksumDifferential:
+    def test_detects_and_recovers_byte_exact(self, shards, count, seed):
+        _, clean, _ = _serve_apps(shards=shards, count=count)
+        rep, outs, sched = _serve_apps(
+            seed=seed, chaos="sdc", integrity="checksum",
+            shards=shards, count=count,
+        )
+        assert rep.ok
+        assert rep.corruptions >= 2  # detected, per-result accounted
+        assert rep.verified > rep.corruptions
+        assert outs == clean
+        kinds = {e["kind"] for e in sched.recorder.events}
+        assert "corruption" in kinds
+        assert "integrity" in rep.summary()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # flipped exponents
+    def test_verification_off_provably_corrupts(self, shards, count, seed):
+        _, clean, _ = _serve_apps(shards=shards, count=count)
+        rep, outs, _ = _serve_apps(
+            seed=seed, chaos="sdc", integrity="off", shards=shards, count=count,
+        )
+        assert rep.corruptions == 0  # nobody watching ...
+        assert sum(a != b for a, b in zip(outs, clean)) >= 2  # ... silently wrong
+
+    def test_report_is_deterministic(self, shards, count, seed):
+        rep1, o1, _ = _serve_apps(
+            seed=seed, chaos="sdc", integrity="checksum",
+            shards=shards, count=count,
+        )
+        rep2, o2, _ = _serve_apps(
+            seed=seed, chaos="sdc", integrity="checksum",
+            shards=shards, count=count,
+        )
+        assert rep1.to_dict() == rep2.to_dict()
+        assert o1 == o2
+
+
+# ----------------------------------------------------------------------
+# corruption-driven quarantine
+# ----------------------------------------------------------------------
+def test_high_sdc_device_is_quarantined():
+    rep, _, sched = _serve_apps(
+        seed=1, chaos="sdc", integrity="checksum",
+        config={"breaker_threshold": 2, "breaker_window": 10.0},
+    )
+    assert rep.ok  # quarantine is containment, not failure
+    d = rep.to_dict()
+    assert d["device_health"] == ["quarantined"]
+    assert d["breaker_trips"] == [1]
+    kinds = {e["kind"] for e in sched.recorder.events}
+    assert "quarantine" in kinds
+    assert "device.fault" not in kinds  # corruption path, not fail-stop
+
+
+# ----------------------------------------------------------------------
+# straggler watchdog on the mixed-8 sharded workload
+# ----------------------------------------------------------------------
+def _mixed8(shards=3):
+    """4x qcd + 4x stencil, sharded — the benchmark mix, real payloads.
+
+    Sized for a memory-constrained pool (790 kB budget): the stencil
+    shards tune down to multi-chunk pipelines, which is what gives the
+    watchdog a per-shard completion *rate* to compare.
+    """
+    reqs = []
+    for i in range(4):
+        reqs.append(build_request(
+            "qcd", tenant=f"qcd{i}", config={"n": 6},
+            shards=shards, virtual=False,
+        ))
+        reqs.append(build_request(
+            "stencil", tenant=f"sten{i}",
+            config={"nz": 194, "ny": 64, "nx": 64},
+            shards=shards, virtual=False,
+        ))
+    return reqs
+
+
+def _serve_mixed8(*, watchdog, chaos, seed=0):
+    reqs = _mixed8()
+    with DevicePool(
+        "k40m", count=3, virtual=False, budget_bytes=790_000
+    ) as pool:
+        if chaos:
+            pool.install_faults(pool_fault_plans("straggler", seed=seed, count=3))
+        sched = RegionScheduler(pool, ServeConfig(straggler_watchdog=watchdog))
+        sched.submit_all(reqs)
+        rep = sched.run()
+        assert pool.reserved == [0] * 3
+    outs = tuple(
+        (r.arrays["eta"] if i % 2 == 0 else r.arrays["Anext"]).tobytes()
+        for i, r in enumerate(reqs)
+    )
+    return rep, outs, sched
+
+
+def test_watchdog_resplits_away_from_slow_device_and_wins():
+    _, clean, _ = _serve_mixed8(watchdog=False, chaos=False)
+    on, outs_on, sched = _serve_mixed8(watchdog=True, chaos=True)
+    off, outs_off, _ = _serve_mixed8(watchdog=False, chaos=True)
+    assert on.ok
+    assert on.resplits >= 1  # work was re-split away from the straggler
+    assert off.resplits == 0
+    assert on.makespan < off.makespan  # and it paid off
+    assert outs_on == clean  # re-splitting preserved exactness
+    assert outs_off == clean  # slow, not wrong: off is exact too
+    kinds = {e["kind"] for e in sched.recorder.events}
+    assert "straggler" in kinds and "shard.resplit" in kinds
+    assert f"{on.resplits} " in on.summary() and "straggler" in on.summary()
+    # deterministic report, per the acceptance bar
+    again, outs2, _ = _serve_mixed8(watchdog=True, chaos=True)
+    assert again.to_dict() == on.to_dict()
+    assert outs2 == outs_on
+
+
+def test_watchdog_accepts_config_object():
+    rep, _, _ = _serve_mixed8(
+        watchdog=WatchdogConfig(ratio=0.4, min_done=2), chaos=True
+    )
+    assert rep.ok and rep.resplits >= 1
+
+
+# ----------------------------------------------------------------------
+# per-tenant policy override and workload JSON
+# ----------------------------------------------------------------------
+def test_request_integrity_overrides_scheduler_default():
+    # scheduler default off, every request opts in -> verified anyway
+    rep, _, _ = _serve_apps(integrity="off", request_integrity="checksum")
+    assert rep.verified > 0
+    # scheduler default checksum, every request opts out -> nothing runs
+    rep, _, _ = _serve_apps(integrity="checksum", request_integrity="off")
+    assert rep.verified == 0
+
+
+def test_workload_json_integrity_key():
+    spec = load_workload({
+        "requests": [
+            {"app": "matmul", "config": {"n": 48, "block": 8}},
+            {"app": "qcd", "config": {"n": 6}, "integrity": "checksum"},
+        ],
+    })
+    assert spec.requests[0].integrity is None
+    assert spec.requests[1].integrity == "checksum"
+
+
+def test_workload_json_rejects_bad_integrity_naming_request():
+    with pytest.raises(InvalidValueError, match="request 1"):
+        load_workload({
+            "requests": [
+                {"app": "qcd", "config": {"n": 6}},
+                {"app": "qcd", "config": {"n": 6}, "integrity": "crc32"},
+            ],
+        })
+
+
+def test_request_rejects_bad_integrity():
+    with pytest.raises(InvalidValueError, match="integrity"):
+        build_request("qcd", config={"n": 6}, integrity="md5")
+
+
+def test_bad_serve_config_integrity_rejected():
+    with pytest.raises(InvalidValueError, match="integrity"):
+        ServeConfig(integrity="paranoid")
