@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Callable, Dict
 
 import pytest
@@ -92,3 +93,25 @@ def memo(cache: Dict[str, object], key: str, fn: Callable[[], object]):
     if key not in cache:
         cache[key] = fn()
     return cache[key]
+
+
+def measure_rate(run_pool: Callable[[], object]) -> Dict[str, float]:
+    """Wall-time one serve run and derive its engine event rate.
+
+    ``run_pool`` is a zero-arg callable that drives a workload to
+    completion and returns the finished :class:`~repro.serve.DevicePool`
+    (so retired commands are still attached to the devices).  Returns a
+    JSON-safe dict — ``wall_seconds``, ``events`` (retired engine
+    commands across the pool), ``events_per_sec`` — that serve/sharding
+    benches merge into their ``results.json`` payloads alongside the
+    virtual-time makespans.
+    """
+    t0 = time.perf_counter()
+    pool = run_pool()
+    seconds = time.perf_counter() - t0
+    events = sum(len(rt.device.sim.completed) for rt in pool.runtimes)
+    return {
+        "wall_seconds": seconds,
+        "events": events,
+        "events_per_sec": events / seconds if seconds > 0 else 0.0,
+    }

@@ -24,7 +24,7 @@ import json
 from repro.analysis.report import format_table
 from repro.serve import DevicePool, PlanCache, RegionScheduler, ServeConfig, build_request
 
-from conftest import memo
+from conftest import measure_rate, memo
 
 SPEEDUP_FLOOR = 1.15
 
@@ -51,6 +51,17 @@ def serve(*, serial: bool, cache: PlanCache = None):
     return report
 
 
+def serve_pool(*, serial: bool):
+    """Like :func:`serve` but returns the finished pool, for
+    :func:`conftest.measure_rate`'s retired-command count."""
+    pool = DevicePool("k40m")
+    config = ServeConfig(max_active=1) if serial else ServeConfig()
+    sched = RegionScheduler(pool, config)
+    sched.submit_all(workload())
+    assert sched.run().ok
+    return pool
+
+
 def run_serve(cache):
     def compute():
         out = {
@@ -60,6 +71,7 @@ def run_serve(cache):
         shared = PlanCache()
         out["cold"] = serve(serial=False, cache=shared)
         out["warm"] = serve(serial=False, cache=shared)
+        out["rate"] = measure_rate(lambda: serve_pool(serial=False))
         return out
 
     return memo(cache, "serve_throughput", compute)
@@ -85,6 +97,7 @@ def test_interleaving_beats_serial_makespan(benchmark, cache, report):
         "serial_makespan_s": serial.makespan,
         "interleaved_makespan_s": inter.makespan,
         "speedup": speedup,
+        **data["rate"],
     })
 
     assert speedup >= SPEEDUP_FLOOR

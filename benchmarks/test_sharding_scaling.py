@@ -37,7 +37,7 @@ from repro.gpu import Runtime
 from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
 from repro.sim import AMD_HD7970, NVIDIA_K40M, Device
 
-from conftest import memo
+from conftest import measure_rate, memo
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sharding.json")
 BASELINE_PATH = os.path.join(
@@ -118,6 +118,15 @@ def serve_mixed(count, shards=1):
     return report.makespan
 
 
+def serve_mixed_pool(count):
+    """Finished pool for :func:`conftest.measure_rate`."""
+    pool = DevicePool("k40m", count=count)
+    sched = RegionScheduler(pool, ServeConfig())
+    sched.submit_all(mixed_workload())
+    assert sched.run().ok
+    return pool
+
+
 def shard_sweep(profiles, weights=None):
     region = sweep_region()
     arrays = sweep_arrays()
@@ -154,6 +163,12 @@ def measure(cache):
             "hetero_shares": list(hetero.shares),
             "hetero_imbalance": hetero.imbalance(),
         })
+        # wall-clock engine event rate of the 4-device pool serve,
+        # recorded alongside the virtual-time speedups
+        out.update(
+            {f"pool4_{k}": v
+             for k, v in measure_rate(lambda: serve_mixed_pool(4)).items()}
+        )
         return out
 
     return memo(cache, "sharding_scaling", compute)

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tests (DeprecationWarning -> error) =="
+# includes the engine-kernel differential harness
+# (tests/sim/test_engine_equivalence.py): fast vs reference event loop,
+# byte-identical traces / metrics / analysis / serve reports
 python -W error::DeprecationWarning -m pytest -q tests
 
 echo "== coverage gate (when pytest-cov is available) =="
@@ -160,4 +163,47 @@ echo "== CLI smoke: analyze --baseline regression gate =="
 # the checked-in golden snapshot is the baseline: the current build
 # must not regress against it (exit code is the gate)
 python -m repro analyze stencil --baseline tests/golden/analyze_stencil.json
+
+echo "== CLI smoke: engine-bench gate exit codes =="
+# tiny replay (no serve pair) so the smoke stays fast; the honest
+# >= 5x measurement lives in benchmarks/test_engine_throughput.py
+eb_dir="$(mktemp -d -t repro-enginebench-XXXXXX)"
+trap 'rm -f "$tmp" "$straggler_wl"; rm -rf "$eb_dir"' EXIT
+printf '{"schema": "repro/engine-bench/v1", "events_per_sec_ratio": 0.1}\n' \
+    > "$eb_dir/ok.json"
+printf '{"schema": "repro/engine-bench/v1", "events_per_sec_ratio": 1e9}\n' \
+    > "$eb_dir/impossible.json"
+printf 'not json\n' > "$eb_dir/broken.json"
+# exit 0: bench runs, writes metrics, passes a permissive baseline
+python -m repro engine-bench --events 6000 --no-serve \
+    -o "$eb_dir/BENCH_engine.json" --baseline "$eb_dir/ok.json" >/dev/null
+python - "$eb_dir/BENCH_engine.json" <<'EOF8'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["schema"] == "repro/engine-bench/v1", m
+assert m["events_per_sec_ratio"] > 1.0, (
+    f"fast kernel not faster in smoke: {m['events_per_sec_ratio']}"
+)
+EOF8
+# exit 1: an impossible baseline must read as a regression
+if python -m repro engine-bench --events 6000 --no-serve \
+    --baseline "$eb_dir/impossible.json" >/dev/null 2>&1; then
+    echo "engine-bench gate passed an impossible baseline" >&2
+    exit 1
+fi
+rc=0
+python -m repro engine-bench --events 6000 --no-serve \
+    --baseline "$eb_dir/impossible.json" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "engine-bench regression should exit 1, got $rc" >&2
+    exit 1
+fi
+# exit 2: a malformed baseline is an unusable-input error, not a pass
+rc=0
+python -m repro engine-bench --events 6000 --no-serve \
+    --baseline "$eb_dir/broken.json" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "engine-bench malformed baseline should exit 2, got $rc" >&2
+    exit 1
+fi
 echo "CI checks passed."

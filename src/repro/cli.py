@@ -13,6 +13,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro serve examples/serve_workload.json   # multi-tenant
     python -m repro analyze stencil                      # critical path
     python -m repro analyze stencil --baseline base.json # perf gate
+    python -m repro engine-bench -o BENCH_engine.json    # engine kernel bench
 
 The figure experiments mirror ``benchmarks/`` (which additionally
 asserts shape bands under pytest); the CLI is for interactive
@@ -364,6 +365,39 @@ def _analyze(args) -> int:
     return 0
 
 
+def _engine_bench(args) -> int:
+    """Benchmark the fast event-loop kernel against the reference loop.
+
+    Prints the measured events/sec and wall-time ratios; ``-o`` writes
+    the metrics JSON (the ``BENCH_engine.json`` schema).  With
+    ``--baseline FILE`` the machine-relative ratios are gated against
+    the stored ones: exit 0 ok, 1 regression, 2 unusable baseline —
+    the same contract as ``repro analyze --baseline``.
+    """
+    from repro.sim.enginebench import (
+        gate, load_baseline, run_bench, write_metrics,
+    )
+
+    metrics = run_bench(events=args.events, serve=not args.no_serve)
+    for key in sorted(metrics):
+        val = metrics[key]
+        print(f"{key}: {val:.3f}" if isinstance(val, float) else f"{key}: {val}")
+    if args.out:
+        write_metrics(metrics, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        code, lines = gate(metrics, baseline, slack=args.slack)
+        for line in lines:
+            print(line)
+        return code
+    return 0
+
+
 def _chaos(args) -> int:
     """Run one app under a named fault profile with self-healing on.
 
@@ -532,6 +566,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.05)",
     )
 
+    eb = sub.add_parser(
+        "engine-bench",
+        help="benchmark the fast event-loop kernel vs the reference loop",
+    )
+    eb.add_argument(
+        "--events", type=int, default=240_000,
+        help="commands per bare-engine replay (default 240000; long "
+        "replays capture the reference loop's GC degradation)",
+    )
+    eb.add_argument(
+        "--no-serve", action="store_true",
+        help="skip the end-to-end mixed-8 serve wall-time pair",
+    )
+    eb.add_argument(
+        "-o", "--out", default=None,
+        help="write the metrics JSON here (BENCH_engine.json schema)",
+    )
+    eb.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="gate the measured ratios against this stored metrics "
+        "file; exit 1 on regression, 2 on an unusable baseline",
+    )
+    eb.add_argument(
+        "--slack", type=float, default=0.90,
+        help="a gated ratio may trail its baseline by this factor "
+        "(default 0.90)",
+    )
+
     ch = sub.add_parser(
         "chaos",
         help="run one app under injected faults and verify recovery",
@@ -634,6 +696,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.cmd == "analyze":
         return _analyze(args)
+    if args.cmd == "engine-bench":
+        return _engine_bench(args)
     if args.cmd == "chaos":
         return _chaos(args)
     if args.cmd == "serve":

@@ -642,7 +642,7 @@ class PipelineIssuer:
         if kind == "h2d" and self._in_halo(var, piece.g_lo, piece.g_hi):
             ckind = "halo"
             self.seam_verified_n += 1
-        vtok = EventToken(f"verify:{var}:{piece.g_lo}")
+        vtok = EventToken.acquire(f"verify:{var}:{piece.g_lo}")
         vcmd = runtime.launch(
             verify_cost(xfer.nbytes),
             self._checksum_payload(var, piece, chunk_index, ckind),
@@ -725,7 +725,7 @@ class PipelineIssuer:
         keeping slot reuse honest.
         """
         runtime, kernel = self.runtime, self.kernel
-        v2tok = EventToken(f"vote:{chunk.index}")
+        v2tok = EventToken.acquire(f"vote:{chunk.index}")
         vcmd = runtime.launch(
             kernel.chunk_cost(self.profile, chunk.t0, chunk.t1, translated=True),
             self._dual_execute_check(chunk),
@@ -944,7 +944,7 @@ class PipelineIssuer:
                                 piece.g_hi - ring.capacity,
                             )
                             rows, row_bytes = ring.transfer_geometry(piece)
-                            tok = EventToken(f"h2d:{var}:{piece.g_lo}")
+                            tok = EventToken.acquire(f"h2d:{var}:{piece.g_lo}")
                             cmd = runtime.memcpy_h2d_async(
                                 ring.device_view(piece),
                                 ring.host_section(host, piece),
@@ -991,7 +991,7 @@ class PipelineIssuer:
                 pk = tracer.begin("kernel", "phase", chunk=chunk.index,
                                   waits=len(in_tokens) + len(out_reuse))
 
-            ktok = EventToken(f"kernel:{chunk.index}")
+            ktok = EventToken.acquire(f"kernel:{chunk.index}")
             kcmd = runtime.launch(
                 kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=True),
                 self._kernel_payload(chunk),
@@ -1025,7 +1025,7 @@ class PipelineIssuer:
                     host = arrays[var]
                     for piece in ring.pieces(lo, hi):
                         rows, row_bytes = ring.transfer_geometry(piece)
-                        dtok = EventToken(f"d2h:{var}:{piece.g_lo}")
+                        dtok = EventToken.acquire(f"d2h:{var}:{piece.g_lo}")
                         dcmd = runtime.memcpy_d2h_async(
                             ring.host_section(host, piece),
                             ring.device_view(piece),
@@ -1092,7 +1092,7 @@ class PipelineIssuer:
             host = arrays[var]
             for piece in ring.pieces(lo, hi):
                 rows, row_bytes = ring.transfer_geometry(piece)
-                tok = EventToken(f"replay-h2d:{var}:{piece.g_lo}")
+                tok = EventToken.acquire(f"replay-h2d:{var}:{piece.g_lo}")
                 cmd = runtime.memcpy_h2d_async(
                     ring.device_view(piece),
                     ring.host_section(host, piece),
@@ -1106,7 +1106,7 @@ class PipelineIssuer:
                 self.commands.append(cmd)
                 meta[cmd] = chunk.index
                 rtoks.append(tok)
-        ktok = EventToken(f"replay-kernel:{chunk.index}")
+        ktok = EventToken.acquire(f"replay-kernel:{chunk.index}")
         kcmd = runtime.launch(
             kernel.chunk_cost(self.profile, chunk.t0, chunk.t1, translated=True),
             self._kernel_payload(chunk),

@@ -97,6 +97,13 @@ class RegionKernel:
 
     name: str = "kernel"
     index_penalty: float = 0.01
+    #: set True when :meth:`cost` is a pure function of the *extent*
+    #: ``t1 - t0`` (plus the profile and fixed kernel parameters) —
+    #: i.e. every equally-sized chunk costs the same.  Enables the
+    #: :meth:`chunk_cost` memo, so tiled pipelines stop re-walking the
+    #: profile's cost tables once per chunk.  Leave False for costs
+    #: that depend on the absolute position of ``[t0, t1)``.
+    uniform_chunk_cost: bool = False
 
     def cost(self, profile: DeviceProfile, t0: int, t1: int) -> float:
         """Modelled execution seconds for loop iterations ``[t0, t1)``.
@@ -119,7 +126,28 @@ class RegionKernel:
     def chunk_cost(
         self, profile: DeviceProfile, t0: int, t1: int, *, translated: bool
     ) -> float:
-        """Cost including the index-translation penalty if applicable."""
+        """Cost including the index-translation penalty if applicable.
+
+        When :attr:`uniform_chunk_cost` is set, results are memoized by
+        ``(profile, t1 - t0, translated)``.  The memo replays the exact
+        arithmetic of the first evaluation, so cached and uncached
+        lookups are bit-identical.
+        """
+        if self.uniform_chunk_cost:
+            key = (id(profile), t1 - t0, translated)
+            memo = getattr(self, "_chunk_cost_memo", None)
+            if memo is None:
+                memo = self._chunk_cost_memo = {}
+            hit = memo.get(key)
+            # the stored profile reference both pins the id against
+            # reuse and lets us verify the hit is for this profile
+            if hit is not None and hit[0] is profile:
+                return hit[1]
+            c = self.cost(profile, t0, t1)
+            if translated:
+                c = c * (1.0 + self.index_penalty)
+            memo[key] = (profile, c)
+            return c
         c = self.cost(profile, t0, t1)
         return c * (1.0 + self.index_penalty) if translated else c
 

@@ -204,7 +204,7 @@ def execute_manual_pipelined(
                     rows, row_bytes = _transfer_geometry(
                         host.shape, spec.split_dim, hi - new_lo, host.dtype.itemsize
                     )
-                    tok = EventToken(f"h2d:{var}:{new_lo}")
+                    tok = EventToken.acquire(f"h2d:{var}:{new_lo}")
                     runtime.memcpy_h2d_async(
                         d[sl],
                         host[sl],
@@ -219,7 +219,7 @@ def execute_manual_pipelined(
                 in_tokens.extend(_intersecting(book.h2d, lo, hi))
                 _prune(book.h2d, lo)
 
-            ktok = EventToken(f"kernel:{chunk.index}")
+            ktok = EventToken.acquire(f"kernel:{chunk.index}")
             runtime.launch(
                 kernel.chunk_cost(profile, chunk.t0, chunk.t1, translated=False),
                 make_kernel_payload(chunk),

@@ -38,6 +38,8 @@ from repro.gpu.errors import (
     TransferError,
 )
 from repro.obs import OBS_NULL, Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
 from repro.sim.device import Device
 from repro.sim.engine import Command, EventToken
 from repro.sim.profiles import DeviceProfile
@@ -48,6 +50,52 @@ from repro.sim.varray import VirtualArray, is_virtual, nbytes_of
 __all__ = ["Runtime"]
 
 HostArray = Union[np.ndarray, VirtualArray]
+
+
+def _retired_span(cmd: Command) -> Span:
+    """Build the engine-track span for one retired command.
+
+    Installed as the tracer's command inflater: the retirement hot path
+    records the command itself (:meth:`~repro.obs.tracer.Tracer.defer_command`)
+    and this function materializes the exact span an eager observer
+    would have emitted, the first time the trace is read.
+    """
+    stream = cmd.stream
+    attrs = {
+        "stream": stream.name if isinstance(stream, SimStream) else "",
+        "nbytes": cmd.nbytes,
+        "queue_depth": cmd.queue_depth,
+    }
+    err = cmd.error
+    if err is not None:
+        attrs["fault"] = err.kind
+    elif cmd.poisoned:
+        attrs["fault"] = "poisoned"
+    return Span(
+        cmd.label or cmd.kind,
+        cmd.kind,
+        f"engine:{cmd.engine}",
+        start=cmd.start_time,
+        end=cmd.finish_time,
+        attrs=attrs,
+    )
+
+
+def _replay_retired(m, cmd: Command) -> None:
+    """Apply one retired command's metrics to registry ``m``.
+
+    Installed as the metrics registry's command replayer; the deferred
+    backlog replays in retirement order, so instrument state matches
+    eager per-retirement updates exactly.
+    """
+    kind = cmd.kind
+    if kind in ("h2d", "d2h"):
+        m.counter(f"bytes.{kind}").inc(cmd.nbytes)
+        m.histogram(f"transfer.seconds.{kind}").observe(cmd.duration)
+    elif kind == "kernel":
+        m.counter("commands.kernel").inc()
+        m.histogram("kernel.seconds").observe(cmd.duration)
+    m.gauge(f"queue.depth.{cmd.engine}").set(cmd.queue_depth)
 
 
 class _PinRegistry:
@@ -157,8 +205,11 @@ class Runtime:
         self._obs_on = self.obs.enabled
         if self.tracer.enabled:
             self.tracer.set_clock(lambda: self.host_now)
+            self.tracer.set_command_inflater(_retired_span)
+        if self.metrics.enabled:
+            self.metrics.set_command_replay(_replay_retired)
         if self._obs_on:
-            self.device.sim.observer = self._command_retired
+            self.device.sim.observer = self._make_observer()
 
     # ------------------------------------------------------------------
     # observability hooks
@@ -170,43 +221,55 @@ class Runtime:
         defaults to ``name`` up to the first ``:``.
         """
         op = op or name.split(":", 1)[0]
-        self.tracer.emit(name, category="api", track="host", start=t0,
-                         end=self.host_now, op=op, **attrs)
+        self.tracer.defer(name, "api", "host", t0, self.host_now,
+                          dict(op=op, **attrs))
         m = self.metrics
         if m.enabled:
             m.counter("api.calls").inc()
             m.counter(f"api.calls.{op}").inc()
 
     def _command_retired(self, cmd: Command) -> None:
-        """Simulator observer: one engine-track span per retired command."""
+        """Simulator observer: one engine-track span per retired command.
+
+        Hot path — called once per retired command.  Both the span
+        (:func:`_retired_span`) and the metrics
+        (:func:`_replay_retired`) are deferred: the command itself is
+        the record, inflated lazily when the trace or an instrument is
+        read.
+        """
         if cmd.kind == "marker":
             return
-        attrs = dict(
-            stream=cmd.stream.name if isinstance(cmd.stream, SimStream) else "",
-            nbytes=cmd.nbytes,
-            queue_depth=cmd.queue_depth,
-        )
-        if cmd.error is not None:
-            attrs["fault"] = cmd.error.kind
-        elif cmd.poisoned:
-            attrs["fault"] = "poisoned"
-        self.tracer.emit(
-            cmd.label or cmd.kind,
-            category=cmd.kind,
-            track=f"engine:{cmd.engine}",
-            start=cmd.start_time,
-            end=cmd.finish_time,
-            **attrs,
-        )
-        m = self.metrics
-        if m.enabled:
-            if cmd.kind in ("h2d", "d2h"):
-                m.counter(f"bytes.{cmd.kind}").inc(cmd.nbytes)
-                m.histogram(f"transfer.seconds.{cmd.kind}").observe(cmd.duration)
-            elif cmd.kind == "kernel":
-                m.counter("commands.kernel").inc()
-                m.histogram("kernel.seconds").observe(cmd.duration)
-            m.gauge(f"queue.depth.{cmd.engine}").set(cmd.queue_depth)
+        self.tracer.defer_command(cmd)
+        self.metrics.defer_command(cmd)
+
+    def _make_observer(self) -> Callable[[Command], None]:
+        """The retirement observer installed on the simulator.
+
+        When both halves of the observability pair are the standard
+        lazy kinds, retirement reduces to two list appends; the
+        returned closure binds those appends directly, skipping the
+        dispatch through :meth:`_command_retired` on the hottest
+        callback in the stack.  Any other configuration (eager tracer,
+        partial pair) falls back to the general method.
+        """
+        tracer, metrics = self.tracer, self.metrics
+        if (
+            type(tracer) is not Tracer or tracer._eager
+            or type(metrics) is not MetricsRegistry
+        ):
+            return self._command_retired
+        # bound appends stay valid because Tracer.clear()/materialize
+        # and MetricsRegistry._drain mutate their lists in place
+        span_append = tracer._spans.append
+        metric_append = metrics._deferred.append
+
+        def observer(cmd: Command) -> None:
+            if cmd.kind != "marker":
+                tracer._dirty = True
+                span_append(cmd)
+                metric_append(cmd)
+
+        return observer
 
     # ------------------------------------------------------------------
     # fault injection and async error reporting
@@ -372,7 +435,7 @@ class Runtime:
 
     def event(self, name: str = "event") -> EventToken:
         """Create an unrecorded event token (``cudaEventCreate``)."""
-        return EventToken(name)
+        return EventToken.acquire(name)
 
     def record_event(self, stream: SimStream, name: str = "event") -> EventToken:
         """Record an event at the current tail of ``stream``.

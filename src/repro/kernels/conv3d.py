@@ -68,6 +68,8 @@ class Conv3dKernel(RegionKernel):
 
     name = "conv3d"
     index_penalty = 0.02
+    #: cost depends only on the plane count ``t1 - t0``
+    uniform_chunk_cost = True
 
     def __init__(self, ny: int, nx: int) -> None:
         self.ny = int(ny)

@@ -86,6 +86,8 @@ class MatmulWholeKernel(RegionKernel):
     """
 
     index_penalty = 0.0
+    #: cost scales linearly with ``t1 - t0`` over a fixed trip count
+    uniform_chunk_cost = True
 
     def __init__(self, n: int, variant: str = "baseline", trips: int = 1) -> None:
         if variant not in ("baseline", "block_shared"):
@@ -127,6 +129,8 @@ class MatmulChunkKernel(RegionKernel):
     #: ring-offset indexing on a compute-bound kernel: negligible, the
     #: paper measures pipeline-buffer == block-shared for matmul.
     index_penalty = 0.005
+    #: cost depends only on the block count ``t1 - t0``
+    uniform_chunk_cost = True
 
     def __init__(self, n: int, block: int) -> None:
         self.n = int(n)

@@ -139,6 +139,8 @@ class DslashKernel(RegionKernel):
     #: to the performance difference" — QCD pays a visible translation
     #: cost, unlike the simple kernels.
     index_penalty = 0.08
+    #: cost depends only on the slice count ``t1 - t0``
+    uniform_chunk_cost = True
 
     def __init__(self, nz: int, ny: int, nx: int) -> None:
         self.v3 = int(nz) * int(ny) * int(nx)

@@ -80,6 +80,8 @@ class StencilKernel(RegionKernel):
     #: Calibrated so the buffer version trails the 2-stream hand-coded
     #: Pipelined slightly and overtakes it past ~6 streams (Figure 7).
     index_penalty = 0.05
+    #: cost depends only on the plane count ``t1 - t0``
+    uniform_chunk_cost = True
 
     def __init__(self, ny: int, nx: int) -> None:
         self.ny = int(ny)

@@ -142,9 +142,50 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._hists: Dict[str, Histogram] = {}
+        #: retired commands whose per-command metrics (bytes, transfer
+        #: seconds, queue depths) have not been applied yet — the hot
+        #: observer path appends here and the instruments catch up on
+        #: first read (see :meth:`defer_command`)
+        self._deferred: List[object] = []
+        self._replay = None
+
+    def set_command_replay(self, fn) -> None:
+        """Install the ``(registry, cmd) -> None`` replayer that applies
+        one retired command's metrics (see :meth:`defer_command`)."""
+        self._replay = fn
+
+    def defer_command(self, cmd: object) -> None:
+        """Queue a retired command's metrics to be applied lazily.
+
+        One list append on the retirement hot path; the installed
+        replayer applies the bytes/seconds/queue-depth updates the
+        first time any instrument or :meth:`snapshot` is read.  Because
+        the backlog replays in retirement order before any read, every
+        instrument shows exactly the state eager updates would have
+        produced — including gauge high-water marks.
+        """
+        self._deferred.append(cmd)
+
+    def _drain(self) -> None:
+        replay = self._replay
+        if replay is None:  # pragma: no cover - misconfiguration
+            raise RuntimeError(
+                "deferred command metrics recorded without a replayer "
+                "(MetricsRegistry.set_command_replay)"
+            )
+        # copy-then-clear IN PLACE: replaying re-enters
+        # counter()/histogram() below (the emptied list stops the
+        # recursion), and observers hold a bound ``_deferred.append``,
+        # so the list object must never be replaced
+        backlog = self._deferred[:]
+        self._deferred.clear()
+        for cmd in backlog:
+            replay(self, cmd)
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name`` (created empty on first use)."""
+        if self._deferred:
+            self._drain()
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
@@ -152,6 +193,8 @@ class MetricsRegistry:
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``."""
+        if self._deferred:
+            self._drain()
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge(name)
@@ -159,6 +202,8 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``."""
+        if self._deferred:
+            self._drain()
         h = self._hists.get(name)
         if h is None:
             h = self._hists[name] = Histogram(name)
@@ -166,6 +211,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-safe dump of every instrument, sorted by name."""
+        if self._deferred:
+            self._drain()
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {
@@ -176,10 +223,11 @@ class MetricsRegistry:
         }
 
     def clear(self) -> None:
-        """Drop every instrument."""
+        """Drop every instrument (and any deferred backlog)."""
         self._counters.clear()
         self._gauges.clear()
         self._hists.clear()
+        self._deferred.clear()
 
 
 class _NullCounter(Counter):
@@ -221,6 +269,12 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def histogram(self, name: str) -> Histogram:
         return _NULL_HIST
+
+    def defer_command(self, cmd: object) -> None:
+        pass
+
+    def set_command_replay(self, fn) -> None:
+        pass
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {}

@@ -22,6 +22,15 @@ Tracing is **zero-cost when disabled**: the default
 a constant no-op, so instrumented code paths pay one attribute check
 and nothing else.  Crucially no tracer ever charges virtual time, so
 enabling tracing never changes measured results.
+
+Tracing is also **cheap when enabled**: the hot emitters (per-API-call
+and per-retired-command spans) go through :meth:`Tracer.defer` /
+:meth:`Tracer.defer_command`, which record a compact tuple (or just
+the retired :class:`~repro.sim.engine.Command` itself) and build the
+:class:`Span` objects lazily, in recorded order, the first time
+:attr:`Tracer.spans` is read.  Consumers — exporters, ``by_category``,
+the analyzer — see exactly the spans an eager tracer would have built;
+runs that never read their trace never pay for span construction.
 """
 
 from __future__ import annotations
@@ -121,13 +130,30 @@ class Tracer:
         Zero-argument callable returning the current virtual time in
         seconds.  The host runtime installs its own host clock when an
         enabled tracer is attached; until then the clock reads 0.
+    eager:
+        When true, :meth:`defer` / :meth:`defer_command` build their
+        :class:`Span` immediately instead of lazily.  The differential
+        equivalence harness uses this to pin the lazy path against
+        eager construction; production tracers leave it off.
     """
 
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        eager: bool = False,
+    ) -> None:
         self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
-        self.spans: List[Span] = []
+        #: recorded entries in emission order: materialized ``Span``
+        #: objects interleaved with deferred compact tuples and raw
+        #: retired commands.  Read through :attr:`spans`, which
+        #: inflates the deferred entries in place.
+        self._spans: List[object] = []
+        self._dirty = False
+        self._eager = bool(eager)
+        self._inflate_cmd: Optional[Callable[[object], Span]] = None
         self._stack: List[Span] = []
 
     # ------------------------------------------------------------------
@@ -137,10 +163,102 @@ class Tracer:
         """Install the virtual clock used for host spans."""
         self._clock = clock
 
+    def set_command_inflater(self, fn: Callable[[object], Span]) -> None:
+        """Install the ``Command -> Span`` builder for deferred
+        retired-command entries (see :meth:`defer_command`).
+
+        The host runtime installs its own builder so the tracer stays
+        ignorant of command/attribute layout.
+        """
+        self._inflate_cmd = fn
+
     @property
     def current(self) -> Optional[Span]:
         """The innermost open host span, if any."""
         return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # lazy materialization
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """All closed spans, in emission order.
+
+        Deferred entries (:meth:`defer` tuples, :meth:`defer_command`
+        commands) are inflated into :class:`Span` objects in place on
+        first read, so repeated reads are free and callers may treat
+        the result as the tracer's live span list.
+        """
+        if self._dirty:
+            self._materialize()
+        return self._spans  # type: ignore[return-value]
+
+    def _materialize(self) -> None:
+        spans = self._spans
+        inflate = self._inflate_cmd
+        for i, entry in enumerate(spans):
+            cls = entry.__class__
+            if cls is tuple:
+                name, category, track, start, end, attrs = entry
+                spans[i] = Span(name, category, track, start=start, end=end,
+                                attrs=attrs if attrs is not None else {})
+            elif not isinstance(entry, Span):
+                if inflate is None:  # pragma: no cover - misconfiguration
+                    raise RuntimeError(
+                        "deferred command span recorded without a command "
+                        "inflater (Tracer.set_command_inflater)"
+                    )
+                spans[i] = inflate(entry)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # deferred spans (hot path)
+    # ------------------------------------------------------------------
+    def defer(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a finished span as a compact tuple, built lazily.
+
+        Semantically :meth:`emit`, minus the ``Span`` allocation and
+        minus a return value; the caller owns ``attrs`` (the tracer
+        keeps the dict as-is).  The hot emitters use this.
+        """
+        if self._eager:
+            self._spans.append(
+                Span(name, category, track, start=start, end=end,
+                     attrs=attrs if attrs is not None else {})
+            )
+            return
+        self._spans.append((name, category, track, start, end, attrs))
+        self._dirty = True
+
+    def defer_command(self, cmd: object) -> None:
+        """Record a retired command whose span is built lazily.
+
+        The cheapest possible observer hook: one list append per
+        retired command.  The installed inflater (see
+        :meth:`set_command_inflater`) turns the command into the exact
+        span an eager observer would have emitted — which requires the
+        command's metadata (timings, ``error``, ``queue_depth``) to
+        still be intact when :attr:`spans` is first read; recycling
+        retired commands before that point is a caller bug.
+        """
+        if self._eager:
+            if self._inflate_cmd is None:  # pragma: no cover - misconfiguration
+                raise RuntimeError(
+                    "deferred command span recorded without a command "
+                    "inflater (Tracer.set_command_inflater)"
+                )
+            self._spans.append(self._inflate_cmd(cmd))
+            return
+        self._spans.append(cmd)
+        self._dirty = True
 
     # ------------------------------------------------------------------
     # host spans (program order, nested)
@@ -167,14 +285,14 @@ class Tracer:
             top = self._stack.pop()
             if top.end is None:
                 top.end = now
-                self.spans.append(top)
+                self._spans.append(top)
             if top is span:
                 break
         else:
             # span was not on the stack (double end): record it anyway
             if span.end is None:
                 span.end = now
-                self.spans.append(span)
+                self._spans.append(span)
         return span
 
     def span(self, name: str, category: str = "", track: str = "host", **attrs) -> _SpanCtx:
@@ -201,7 +319,7 @@ class Tracer:
         """
         sp = Span(name, category, track, start=start, end=end,
                   attrs=dict(attrs) if attrs else {})
-        self.spans.append(sp)
+        self._spans.append(sp)
         return sp
 
     def instant(self, name: str, category: str = "", track: str = "host", **attrs) -> Span:
@@ -222,7 +340,8 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all recorded spans (open spans stay open)."""
-        self.spans.clear()
+        self._spans.clear()
+        self._dirty = False
 
 
 class _NullSpan(Span):
@@ -286,6 +405,15 @@ class NullTracer(Tracer):
 
     def instant(self, name, category="", track="host", **attrs) -> Span:
         return _NULL_SPAN
+
+    def defer(self, name, category, track, start, end, attrs=None) -> None:
+        pass
+
+    def defer_command(self, cmd) -> None:
+        pass
+
+    def set_command_inflater(self, fn) -> None:
+        pass
 
 
 #: Process-wide disabled tracer; the default for every runtime.

@@ -22,7 +22,15 @@ paper-scale workloads (multi-GB) run with identical timing/memory
 accounting but no host RAM cost.
 """
 
-from repro.sim.engine import Command, Engine, EventToken, Simulator
+from repro.sim.engine import (
+    Command,
+    Engine,
+    EventToken,
+    Simulator,
+    active_kernel,
+    engine_kernel,
+    make_simulator,
+)
 from repro.sim.memory import AllocationRecord, MemoryAllocator, OutOfDeviceMemory
 from repro.sim.varray import VirtualArray, as_backing, empty_like_backing, nbytes_of
 from repro.sim.bandwidth import LinkModel, transfer_time_1d, transfer_time_2d
@@ -51,7 +59,10 @@ __all__ = [
     "Timeline",
     "TimelineRecord",
     "VirtualArray",
+    "active_kernel",
     "as_backing",
+    "engine_kernel",
+    "make_simulator",
     "empty_like_backing",
     "nbytes_of",
     "profile_by_name",

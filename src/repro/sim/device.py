@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from repro.sim.bandwidth import transfer_time_1d, transfer_time_2d
-from repro.sim.engine import Command, EventToken, Simulator
+from repro.sim.engine import Command, EventToken, make_simulator
 from repro.sim.memory import AllocationRecord, MemoryAllocator
 from repro.sim.profiles import DeviceProfile
 from repro.sim.stream import SimStream
@@ -41,7 +41,13 @@ class Device:
 
     def __init__(self, profile: DeviceProfile) -> None:
         self.profile = profile
-        self.sim = Simulator()
+        self.sim = make_simulator()
+        #: memo of pre-contention transfer durations keyed by
+        #: ``(direction, nbytes, rows, row_bytes, pinned)`` — pipelined
+        #: apps submit thousands of identically-shaped chunk copies, so
+        #: the bandwidth model is evaluated once per shape.  Contention
+        #: (:attr:`shared_link`) is stateful and applied after the memo.
+        self._xfer_memo: dict = {}
         self._dma_names: List[str] = []
         for i in range(profile.dma_engines):
             self._dma_names.append(f"dma{i}")
@@ -143,16 +149,22 @@ class Device:
         if direction not in ("h2d", "d2h"):
             raise ValueError(f"bad direction {direction!r}")
         link = self.profile.h2d if direction == "h2d" else self.profile.d2h
-        if rows is not None and row_bytes is not None:
-            if rows * row_bytes != nbytes:
-                raise ValueError("rows * row_bytes must equal nbytes")
-            duration = transfer_time_2d(link, rows, row_bytes, pinned=pinned)
-        else:
-            duration = transfer_time_1d(link, nbytes, pinned=pinned)
+        key = (direction, nbytes, rows, row_bytes, pinned)
+        duration = self._xfer_memo.get(key)
+        if duration is None:
+            if rows is not None and row_bytes is not None:
+                if rows * row_bytes != nbytes:
+                    raise ValueError("rows * row_bytes must equal nbytes")
+                duration = transfer_time_2d(link, rows, row_bytes, pinned=pinned)
+            else:
+                duration = transfer_time_1d(link, nbytes, pinned=pinned)
+            if len(self._xfer_memo) >= 1024:
+                self._xfer_memo.clear()
+            self._xfer_memo[key] = duration
         if self.shared_link is not None:
             duration = self.shared_link.contend(duration, link.latency)
         duration += extra_seconds
-        cmd = Command(
+        cmd = Command.acquire(
             direction,
             self._dma_engine(direction),
             duration,
@@ -186,7 +198,7 @@ class Device:
         ``extra_seconds`` of scheduling contention) is added to
         ``cost_seconds``.
         """
-        cmd = Command(
+        cmd = Command.acquire(
             "kernel",
             self._compute_names[0],
             self.profile.kernel_launch_overhead + cost_seconds + extra_seconds,
@@ -215,7 +227,7 @@ class Device:
         used to implement ``eventRecord`` on an empty stream position
         and stream-wide barriers.
         """
-        cmd = Command(
+        cmd = Command.acquire(
             "marker",
             self._compute_names[0],
             0.0,

@@ -19,17 +19,54 @@ The model is intentionally small and deterministic:
 
 Virtual time is in seconds (float).  The event loop is a single binary
 heap keyed by ``(time, sequence)``.
+
+This module is the serving hot path — millions of commands per mixed
+workload — so the :class:`Simulator` here is a *fast kernel*:
+
+* **Free-listed objects** — :meth:`Command.acquire` /
+  :meth:`EventToken.acquire` recycle retired ``__slots__`` objects from
+  a bounded module-level pool (see :meth:`Simulator.recycle_completed`).
+  Besides skipping allocation, recycling keeps command/token reference
+  cycles (``cmd._records <-> tok.recorded_by``) out of the cyclic
+  garbage collector, whose sweeps otherwise dominate long runs.
+* **Batched heap traffic** — a dispatch round does a single ``heapq``
+  push (the finish event).  A command that becomes ready on an idle
+  engine starts directly instead of churning through the engine's
+  ready-queue heap, and dependency resolution feeds the shared event
+  heap only for genuinely future ``enqueue_time`` edges.
+* **Tight loops** — :meth:`run_all` / :meth:`wait_command` /
+  :meth:`wait_event` drive the heap with locally-bound operations
+  instead of a per-event predicate closure.
+
+Scheduling semantics are *identical* to the original loop, preserved
+verbatim as :class:`repro.sim.engine_ref.ReferenceSimulator`; the
+equivalence harness (``tests/sim/test_engine_equivalence.py``) holds
+traces, metrics, and analysis snapshots byte-identical between the two.
+Use :func:`engine_kernel` to select which loop the whole stack runs on.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from contextlib import contextmanager
+from itertools import count
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["Command", "Engine", "EventToken", "Simulator", "SimulationError"]
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+__all__ = [
+    "Command",
+    "Engine",
+    "EventToken",
+    "Simulator",
+    "SimulationError",
+    "active_kernel",
+    "engine_kernel",
+    "make_simulator",
+]
 
 
 class SimulationError(ReproError, RuntimeError):
@@ -39,6 +76,13 @@ class SimulationError(ReproError, RuntimeError):
     was never enqueued, or a dependency cycle that leaves commands
     unrunnable after the event heap drains.
     """
+
+
+#: bounded free lists shared by every simulator in the process.  The
+#: cap keeps a burst of recycled objects from pinning memory forever.
+_POOL_MAX = 4096
+_COMMAND_POOL: List["Command"] = []
+_TOKEN_POOL: List["EventToken"] = []
 
 
 class EventToken:
@@ -71,6 +115,36 @@ class EventToken:
         #: poisoned); waiters inherit the poison so they never consume
         #: data a faulted command failed to produce
         self.poisoned = False
+
+    @classmethod
+    def acquire(cls, name: str = "event") -> "EventToken":
+        """A fresh token, recycled from the free list when possible.
+
+        Equivalent to ``EventToken(name)``; tokens enter the free list
+        via :meth:`Simulator.recycle_completed` or :meth:`release`.
+        """
+        pool = _TOKEN_POOL
+        if not pool or cls is not EventToken:
+            return cls(name)
+        tok = pool.pop()
+        tok.name = name
+        return tok
+
+    def release(self) -> None:
+        """Return this token to the free list.
+
+        The caller asserts no live command or bookkeeping structure
+        still references the token; a recycled token is handed out
+        again by :meth:`acquire` as if freshly constructed.
+        """
+        self.time = None
+        self._waiters = []
+        self._recorded = False
+        self.recorded_by = None
+        self.poisoned = False
+        pool = _TOKEN_POOL
+        if len(pool) < _POOL_MAX and type(self) is EventToken:
+            pool.append(self)
 
     @property
     def done(self) -> bool:
@@ -131,6 +205,7 @@ class Command:
         "stream_pred",
         "chunk",
         "sink",
+        "_eng",
     )
 
     PENDING = "pending"
@@ -197,6 +272,80 @@ class Command:
         #: corrupt after the payload ran.  ``None`` (the default) makes
         #: the command immune to silent corruption.
         self.sink = None
+        #: resolved :class:`Engine` object, cached at enqueue so the
+        #: dispatch/finish hot path skips the per-command name lookup
+        self._eng: Optional["Engine"] = None
+
+    @classmethod
+    def acquire(
+        cls,
+        kind: str,
+        engine: str,
+        duration: float,
+        *,
+        stream: Optional[object] = None,
+        payload: Optional[Callable[[], None]] = None,
+        label: str = "",
+        nbytes: int = 0,
+    ) -> "Command":
+        """A fresh command, recycled from the free list when possible.
+
+        Equivalent to constructing a :class:`Command`; recycled objects
+        (see :meth:`Simulator.recycle_completed` / :meth:`release`)
+        come back indistinguishable from freshly-constructed ones to
+        the simulator: every reference-holding or state field is at its
+        pristine default, and the scheduling timestamps — which
+        :meth:`Simulator.enqueue` and dispatch unconditionally
+        overwrite — may hold stale values only until then.
+        """
+        pool = _COMMAND_POOL
+        if not pool or cls is not Command:
+            return cls(
+                kind, engine, duration,
+                stream=stream, payload=payload, label=label, nbytes=nbytes,
+            )
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        self = pool.pop()
+        self.kind = kind
+        self.engine = engine
+        self.duration = float(duration)
+        self.stream = stream
+        self.payload = payload
+        self.label = label
+        self.nbytes = int(nbytes)
+        return self
+
+    def release(self) -> None:
+        """Reset this command and return it to the free list.
+
+        The caller asserts nothing live still references the command
+        (results, analyzers, stream tails).  Breaking the
+        ``command <-> token`` reference cycle here is what keeps
+        retired objects out of the cyclic garbage collector.  Fields
+        :meth:`acquire` (kind, engine, duration, label, nbytes) or the
+        next enqueue/dispatch lifecycle (the scheduling timestamps,
+        ``queue_depth``, ``_unresolved``) unconditionally overwrite are
+        left as-is; everything that could pin memory or leak state is
+        reset.
+        """
+        self.stream = None
+        self.payload = None
+        self.sink = None
+        self.error = None
+        self.chunk = None
+        self.wait_toks = ()
+        self.stream_pred = None
+        self._dependents = []
+        self._records = []
+        self._poison_waits = None
+        self._eng = None
+        self.seq = -1
+        self.poisoned = False
+        self.state = Command.PENDING
+        pool = _COMMAND_POOL
+        if len(pool) < _POOL_MAX and type(self) is Command:
+            pool.append(self)
 
     @property
     def done(self) -> bool:
@@ -234,6 +383,14 @@ class Engine:
         return f"Engine({self.name!r}, busy={self.busy is not None}, q={len(self.queue)})"
 
 
+#: integer heap-event tags.  ``(time, seq)`` is unique per event — a
+#: command's ready and finish events never coexist in the heap — so the
+#: tag is never compared; the values still mirror the original string
+#: order ("finish" < "ready") for belt-and-braces determinism.
+_EV_FINISH = 0
+_EV_READY = 1
+
+
 class Simulator:
     """The event loop tying commands, streams, and engines together.
 
@@ -244,12 +401,29 @@ class Simulator:
     The loop is *incremental*: callers may enqueue commands, run until a
     particular command completes (a synchronous API call), enqueue more,
     and so on.  ``now`` never goes backwards.
+
+    This is the fast kernel (see the module docstring); the original
+    loop survives as :class:`repro.sim.engine_ref.ReferenceSimulator`
+    and both produce identical schedules and command metadata.
     """
+
+    __slots__ = (
+        "now",
+        "_seq",
+        "_heap",
+        "_engines",
+        "_stream_tail",
+        "_pending",
+        "_completed",
+        "observer",
+        "injector",
+        "faulted",
+    )
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._seq = itertools.count()
-        self._heap: List[Tuple[float, int, str, Command]] = []
+        self._seq = count()
+        self._heap: List[Tuple[float, int, int, Command]] = []
         self._engines: dict = {}
         self._stream_tail: dict = {}
         self._pending = 0
@@ -328,35 +502,44 @@ class Simulator:
         """
         if cmd.seq >= 0:
             raise SimulationError(f"{cmd!r} enqueued twice")
-        if cmd.engine not in self._engines:
+        eng = self._engines.get(cmd.engine)
+        if eng is None:
             raise SimulationError(f"unknown engine {cmd.engine!r}")
+        cmd._eng = eng
         cmd.seq = next(self._seq)
-        cmd.enqueue_time = float(enqueue_time)
+        if type(enqueue_time) is not float:
+            enqueue_time = float(enqueue_time)
+        cmd.enqueue_time = enqueue_time
+        pw = cmd._poison_waits
         if poison_waits is not None:
-            cmd._poison_waits = frozenset(id(t) for t in poison_waits)
+            pw = cmd._poison_waits = frozenset(id(t) for t in poison_waits)
         self._pending += 1
 
         unresolved = 0
         # implicit in-order stream dependency
-        if cmd.stream is not None:
-            tail = self._stream_tail.get(id(cmd.stream))
+        stream = cmd.stream
+        if stream is not None:
+            sid = id(stream)
+            tails = self._stream_tail
+            tail = tails.get(sid)
             cmd.stream_pred = tail
-            if tail is not None and not tail.done:
+            if tail is not None and tail.state != "done":
                 tail._dependents.append(cmd)
                 unresolved += 1
-            self._stream_tail[id(cmd.stream)] = cmd
+            tails[sid] = cmd
 
-        waits = tuple(waits)
+        if type(waits) is not tuple:
+            waits = tuple(waits)
         cmd.wait_toks = waits
         for tok in waits:
-            if not tok.done:
+            if tok.time is None:
                 if not tok._recorded:
                     raise SimulationError(
                         f"wait on never-recorded event {tok.name!r} would deadlock"
                     )
                 tok._waiters.append(cmd)
                 unresolved += 1
-            elif tok.poisoned and self._carries_poison(cmd, tok):
+            elif tok.poisoned and (pw is None or id(tok) in pw):
                 cmd.poisoned = True
 
         for tok in records:
@@ -368,7 +551,11 @@ class Simulator:
 
         cmd._unresolved = unresolved
         if unresolved == 0:
-            self._make_ready(cmd, max(self.now, cmd.enqueue_time))
+            now = self.now
+            if enqueue_time <= now:
+                self._ready_now(cmd, now)
+            else:
+                _heappush(self._heap, (enqueue_time, cmd.seq, _EV_READY, cmd))
         return cmd
 
     # ------------------------------------------------------------------
@@ -384,63 +571,168 @@ class Simulator:
         if at <= self.now:
             self._ready_now(cmd, self.now)
         else:
-            heapq.heappush(self._heap, (at, cmd.seq, "ready", cmd))
+            _heappush(self._heap, (at, cmd.seq, _EV_READY, cmd))
 
     def _ready_now(self, cmd: Command, now: float) -> None:
-        cmd.state = Command.READY
+        cmd.state = "ready"
         cmd.ready_time = now
-        eng = self._engines[cmd.engine]
-        eng.push(cmd)
-        self._try_start(eng, now)
+        eng = cmd._eng
+        queue = eng.queue
+        if eng.busy is None:
+            # dispatch round: at most one engine-heap push/pop pair, and
+            # none at all on the (dominant) idle-engine fast path;
+            # _start is inlined here — this runs once per command
+            if queue:
+                _heappush(queue, (now, cmd.seq, cmd))
+                _, _, cmd = _heappop(queue)
+                cmd.queue_depth = len(queue)
+            else:
+                cmd.queue_depth = 0
+            eng.busy = cmd
+            cmd.state = "running"
+            inj = self.injector
+            if inj is not None:
+                cmd.duration += inj.latency_extra(cmd)
+            cmd.start_time = now
+            finish = now + cmd.duration
+            cmd.finish_time = finish
+            _heappush(self._heap, (finish, cmd.seq, _EV_FINISH, cmd))
+        else:
+            _heappush(queue, (now, cmd.seq, cmd))
+
+    def _start(self, eng: Engine, cmd: Command, now: float) -> None:
+        """Occupy ``eng`` with ``cmd``; one heap push (the finish event)."""
+        cmd.queue_depth = len(eng.queue)
+        eng.busy = cmd
+        cmd.state = "running"
+        inj = self.injector
+        if inj is not None:
+            cmd.duration += inj.latency_extra(cmd)
+        cmd.start_time = now
+        finish = now + cmd.duration
+        cmd.finish_time = finish
+        _heappush(self._heap, (finish, cmd.seq, _EV_FINISH, cmd))
 
     def _try_start(self, eng: Engine, now: float) -> None:
         if eng.busy is not None or not eng.queue:
             return
-        _, _, cmd = heapq.heappop(eng.queue)
-        cmd.queue_depth = len(eng.queue)
-        eng.busy = cmd
-        cmd.state = Command.RUNNING
-        if self.injector is not None:
-            cmd.duration += self.injector.latency_extra(cmd)
-        cmd.start_time = now
-        cmd.finish_time = now + cmd.duration
-        heapq.heappush(self._heap, (cmd.finish_time, cmd.seq, "finish", cmd))
+        _, _, cmd = _heappop(eng.queue)
+        self._start(eng, cmd, now)
 
     def _finish(self, cmd: Command, now: float) -> None:
-        eng = self._engines[cmd.engine]
+        eng = cmd._eng
         if eng.busy is not cmd:  # pragma: no cover - internal invariant
             raise SimulationError("finish event for non-running command")
         eng.busy = None
         eng.busy_time += cmd.duration
-        cmd.state = Command.DONE
+        cmd.state = "done"
         self._pending -= 1
         self._completed.append(cmd)
-        if self.injector is not None and cmd.error is None:
-            cmd.error = self.injector.fault_at_retirement(cmd, now)
+        inj = self.injector
+        if inj is not None and cmd.error is None:
+            cmd.error = inj.fault_at_retirement(cmd, now)
         faulted = cmd.error is not None or cmd.poisoned
-        if cmd.payload is not None and not faulted:
-            cmd.payload()
-        if self.injector is not None and not faulted:
-            self.injector.corrupt_at_retirement(cmd, now)
-        for tok in cmd._records:
-            tok.time = now
-            if faulted:
-                tok.poisoned = True
-            waiters, tok._waiters = tok._waiters, []
-            for w in waiters:
-                if tok.poisoned and self._carries_poison(w, tok):
-                    w.poisoned = True
-                self._resolve_dep(w, now)
-        deps, cmd._dependents = cmd._dependents, []
-        for dep in deps:
-            self._resolve_dep(dep, now)
+        payload = cmd.payload
+        if payload is not None and not faulted:
+            payload()
+        if inj is not None and not faulted:
+            inj.corrupt_at_retirement(cmd, now)
+        heap = self._heap
+        recs = cmd._records
+        if recs:
+            for tok in recs:
+                tok.time = now
+                if faulted:
+                    tok.poisoned = True
+                waiters = tok._waiters
+                if waiters:
+                    tok._waiters = []
+                    if tok.poisoned:
+                        tid = id(tok)
+                        for w in waiters:
+                            wpw = w._poison_waits
+                            if wpw is None or tid in wpw:
+                                w.poisoned = True
+                    for w in waiters:
+                        n = w._unresolved = w._unresolved - 1
+                        if n == 0 and w.state == "pending":
+                            at = w.enqueue_time
+                            if at > now:
+                                _heappush(heap, (at, w.seq, _EV_READY, w))
+                                continue
+                            # inlined _ready_now (dispatch round)
+                            w.state = "ready"
+                            w.ready_time = now
+                            weng = w._eng
+                            wq = weng.queue
+                            if weng.busy is None:
+                                if wq:
+                                    _heappush(wq, (now, w.seq, w))
+                                    _, _, w = _heappop(wq)
+                                    w.queue_depth = len(wq)
+                                else:
+                                    w.queue_depth = 0
+                                weng.busy = w
+                                w.state = "running"
+                                if inj is not None:
+                                    w.duration += inj.latency_extra(w)
+                                w.start_time = now
+                                wfin = now + w.duration
+                                w.finish_time = wfin
+                                _heappush(heap, (wfin, w.seq, _EV_FINISH, w))
+                            else:
+                                _heappush(wq, (now, w.seq, w))
+        deps = cmd._dependents
+        if deps:
+            cmd._dependents = []
+            for w in deps:
+                n = w._unresolved = w._unresolved - 1
+                if n == 0 and w.state == "pending":
+                    at = w.enqueue_time
+                    if at > now:
+                        _heappush(heap, (at, w.seq, _EV_READY, w))
+                        continue
+                    # inlined _ready_now (dispatch round)
+                    w.state = "ready"
+                    w.ready_time = now
+                    weng = w._eng
+                    wq = weng.queue
+                    if weng.busy is None:
+                        if wq:
+                            _heappush(wq, (now, w.seq, w))
+                            _, _, w = _heappop(wq)
+                            w.queue_depth = len(wq)
+                        else:
+                            w.queue_depth = 0
+                        weng.busy = w
+                        w.state = "running"
+                        if inj is not None:
+                            w.duration += inj.latency_extra(w)
+                        w.start_time = now
+                        wfin = now + w.duration
+                        w.finish_time = wfin
+                        _heappush(heap, (wfin, w.seq, _EV_FINISH, w))
+                    else:
+                        _heappush(wq, (now, w.seq, w))
         if faulted:
             self.faulted.append(cmd)
-        if self.injector is not None:
-            self.injector.after_retirement(cmd, now)
-        if self.observer is not None:
-            self.observer(cmd)
-        self._try_start(eng, now)
+        if inj is not None:
+            inj.after_retirement(cmd, now)
+        observer = self.observer
+        if observer is not None:
+            observer(cmd)
+        queue = eng.queue
+        if eng.busy is None and queue:
+            _, _, nxt = _heappop(queue)
+            nxt.queue_depth = len(queue)
+            eng.busy = nxt
+            nxt.state = "running"
+            if inj is not None:
+                nxt.duration += inj.latency_extra(nxt)
+            nxt.start_time = now
+            finish = now + nxt.duration
+            nxt.finish_time = finish
+            _heappush(heap, (finish, nxt.seq, _EV_FINISH, nxt))
 
     def _resolve_dep(self, cmd: Command, now: float) -> None:
         cmd._unresolved -= 1
@@ -451,11 +743,11 @@ class Simulator:
         """Process one event; returns False if the heap is empty."""
         if not self._heap:
             return False
-        t, _, action, cmd = heapq.heappop(self._heap)
+        t, _, ev, cmd = _heappop(self._heap)
         if t < self.now:  # pragma: no cover - internal invariant
             raise SimulationError("time went backwards")
         self.now = t
-        if action == "ready":
+        if ev:
             self._ready_now(cmd, t)
         else:
             self._finish(cmd, t)
@@ -471,23 +763,74 @@ class Simulator:
         Raises :class:`SimulationError` if the event heap drains first
         (a dependency cycle or a wait on never-submitted work).
         """
+        heap = self._heap
+        pop = _heappop
+        ready = self._ready_now
+        fin = self._finish
+        now = self.now
         while not predicate():
-            if not self._step():
+            if not heap:
                 raise SimulationError(
                     "event heap drained before condition held "
                     f"({self._pending} commands stuck)"
                 )
+            t, _, ev, cmd = pop(heap)
+            if t < now:  # pragma: no cover - internal invariant
+                raise SimulationError("time went backwards")
+            now = self.now = t
+            if ev:
+                ready(cmd, t)
+            else:
+                fin(cmd, t)
         return self.now
 
     def wait_command(self, cmd: Command) -> float:
         """Block (in virtual time) until ``cmd`` completes."""
-        return self.run_until(lambda: cmd.done)
+        heap = self._heap
+        pop = _heappop
+        ready = self._ready_now
+        fin = self._finish
+        now = self.now
+        while cmd.state != "done":
+            if not heap:
+                raise SimulationError(
+                    "event heap drained before condition held "
+                    f"({self._pending} commands stuck)"
+                )
+            t, _, ev, ecmd = pop(heap)
+            if t < now:  # pragma: no cover - internal invariant
+                raise SimulationError("time went backwards")
+            now = self.now = t
+            if ev:
+                ready(ecmd, t)
+            else:
+                fin(ecmd, t)
+        return self.now
 
     def wait_event(self, tok: EventToken) -> float:
         """Block (in virtual time) until ``tok`` completes."""
         if not tok._recorded and not tok.done:
             raise SimulationError(f"wait on never-recorded event {tok.name!r}")
-        return self.run_until(lambda: tok.done)
+        heap = self._heap
+        pop = _heappop
+        ready = self._ready_now
+        fin = self._finish
+        now = self.now
+        while tok.time is None:
+            if not heap:
+                raise SimulationError(
+                    "event heap drained before condition held "
+                    f"({self._pending} commands stuck)"
+                )
+            t, _, ev, cmd = pop(heap)
+            if t < now:  # pragma: no cover - internal invariant
+                raise SimulationError("time went backwards")
+            now = self.now = t
+            if ev:
+                ready(cmd, t)
+            else:
+                fin(cmd, t)
+        return self.now
 
     @property
     def next_event_time(self) -> Optional[float]:
@@ -508,8 +851,20 @@ class Simulator:
 
     def run_all(self) -> float:
         """Drain every pending command; returns the final virtual time."""
-        while self._step():
-            pass
+        heap = self._heap
+        pop = _heappop
+        ready = self._ready_now
+        fin = self._finish
+        now = self.now
+        while heap:
+            t, _, ev, cmd = pop(heap)
+            if t < now:  # pragma: no cover - internal invariant
+                raise SimulationError("time went backwards")
+            now = self.now = t
+            if ev:
+                ready(cmd, t)
+            else:
+                fin(cmd, t)
         if self._pending:
             raise SimulationError(f"{self._pending} commands stuck (dependency cycle?)")
         return self.now
@@ -522,3 +877,111 @@ class Simulator:
     def stream_tail(self, stream: object) -> Optional[Command]:
         """The most recently enqueued command on ``stream`` (or None)."""
         return self._stream_tail.get(id(stream))
+
+    # ------------------------------------------------------------------
+    # recycling
+    # ------------------------------------------------------------------
+    def recycle_completed(self) -> int:
+        """Release every retired command (and its record tokens) to the
+        free lists; returns how many commands were recycled.
+
+        Only legal on an idle simulator.  The caller asserts that no
+        live structure still needs the retired objects — results,
+        analyzers, deferred observability spans, and fault backlogs all
+        read retired-command metadata, so recycle only after those
+        consumers are done (or were never attached).  Stream tails are
+        dropped too, so commands enqueued afterwards start a fresh
+        ``stream_pred`` chain.
+        """
+        if self._pending:
+            raise SimulationError(
+                f"recycle_completed on a busy simulator ({self._pending} pending)"
+            )
+        done = self._completed
+        self._completed = []
+        self.faulted.clear()
+        self._stream_tail.clear()
+        # inlined EventToken.release / Command.release bodies: this loop
+        # touches every retired object, so the per-object method-call
+        # overhead is worth eliding.  Keep in sync with the methods.
+        tok_pool = _TOKEN_POOL
+        cmd_pool = _COMMAND_POOL
+        pool_max = _POOL_MAX
+        for cmd in done:
+            for tok in cmd._records:
+                tok.time = None
+                tok._waiters = []
+                tok._recorded = False
+                tok.recorded_by = None
+                tok.poisoned = False
+                if len(tok_pool) < pool_max and type(tok) is EventToken:
+                    tok_pool.append(tok)
+            cmd.stream = None
+            cmd.payload = None
+            cmd.sink = None
+            cmd.error = None
+            cmd.chunk = None
+            cmd.wait_toks = ()
+            cmd.stream_pred = None
+            cmd._dependents = []
+            cmd._records = []
+            cmd._poison_waits = None
+            cmd._eng = None
+            cmd.seq = -1
+            cmd.poisoned = False
+            cmd.state = "pending"
+            if len(cmd_pool) < pool_max and type(cmd) is Command:
+                cmd_pool.append(cmd)
+        return len(done)
+
+
+# ----------------------------------------------------------------------
+# kernel selection
+# ----------------------------------------------------------------------
+#: stack of active simulator classes; the top entry is what
+#: :func:`make_simulator` instantiates.  Mutated only by
+#: :func:`engine_kernel`.
+_KERNEL_STACK: List[type] = [Simulator]
+
+
+def _kernel_class(name: str) -> type:
+    if name == "fast":
+        return Simulator
+    if name == "reference":
+        from repro.sim.engine_ref import ReferenceSimulator
+
+        return ReferenceSimulator
+    raise ValueError(f"unknown engine kernel {name!r}; expected 'fast' or 'reference'")
+
+
+def make_simulator() -> "Simulator":
+    """Instantiate the currently selected event-loop kernel.
+
+    :class:`~repro.sim.device.Device` builds its simulator through this
+    hook, so :func:`engine_kernel` switches the entire stack — runtime,
+    executor, serve — onto the chosen loop.
+    """
+    return _KERNEL_STACK[-1]()
+
+
+def active_kernel() -> str:
+    """Name of the selected kernel: ``"fast"`` or ``"reference"``."""
+    return "fast" if _KERNEL_STACK[-1] is Simulator else "reference"
+
+
+@contextmanager
+def engine_kernel(name: str):
+    """Select the event-loop kernel for the duration of a ``with`` block.
+
+    ``engine_kernel("reference")`` makes every subsequently created
+    :class:`~repro.sim.device.Device` run on the preserved pre-refactor
+    loop (:class:`~repro.sim.engine_ref.ReferenceSimulator`); the
+    equivalence harness and the engine benchmark use it to compare the
+    two kernels on identical workloads.  Selection nests and is
+    restored on exit.  Not thread-safe (neither is the simulator).
+    """
+    _KERNEL_STACK.append(_kernel_class(name))
+    try:
+        yield
+    finally:
+        _KERNEL_STACK.pop()

@@ -11,9 +11,24 @@ from __future__ import annotations
 
 import itertools
 
-__all__ = ["SimStream"]
+__all__ = ["SimStream", "reset_stream_ids"]
 
 _ids = itertools.count()
+
+
+def reset_stream_ids() -> None:
+    """Restart the global stream-index counter.
+
+    Auto-generated stream names (``"stream7"``) embed the process-wide
+    creation index, so two otherwise-identical runs in one process get
+    different names.  Differential harnesses (the engine equivalence
+    suite, the engine benchmark) call this before each run to keep
+    auto-named streams — and therefore trace bytes — deterministic.
+    Never call it mid-run: distinct live streams must keep distinct
+    indices.
+    """
+    global _ids
+    _ids = itertools.count()
 
 
 class SimStream:

@@ -5,8 +5,12 @@ enqueue times, and cross-stream event edges) the simulator must:
 
 * retire every command (no lost work, no spurious deadlock),
 * produce a timeline that passes the structural audit (exclusive
-  engines, in-order streams, no start-before-enqueue), and
-* execute payloads in an order consistent with every declared edge.
+  engines, in-order streams, no start-before-enqueue),
+* execute payloads in an order consistent with every declared edge,
+* replay the exact same payload order when the same DAG is driven
+  twice (virtual-time determinism, with or without object recycling),
+* and — for the PR-8 free lists — never hand a pooled ``Command`` or
+  ``EventToken`` back out while any live simulator still holds it.
 """
 
 from __future__ import annotations
@@ -15,7 +19,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as stn
 
 from repro.sim import Device, NVIDIA_K40M
-from repro.sim.engine import Command, EventToken, Simulator
+from repro.sim.engine import (
+    _COMMAND_POOL,
+    _TOKEN_POOL,
+    Command,
+    EventToken,
+    Simulator,
+)
 from repro.sim.stream import SimStream
 from repro.sim.trace import audit
 
@@ -143,6 +153,95 @@ def test_more_engines_never_slower(durations, n_engines):
         return sim.run_all()
 
     assert makespan(n_engines) <= makespan(1) + 1e-12
+
+
+def _drive(specs, n_engines, n_streams, *, acquire=False):
+    """Run one spec list; returns (sim, cmds, tokens, payload order)."""
+    sim = Simulator()
+    for e in range(n_engines):
+        sim.add_engine(f"e{e}")
+    streams = [SimStream(f"s{i}") for i in range(n_streams)]
+    new_cmd = Command.acquire if acquire else Command
+    new_tok = EventToken.acquire if acquire else EventToken
+    order = []
+    tokens = {}
+    cmds = []
+    for i, spec in enumerate(specs):
+        tok = new_tok(f"t{i}")
+        cmd = new_cmd(
+            "kernel",
+            f"e{spec['engine']}",
+            spec["duration"],
+            stream=streams[spec["stream"]] if spec["stream"] is not None else None,
+            payload=(lambda i=i: order.append(i)),
+            label=f"c{i}",
+        )
+        sim.enqueue(
+            cmd,
+            enqueue_time=spec["enqueue"],
+            waits=[tokens[j] for j in spec["waits"]],
+            records=[tok],
+        )
+        tokens[i] = tok
+        cmds.append(cmd)
+    sim.run_all()
+    return sim, cmds, tokens, order
+
+
+@given(workloads(), stn.booleans())
+@settings(max_examples=60, deadline=None)
+def test_payload_order_deterministic_across_runs(wl, recycle):
+    """The same DAG driven twice retires payloads in the same order.
+
+    With ``recycle=True`` the second run is built entirely from objects
+    the first run released to the free lists — reuse must be invisible
+    to the schedule.
+    """
+    n_engines, n_streams, specs = wl
+    sim1, _, _, first = _drive(specs, n_engines, n_streams, acquire=recycle)
+    if recycle:
+        sim1.recycle_completed()
+    _, _, _, second = _drive(specs, n_engines, n_streams, acquire=recycle)
+    assert first == second
+
+
+@given(workloads(), workloads())
+@settings(max_examples=40, deadline=None)
+def test_recycling_never_aliases_live_objects(wl_live, wl_freed):
+    """A recycled object is never one a live simulator still holds.
+
+    Workload A runs and keeps its retired commands/tokens alive (no
+    recycle — the serve path's steady state while a trace is pending).
+    Workload B runs pool-allocated and recycles.  Nothing B released
+    may be identical to anything A still references, the free lists
+    must hold no duplicates, and a fresh acquire burst must hand out
+    pairwise-distinct objects that are none of A's.
+    """
+    sim_a, cmds_a, toks_a, _ = _drive(*_split(wl_live))
+    live = {id(c) for c in cmds_a} | {id(t) for t in toks_a.values()}
+    live |= {id(c) for c in sim_a.completed}
+
+    sim_b, _, _, _ = _drive(*_split(wl_freed), acquire=True)
+    sim_b.recycle_completed()
+
+    pool_cmd_ids = [id(c) for c in _COMMAND_POOL]
+    pool_tok_ids = [id(t) for t in _TOKEN_POOL]
+    assert len(set(pool_cmd_ids)) == len(pool_cmd_ids)
+    assert len(set(pool_tok_ids)) == len(pool_tok_ids)
+    assert not (set(pool_cmd_ids) | set(pool_tok_ids)) & live
+
+    burst = [Command.acquire("kernel", "e0", 0.0) for _ in range(8)]
+    burst += [EventToken.acquire("t") for _ in range(8)]
+    burst_ids = [id(x) for x in burst]
+    assert len(set(burst_ids)) == len(burst_ids)
+    assert not set(burst_ids) & live
+    for x in burst:
+        x.release()
+
+
+def _split(wl):
+    n_engines, n_streams, specs = wl
+    return specs, n_engines, n_streams
 
 
 @given(nbytes=stn.integers(0, 10**9))

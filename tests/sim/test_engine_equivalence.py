@@ -1,0 +1,212 @@
+"""Differential proof that the fast engine kernel is invisible.
+
+PR-8 rebuilt :class:`repro.sim.engine.Simulator` into a fast kernel —
+free-listed ``__slots__`` objects, batched heap traffic, lazy span
+materialization, a vectorized virtual-kernel cost path — while the
+pre-refactor event loop was preserved verbatim as
+:class:`repro.sim.engine_ref.ReferenceSimulator`.  Every test here runs
+the same workload once per kernel (``engine_kernel("fast")`` vs
+``engine_kernel("reference")``, the reference paired with an *eager*
+tracer so spans and instruments update at retirement exactly as the old
+loop did) and asserts the observable surfaces are **byte-identical**:
+
+* the scrubbed golden-style Chrome trace (same normalization as
+  ``tests/golden/test_golden_traces.py``);
+* the metrics snapshot consumed by ``repro.obs.analyze``;
+* the ``analyze_result`` analysis snapshot (critical path, waits,
+  what-ifs);
+* the serve report dict — single-device and sharded 3-ways, under a
+  named chaos profile, and with ``integrity="checksum"``.
+
+Coverage: the paper's four applications, single-device and 3-shard
+pools, observability on and off, >= 1 chaos fault profile, and the
+checksum integrity policy — the surfaces the refactor was required to
+leave bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import pool_fault_plans
+from repro.obs import Observability, analyze_result
+from repro.obs.tracer import Tracer
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+from repro.sim.engine import engine_kernel
+from repro.sim.stream import reset_stream_ids
+
+from tests.golden.test_golden_traces import render
+
+KERNELS = ("fast", "reference")
+
+#: tiny pipelined runs per app — the golden-trace sizes, so each case
+#: still spans several chunks, streams, and engine handoffs
+APP_CONFIGS = {
+    "conv3d": {"nz": 10, "ny": 16, "nx": 16},
+    "matmul": {"n": 96, "block": 16},
+    "qcd": {"n": 6},
+    "stencil": {"nz": 10, "ny": 16, "nx": 16, "iters": 1},
+}
+
+#: chaos-test sizes with real payloads, for the integrity cases
+SERVE_CONFIGS = {
+    "conv3d": {"nz": 12, "ny": 24, "nx": 24, "num_streams": 2},
+    "matmul": {"n": 48, "block": 8, "num_streams": 2},
+    "qcd": {"n": 6, "num_streams": 2},
+    "stencil": {"nz": 12, "ny": 24, "nx": 24, "iters": 1, "num_streams": 2},
+}
+
+
+def _run_app(app, obs):
+    if app == "stencil":
+        from repro.apps import stencil as mod
+
+        return mod.run_model(
+            "pipelined-buffer", mod.StencilConfig(**APP_CONFIGS[app]),
+            "k40m", virtual=True, obs=obs,
+        )
+    if app == "conv3d":
+        from repro.apps import conv3d as mod
+
+        return mod.run_model(
+            "pipelined-buffer", mod.Conv3dConfig(**APP_CONFIGS[app]),
+            "k40m", virtual=True, obs=obs,
+        )
+    if app == "matmul":
+        from repro.apps import matmul as mod
+
+        return mod.run_model(
+            "pipeline-buffer", mod.MatmulConfig(**APP_CONFIGS[app]),
+            "k40m", virtual=True, obs=obs,
+        )
+    from repro.apps import qcd as mod
+
+    return mod.run_model(
+        "pipelined-buffer", mod.QcdConfig(**APP_CONFIGS[app]),
+        "k40m", virtual=True, obs=obs,
+    )
+
+
+def _obs(kernel: str) -> Observability:
+    """The per-kernel observability pair.
+
+    The reference kernel pairs with an eager tracer — every retirement
+    builds its :class:`Span` on the spot, the pre-refactor cost model —
+    while the fast kernel keeps the shipped lazy path.  Byte equality
+    of the rendered traces is therefore also the proof that lazy
+    materialization reconstructs the eager output exactly.
+    """
+    return Observability(Tracer(eager=(kernel == "reference")))
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# single-device app runs: trace + metrics + analysis snapshot
+# ----------------------------------------------------------------------
+def _app_surfaces(app: str, kernel: str, obs_on: bool):
+    reset_stream_ids()
+    with engine_kernel(kernel):
+        obs = _obs(kernel) if obs_on else None
+        res = _run_app(app, obs)
+        assert res is not None
+        analysis = analyze_result(res, meta={"app": app, "device": "k40m"})
+        out = {"analysis": _canon(analysis.to_dict())}
+        if obs_on:
+            out["trace"] = render(obs.chrome_trace())
+            out["metrics"] = _canon(obs.metrics.snapshot())
+        return out
+
+
+@pytest.mark.parametrize("obs_on", (True, False), ids=("obs", "noobs"))
+@pytest.mark.parametrize("app", sorted(APP_CONFIGS))
+def test_app_surfaces_identical(app, obs_on):
+    fast = _app_surfaces(app, "fast", obs_on)
+    ref = _app_surfaces(app, "reference", obs_on)
+    for surface in sorted(fast):
+        assert fast[surface] == ref[surface], (
+            f"{app} {surface} differs between engine kernels"
+        )
+
+
+@pytest.mark.parametrize("app", sorted(APP_CONFIGS))
+def test_app_golden_trace_matches_reference_kernel(app, update_golden):
+    """The checked-in golden file *is* the reference kernel's output.
+
+    Redundant with ``tests/golden`` for the fast kernel; this pins the
+    reference kernel to the same bytes, so the two suites can never
+    drift apart silently.
+    """
+    if update_golden:
+        pytest.skip("golden files are owned by tests/golden")
+    from tests.golden.test_golden_traces import GOLDEN_DIR
+
+    reset_stream_ids()
+    with engine_kernel("reference"):
+        obs = _obs("reference")
+        _run_app(app, obs)
+    golden = (GOLDEN_DIR / f"{app}.json").read_text(encoding="utf-8")
+    assert render(obs.chrome_trace()) == golden
+
+
+# ----------------------------------------------------------------------
+# serve runs: report dict + trace + metrics, sharded / chaos / checksum
+# ----------------------------------------------------------------------
+def _serve_surfaces(
+    kernel: str, *, count=1, shards=1, chaos=None, integrity=None,
+    virtual=True, obs_on=True,
+):
+    reset_stream_ids()
+    with engine_kernel(kernel):
+        obs = _obs(kernel) if obs_on else None
+        reqs = [
+            build_request(
+                app, tenant=f"t{i}", config=dict(cfg), virtual=virtual,
+                shards=shards, integrity=integrity,
+            )
+            for i, (app, cfg) in enumerate(sorted(SERVE_CONFIGS.items()))
+        ]
+        with DevicePool("k40m", count=count, virtual=virtual, obs=obs) as pool:
+            if chaos is not None:
+                pool.install_faults(
+                    pool_fault_plans(chaos, seed=1, count=count)
+                )
+            sched = RegionScheduler(pool, ServeConfig(autotune=False))
+            sched.submit_all(reqs)
+            report = sched.run()
+        assert report.ok
+        out = {"report": _canon(report.to_dict())}
+        if obs_on:
+            out["trace"] = render(obs.chrome_trace())
+            out["metrics"] = _canon(obs.metrics.snapshot())
+        return out
+
+
+SERVE_CASES = {
+    # the four apps back-to-back on one device, checksum verification on
+    "single-checksum": dict(count=1, shards=1, integrity="checksum",
+                            virtual=False),
+    # every request split 3 ways across a 3-device pool
+    "sharded3-checksum": dict(count=3, shards=3, integrity="checksum",
+                              virtual=False),
+    # a named chaos profile: transient DMA/kernel faults absorbed by
+    # chunk replay — the recovery re-enqueue path runs on both kernels
+    "chaos-transient": dict(count=1, shards=1, chaos="transient"),
+    # sharded with observability fully off (OBS_NULL on the pool)
+    "sharded3-noobs": dict(count=3, shards=3, obs_on=False),
+}
+
+
+@pytest.mark.parametrize("case", sorted(SERVE_CASES))
+def test_serve_surfaces_identical(case):
+    kw = SERVE_CASES[case]
+    fast = _serve_surfaces("fast", **kw)
+    ref = _serve_surfaces("reference", **kw)
+    for surface in sorted(fast):
+        assert fast[surface] == ref[surface], (
+            f"serve[{case}] {surface} differs between engine kernels"
+        )

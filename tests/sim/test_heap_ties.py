@@ -1,0 +1,105 @@
+"""Heap-tie regression tests: equal-``(time, seq)`` is impossible.
+
+The event heap orders entries ``(time, seq, tag, cmd)``.  ``seq`` comes
+from one per-simulator monotone counter assigned at enqueue, so two
+entries can never tie on ``(time, seq)`` — which matters because
+``Command`` is deliberately unorderable: if a duplicate seq ever
+appeared, heapq would fall through to comparing commands and crash
+loudly instead of silently reordering the schedule.  These tests pin
+that construction:
+
+* seq is strictly monotone in enqueue order and never reused, including
+  the fault-replay path (replays acquire *fresh* commands/tokens and
+  re-enqueue, so they draw new seqs);
+* an equal-time storm of identical commands carries pairwise-distinct
+  ``(time, seq)`` heap keys and retires in enqueue order;
+* the int event tags sort finish-before-ready exactly like the legacy
+  string tags did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+from repro.sim.engine import _EV_FINISH, _EV_READY, Command, Simulator
+
+
+def _sim(engines=("e0", "e1")):
+    sim = Simulator()
+    for name in engines:
+        sim.add_engine(name)
+    return sim
+
+
+def test_seq_strictly_monotone_in_enqueue_order():
+    sim = _sim()
+    cmds = []
+    # same enqueue times, same (zero) durations, alternating engines:
+    # nothing but seq can break these ties
+    for i in range(64):
+        cmd = Command("kernel", f"e{i % 2}", 0.0, label=f"c{i}")
+        sim.enqueue(cmd, enqueue_time=1e-6)
+        cmds.append(cmd)
+    seqs = [c.seq for c in cmds]
+    assert all(b > a for a, b in zip(seqs, seqs[1:]))
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_equal_time_storm_has_distinct_heap_keys_and_fifo_order():
+    sim = _sim(engines=("e0",))
+    order = []
+    for i in range(50):
+        sim.enqueue(
+            Command("kernel", "e0", 0.0, payload=(lambda i=i: order.append(i))),
+            enqueue_time=1e-6,
+        )
+    # every queued event shares time 1e-6; the (time, seq) prefix must
+    # still be pairwise distinct so heapq never reaches the commands
+    keys = [(t, seq) for t, seq, _tag, _cmd in sim._heap]
+    assert len(set(keys)) == len(keys)
+    sim.run_all()
+    assert order == list(range(50))
+
+
+def test_commands_are_unorderable():
+    """A duplicate ``(time, seq)`` would crash, not reorder silently."""
+    a = Command("kernel", "e0", 0.0)
+    b = Command("kernel", "e0", 0.0)
+    with pytest.raises(TypeError):
+        a < b  # noqa: B015 - the comparison itself is the assertion
+
+
+def test_event_tags_sort_like_legacy_strings():
+    """Finish events pop before ready events at equal ``(time, seq)``
+    prefixes, exactly as the old ``("finish" < "ready")`` string tags
+    sorted; the int tags must preserve that tuple ordering."""
+    assert _EV_FINISH < _EV_READY
+    assert ("finish" < "ready") == (_EV_FINISH < _EV_READY)
+
+
+def test_replay_reenqueue_path_never_reuses_a_seq():
+    """Chunk replays under chaos acquire fresh commands — every retired
+    command across the whole faulted run carries a distinct seq."""
+    pool = DevicePool("k40m")
+    # mild enough that replay absorbs every fault without tripping the
+    # circuit breaker (a quarantine would fail the run, not the test's
+    # point)
+    pool.install_faults(
+        [FaultPlan(seed=1, kernel_fault_rate=0.06, h2d_fault_rate=0.05)]
+    )
+    sched = RegionScheduler(pool, ServeConfig(autotune=False))
+    sched.submit_all([
+        build_request("stencil", tenant="t0",
+                      config={"nz": 12, "ny": 24, "nx": 24, "iters": 1}),
+        build_request("qcd", tenant="t1", config={"n": 6}),
+    ])
+    report = sched.run()
+    assert report.ok
+    assert report.retries > 0, "chaos plan produced no replays"
+    sim = pool.runtimes[0].device.sim
+    seqs = [c.seq for c in sim.completed]
+    assert len(set(seqs)) == len(seqs)
+    assert all(s >= 0 for s in seqs)
+    pool.close()
