@@ -206,4 +206,56 @@ if [ "$rc" -ne 2 ]; then
     echo "engine-bench malformed baseline should exit 2, got $rc" >&2
     exit 1
 fi
+echo "== CLI smoke: failing runs exit non-zero =="
+# a serve where requests die must not exit 0 (CI must see the failure):
+# failover chaos on a single device leaves nowhere to migrate
+rc=0
+python -m repro serve examples/serve_workload.json \
+    --chaos failover --seed 1 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "serve with failed requests should exit 1, got $rc" >&2
+    exit 1
+fi
+# a chaos run that cannot recover a reference match must exit 1 too:
+# sdc without integrity checking corrupts the output silently
+rc=0
+python -m repro chaos stencil --profile sdc --seed 1 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "chaos with corrupted output should exit 1, got $rc" >&2
+    exit 1
+fi
+
+echo "== CLI smoke: journalled serve crash-resumes exactly-once =="
+jr_dir="$(mktemp -d -t repro-journal-XXXXXX)"
+trap 'rm -f "$tmp" "$straggler_wl"; rm -rf "$eb_dir" "$jr_dir"' EXIT
+# the hostcrash profile kills the control plane after record 12 is
+# durable; the injected crash is exit 3 (resumable), not a failure
+rc=0
+python -m repro serve examples/serve_workload.json \
+    --chaos hostcrash --journal "$jr_dir/serve.journal" \
+    --snapshot-every 8 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "injected host crash should exit 3, got $rc" >&2
+    exit 1
+fi
+# resume replays the journal, restores completed outputs from the
+# sidecar store, and finishes the rest — re-executing nothing
+resume_out="$(python -m repro serve examples/serve_workload.json \
+    --journal "$jr_dir/serve.journal" --snapshot-every 8 --resume)"
+if ! echo "$resume_out" | grep -q "resumed=1"; then
+    echo "resumed serve did not report resumed=1:" >&2
+    echo "$resume_out" >&2
+    exit 1
+fi
+if ! echo "$resume_out" | grep -q "re-executed=0"; then
+    echo "resume re-executed completed work:" >&2
+    echo "$resume_out" >&2
+    exit 1
+fi
+if ! echo "$resume_out" | grep -q "requests         3 (3 ok, 0 failed, 0 shed, 0 cancelled)"; then
+    echo "resumed serve did not complete all 3 tenants:" >&2
+    echo "$resume_out" >&2
+    exit 1
+fi
+
 echo "CI checks passed."

@@ -426,7 +426,14 @@ def _chaos(args) -> int:
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 1
     print(report.summary())
-    return 0 if report.matches_reference else 1
+    if not report.matches_reference:
+        print(
+            "chaos: recovered output does not match the NumPy reference "
+            f"(max abs err {report.max_error:.3g})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _serve(args) -> int:
@@ -436,15 +443,30 @@ def _serve(args) -> int:
     (``--seed``), turning on the scheduler's replay/failover/breaker
     machinery; ``--devices SPEC`` overrides the workload's pool with a
     device count (``"2"``) or comma-separated profile names
-    (``"k40m,hd7970"``).  Exit code 0 iff every request completed
-    successfully.
+    (``"k40m,hd7970"``).  ``--journal PATH`` makes the run
+    crash-consistent (``--resume`` picks a crashed run back up; the
+    ``hostcrash`` chaos profile or ``--crash-after K`` injects the
+    crash).  Exit codes: 0 all requests ok; 1 any request failed,
+    shed, or cancelled; 2 bad arguments or unusable journal; 3 an
+    injected host crash cut the run (resumable).
     """
     import json
 
     from repro.core.placement import parse_devices_arg
     from repro.errors import ReproError
+    from repro.faults import HostCrashError
     from repro.obs import Observability
-    from repro.serve import DevicePool, RegionScheduler, ServeConfig, load_workload
+    from repro.serve import (
+        DevicePool,
+        JournalError,
+        RegionScheduler,
+        ServeConfig,
+        load_workload,
+    )
+
+    if args.resume and not args.journal:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
 
     try:
         # integrity verification needs real payloads to digest; plain
@@ -477,11 +499,18 @@ def _serve(args) -> int:
             )
             return 2
     obs = Observability() if args.trace else None
-    config = ServeConfig(
-        max_active=1 if args.serial else None,
-        integrity=args.integrity,
-        straggler_watchdog=args.watchdog,
-    )
+    try:
+        config = ServeConfig(
+            max_active=1 if args.serial else None,
+            integrity=args.integrity,
+            straggler_watchdog=args.watchdog,
+            journal_path=args.journal,
+            snapshot_every=args.snapshot_every,
+            crash_after_events=args.crash_after,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     with DevicePool(
         pool_spec,
         count=count,
@@ -492,9 +521,33 @@ def _serve(args) -> int:
     ) as pool:
         if plans is not None:
             pool.install_faults(plans)
-        sched = RegionScheduler(pool, config)
-        sched.submit_all(spec.requests)
-        report = sched.run()
+        try:
+            if args.resume:
+                sched = RegionScheduler.resume(
+                    args.journal, pool, spec.requests, config=config
+                )
+            else:
+                sched = RegionScheduler(pool, config)
+                sched.submit_all(spec.requests)
+            report = sched.run()
+        except HostCrashError as exc:
+            # echo every flag that shapes the journalled config: resume
+            # byte-verifies the header, so a hint that drops one of
+            # these would diverge at record 0
+            hint = f"repro serve {args.workload} --journal {args.journal}"
+            if args.snapshot_every != 32:
+                hint += f" --snapshot-every {args.snapshot_every}"
+            if args.serial:
+                hint += " --serial"
+            if args.integrity != "off":
+                hint += f" --integrity {args.integrity}"
+            if args.watchdog:
+                hint += " --watchdog"
+            print(f"{exc}\nresume with: {hint} --resume", file=sys.stderr)
+            return 3
+        except JournalError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.trace:
         obs.write_chrome_trace(args.trace)
         print(f"wrote {args.trace} (open in chrome://tracing or ui.perfetto.dev)")
@@ -502,7 +555,14 @@ def _serve(args) -> int:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
-    return 0 if report.ok else 1
+    if not report.ok:
+        print(
+            f"serve: {report.failed} failed, {report.shed} shed, "
+            f"{report.cancelled} cancelled request(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -602,7 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--profile", default="transient",
         help="fault profile: transient (default), jitter, pressure, "
-        "chaos, failover, sdc, straggler",
+        "chaos, failover, sdc, straggler, hostcrash",
     )
     ch.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     ch.add_argument("--device", default="k40m")
@@ -643,7 +703,8 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--chaos", default=None, metavar="PROFILE",
         help="install per-device fault injectors from a named profile "
-        "(transient, jitter, pressure, chaos, failover, sdc, straggler)",
+        "(transient, jitter, pressure, chaos, failover, sdc, "
+        "straggler, hostcrash)",
     )
     sv.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     sv.add_argument(
@@ -660,6 +721,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--devices", default=None, metavar="SPEC",
         help="override the workload's pool: a count (\"2\") or "
         "comma-separated profile names (\"k40m,hd7970\")",
+    )
+    sv.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead journal for crash-consistent serving; an "
+        "injected host crash (hostcrash profile or --crash-after) "
+        "exits 3 and the run resumes with --resume",
+    )
+    sv.add_argument(
+        "--resume", action="store_true",
+        help="resume a crashed run from --journal PATH: completed "
+        "requests are never re-executed, the report and outputs are "
+        "byte-identical to the uninterrupted run",
+    )
+    sv.add_argument(
+        "--snapshot-every", type=int, default=32, metavar="N",
+        dest="snapshot_every",
+        help="checkpoint cadence in journal records (default 32; "
+        "0 disables snapshots)",
+    )
+    sv.add_argument(
+        "--crash-after", type=int, default=None, metavar="K",
+        dest="crash_after",
+        help="inject a host crash once K journal records are durable "
+        "(requires --journal; overrides the hostcrash profile's index)",
     )
     return p
 

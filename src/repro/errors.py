@@ -38,7 +38,9 @@ __all__ = [
     "DeviceLostError",
     "DirectiveError",
     "GpuError",
+    "HostCrashError",
     "InvalidValueError",
+    "JournalError",
     "KernelFaultError",
     "MemLimitError",
     "OutOfDeviceMemory",
@@ -69,6 +71,8 @@ _HOMES = {
     "DeviceLostError": "repro.gpu.errors",
     "MemLimitError": "repro.core.memlimit",
     "RegionFailure": "repro.faults.policy",
+    "HostCrashError": "repro.faults.plan",
+    "JournalError": "repro.serve.journal",
 }
 
 

@@ -39,7 +39,12 @@ Usage::
 from __future__ import annotations
 
 from repro.faults.inject import FaultInjector, hash_u01
-from repro.faults.plan import FaultPlan, InjectedFault, PressureEvent
+from repro.faults.plan import (
+    FaultPlan,
+    HostCrashError,
+    InjectedFault,
+    PressureEvent,
+)
 from repro.faults.policy import FaultPolicy, RegionFailure
 from repro.faults.profiles import (
     CHAOS_APPS,
@@ -56,6 +61,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPolicy",
+    "HostCrashError",
     "InjectedFault",
     "PressureEvent",
     "PROFILES",

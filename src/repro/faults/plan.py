@@ -48,9 +48,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.errors import ReproError
 from repro.gpu.errors import InvalidValueError
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "InjectedFault", "PressureEvent"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "HostCrashError",
+    "InjectedFault",
+    "PressureEvent",
+]
+
+
+class HostCrashError(ReproError, RuntimeError):
+    """The serve control plane was killed by the host-crash injector.
+
+    Raised by the journal writer *after* the triggering record is
+    durably on disk, so a resumed run sees exactly the events the
+    crashed run saw.  Carries the journal index at which the host died.
+    """
+
+    def __init__(self, records: int) -> None:
+        super().__init__(
+            f"host crash injected after journal record {records - 1} "
+            f"({records} records durable)"
+        )
+        self.records = records
 
 
 #: fault kinds carried on :class:`InjectedFault` descriptors
@@ -181,6 +204,13 @@ class FaultPlan:
     #: restrict injection to these fault kinds (empty = no restriction);
     #: unknown kind names are rejected at construction
     only_kinds: Tuple[str, ...] = ()
+    #: kill the serve control plane after this many journal records
+    #: have been durably written (``None`` = never).  Host-level, not
+    #: device-level: it is harvested by the scheduler's journal writer
+    #: and deliberately does **not** make the plan ``active`` (a pure
+    #: host-crash plan installs no device injectors, so the pre-crash
+    #: schedule is the fault-free schedule).
+    crash_after_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         rates = (
@@ -208,6 +238,10 @@ class FaultPlan:
         if self.device_lost_at is not None and self.device_lost_at < 1:
             raise InvalidValueError(
                 f"device_lost_at must be >= 1, got {self.device_lost_at}"
+            )
+        if self.crash_after_events is not None and self.crash_after_events < 1:
+            raise InvalidValueError(
+                f"crash_after_events must be >= 1, got {self.crash_after_events}"
             )
         for i, ev in enumerate(self.pressure_events):
             if ev.nbytes <= 0:

@@ -81,6 +81,12 @@ PROFILES: Dict[str, FaultPlan] = {
         slow_factor=10.0,
         slow_after=4,
     ),
+    # host/control-plane crash: the serve loop dies after 12 journal
+    # records; devices stay healthy.  Only meaningful with a journal
+    # (``repro serve --journal``); device-level chaos runs ignore it.
+    "hostcrash": FaultPlan(
+        crash_after_events=12,
+    ),
 }
 
 #: applications the chaos runner knows how to build and verify

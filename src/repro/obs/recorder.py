@@ -33,7 +33,7 @@ __all__ = ["FlightRecorder"]
 class FlightRecorder:
     """Fixed-size ring of structured events with failure dumps."""
 
-    __slots__ = ("capacity", "clock", "dropped", "dumps", "_ring", "_seq")
+    __slots__ = ("capacity", "clock", "dropped", "dumps", "sink", "_ring", "_seq")
 
     def __init__(
         self,
@@ -49,6 +49,11 @@ class FlightRecorder:
         self.dropped = 0
         #: every snapshot produced by :meth:`dump`, in order
         self.dumps: List[Dict] = []
+        #: optional tee: called with each event dict *after* it enters
+        #: the ring (the serve journal attaches here); exceptions
+        #: propagate to the recording site on purpose — a host-crash
+        #: injector kills the control plane through this hook
+        self.sink: Optional[Callable[[Dict], None]] = None
         self._ring: deque = deque(maxlen=capacity)
         self._seq = 0
 
@@ -77,6 +82,8 @@ class FlightRecorder:
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append(ev)
+        if self.sink is not None:
+            self.sink(ev)
 
     def dump(
         self, reason: str, *, path: Optional[str] = None, **context

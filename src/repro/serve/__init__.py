@@ -24,6 +24,13 @@ and determinism guarantee.
 """
 
 from repro.serve.cache import PlanCache
+from repro.serve.journal import (
+    JournalError,
+    JournalReader,
+    JournalWriter,
+    output_store_path,
+    snapshot_path,
+)
 from repro.serve.pool import DevicePool
 from repro.serve.request import RegionRequest, RequestResult
 from repro.serve.scheduler import RegionScheduler, ServeConfig, ServeReport
@@ -36,6 +43,9 @@ from repro.serve.workload import (
 
 __all__ = [
     "DevicePool",
+    "JournalError",
+    "JournalReader",
+    "JournalWriter",
     "PlanCache",
     "RegionRequest",
     "RegionScheduler",
@@ -45,5 +55,7 @@ __all__ = [
     "WorkloadSpec",
     "build_request",
     "load_workload",
+    "output_store_path",
     "random_workload",
+    "snapshot_path",
 ]

@@ -98,6 +98,10 @@ class DevicePool:
         self.health: List[str] = [HEALTH_OK] * len(self.runtimes)
         #: per-device installed fault injectors (``None`` = fault-free)
         self.injectors: List[Optional[object]] = [None] * len(self.runtimes)
+        #: host-crash trigger harvested from installed fault plans
+        #: (earliest across devices); consumed by the scheduler's
+        #: journal writer on a fresh (non-resume) run
+        self.crash_after_events: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.runtimes)
@@ -128,7 +132,15 @@ class DevicePool:
                 f"got {len(plans)} fault plan(s) for {len(self.runtimes)} device(s)"
             )
         for i, plan in enumerate(plans):
-            if plan is None or not plan.active:
+            if plan is None:
+                continue
+            if plan.crash_after_events is not None:
+                self.crash_after_events = (
+                    plan.crash_after_events
+                    if self.crash_after_events is None
+                    else min(self.crash_after_events, plan.crash_after_events)
+                )
+            if not plan.active:
                 continue
             self.injectors[i] = self.runtimes[i].install_faults(plan)
         return list(self.injectors)

@@ -154,6 +154,34 @@ class RequestResult:
         """Whether the request completed successfully."""
         return self.status == "ok"
 
+    def to_state(self) -> Dict[str, object]:
+        """Full-fidelity JSON-safe encoding for the serve journal.
+
+        Unlike :meth:`to_dict` (a digest that drops zero-valued
+        optional fields), this round-trips *every* field exactly, so a
+        resumed run can reconstruct the record bit-for-bit and the
+        journal byte-compare can vouch for it.
+        """
+        from dataclasses import fields as _fields
+
+        state: Dict[str, object] = {}
+        for f in _fields(self):
+            v = getattr(self, f.name)
+            if f.name == "devices":
+                v = list(v)
+            elif f.name == "busy":
+                v = dict(v)
+            state[f.name] = v
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "RequestResult":
+        """Inverse of :meth:`to_state`."""
+        data = dict(state)
+        data["devices"] = tuple(data.get("devices", ()))
+        data["busy"] = dict(data.get("busy", {}))
+        return cls(**data)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe digest."""
         d: Dict[str, object] = {

@@ -72,7 +72,10 @@ run.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional
 
 from repro.core.autotune import autotune
@@ -81,13 +84,28 @@ from repro.core.memlimit import MemLimitError, tune_plan
 from repro.core.multidevice import ShardedIssuer
 from repro.core.plan import RegionPlan
 from repro.directives.clauses import DirectiveError
-from repro.faults.plan import KIND_DEVICE_LOST
+from repro.faults.plan import KIND_DEVICE_LOST, HostCrashError
 from repro.faults.policy import FaultPolicy, RegionFailure
-from repro.gpu.errors import DeviceLostError, KernelFaultError, TransferError
+from repro.gpu.errors import (
+    DeviceLostError,
+    InvalidValueError,
+    KernelFaultError,
+    TransferError,
+)
 from repro.integrity import INTEGRITY_OFF, validate_integrity
+from repro.obs.io import atomic_write_json
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import FlightRecorder
 from repro.serve.cache import PlanCache
+from repro.serve.journal import (
+    JOURNAL_FORMAT,
+    JournalError,
+    JournalReader,
+    JournalWriter,
+    encode_record,
+    output_store_path,
+    snapshot_path,
+)
 from repro.serve.pool import DevicePool
 from repro.serve.request import RegionRequest, RequestResult
 from repro.sim.memory import OutOfDeviceMemory
@@ -169,6 +187,18 @@ class ServeConfig:
         :class:`~repro.core.multidevice.WatchdogConfig` defaults, or
         pass a ``WatchdogConfig`` to tune it).  Only affects requests
         with ``shards > 1``.
+    journal_path:
+        Write-ahead journal file for crash-consistent serving
+        (``None`` = no journal).  See :mod:`repro.serve.journal` and
+        ``docs/serve.md``.
+    snapshot_every:
+        Checkpoint cadence: write an atomic state snapshot every this
+        many journal records (0 = never; requires ``journal_path``).
+    crash_after_events:
+        Host-crash injection: kill the serve loop with
+        :class:`~repro.faults.HostCrashError` once this many journal
+        records are durable (``None`` = never).  Overrides any
+        ``crash_after_events`` harvested from the pool's fault plans.
     """
 
     max_active: Optional[int] = None
@@ -188,29 +218,36 @@ class ServeConfig:
     flight_recorder_capacity: int = 256
     integrity: str = INTEGRITY_OFF
     straggler_watchdog: object = False
+    journal_path: Optional[str] = None
+    snapshot_every: int = 32
+    crash_after_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_integrity(self.integrity)
         if self.max_active is not None and self.max_active < 1:
-            raise ValueError("max_active must be >= 1 (or None)")
+            raise InvalidValueError("max_active must be >= 1 (or None)")
         if self.aging_every < 1:
-            raise ValueError("aging_every must be >= 1")
+            raise InvalidValueError("aging_every must be >= 1")
         if self.issue_quantum < 1:
-            raise ValueError("issue_quantum must be >= 1")
+            raise InvalidValueError("issue_quantum must be >= 1")
         if self.plan_charge < 0:
-            raise ValueError("plan_charge must be >= 0")
+            raise InvalidValueError("plan_charge must be >= 0")
         if self.max_request_retries is not None and self.max_request_retries < 0:
-            raise ValueError("max_request_retries must be >= 0 (or None)")
+            raise InvalidValueError("max_request_retries must be >= 0 (or None)")
         if self.breaker_threshold < 1:
-            raise ValueError("breaker_threshold must be >= 1")
+            raise InvalidValueError("breaker_threshold must be >= 1")
         if self.breaker_window <= 0:
-            raise ValueError("breaker_window must be > 0")
+            raise InvalidValueError("breaker_window must be > 0")
         if self.breaker_cooldown < 0:
-            raise ValueError("breaker_cooldown must be >= 0")
+            raise InvalidValueError("breaker_cooldown must be >= 0")
         if self.max_waiting is not None and self.max_waiting < 1:
-            raise ValueError("max_waiting must be >= 1 (or None)")
+            raise InvalidValueError("max_waiting must be >= 1 (or None)")
         if self.flight_recorder_capacity < 1:
-            raise ValueError("flight_recorder_capacity must be >= 1")
+            raise InvalidValueError("flight_recorder_capacity must be >= 1")
+        if self.snapshot_every < 0:
+            raise InvalidValueError("snapshot_every must be >= 0")
+        if self.crash_after_events is not None and self.crash_after_events < 1:
+            raise InvalidValueError("crash_after_events must be >= 1 (or None)")
 
 
 @dataclass
@@ -238,6 +275,12 @@ class ServeReport:
     #: region failure, deadline cancellation, run-end); excluded from
     #: :meth:`to_dict` — dumps are post-mortem artifacts, not metrics
     flight_dumps: List[Dict] = field(default_factory=list, repr=False)
+    #: journal counters when the run carried a write-ahead journal
+    #: (path/records/fsyncs/snapshots/resumed/replayed/deduped/
+    #: reexecuted); empty without one.  Excluded from :meth:`to_dict`
+    #: on purpose — a resumed run's digest must stay byte-identical to
+    #: the uninterrupted (and journal-free) run's
+    journal: Dict = field(default_factory=dict, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -395,6 +438,17 @@ class ServeReport:
             f"(hit rate {float(self.cache.get('hit_rate', 0.0)):.0%}), "
             f"{self.dry_runs} dry run(s)",
         ]
+        if self.journal:
+            j = self.journal
+            lines.append(
+                f"journal          {j.get('records', 0)} record(s), "
+                f"{j.get('snapshots', 0)} snapshot(s), "
+                f"{j.get('fsyncs', 0)} fsync(s), "
+                f"resumed={j.get('resumed', 0)}, "
+                f"replayed={j.get('replayed', 0)}, "
+                f"deduped={j.get('deduped', 0)}, "
+                f"re-executed={j.get('reexecuted', 0)}"
+            )
         if any(r.deadline is not None for r in self.results):
             tracked = sum(1 for r in self.results if r.deadline is not None)
             lines.append(
@@ -475,6 +529,17 @@ class _Waiting:
     #: faults/replays accumulated on earlier (abandoned) attempts
     faults_seen: int = 0
     retries_used: int = 0
+    #: resume: journalled result state when the request already
+    #: completed before the crash — it is replayed with stand-in
+    #: arrays, never re-executed (exactly-once)
+    replay: Optional[Dict] = None
+    #: resume: the request's real arrays, to receive the journalled
+    #: outputs back from the sidecar store at retirement
+    restore: Optional[Dict] = None
+    #: resume: the request completed before the crash but must run
+    #: again with real payloads (its outputs were never persisted, or
+    #: integrity recomputation needs real data); counted, not hidden
+    reexecute: bool = False
 
 
 @dataclass
@@ -517,6 +582,8 @@ class RegionScheduler:
         pool: DevicePool,
         config: Optional[ServeConfig] = None,
         cache: Optional[PlanCache] = None,
+        *,
+        _resume: Optional[JournalReader] = None,
     ) -> None:
         self.pool = pool
         self.config = config or ServeConfig()
@@ -542,6 +609,264 @@ class RegionScheduler:
         self.recorder = FlightRecorder(
             capacity=self.config.flight_recorder_capacity, clock=self._clock
         )
+        # write-ahead journal (crash consistency; see repro.serve.journal)
+        self._journal: Optional[JournalWriter] = None
+        self._resumed = _resume is not None
+        self._deduped = 0
+        self._reexecuted = 0
+        if self.config.journal_path is not None:
+            crash = self.config.crash_after_events
+            if _resume is None and crash is None:
+                # harvest a hostcrash chaos profile installed on the pool;
+                # a resumed run deliberately ignores it (re-arming the
+                # same crash index would make resume loop forever)
+                crash = pool.crash_after_events
+            self._journal = JournalWriter(
+                self.config.journal_path,
+                snapshot_every=self.config.snapshot_every,
+                crash_after_events=crash,
+                resume_lines=_resume.lines if _resume is not None else None,
+            )
+            self._journal.snapshot_fn = self.checkpoint
+            self._journal.append(self._header_record())
+            self.recorder.sink = self._journal_sink
+
+    # ------------------------------------------------------------------
+    # journal: checkpoint and resume
+    # ------------------------------------------------------------------
+    def _journal_sink(self, ev: Dict) -> None:
+        """Tee a flight-recorder event into the write-ahead journal.
+
+        ``chunk.issue`` is per-turn progress telemetry, not a
+        control-plane state transition: replay regenerates it
+        deterministically and any divergence it could reveal is caught
+        at the next journalled transition's byte-compare.  Filtering it
+        keeps the journal compact — its volume stays proportional to
+        requests, not chunks.
+        """
+        if ev.get("kind") != "chunk.issue":
+            self._journal.append(ev)
+    def _header_record(self) -> Dict:
+        """Journal record 0: environment + config fingerprint.
+
+        A resumed run regenerates it and the byte-compare rejects a
+        journal taken under different devices, budgets, payload mode,
+        or policy knobs.  ``journal_path`` and ``crash_after_events``
+        are excluded — they are where/how the journal is kept, not what
+        the run computes.
+        """
+        from dataclasses import fields as _fields
+
+        skip = {"journal_path", "crash_after_events"}
+        conf: Dict[str, object] = {}
+        for f in _fields(self.config):
+            if f.name in skip:
+                continue
+            v = getattr(self.config, f.name)
+            if not isinstance(v, (bool, int, float, str, type(None))):
+                v = repr(v)
+            conf[f.name] = v
+        return {
+            "kind": "journal.header",
+            "format": JOURNAL_FORMAT,
+            "devices": [p.name for p in self.pool.profiles],
+            "budgets": [int(b) for b in self.pool.budgets],
+            "virtual": all(rt.virtual for rt in self.pool.runtimes),
+            "config": conf,
+        }
+
+    def checkpoint(self) -> Dict:
+        """Package the scheduler's full mutable state, JSON-safe.
+
+        With a journal attached the snapshot is atomically written to
+        the ``<journal>.snap.json`` sidecar and its digest journalled
+        as a ``journal.snapshot`` record — during a resume the digest
+        is regenerated and byte-compared, which is the proof that this
+        state is reconstructed exactly at every cadence point.
+        """
+        state: Dict[str, object] = {
+            "clock": self._clock(),
+            "seq": self._seq,
+            "admit_seq": self._admit_seq,
+            "waiting": [
+                [w.seq, w.req.tenant, w.req.label, w.req.priority,
+                 self._effective_priority(w), w.passed_over, w.overtaken,
+                 bool(w.oom_deferred), bool(w.migrated),
+                 w.faults_seen, w.retries_used]
+                for w in self._waiting
+            ],
+            "active": [
+                [a.waiting.seq, a.admit_seq, a.device,
+                 list(a.devices) if a.devices else None,
+                 int(a.reserved), a.issuer.issued, a.issuer.remaining,
+                 a.issuer.retries_n]
+                for a in sorted(self._active, key=lambda a: a.admit_seq)
+            ],
+            "completed": sorted(r.request_id for r in self._results),
+            "reserved": [int(b) for b in self.pool.reserved],
+            "health": list(self.pool.health),
+            "quarantined_until": list(self._quarantined_until),
+            "breaker_windows": [list(ts) for ts in self._fault_times],
+            "breaker_trips": list(self._breaker_trips),
+            "cache": {
+                "entries": self.cache.dump_entries(),
+                **self.cache.stats(),
+            },
+            "plan_seconds": self.plan_seconds,
+            "dry_runs": self.dry_runs,
+            "device_elapsed": [rt.elapsed for rt in self.pool.runtimes],
+        }
+        if self._journal is not None:
+            digest = hashlib.sha256(
+                encode_record(state).encode("utf-8")
+            ).hexdigest()[:16]
+            hwm = self._journal.records
+            atomic_write_json(
+                snapshot_path(self._journal.path),
+                {"digest": digest, "records": hwm, "state": state},
+                indent=1,
+                sort_keys=True,
+            )
+            self.recorder.record("journal.snapshot", records=hwm, digest=digest)
+        return state
+
+    def _journal_done(self, result: RequestResult) -> None:
+        """Journal a request's terminal outcome, full fidelity.
+
+        This is the exactly-once commit point: a resume treats every
+        ``request.done`` record as settled and never re-executes the
+        request (completed-``ok`` outputs come back from the sidecar
+        store instead).
+        """
+        if self._journal is None:
+            return
+        self._journal.append({
+            "kind": "request.done",
+            "request": result.request_id,
+            "status": result.status,
+            "result": result.to_state(),
+        })
+
+    def _save_outputs(self, seq: int, req) -> None:
+        """Persist a completed request's written arrays to the store.
+
+        Only arrays a ``from``/``tofrom`` clause writes back are saved —
+        input-only arrays are never mutated by the run, so on resume the
+        caller's own copies are already exact.
+        """
+        import numpy as np
+
+        region = req.region
+        written = {c.var for c in region.pipeline_maps if c.is_output}
+        written |= {
+            c.var for c in region.maps if c.direction in ("from", "tofrom")
+        }
+        payload = {
+            k: v for k, v in req.arrays.items()
+            if k in written and isinstance(v, np.ndarray)
+        }
+        if not payload:
+            return  # virtual payloads: nothing to persist, nothing lost
+        # one raw .npy per array: ~4x cheaper than a .npz bundle (no
+        # zip framing/CRC), and the journal record that marks the
+        # request done is only appended after every save returned
+        rdir = os.path.join(output_store_path(self._journal.path), f"r{seq}")
+        os.makedirs(rdir, exist_ok=True)
+        for k, v in payload.items():
+            np.save(os.path.join(rdir, f"{k}.npy"), v)
+
+    def _restore_outputs(self, w: _Waiting) -> None:
+        """Copy journalled outputs back into the request's real arrays."""
+        import numpy as np
+
+        rdir = os.path.join(
+            output_store_path(self._journal.path), f"r{w.seq}"
+        )
+        for k, arr in w.restore.items():
+            path = os.path.join(rdir, f"{k}.npy")
+            if isinstance(arr, np.ndarray) and os.path.exists(path):
+                np.copyto(arr, np.load(path))
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        pool: DevicePool,
+        requests,
+        *,
+        config: Optional[ServeConfig] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> "RegionScheduler":
+        """Rebuild a scheduler from journal ``path`` ready to re-run.
+
+        The caller supplies the same workload and an equivalent pool;
+        the journal is replayed by *verified re-simulation*: the run
+        restarts from virtual t=0, every regenerated record is
+        byte-compared against the stored prefix (any divergence raises
+        :class:`~repro.serve.JournalError`), requests the journal marks
+        complete are replayed with metadata-only stand-in arrays and
+        their outputs restored from the sidecar store (exactly-once),
+        and in-flight regions restart and re-run their pipelines —
+        chunk replay going through the issuers'
+        :meth:`~repro.core.executor.PipelineIssuer.recover` machinery
+        exactly as in the original run.  Call :meth:`run` on the
+        result; its report is byte-identical to the uninterrupted run's.
+        """
+        import numpy as np
+
+        from repro.sim.varray import VirtualArray
+
+        reader = JournalReader(path)
+        cfg = dc_replace(config or ServeConfig(), journal_path=path)
+        sched = cls(pool, cfg, cache, _resume=reader)
+        requests = list(requests)
+        for seq, rec in sorted(reader.submits.items()):
+            if seq >= len(requests):
+                raise JournalError(
+                    f"journal knows request {seq} but only "
+                    f"{len(requests)} request(s) were supplied"
+                )
+            req = requests[seq]
+            got = (req.tenant, req.label, req.priority)
+            want = (rec["tenant"], rec.get("label", ""), rec["priority"])
+            if got != want:
+                raise JournalError(
+                    f"workload mismatch at request {seq}: journal holds "
+                    f"{want!r}, caller supplied {got!r}"
+                )
+        completed = reader.completed
+        store = output_store_path(path)
+        sched.submit_all(requests)
+        for w in sched._waiting:
+            state = completed.get(w.seq)
+            if state is None:
+                continue
+            if state["status"] != "ok":
+                # failed/cancelled/shed: not settled work — re-run with
+                # real payloads so partial effects are reproduced
+                continue
+            arrays = w.req.arrays
+            if not any(isinstance(a, np.ndarray) for a in arrays.values()):
+                w.replay = state  # already virtual: trivially deduped
+                continue
+            rdir = os.path.join(store, f"r{w.seq}")
+            if int(state.get("corruptions", 0)) == 0 and os.path.isdir(rdir):
+                # exactly-once: replay with stand-in arrays, restore the
+                # journalled outputs at retirement
+                w.restore = arrays
+                shadow = {
+                    k: VirtualArray(a.shape, a.dtype)
+                    if isinstance(a, np.ndarray) else a
+                    for k, a in arrays.items()
+                }
+                w.req = dc_replace(w.req, arrays=shadow)
+                w.replay = state
+            else:
+                # detected-corruption recomputation altered the timeline
+                # through real data, or the outputs were never persisted:
+                # honest re-execution, counted in ``reexecuted``
+                w.reexecute = True
+        return sched
 
     # ------------------------------------------------------------------
     # submission
@@ -652,6 +977,11 @@ class RegionScheduler:
                 # cooldown over: probe the device back into service
                 self._quarantined_until[device] = None
                 self._fault_times[device] = []
+                self.recorder.record(
+                    "breaker.close",
+                    t=self.pool.runtimes[device].elapsed,
+                    device=device,
+                )
                 if self.obs.metrics.enabled:
                     self.obs.metrics.counter("serve.breaker.closes").inc()
             else:
@@ -874,6 +1204,8 @@ class RegionScheduler:
             w.migrated = True
             self._device_lost(device)
             return False
+        except HostCrashError:
+            raise  # the injected host crash must not become a request failure
         except Exception as exc:
             issuer.abort()
             self.pool.release(device, nbytes)
@@ -945,6 +1277,8 @@ class RegionScheduler:
                 integrity=self._integrity_for(w.req),
                 watchdog=self.config.straggler_watchdog,
             )
+        except HostCrashError:
+            raise
         except Exception as exc:
             for di in members:
                 self.pool.release(di, nbytes)
@@ -979,6 +1313,8 @@ class RegionScheduler:
             for di in self._lost_members(members):
                 self._device_lost(di)
             return False
+        except HostCrashError:
+            raise
         except Exception as exc:
             issuer.abort()
             for di in members:
@@ -1069,6 +1405,7 @@ class RegionScheduler:
         )
         self._results.append(result)
         self._observe(result)
+        self._journal_done(result)
 
     def _shed(self, w: _Waiting, reason: str) -> None:
         """Drop a still-waiting request (overload or hopeless deadline)."""
@@ -1101,6 +1438,7 @@ class RegionScheduler:
         )
         self._results.append(result)
         self._observe(result)
+        self._journal_done(result)
 
     def _release_active(self, a: _Active) -> None:
         """Abort an in-flight region and hand its memory back."""
@@ -1164,6 +1502,7 @@ class RegionScheduler:
         )
         self._results.append(result)
         self._observe(result)
+        self._journal_done(result)
 
     def _fail_active(self, a: _Active, exc: Exception) -> None:
         """Terminal in-flight failure (retry budget / policy exhausted)."""
@@ -1217,6 +1556,7 @@ class RegionScheduler:
         )
         self._results.append(result)
         self._observe(result)
+        self._journal_done(result)
 
     def _device_lost(self, device: int) -> None:
         """Pool-level failover: quarantine the device, re-queue its work.
@@ -1381,6 +1721,19 @@ class RegionScheduler:
         for w2 in self._waiting:
             w2.oom_deferred = False
         self._observe(result)
+        if w.replay is not None:
+            # resume dedup: the journal had this request settled — the
+            # pipeline replayed with stand-in arrays; hand the
+            # journalled outputs back to the caller's real arrays
+            self._deduped += 1
+            if w.restore is not None:
+                self._restore_outputs(w)
+        else:
+            if w.reexecute:
+                self._reexecuted += 1
+            if self._journal is not None:
+                self._save_outputs(w.seq, req)
+        self._journal_done(result)
 
     def _observe(self, r: RequestResult) -> None:
         tracer, metrics = self.obs.tracer, self.obs.metrics
@@ -1575,7 +1928,7 @@ class RegionScheduler:
             else h
             for i, h in enumerate(self.pool.health)
         ]
-        return ServeReport(
+        report = ServeReport(
             results=list(self._results),
             makespan=self.pool.elapsed,
             device_elapsed=[rt.elapsed for rt in self.pool.runtimes],
@@ -1588,3 +1941,37 @@ class RegionScheduler:
             breaker_trips=list(self._breaker_trips),
             flight_dumps=list(self.recorder.dumps),
         )
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "run.end",
+                "requests": len(self._results),
+                "makespan": self.pool.elapsed,
+            })
+            self.recorder.sink = None
+            self._journal.close()
+            report.journal = {
+                "path": self._journal.path,
+                "records": self._journal.records,
+                "fsyncs": self._journal.fsyncs,
+                "snapshots": self._journal.snapshots,
+                "resumed": 1 if self._resumed else 0,
+                "replayed": self._journal.verified,
+                "deduped": self._deduped,
+                "reexecuted": self._reexecuted,
+                # host wall spent on durability (never in to_dict():
+                # it is machine-dependent, the report is deterministic)
+                "wall_s": self._journal.wall_s,
+            }
+            if self.obs.metrics.enabled:
+                m = self.obs.metrics
+                m.counter("serve.journal.records").inc(self._journal.records)
+                m.counter("serve.journal.fsyncs").inc(self._journal.fsyncs)
+                m.counter("serve.journal.snapshots").inc(self._journal.snapshots)
+                if self._resumed:
+                    m.counter("serve.journal.resumes").inc()
+                    m.counter("serve.journal.replayed").inc(
+                        self._journal.verified
+                    )
+                    m.counter("serve.journal.deduped").inc(self._deduped)
+                    m.counter("serve.journal.reexecuted").inc(self._reexecuted)
+        return report

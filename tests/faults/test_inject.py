@@ -135,7 +135,10 @@ class TestFaultProfiles:
     def test_profiles_resolve_and_stamp_seed(self, name):
         plan = fault_profile(name, seed=42)
         assert plan.seed == 42
-        assert plan.active
+        # every profile does something: device-level injection, or the
+        # host-level crash trigger (deliberately not `active` — a pure
+        # hostcrash plan must not install device injectors)
+        assert plan.active or plan.crash_after_events is not None
 
     def test_unknown_profile_lists_known_names(self):
         with pytest.raises(KeyError, match="transient"):

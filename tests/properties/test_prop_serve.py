@@ -145,6 +145,71 @@ def test_chaos_reservations_zero_and_report_deterministic(profile, seed, devices
 
 
 # ----------------------------------------------------------------------
+# durability: a host crash at any journal index is survivable
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=stn.integers(0, 10_000),
+    n=stn.integers(1, 3),
+    devices=stn.integers(1, 2),
+    frac=stn.floats(0.0, 1.0),
+)
+def test_crash_resume_is_byte_identical_and_leak_free(seed, n, devices, frac):
+    """Crash after record k, resume ⇒ the uninterrupted run, exactly.
+
+    ``frac`` sweeps k over the whole journal (k=1 crashes during
+    scheduler construction, k=total during run-end bookkeeping); the
+    resumed report must be byte-identical and the pool fully drained.
+    """
+    import json
+    import os
+    import shutil
+    import tempfile
+
+    from repro.faults import HostCrashError
+
+    tmp = tempfile.mkdtemp(prefix="repro-journal-")
+    try:
+        path = os.path.join(tmp, "serve.journal")
+
+        def once(crash):
+            pool = DevicePool("k40m", count=devices, virtual=True)
+            config = ServeConfig(
+                journal_path=path, snapshot_every=8, crash_after_events=crash
+            )
+            try:
+                sched = RegionScheduler(pool, config)
+                sched.submit_all(random_workload(seed=seed, n=n))
+                return sched.run()
+            finally:
+                pool.close()
+
+        base = once(None)
+        total = base.journal["records"]
+        k = min(total, 1 + int(frac * (total - 1)))
+        try:
+            once(k)
+            raise AssertionError(f"crash at k={k} never fired")
+        except HostCrashError:
+            pass
+        pool = DevicePool("k40m", count=devices, virtual=True)
+        sched = RegionScheduler.resume(
+            path, pool, random_workload(seed=seed, n=n),
+            config=ServeConfig(snapshot_every=8),
+        )
+        report = sched.run()
+        # zero reservation leaks across the crash/resume boundary
+        assert pool.reserved == [0] * devices
+        pool.close()
+        assert json.dumps(report.to_dict(), sort_keys=True) == json.dumps(
+            base.to_dict(), sort_keys=True
+        )
+        assert report.journal["replayed"] == k
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # cache-key safety
 # ----------------------------------------------------------------------
 _GEOM = stn.fixed_dictionaries({

@@ -158,15 +158,17 @@ def test_breaker_quarantines_then_probes_back():
 
 
 def test_breaker_knob_validation():
-    with pytest.raises(ValueError):
+    from repro.errors import InvalidValueError
+
+    with pytest.raises(InvalidValueError):
         ServeConfig(breaker_threshold=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidValueError):
         ServeConfig(breaker_window=-1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidValueError):
         ServeConfig(breaker_cooldown=-0.1)
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidValueError):
         ServeConfig(max_request_retries=-1)
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidValueError):
         ServeConfig(max_waiting=0)
 
 

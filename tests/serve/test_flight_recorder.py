@@ -123,7 +123,9 @@ class TestFailoverDump:
         assert report.flight_dumps[-1]["dropped"] > 0
 
     def test_capacity_validation(self):
-        with pytest.raises(ValueError, match="flight_recorder_capacity"):
+        from repro.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError, match="flight_recorder_capacity"):
             ServeConfig(flight_recorder_capacity=0)
 
 
