@@ -1,0 +1,191 @@
+"""Telemetry overhead bench: what continuous observation costs.
+
+Serves the mixed 8-region workload (the ``test_serve_throughput`` mix)
+with the telemetry sampler off and on (1 ms windows, per-tenant SLOs on
+half the tenants) and reports two costs:
+
+* **virtual**: the sampler is pure host-side bookkeeping — it never
+  touches a simulator — so the makespans must be *bit-identical* and
+  the frame stream byte-identical across rounds — asserted, not
+  bounded;
+* **wall**: the real cost is host-side — per-window gauge sampling,
+  per-request interval harvest, and the frame build at run end.  The
+  sampler self-times that work (``report.telemetry_wall_s``; the
+  per-retirement clock-hook fast path is one untimed float compare),
+  so the gated overhead is the min across rounds of the per-round
+  ratio ``telemetry_wall / (run_wall - telemetry_wall)``: the
+  sampler's share measured exactly, not the difference of two noisy
+  end-to-end timings — the same method as the journal bench (on
+  shared CI hardware scheduler jitter between two ~25 ms runs dwarfs
+  a millisecond of sampler work; both raw walls are still reported
+  for the record).  The overhead must stay within
+  ``WALL_OVERHEAD_BOUND`` (5%): observation cheap enough to leave on
+  for every serve.
+
+Every metric lands in ``BENCH_telemetry.json`` next to this file.
+When a ``BENCH_telemetry.baseline.json`` is checked in, the overhead
+is additionally gated against it (<= baseline + 10% slack), the same
+snapshot-as-baseline pattern as the journal and integrity benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.obs.telemetry import telemetry_lines
+from repro.serve import DevicePool, RegionScheduler, ServeConfig, build_request
+
+from conftest import memo
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_telemetry.json")
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_telemetry.baseline.json"
+)
+#: a new overhead may exceed its baseline by at most this factor
+BASELINE_SLACK = 1.10
+
+#: sampling must stay cheap enough to leave on for every serve
+WALL_OVERHEAD_BOUND = 0.05
+#: min-of-rounds suppresses scheduler noise in the run wall time
+ROUNDS = 8
+
+#: 0.25 ms virtual windows over a ~3.6 ms-makespan run: ~15 frames
+WINDOW_S = 2.5e-4
+
+
+def mixed_workload():
+    reqs = []
+    for i in range(4):
+        reqs.append(build_request(
+            "qcd", tenant=f"qcd{i}", config={"n": 8},
+        ))
+        reqs.append(build_request(
+            "stencil", tenant=f"sten{i}",
+            config={"nz": 26, "ny": 64, "nx": 64},
+        ))
+    return reqs
+
+
+def serve_mixed(telemetry=False):
+    pool = DevicePool("k40m", count=1)
+    config = None
+    if telemetry:
+        config = ServeConfig(
+            telemetry=True,
+            telemetry_window=WINDOW_S,
+            slos={f"qcd{i}": {"target": 0.99, "latency_s": 0.1}
+                  for i in range(4)},
+        )
+    sched = RegionScheduler(pool, config)
+    sched.submit_all(mixed_workload())
+    report = sched.run()
+    assert report.ok
+    pool.close()
+    return report
+
+
+def measure(cache):
+    def compute():
+        wall_off = wall_on = float("inf")
+        stream = None
+        best = None  # (overhead, telemetry_wall) of best round
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            off = serve_mixed()
+            wall_off = min(wall_off, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            on = serve_mixed(telemetry=True)
+            wall = time.perf_counter() - t0
+            wall_on = min(wall_on, wall)
+            ts = on.telemetry_wall_s
+            # numerator and denominator from the SAME round: the ratio
+            # is a per-round measurement, its min across rounds the
+            # least noise-contaminated one (round 0 is warmup)
+            row = (ts / (wall - ts), ts)
+            if best is None or row < best:
+                best = row
+            # pure host-side bookkeeping: bit-identical results …
+            assert on.makespan == off.makespan
+            # … and a byte-identical frame stream every round
+            lines = "\n".join(
+                telemetry_lines(on.telemetry, window=WINDOW_S)
+            )
+            if stream is None:
+                stream = lines
+            assert lines == stream
+        overhead, telemetry_wall = best
+        return {
+            "makespan_off": off.makespan,
+            "makespan_on": on.makespan,
+            "wall_off_s": wall_off,
+            "wall_on_s": wall_on,
+            "telemetry_wall_s": telemetry_wall,
+            "telemetry_overhead": overhead,
+            "frames": len(on.telemetry),
+            "windows_ms": WINDOW_S * 1e3,
+            "tenants_with_slo": len(on.slo),
+        }
+
+    return memo(cache, "telemetry_overhead", compute)
+
+
+def _write_bench(data):
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _check_baseline(data):
+    if not os.path.exists(BASELINE_PATH):
+        return
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    for key, ref in baseline.items():
+        if not isinstance(ref, (int, float)) or isinstance(ref, bool):
+            continue
+        if not key.endswith("_overhead"):
+            continue
+        assert data[key] <= ref * BASELINE_SLACK + 1e-9, (
+            f"{key} regressed: {data[key]:.3f} vs baseline {ref:.3f} "
+            f"(ceiling {ref * BASELINE_SLACK:.3f})"
+        )
+
+
+def test_telemetry_overhead(benchmark, cache, report):
+    data = measure(cache)
+    benchmark.pedantic(
+        lambda: serve_mixed(telemetry=True), rounds=3, iterations=1
+    )
+
+    report.emit(
+        "Telemetry overhead (mixed 8-region workload, one K40m)",
+        format_table(
+            ["mode", "makespan (ms)", "wall (ms)", "sampler (ms)", "frames"],
+            [
+                ["off", data["makespan_off"] * 1e3,
+                 data["wall_off_s"] * 1e3, 0.0, 0],
+                ["telemetry", data["makespan_on"] * 1e3,
+                 data["wall_on_s"] * 1e3,
+                 data["telemetry_wall_s"] * 1e3, data["frames"]],
+            ],
+            floatfmt="{:.3f}",
+        ),
+    )
+    report.record("telemetry_overhead", data)
+    _write_bench(data)
+    _check_baseline(data)
+
+    # the sampler actually observed this run …
+    assert data["frames"] >= 10
+    assert data["tenants_with_slo"] == 4
+    assert data["telemetry_wall_s"] > 0.0  # the cost model is real
+    # … at zero virtual cost and bounded wall cost
+    assert data["makespan_on"] == data["makespan_off"]
+    assert data["telemetry_overhead"] <= WALL_OVERHEAD_BOUND, (
+        f"telemetry wall overhead {data['telemetry_overhead']:.3%} exceeds "
+        f"{WALL_OVERHEAD_BOUND:.0%} — observation must stay cheap enough "
+        f"to leave on"
+    )

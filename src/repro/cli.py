@@ -11,6 +11,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro profile 3dconv      # span/metrics profile report
     python -m repro chaos stencil --profile transient --seed 7
     python -m repro serve examples/serve_workload.json   # multi-tenant
+    python -m repro serve wl.json --telemetry tele.jsonl --slo-report
+    python -m repro top tele.jsonl                       # ASCII dashboard
     python -m repro analyze stencil                      # critical path
     python -m repro analyze stencil --baseline base.json # perf gate
     python -m repro engine-bench -o BENCH_engine.json    # engine kernel bench
@@ -23,6 +25,7 @@ exploration and report generation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -507,6 +510,11 @@ def _serve(args) -> int:
             journal_path=args.journal,
             snapshot_every=args.snapshot_every,
             crash_after_events=args.crash_after,
+            # SLOs declared in the workload always flow through; the
+            # sampler also runs for --telemetry PATH / --slo-report
+            telemetry=args.slo_report,
+            telemetry_path=args.telemetry,
+            slos=spec.slos,
         )
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
@@ -543,18 +551,32 @@ def _serve(args) -> int:
                 hint += f" --integrity {args.integrity}"
             if args.watchdog:
                 hint += " --watchdog"
+            if args.telemetry:
+                hint += f" --telemetry {args.telemetry}"
             print(f"{exc}\nresume with: {hint} --resume", file=sys.stderr)
             return 3
         except JournalError as exc:
             print(str(exc), file=sys.stderr)
             return 2
     if args.trace:
-        obs.write_chrome_trace(args.trace)
+        if report.telemetry:
+            # frames render alongside the spans as counter tracks
+            from repro.obs import atomic_write_json, chrome_counter_events
+
+            trace = obs.chrome_trace()
+            trace["traceEvents"].extend(chrome_counter_events(report.telemetry))
+            atomic_write_json(args.trace, trace)
+        else:
+            obs.write_chrome_trace(args.trace)
         print(f"wrote {args.trace} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.telemetry:
+        print(f"wrote {args.telemetry} (+ {args.telemetry}.prom)")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
+    if args.slo_report:
+        print(json.dumps(report.slo, indent=2, sort_keys=True))
     if not report.ok:
         print(
             f"serve: {report.failed} failed, {report.shed} shed, "
@@ -562,6 +584,85 @@ def _serve(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _top(args) -> int:
+    """Deterministic ASCII telemetry dashboard.
+
+    ``SOURCE`` is either a saved telemetry JSONL stream (written by
+    ``repro serve --telemetry PATH``) or a workload JSON file — the
+    latter runs a live serve with telemetry enabled and renders its
+    frames.  ``--json`` prints the canonical telemetry JSONL instead
+    of the dashboard (byte-identical across runs of the same seeded
+    workload — the determinism tests pin this).
+    """
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs.telemetry import (
+        TELEMETRY_SCHEMA,
+        read_telemetry_jsonl,
+        render_top,
+        telemetry_lines,
+    )
+
+    try:
+        with open(args.source, encoding="utf-8") as fh:
+            first = fh.readline()
+    except OSError as exc:
+        print(f"cannot read {args.source!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        head = json.loads(first) if first.strip() else None
+    except json.JSONDecodeError:
+        head = None
+    if isinstance(head, dict) and head.get("schema") == TELEMETRY_SCHEMA:
+        try:
+            header, frames = read_telemetry_jsonl(args.source)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"bad telemetry stream {args.source!r}: {exc}", file=sys.stderr)
+            return 2
+        window = float(header.get("window_s", args.window))
+    else:
+        from repro.serve import (
+            DevicePool,
+            RegionScheduler,
+            ServeConfig,
+            load_workload,
+        )
+
+        try:
+            spec = load_workload(args.source)
+        except (OSError, ValueError, TypeError, ReproError,
+                json.JSONDecodeError) as exc:
+            print(
+                f"{args.source!r} is neither a telemetry stream nor a "
+                f"workload file: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        window = args.window
+        config = ServeConfig(
+            telemetry=True, telemetry_window=window, slos=spec.slos
+        )
+        with DevicePool(
+            spec.device, count=spec.devices, budget_bytes=spec.budget_bytes
+        ) as pool:
+            sched = RegionScheduler(pool, config)
+            sched.submit_all(spec.requests)
+            frames = sched.run().telemetry
+    try:
+        if args.json:
+            print("\n".join(telemetry_lines(frames, window=window)))
+        else:
+            print(render_top(frames, width=args.width))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # a top-style tool is routinely piped to head/grep -q; a
+        # consumer hanging up early is not an error.  Point stdout at
+        # devnull so the interpreter's exit-time flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -746,6 +847,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a host crash once K journal records are durable "
         "(requires --journal; overrides the hostcrash profile's index)",
     )
+    sv.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the continuous-telemetry JSONL stream here (plus a "
+        "Prometheus text dump at PATH.prom); render it with 'repro top'",
+    )
+    sv.add_argument(
+        "--slo-report", action="store_true", dest="slo_report",
+        help="print the per-tenant SLO digest (compliance, error "
+        "budget, burn) as JSON after the report",
+    )
+
+    tp = sub.add_parser(
+        "top",
+        help="ASCII telemetry dashboard from a saved stream or a live "
+        "serve run",
+    )
+    tp.add_argument(
+        "source",
+        help="telemetry JSONL file (from serve --telemetry) or a "
+        "workload JSON file (runs a live serve with telemetry on)",
+    )
+    tp.add_argument(
+        "--json", action="store_true",
+        help="print the canonical telemetry JSONL instead of the dashboard",
+    )
+    tp.add_argument(
+        "--width", type=int, default=48,
+        help="sparkline width in characters (default 48)",
+    )
+    tp.add_argument(
+        "--window", type=float, default=1e-3, metavar="S",
+        help="telemetry window in virtual seconds for a live run "
+        "(default 1e-3; ignored for saved streams)",
+    )
     return p
 
 
@@ -787,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _chaos(args)
     if args.cmd == "serve":
         return _serve(args)
+    if args.cmd == "top":
+        return _top(args)
     return 2  # pragma: no cover
 
 

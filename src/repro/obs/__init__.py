@@ -25,6 +25,11 @@ is that profiler for the simulated runtime:
   ``repro analyze`` perf-regression gate.
 * :class:`~repro.obs.recorder.FlightRecorder` — bounded deterministic
   event ring dumped as structured JSON on scheduler failures.
+* :mod:`~repro.obs.telemetry` — continuous telemetry: deterministic
+  virtual-time-windowed frames (queue depth, utilization, PCIe
+  occupancy) with a per-tenant SLO/error-budget engine, exported as
+  JSONL, Prometheus text, Chrome counter events, and the ``repro top``
+  ASCII dashboard.
 
 Usage::
 
@@ -49,6 +54,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.export import (
+    chrome_counter_events,
     overlap_from_events,
     profile_report,
     spans_to_chrome,
@@ -65,6 +71,15 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import (
+    SLO,
+    SLOTracker,
+    TelemetrySampler,
+    prometheus_text,
+    read_telemetry_jsonl,
+    render_top,
+    write_telemetry_jsonl,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -82,22 +97,30 @@ __all__ = [
     "OBS_NULL",
     "Observability",
     "RegionAnalysis",
+    "SLO",
+    "SLOTracker",
     "Span",
+    "TelemetrySampler",
     "Tracer",
     "WaitBreakdown",
     "analyze_commands",
     "analyze_result",
     "atomic_write_json",
     "atomic_write_text",
+    "chrome_counter_events",
     "diff_analyses",
     "extract_critical_path",
     "overlap_from_events",
     "profile_report",
+    "prometheus_text",
+    "read_telemetry_jsonl",
+    "render_top",
     "spans_to_chrome",
     "union_length",
     "what_if_bounds",
     "write_analysis",
     "write_span_trace",
+    "write_telemetry_jsonl",
 ]
 
 #: names resolved lazily from :mod:`repro.obs.analyze` (PEP 562) so the

@@ -26,6 +26,7 @@ from repro.obs.io import atomic_write_json
 from repro.obs.tracer import Span
 
 __all__ = [
+    "chrome_counter_events",
     "overlap_from_events",
     "profile_report",
     "spans_to_chrome",
@@ -79,6 +80,49 @@ def spans_to_chrome(spans: Sequence[Span], *, time_unit: float = 1e6) -> Dict:
 def write_span_trace(spans: Sequence[Span], path: str, *, time_unit: float = 1e6) -> None:
     """Write spans as a ``chrome://tracing`` JSON file (atomically)."""
     atomic_write_json(path, spans_to_chrome(spans, time_unit=time_unit))
+
+
+def chrome_counter_events(
+    frames: Sequence[Dict], *, time_unit: float = 1e6
+) -> List[Dict]:
+    """Telemetry frames as Chrome trace counter (``"C"``) events.
+
+    One counter track per telemetry channel — utilization fractions,
+    gauges, and per-window counter deltas from
+    :meth:`repro.obs.TelemetrySampler.finish` frames — stamped at each
+    window's start so they render alongside the ``"X"`` span events
+    from :func:`spans_to_chrome` in ``chrome://tracing``/Perfetto.
+    """
+    events: List[Dict] = []
+    for frame in frames:
+        ts = frame["t0_s"] * time_unit
+        for kind in ("util", "gauges", "counters"):
+            for name in sorted(frame.get(kind, {})):
+                events.append(
+                    {
+                        "name": f"telemetry:{name}",
+                        "ph": "C",
+                        "pid": 0,
+                        "tid": 0,
+                        "ts": ts,
+                        "args": {"value": frame[kind][name]},
+                    }
+                )
+        for tenant in sorted(frame.get("slo", {})):
+            events.append(
+                {
+                    "name": f"slo:{tenant}",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {
+                        "compliance": frame["slo"][tenant]["compliance"],
+                        "budget": frame["slo"][tenant]["budget"],
+                    },
+                }
+            )
+    return events
 
 
 def overlap_from_events(trace: Dict, *, time_unit: float = 1e6) -> float:

@@ -47,20 +47,62 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value with a high-water mark."""
+    """A point-in-time value with a high-water mark.
 
-    __slots__ = ("name", "value", "high")
+    Plain ``set(v)`` keeps only the last value — which misreports
+    bursty utilization when sampled (a queue that spikes to 40 and
+    drains between samples reads as 0).  Passing the optional
+    timestamp, ``set(v, t)``, additionally accumulates a
+    **time-weighted average**: each value is weighted by how long it
+    was held, so :attr:`twa` reports the true mean level.  Untimed
+    calls keep the historical behaviour exactly and never enable the
+    average.
+    """
+
+    __slots__ = ("name", "value", "high", "_t_first", "_t_last", "_area")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
         self.high: float = -math.inf
+        #: time-weighted accumulator state (None until a timed set)
+        self._t_first: float = None
+        self._t_last: float = None
+        self._area: float = 0.0
 
-    def set(self, v: float) -> None:
-        """Record the current value (tracks the maximum seen)."""
+    def set(self, v: float, t: float = None) -> None:
+        """Record the current value (tracks the maximum seen).
+
+        With a timestamp ``t`` (virtual seconds, non-decreasing across
+        calls), also integrates the *previous* value over the elapsed
+        interval for :attr:`twa`.
+        """
+        if t is not None:
+            if self._t_first is None:
+                self._t_first = t
+            else:
+                self._area += self.value * (t - self._t_last)
+            self._t_last = t
         self.value = v
         if v > self.high:
             self.high = v
+
+    @property
+    def timed(self) -> bool:
+        """Whether any timed ``set(v, t)`` call has been made."""
+        return self._t_first is not None
+
+    @property
+    def twa(self) -> float:
+        """Time-weighted average over the timed samples.
+
+        Each value is weighted by the interval it was held (up to the
+        last timed sample).  With fewer than two timed samples there
+        is no interval yet, so the current value is returned.
+        """
+        if self._t_first is None or self._t_last == self._t_first:
+            return float(self.value)
+        return self._area / (self._t_last - self._t_first)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Gauge({self.name!r}, {self.value}, high={self.high})"
@@ -100,13 +142,23 @@ class Histogram:
         return self.total / len(self.values) if self.values else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, ``q`` in [0, 100] (0.0 when empty)."""
+        """Nearest-rank percentile, ``q`` in [0, 100] (0.0 when empty).
+
+        The rule, pinned so snapshots stay byte-stable: with ``n``
+        sorted values the answer is element ``ceil(q/100 * n) - 1``
+        (0-based) — **no interpolation**, the result is always an
+        observed value; ``q=0`` is the minimum, ``q=100`` the maximum,
+        a single sample answers every ``q``.  The product ``q/100 * n``
+        is rounded to 9 decimals before ``ceil`` so float jitter
+        (``0.7 * 10 == 7.000000000000001``) cannot shift the rank.
+        """
         if not self.values:
             return 0.0
         if not 0 <= q <= 100:
             raise ValueError(f"percentile out of range: {q}")
         ordered = sorted(self.values)
-        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        n = len(ordered)
+        rank = min(n - 1, max(0, math.ceil(round(q / 100 * n, 9)) - 1))
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
@@ -216,7 +268,12 @@ class MetricsRegistry:
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {
-                n: {"value": g.value, "high": g.high}
+                # "twa" only when timed samples exist, so snapshots of
+                # untimed gauges stay byte-identical to the seed form
+                n: (
+                    {"value": g.value, "high": g.high, "twa": g.twa}
+                    if g.timed else {"value": g.value, "high": g.high}
+                )
                 for n, g in sorted(self._gauges.items())
             },
             "histograms": {n: h.summary() for n, h in sorted(self._hists.items())},
@@ -240,7 +297,7 @@ class _NullCounter(Counter):
 class _NullGauge(Gauge):
     __slots__ = ()
 
-    def set(self, v: float) -> None:
+    def set(self, v: float, t: float = None) -> None:
         pass
 
 

@@ -23,6 +23,7 @@ See ``docs/serve.md`` for the architecture, fairness policy, cache key,
 and determinism guarantee.
 """
 
+from repro.obs.telemetry import SLO
 from repro.serve.cache import PlanCache
 from repro.serve.journal import (
     JournalError,
@@ -50,6 +51,7 @@ __all__ = [
     "RegionRequest",
     "RegionScheduler",
     "RequestResult",
+    "SLO",
     "ServeConfig",
     "ServeReport",
     "WorkloadSpec",

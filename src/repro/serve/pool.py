@@ -219,6 +219,28 @@ class DevicePool:
             for rt in self.runtimes
         ]
 
+    # ------------------------------------------------------------------
+    # telemetry gauge sources
+    # ------------------------------------------------------------------
+    def data_used(self, device: int) -> int:
+        """Current data bytes in use on ``device`` (context excluded)."""
+        mem = self.runtimes[device].device.memory
+        return mem.used - mem.context_overhead
+
+    def data_peak(self, device: int) -> int:
+        """Peak data bytes on ``device`` so far (context excluded)."""
+        mem = self.runtimes[device].device.memory
+        return mem.peak - mem.context_overhead
+
+    def link_sharers(self, device: int) -> int:
+        """Devices currently attached to ``device``'s PCIe link.
+
+        1 when the device owns its link (no :class:`BandwidthShared`
+        attachment) — the PCIe-occupancy gauge source.
+        """
+        link = self.runtimes[device].device.shared_link
+        return link.sharers if link is not None else 1
+
     def close(self) -> None:
         """Drain and close every runtime (idempotent)."""
         for rt in self.runtimes:

@@ -154,6 +154,15 @@ class RequestResult:
         """Whether the request completed successfully."""
         return self.status == "ok"
 
+    @property
+    def latency(self) -> float:
+        """Submit-to-finish virtual latency (queue wait + service).
+
+        This is the quantity per-tenant SLO latency objectives are
+        judged against — what the tenant actually waited.
+        """
+        return self.queue_wait + self.service
+
     def to_state(self) -> Dict[str, object]:
         """Full-fidelity JSON-safe encoding for the serve journal.
 

@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional
@@ -93,9 +94,15 @@ from repro.gpu.errors import (
     TransferError,
 )
 from repro.integrity import INTEGRITY_OFF, validate_integrity
-from repro.obs.io import atomic_write_json
+from repro.obs.io import atomic_write_json, atomic_write_text
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import (
+    SLO,
+    TelemetrySampler,
+    prometheus_text,
+    write_telemetry_jsonl,
+)
 from repro.serve.cache import PlanCache
 from repro.serve.journal import (
     JOURNAL_FORMAT,
@@ -111,6 +118,10 @@ from repro.serve.request import RegionRequest, RequestResult
 from repro.sim.memory import OutOfDeviceMemory
 
 __all__ = ["ServeConfig", "RegionScheduler", "ServeReport"]
+
+#: burn-rate threshold for the ``slo.burn_spike`` event — the classic
+#: SRE fast-burn page (2% of a 30-day budget in one hour = 14.4x)
+_BURN_SPIKE = 14.4
 
 
 @dataclass
@@ -199,6 +210,32 @@ class ServeConfig:
         :class:`~repro.faults.HostCrashError` once this many journal
         records are durable (``None`` = never).  Overrides any
         ``crash_after_events`` harvested from the pool's fault plans.
+    telemetry:
+        Enable continuous telemetry: a
+        :class:`~repro.obs.TelemetrySampler` aggregates queue depth,
+        per-device utilization, memory, PCIe occupancy, cache hit
+        rate, breaker state, and request counters into fixed
+        virtual-time windows (``report.telemetry`` frames).  Pure
+        host-side bookkeeping: every measured result stays
+        bit-identical with it on or off.  Implied by
+        ``telemetry_path`` or ``slos``.
+    telemetry_window:
+        Telemetry window length in virtual seconds (> 0).
+    telemetry_path:
+        Write the telemetry JSONL stream here at the end of the run
+        (plus a Prometheus text dump at ``<path>.prom``).
+    telemetry_journal:
+        Tee per-window ``telemetry.window`` flight-recorder events
+        into the write-ahead journal (default off: like
+        ``chunk.issue`` they are progress telemetry, regenerated
+        deterministically on resume, and would bloat the journal).
+    slos:
+        Per-tenant :class:`~repro.obs.SLO` objectives (plain dicts
+        accepted), usually collected from the workload's ``slo`` keys.
+        Enables the SLO engine: rolling per-window compliance, burn
+        rate, and error budget per tenant (``report.slo``), with
+        ``slo.breach`` / ``slo.burn_spike`` / ``slo.budget_exhausted``
+        flight-recorder events.
     """
 
     max_active: Optional[int] = None
@@ -221,9 +258,32 @@ class ServeConfig:
     journal_path: Optional[str] = None
     snapshot_every: int = 32
     crash_after_events: Optional[int] = None
+    telemetry: bool = False
+    telemetry_window: float = 1e-3
+    telemetry_path: Optional[str] = None
+    telemetry_journal: bool = False
+    slos: Optional[Dict[str, SLO]] = None
 
     def __post_init__(self) -> None:
         validate_integrity(self.integrity)
+        if not self.telemetry_window > 0:
+            raise InvalidValueError("telemetry_window must be > 0")
+        if self.slos is not None:
+            if not isinstance(self.slos, dict):
+                raise InvalidValueError(
+                    "slos must be a {tenant: SLO} mapping (or None)"
+                )
+            norm: Dict[str, SLO] = {}
+            for tenant, slo in self.slos.items():
+                try:
+                    norm[tenant] = (
+                        slo if isinstance(slo, SLO) else SLO.from_dict(slo)
+                    )
+                except ValueError as exc:
+                    raise InvalidValueError(
+                        f"slos[{tenant!r}]: {exc}"
+                    ) from None
+            self.slos = norm
         if self.max_active is not None and self.max_active < 1:
             raise InvalidValueError("max_active must be >= 1 (or None)")
         if self.aging_every < 1:
@@ -281,6 +341,20 @@ class ServeReport:
     #: on purpose — a resumed run's digest must stay byte-identical to
     #: the uninterrupted (and journal-free) run's
     journal: Dict = field(default_factory=dict, repr=False)
+    #: per-tenant SLO digest (compliance/budget/burn/breaches); empty
+    #: without declared SLOs, and then absent from :meth:`to_dict` so
+    #: SLO-free reports stay byte-identical to older builds
+    slo: Dict = field(default_factory=dict)
+    #: telemetry frames when the run sampled (see
+    #: :meth:`repro.obs.TelemetrySampler.finish`); excluded from
+    #: :meth:`to_dict` — the frame stream is an artifact with its own
+    #: exporters, not part of the report digest
+    telemetry: List[Dict] = field(default_factory=list, repr=False)
+    #: host wall seconds the sampler spent observing (see
+    #: :attr:`repro.obs.TelemetrySampler.wall_s`); never in
+    #: :meth:`to_dict` — it is machine-dependent, the report is
+    #: deterministic.  The overhead bench gates this.
+    telemetry_wall_s: float = field(default=0.0, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -423,6 +497,10 @@ class ServeReport:
             "tenant_latency": {
                 t: dict(d) for t, d in sorted(self.tenant_latency.items())
             },
+            **(
+                {"slo": {t: dict(d) for t, d in sorted(self.slo.items())}}
+                if self.slo else {}
+            ),
         }
 
     def summary(self) -> str:
@@ -481,6 +559,15 @@ class ServeReport:
             lines.append(
                 f"device {i}         elapsed {el * 1e3:.3f} ms, "
                 f"peak {pk / 1e6:.1f} MB of {bd / 1e6:.1f} MB budget{tag}"
+            )
+        for tenant in sorted(self.slo):
+            d = self.slo[tenant]
+            lines.append(
+                f"slo {tenant:<12.12} target {d['target']:.4%}  "
+                f"compliance {d['compliance']:.4%}  "
+                f"budget {d['budget']:.0%}  "
+                f"max burn {d['max_burn']:.3g}  "
+                f"breaches {d['breaches']}"
             )
         latency = self.tenant_latency
         for tenant in sorted(latency):
@@ -609,6 +696,17 @@ class RegionScheduler:
         self.recorder = FlightRecorder(
             capacity=self.config.flight_recorder_capacity, clock=self._clock
         )
+        # continuous telemetry (pure host bookkeeping; never touches
+        # the simulators, so results are bit-identical on or off)
+        cfg = self.config
+        self._sampler: Optional[TelemetrySampler] = None
+        if cfg.telemetry or cfg.telemetry_path is not None or cfg.slos:
+            self._sampler = TelemetrySampler(
+                cfg.telemetry_window,
+                slos=cfg.slos,
+                on_window=self._on_telemetry_window,
+            )
+            self._register_gauges()
         # write-ahead journal (crash consistency; see repro.serve.journal)
         self._journal: Optional[JournalWriter] = None
         self._resumed = _resume is not None
@@ -632,6 +730,141 @@ class RegionScheduler:
             self.recorder.sink = self._journal_sink
 
     # ------------------------------------------------------------------
+    # continuous telemetry
+    # ------------------------------------------------------------------
+    def _register_gauges(self) -> None:
+        """Register the sampler's gauge sources.
+
+        All of them read scheduler/pool host state that is constant
+        while a simulator advances, so samples are identical whether a
+        window closes from the retirement clock hook (mid-drain) or
+        from the scheduler loop — the hook-timing independence the
+        determinism tests pin.
+        """
+        s = self._sampler
+        s.register_gauge("serve.queue_depth", lambda: len(self._waiting))
+        s.register_gauge("serve.active", lambda: len(self._active))
+        s.register_gauge(
+            "serve.cache.hit_rate",
+            lambda: float(self.cache.stats()["hit_rate"]),
+        )
+        s.register_gauge(
+            "serve.corruptions",
+            lambda: sum(r.corruptions for r in self._results)
+            + sum(a.issuer.corruptions_n for a in self._active),
+        )
+        pool = self.pool
+        for i in range(len(pool)):
+            s.register_gauge(
+                f"dev{i}.mem_used_bytes", lambda i=i: pool.data_used(i)
+            )
+            s.register_gauge(
+                f"dev{i}.mem_peak_bytes", lambda i=i: pool.data_peak(i)
+            )
+            s.register_gauge(
+                f"dev{i}.link_sharers", lambda i=i: pool.link_sharers(i)
+            )
+            s.register_gauge(
+                f"dev{i}.breaker", lambda i=i: self._breaker_state(i)
+            )
+
+    def _breaker_state(self, device: int) -> int:
+        """Gauge encoding of device health: 0 ok, 1 quarantined, 2 lost."""
+        if self.pool.is_lost(device):
+            return 2
+        if self._quarantined_until[device] is not None:
+            return 1
+        return 0
+
+    def _on_telemetry_window(
+        self, index: int, t_end: float, gauges: Dict[str, float]
+    ) -> None:
+        """Per-window flight-recorder breadcrumb (capacity-bounded)."""
+        self.recorder.record(
+            "telemetry.window",
+            t=t_end,
+            window=index,
+            queue=gauges.get("serve.queue_depth"),
+            active=gauges.get("serve.active"),
+        )
+
+    def _harvest_telemetry(self, a: _Active) -> None:
+        """Feed a finished region's busy intervals into the sampler.
+
+        Per-device ``h2d``/``d2h``/``kernel`` channels; a sharded
+        region's commands are attributed to the member device that ran
+        them (via each shard's runtime).  Intervals carry explicit
+        times, so harvesting at retirement — after the windows they
+        fall into may have closed — is exact.
+        """
+        s = self._sampler
+        if s is None:
+            return
+        t0 = time.perf_counter()
+        shards = getattr(a.issuer, "_shards", None)
+        if shards is not None:
+            rt_dev = {id(rt): i for i, rt in enumerate(self.pool.runtimes)}
+            groups = [
+                (rt_dev.get(id(sh.runtime), a.device), sh.issuer.commands)
+                for sh in shards
+            ]
+        else:
+            groups = [(a.device, a.issuer.commands)]
+        for di, commands in groups:
+            for cmd in commands:
+                if cmd.state == "done" and cmd.kind in ("h2d", "d2h", "kernel"):
+                    s.add_interval(
+                        f"dev{di}.{cmd.kind}", cmd.start_time, cmd.finish_time
+                    )
+        s.wall_s += time.perf_counter() - t0
+
+    def _emit_slo_events(self, frames: List[Dict]) -> None:
+        """Record SLO breach / burn-spike / budget-exhaustion events.
+
+        One ``slo.breach`` per breached window, one ``slo.burn_spike``
+        per window whose burn rate reaches :data:`_BURN_SPIKE` (the SRE
+        fast-burn page threshold), and one ``slo.budget_exhausted`` per
+        tenant at the first window whose error budget hits zero.  All
+        carry explicit window-end times, regenerate deterministically,
+        and land before the run-end flight dump (and in the journal,
+        when one is attached).
+        """
+        slos = self.config.slos or {}
+        exhausted = set()
+        for i, frame in enumerate(frames):
+            t_end = frame["t1_s"]
+            for tenant in sorted(frame.get("slo", {})):
+                cell = frame["slo"][tenant]
+                target = slos[tenant].target
+                if cell["total"] and cell["compliance"] < target:
+                    self.recorder.record(
+                        "slo.breach",
+                        t=t_end,
+                        tenant=tenant,
+                        window=i,
+                        compliance=cell["compliance"],
+                        target=target,
+                        burn=cell["burn"],
+                    )
+                if cell["burn"] >= _BURN_SPIKE:
+                    self.recorder.record(
+                        "slo.burn_spike",
+                        t=t_end,
+                        tenant=tenant,
+                        window=i,
+                        burn=cell["burn"],
+                    )
+                if cell["budget"] <= 0.0 and tenant not in exhausted:
+                    exhausted.add(tenant)
+                    self.recorder.record(
+                        "slo.budget_exhausted",
+                        t=t_end,
+                        tenant=tenant,
+                        window=i,
+                        bad=cell["bad"],
+                    )
+
+    # ------------------------------------------------------------------
     # journal: checkpoint and resume
     # ------------------------------------------------------------------
     def _journal_sink(self, ev: Dict) -> None:
@@ -642,10 +875,19 @@ class RegionScheduler:
         deterministically and any divergence it could reveal is caught
         at the next journalled transition's byte-compare.  Filtering it
         keeps the journal compact — its volume stays proportional to
-        requests, not chunks.
+        requests, not chunks.  ``telemetry.window`` is filtered for the
+        same reason (volume proportional to windows) unless
+        ``telemetry_journal`` opts into crash-consistent telemetry;
+        the ``slo.*`` events are always journalled — they regenerate
+        deterministically on resume and the byte-compare vouches for
+        the SLO state.
         """
-        if ev.get("kind") != "chunk.issue":
-            self._journal.append(ev)
+        kind = ev.get("kind")
+        if kind == "chunk.issue":
+            return
+        if kind == "telemetry.window" and not self.config.telemetry_journal:
+            return
+        self._journal.append(ev)
     def _header_record(self) -> Dict:
         """Journal record 0: environment + config fingerprint.
 
@@ -653,11 +895,12 @@ class RegionScheduler:
         journal taken under different devices, budgets, payload mode,
         or policy knobs.  ``journal_path`` and ``crash_after_events``
         are excluded — they are where/how the journal is kept, not what
-        the run computes.
+        the run computes — as is ``telemetry_path`` (where the frame
+        stream lands, not what it contains).
         """
         from dataclasses import fields as _fields
 
-        skip = {"journal_path", "crash_after_events"}
+        skip = {"journal_path", "crash_after_events", "telemetry_path"}
         conf: Dict[str, object] = {}
         for f in _fields(self.config):
             if f.name in skip:
@@ -888,6 +1131,10 @@ class RegionScheduler:
             label=request.label,
             priority=request.priority,
         )
+        if self._sampler is not None:
+            t = self._clock()
+            self._sampler.inc("serve.submitted", t)
+            self._sampler.slo.submit(request.tenant, t)
         limit = self.config.max_waiting
         if limit is not None and len(self._waiting) >= limit:
             victim = min(
@@ -1453,6 +1700,7 @@ class RegionScheduler:
     def _cancel(self, a: _Active, reason: str) -> None:
         """Cut an in-flight region at the current chunk boundary."""
         self._release_active(a)
+        self._harvest_telemetry(a)
         finish_t = self._elapsed_of(a)
         w, req = a.waiting, a.waiting.req
         result = RequestResult(
@@ -1507,6 +1755,7 @@ class RegionScheduler:
     def _fail_active(self, a: _Active, exc: Exception) -> None:
         """Terminal in-flight failure (retry budget / policy exhausted)."""
         self._release_active(a)
+        self._harvest_telemetry(a)
         finish_t = self._elapsed_of(a)
         w, req = a.waiting, a.waiting.req
         result = RequestResult(
@@ -1666,6 +1915,7 @@ class RegionScheduler:
                     a.device, entry[5], cause="corruption"
                 )
         finish_t = self._elapsed_of(a)
+        self._harvest_telemetry(a)
         for di in self._members_of(a):
             self.pool.release(di, a.reserved)
         w, req = a.waiting, a.waiting.req
@@ -1783,6 +2033,12 @@ class RegionScheduler:
                 metrics.counter("serve.faults").inc(r.faults)
             if r.retries:
                 metrics.counter("serve.retries").inc(r.retries)
+        s = self._sampler
+        if s is not None:
+            s.inc(f"serve.requests.{r.status}", r.finished)
+            if r.status == "ok":
+                s.observe("serve.latency_s", r.finished, r.latency)
+            s.slo.observe(r.tenant, r.finished, ok=r.ok, latency_s=r.latency)
 
     # ------------------------------------------------------------------
     # deadlines
@@ -1868,8 +2124,19 @@ class RegionScheduler:
             for rt in self.pool.runtimes:
                 old_defer.append(rt.defer_faults)
                 rt.defer_faults = True
+        sampler = self._sampler
+        if sampler is not None:
+            # the simulators' retirement clock hook closes telemetry
+            # windows mid-drain; frames are finalized lazily so they
+            # are identical with or without the hook (older simulator
+            # builds without one fall back to per-turn advances below)
+            for rt in self.pool.runtimes:
+                if hasattr(rt.device.sim, "clock_hook"):
+                    rt.device.sim.clock_hook = sampler.advance
         try:
             while self._waiting or self._active:
+                if sampler is not None:
+                    sampler.advance(self.pool.elapsed)
                 if self._fault_mode:
                     self._check_lost_devices()
                 if cfg.enforce_deadlines:
@@ -1912,7 +2179,17 @@ class RegionScheduler:
             if self._fault_mode:
                 for rt, was in zip(self.pool.runtimes, old_defer):
                     rt.defer_faults = was
+            if sampler is not None:
+                for rt in self.pool.runtimes:
+                    if hasattr(rt.device.sim, "clock_hook"):
+                        rt.device.sim.clock_hook = None
         self._results.sort(key=lambda r: r.request_id)
+        frames: List[Dict] = []
+        if sampler is not None:
+            frames = sampler.finish(self.pool.elapsed)
+            # breach/burn/budget events land before the run-end dump
+            # below (and in the journal while its sink is attached)
+            self._emit_slo_events(frames)
         if self.recorder.dumps:
             # something failed mid-run: one final dump whose window also
             # covers the recovery tail (e.g. the migrated re-admission
@@ -1941,6 +2218,17 @@ class RegionScheduler:
             breaker_trips=list(self._breaker_trips),
             flight_dumps=list(self.recorder.dumps),
         )
+        if sampler is not None:
+            report.telemetry = frames
+            report.telemetry_wall_s = sampler.wall_s
+            report.slo = sampler.slo_report()
+            if cfg.telemetry_path is not None:
+                write_telemetry_jsonl(
+                    frames, cfg.telemetry_path, window=sampler.window
+                )
+                atomic_write_text(
+                    cfg.telemetry_path + ".prom", prometheus_text(frames)
+                )
         if self._journal is not None:
             self._journal.append({
                 "kind": "run.end",

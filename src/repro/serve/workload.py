@@ -25,6 +25,12 @@ region's loop across up to that many pool devices on a shared virtual
 clock; it degrades gracefully when fewer healthy devices fit.
 ``integrity`` (``"off"`` / ``"checksum"`` / ``"vote"``) overrides the
 scheduler's ``ServeConfig.integrity`` default for that one request.
+``slo`` (``{"target": 0.999, "latency_s": 0.25}``) declares the
+tenant's service-level objective — collected per tenant into
+:attr:`WorkloadSpec.slos` and passed to ``ServeConfig.slos`` so the
+telemetry SLO engine tracks compliance and error budget for that
+tenant class; two requests of one tenant must not declare conflicting
+objectives.
 Unknown request keys raise
 :class:`~repro.gpu.errors.InvalidValueError` naming the offending
 request index.  Request order in the file is submission
@@ -46,6 +52,7 @@ import numpy as np
 
 from repro.gpu.errors import InvalidValueError
 from repro.integrity import validate_integrity
+from repro.obs.telemetry import SLO
 from repro.serve.request import RegionRequest
 
 __all__ = ["WorkloadSpec", "build_request", "load_workload", "random_workload"]
@@ -54,7 +61,8 @@ APPS = ("stencil", "conv3d", "matmul", "qcd")
 
 #: keys a workload request object may carry
 _REQUEST_KEYS = frozenset(
-    {"app", "tenant", "priority", "deadline", "config", "shards", "integrity"}
+    {"app", "tenant", "priority", "deadline", "config", "shards",
+     "integrity", "slo"}
 )
 
 
@@ -66,6 +74,9 @@ class WorkloadSpec:
     device: str = "k40m"
     devices: int = 1
     budget_bytes: Optional[int] = None
+    #: per-tenant SLOs collected from request ``slo`` keys (None when
+    #: the workload declares none)
+    slos: Optional[Dict[str, SLO]] = None
 
 
 def _stencil(config: Dict[str, object], virtual: bool):
@@ -156,6 +167,7 @@ def load_workload(
     if not isinstance(data, dict) or "requests" not in data:
         raise ValueError("workload must be an object with a 'requests' list")
     requests = []
+    slos: Dict[str, SLO] = {}
     for i, spec in enumerate(data["requests"]):
         if not isinstance(spec, dict):
             raise ValueError(f"request {i}: must be an object")
@@ -188,6 +200,21 @@ def load_workload(
                 validate_integrity(integrity)
             except InvalidValueError as exc:
                 raise InvalidValueError(f"request {i}: {exc}") from None
+        slo_spec = spec.get("slo")
+        if slo_spec is not None:
+            tenant = spec.get("tenant", f"tenant{i}")
+            try:
+                slo = SLO.from_dict(slo_spec)
+            except ValueError as exc:
+                raise InvalidValueError(f"request {i}: {exc}") from None
+            prior = slos.get(tenant)
+            if prior is not None and prior != slo:
+                raise InvalidValueError(
+                    f"request {i}: tenant {tenant!r} declares slo "
+                    f"{slo.to_dict()} but an earlier request declared "
+                    f"{prior.to_dict()}"
+                )
+            slos[tenant] = slo
         requests.append(build_request(
             spec["app"],
             tenant=spec.get("tenant", f"tenant{i}"),
@@ -204,6 +231,7 @@ def load_workload(
         device=data.get("device", "k40m"),
         devices=int(data.get("devices", 1)),
         budget_bytes=int(budget_mb * 1e6) if budget_mb is not None else None,
+        slos=slos or None,
     )
 
 

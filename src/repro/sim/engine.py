@@ -418,6 +418,7 @@ class Simulator:
         "observer",
         "injector",
         "faulted",
+        "clock_hook",
     )
 
     def __init__(self) -> None:
@@ -442,6 +443,11 @@ class Simulator:
         #: retirement order; the host runtime drains this at sync
         #: points (async error reporting, CUDA-style)
         self.faulted: List[Command] = []
+        #: optional ``callable(now)`` invoked after each command
+        #: retires — the virtual-clock feed for continuous telemetry
+        #: (window closing in :class:`repro.obs.TelemetrySampler`).
+        #: Must be cheap and must not mutate simulator state.
+        self.clock_hook: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -721,6 +727,9 @@ class Simulator:
         observer = self.observer
         if observer is not None:
             observer(cmd)
+        clock_hook = self.clock_hook
+        if clock_hook is not None:
+            clock_hook(now)
         queue = eng.queue
         if eng.busy is None and queue:
             _, _, nxt = _heappop(queue)

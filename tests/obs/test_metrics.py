@@ -80,3 +80,83 @@ class TestNullRegistry:
         assert NULL_METRICS.counter("c").value == 0
         assert NULL_METRICS.histogram("h").count == 0
         assert NULL_METRICS.snapshot() == {}
+
+
+class TestGaugeTimeWeighted:
+    """Opt-in time-weighted averaging: ``set(v, t)`` vs plain ``set(v)``."""
+
+    def test_plain_mode_stays_plain(self):
+        m = MetricsRegistry()
+        g = m.gauge("g")
+        g.set(10)
+        g.set(20)
+        assert g.timed is False
+        assert g.twa == 20  # falls back to the current value
+        assert m.snapshot()["gauges"]["g"] == {"value": 20, "high": 20}
+
+    def test_twa_integrates_value_over_time(self):
+        g = MetricsRegistry().gauge("g")
+        # 10 held over [0, 2), then 40 over [2, 3):
+        # area = 10*2 + 40*1 = 60 over 3 s -> twa 20
+        g.set(10, t=0.0)
+        g.set(40, t=2.0)
+        g.set(0, t=3.0)
+        assert g.timed is True
+        assert g.twa == pytest.approx(20.0)
+        assert g.high == 40
+
+    def test_single_timed_sample_returns_current_value(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(7, t=1.0)
+        assert g.timed is True and g.twa == 7
+
+    def test_timed_snapshot_adds_twa_key(self):
+        m = MetricsRegistry()
+        g = m.gauge("g")
+        g.set(4, t=0.0)
+        g.set(8, t=2.0)
+        snap = m.snapshot()["gauges"]["g"]
+        assert snap == {"value": 8, "high": 8, "twa": pytest.approx(4.0)}
+
+    def test_null_gauge_accepts_timestamp(self):
+        NULL_METRICS.gauge("g").set(5, t=1.0)  # must not raise
+
+
+class TestPercentileEdges:
+    """The pinned nearest-rank rule: ``ceil(q/100 * n)``-th sample."""
+
+    def test_empty_histogram_is_zero_for_any_q(self):
+        h = MetricsRegistry().histogram("h")
+        for q in (0, 50, 100):
+            assert h.percentile(q) == 0.0
+
+    def test_single_sample_for_any_q(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(3.5)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 3.5
+
+    def test_q0_is_min_and_q100_is_max(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (5.0, 1.0, 9.0):
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 9.0
+
+    def test_nearest_rank_no_interpolation(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 5):  # 1, 2, 3, 4
+            h.observe(float(v))
+        # ceil(0.5 * 4) = 2nd sample -> 2.0, never the midpoint 2.5
+        assert h.percentile(50) == 2.0
+        # ceil(0.51 * 4) = ceil(2.04) = 3rd sample
+        assert h.percentile(51) == 3.0
+
+    def test_float_jitter_on_exact_rank_boundary(self):
+        # 0.7 * 10 == 7.000000000000001 in binary floats; the rule
+        # must still pick the 7th sample, not spill into the 8th
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 11):
+            h.observe(float(v))
+        assert h.percentile(70) == 7.0
+        assert h.percentile(30) == 3.0

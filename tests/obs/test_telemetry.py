@@ -1,0 +1,257 @@
+"""Telemetry sampler: window bucketing, SLO math, exporters, dashboard.
+
+The SLO cases are closed-form: windows are laid out by hand and the
+expected compliance / burn / budget values are computed on paper in the
+comments, so a regression here is a math bug, not a fixture drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    BURN_SATURATED,
+    SLO,
+    SLOTracker,
+    TELEMETRY_SCHEMA,
+    TelemetrySampler,
+    encode_frame,
+    prometheus_text,
+    read_telemetry_jsonl,
+    render_top,
+    telemetry_lines,
+    write_telemetry_jsonl,
+)
+
+
+class TestWindowing:
+    def test_event_at_t_lands_in_window_floor_t_over_w(self):
+        s = TelemetrySampler(1.0)
+        s.inc("n", 0.0)
+        s.inc("n", 0.999999)
+        s.inc("n", 1.0)  # boundary: [1, 2)
+        s.inc("n", 2.5)
+        frames = s.finish(2.5)
+        assert [f.get("counters", {}).get("n") for f in frames] == [2, 1, 1]
+
+    def test_frame_count_covers_t_end_and_all_data(self):
+        s = TelemetrySampler(1.0)
+        assert len(s.finish(0.0)) == 1  # empty run still has one frame
+        s = TelemetrySampler(1.0)
+        s.observe("lat", 4.2, 0.5)  # data past t_end is never dropped
+        assert len(s.finish(0.3)) == 5
+
+    def test_fixed_boundaries_and_final_partial_window(self):
+        s = TelemetrySampler(0.5)
+        frames = s.finish(1.2)
+        assert [(f["t0_s"], f["t1_s"]) for f in frames] == [
+            (0.0, 0.5), (0.5, 1.0), (1.0, 1.5),
+        ]
+
+    def test_advance_is_monotone_and_order_independent(self):
+        # frames must not depend on when advance() happened to run
+        a = TelemetrySampler(1.0)
+        b = TelemetrySampler(1.0)
+        for s in (a, b):
+            s.inc("n", 0.5)
+            s.inc("n", 2.5)
+        a.advance(1.7)
+        a.advance(0.2)  # stale clock from another device: no-op
+        a.advance(2.6)
+        assert a.windows_closed == 2
+        assert a.finish(2.6) == b.finish(2.6)
+
+    def test_gauges_sampled_once_per_window_at_close(self):
+        s = TelemetrySampler(1.0)
+        state = {"v": 1.0}
+        s.register_gauge("g", lambda: state["v"])
+        s.advance(1.2)  # closes window 0 while v == 1
+        state["v"] = 7.0
+        frames = s.finish(2.0)
+        assert frames[0]["gauges"]["g"] == 1.0
+        assert frames[1]["gauges"]["g"] == 7.0
+
+    def test_intervals_clip_union_and_cap_at_one(self):
+        s = TelemetrySampler(1.0)
+        s.add_interval("dma", 0.25, 1.5)  # spans two windows
+        s.add_interval("dma", 0.5, 0.75)  # nested: unioned, not summed
+        s.add_interval("dma", 1.0, 2.0)  # overlapping second interval
+        frames = s.finish(2.0)
+        assert frames[0]["util"]["dma"] == 0.75
+        assert frames[1]["util"]["dma"] == 1.0
+        s2 = TelemetrySampler(1.0)
+        s2.add_interval("dma", 0.5, 0.5)  # zero-length: dropped
+        assert "util" not in s2.finish(1.0)[0]
+
+    def test_histogram_channel_summarised_per_window(self):
+        s = TelemetrySampler(1.0)
+        for v in (1.0, 2.0, 3.0):
+            s.observe("lat", 0.5, v)
+        frame = s.finish(1.0)[0]
+        h = frame["hist"]["lat"]
+        assert h["count"] == 3 and h["min"] == 1.0 and h["max"] == 3.0
+
+    def test_finish_is_idempotent_and_frames_requires_it(self):
+        s = TelemetrySampler(1.0)
+        with pytest.raises(RuntimeError):
+            s.frames()
+        first = s.finish(0.5)
+        assert s.finish(99.0) is first  # later t_end ignored after finish
+        assert s.frames() is first
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(0.0)
+
+    def test_on_window_hook_fires_per_close(self):
+        fired = []
+        s = TelemetrySampler(1.0, on_window=lambda i, t, g: fired.append((i, t)))
+        s.advance(2.5)
+        assert fired == [(0, 1.0), (1, 2.0)]
+
+
+class TestSLO:
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO(target=0.0)
+        with pytest.raises(ValueError):
+            SLO(target=1.5)
+        with pytest.raises(ValueError):
+            SLO(latency_s=0.0)
+        with pytest.raises(ValueError):
+            SLO.from_dict({"target": 0.9, "latencysec": 1})
+        with pytest.raises(ValueError):
+            SLO.from_dict([0.9])
+
+    def test_slo_dict_round_trip(self):
+        for slo in (SLO(), SLO(target=0.9, latency_s=0.25)):
+            assert SLO.from_dict(slo.to_dict()) == slo
+
+    def test_closed_form_windows(self):
+        # target 0.9, 10 submissions => allowed bad = (1-0.9)*10 = 1.0
+        # window 0: 3 good           -> compliance 1,   burn 0
+        # window 1: 1 good, 1 bad    -> compliance 0.5, burn (1/2)/0.1 = 5
+        #           cum_bad 1        -> budget 1 - 1/1 = 0
+        # window 2: idle             -> compliance 1,   budget stays 0
+        # window 3: 4 good, 1 bad    -> compliance 0.8, burn (1/5)/0.1 = 2
+        #           cum_bad 2        -> budget max(0, 1 - 2/1) = 0
+        tr = SLOTracker({"a": SLO(target=0.9)}, window=1.0)
+        for _ in range(10):
+            tr.submit("a", 0.0)
+        for _ in range(3):
+            tr.observe("a", 0.5, ok=True, latency_s=0.1)
+        tr.observe("a", 1.5, ok=True, latency_s=0.1)
+        tr.observe("a", 1.5, ok=False, latency_s=0.1)
+        for _ in range(4):
+            tr.observe("a", 3.5, ok=True, latency_s=0.1)
+        tr.observe("a", 3.5, ok=False, latency_s=0.1)
+        w = tr.windows(4)["a"]
+        assert [x["compliance"] for x in w] == [1.0, 0.5, 1.0, 0.8]
+        assert [x["burn"] for x in w] == pytest.approx([0.0, 5.0, 0.0, 2.0])
+        assert [x["budget"] for x in w] == [1.0, 0.0, 0.0, 0.0]
+        rep = tr.report(4)["a"]
+        assert rep["good"] == 8 and rep["bad"] == 2 and rep["submitted"] == 10
+        assert rep["compliance"] == 0.8
+        assert rep["max_burn"] == pytest.approx(5.0)
+        assert rep["breaches"] == 2  # windows 1 and 3 miss the 0.9 target
+
+    def test_latency_threshold_makes_slow_ok_bad(self):
+        tr = SLOTracker({"a": SLO(target=0.5, latency_s=0.01)}, window=1.0)
+        tr.submit("a", 0.0)
+        tr.submit("a", 0.0)
+        tr.observe("a", 0.5, ok=True, latency_s=0.005)  # good
+        tr.observe("a", 0.5, ok=True, latency_s=0.5)  # ok but slow: bad
+        w = tr.windows(1)["a"][0]
+        assert w["good"] == 1 and w["bad"] == 1 and w["compliance"] == 0.5
+
+    def test_target_one_has_no_budget(self):
+        tr = SLOTracker({"a": SLO(target=1.0)}, window=1.0)
+        tr.submit("a", 0.0)
+        tr.observe("a", 0.5, ok=False, latency_s=0.0)
+        w = tr.windows(1)["a"][0]
+        assert w["burn"] == BURN_SATURATED
+        assert w["budget"] == 0.0
+        # ...but stays intact while everything is good
+        tr2 = SLOTracker({"a": SLO(target=1.0)}, window=1.0)
+        tr2.submit("a", 0.0)
+        tr2.observe("a", 0.5, ok=True, latency_s=0.0)
+        assert tr2.windows(1)["a"][0]["budget"] == 1.0
+
+    def test_undeclared_tenant_is_ignored(self):
+        tr = SLOTracker({"a": SLO()}, window=1.0)
+        tr.submit("ghost", 0.0)
+        tr.observe("ghost", 0.5, ok=False, latency_s=0.0)
+        assert tr.max_index == -1
+        assert tr.report(1).keys() == {"a"}
+
+
+class TestExporters:
+    def _frames(self):
+        s = TelemetrySampler(1.0, slos={"a": SLO(target=0.9)})
+        s.register_gauge("depth", lambda: 2.0)
+        s.slo.submit("a", 0.0)
+        s.slo.observe("a", 0.5, ok=True, latency_s=0.1)
+        s.inc("reqs", 0.5)
+        s.inc("reqs", 1.5, 2)
+        s.add_interval("dma", 0.0, 0.5)
+        return s.finish(2.0), s
+
+    def test_jsonl_round_trip(self, tmp_path):
+        frames, s = self._frames()
+        path = str(tmp_path / "t.jsonl")
+        write_telemetry_jsonl(frames, path, window=s.window)
+        header, back = read_telemetry_jsonl(path)
+        assert header["schema"] == TELEMETRY_SCHEMA
+        assert header["window_s"] == 1.0 and header["frames"] == len(frames)
+        assert back == frames
+
+    def test_read_rejects_foreign_files(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_telemetry_jsonl(str(p))
+        p.write_text('{"schema":"other/v9"}\n')
+        with pytest.raises(ValueError):
+            read_telemetry_jsonl(str(p))
+
+    def test_lines_are_canonical_json(self):
+        frames, s = self._frames()
+        for line in telemetry_lines(frames, window=s.window):
+            assert line == encode_frame(json.loads(line))
+
+    def test_prometheus_totals_and_labels(self):
+        frames, _ = self._frames()
+        text = prometheus_text(frames)
+        assert "# TYPE repro_reqs counter\nrepro_reqs 3" in text
+        assert "repro_depth 2.0" in text
+        assert 'repro_util{channel="dma"} 0' in text
+        assert 'repro_slo_compliance{tenant="a"} 1.0' in text
+        assert 'repro_slo_budget{tenant="a"} 1.0' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_sanitises_metric_names(self):
+        s = TelemetrySampler(1.0)
+        s.inc("dev0.mem-used", 0.0)
+        text = prometheus_text(s.finish(1.0))
+        assert "repro_dev0_mem_used 1" in text
+
+    def test_render_top_lists_every_channel(self):
+        frames, _ = self._frames()
+        out = render_top(frames)
+        assert "util dma" in out
+        assert "gauge depth" in out
+        assert "rate reqs" in out
+        assert "slo tenant" in out and "\na " in "\n" + out
+        assert render_top([]) == "telemetry: no frames"
+
+    def test_render_top_downsamples_to_width(self):
+        s = TelemetrySampler(1.0)
+        for i in range(100):
+            s.inc("n", i + 0.5, i)
+        out = render_top(s.finish(100.0), width=10)
+        row = next(ln for ln in out.splitlines() if "rate n" in ln)
+        # max-downsampled bucket peaks are 9, 19, ..., 99: one bucket
+        # per ramp level, so the trend is exactly the full ramp
+        assert row.endswith(" .:-=+*#%@")

@@ -1,0 +1,91 @@
+"""Property tests of the SLO/error-budget engine's invariants.
+
+Fuzzed over arbitrary outcome streams (timestamps, good/bad mixes,
+targets, latency thresholds):
+
+* **Bounds**: every window's compliance is in ``[0, 1]`` and its burn
+  rate is non-negative (finite — saturation is capped, never inf/nan).
+* **Budget monotonicity**: the cumulative error budget never goes back
+  up — spent budget stays spent, whatever the traffic pattern.
+* **Conservation**: window good/bad cells sum exactly to the outcomes
+  fed in, and the whole-run digest agrees with the window series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as stn
+
+from repro.obs.telemetry import BURN_SATURATED, SLO, SLOTracker
+
+#: one fuzzed outcome: (window-ish timestamp, completed ok, latency)
+_outcomes = stn.lists(
+    stn.tuples(
+        stn.floats(min_value=0.0, max_value=20.0,
+                   allow_nan=False, allow_infinity=False),
+        stn.booleans(),
+        stn.floats(min_value=0.0, max_value=2.0,
+                   allow_nan=False, allow_infinity=False),
+    ),
+    max_size=40,
+)
+
+_slo = stn.builds(
+    SLO,
+    target=stn.one_of(
+        stn.just(1.0),
+        stn.floats(min_value=0.5, max_value=0.9999),
+    ),
+    latency_s=stn.one_of(
+        stn.none(), stn.floats(min_value=0.01, max_value=1.0)
+    ),
+)
+
+
+def _track(slo, outcomes, extra_submits):
+    tr = SLOTracker({"t": slo}, window=1.0)
+    for _ in range(len(outcomes) + extra_submits):
+        tr.submit("t", 0.0)
+    for t, ok, lat in outcomes:
+        tr.observe("t", t, ok=ok, latency_s=lat)
+    return tr
+
+
+@settings(max_examples=60, deadline=None)
+@given(slo=_slo, outcomes=_outcomes, extra=stn.integers(0, 5))
+def test_compliance_and_burn_stay_bounded(slo, outcomes, extra):
+    tr = _track(slo, outcomes, extra)
+    for w in tr.windows(tr.max_index + 2)["t"]:
+        assert 0.0 <= w["compliance"] <= 1.0
+        assert 0.0 <= w["burn"] <= BURN_SATURATED
+        assert math.isfinite(w["burn"])
+        assert 0.0 <= w["budget"] <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(slo=_slo, outcomes=_outcomes, extra=stn.integers(0, 5))
+def test_budget_is_monotone_non_increasing(slo, outcomes, extra):
+    tr = _track(slo, outcomes, extra)
+    series = tr.windows(tr.max_index + 2)["t"]
+    budgets = [w["budget"] for w in series]
+    assert all(a >= b for a, b in zip(budgets, budgets[1:]))
+    # idle tail windows never move the budget
+    longer = tr.windows(tr.max_index + 6)["t"]
+    assert longer[-1]["budget"] == budgets[-1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(slo=_slo, outcomes=_outcomes, extra=stn.integers(0, 5))
+def test_windows_conserve_outcomes_and_digest_agrees(slo, outcomes, extra):
+    tr = _track(slo, outcomes, extra)
+    n = tr.max_index + 1 if tr.max_index >= 0 else 1
+    series = tr.windows(n)["t"]
+    assert sum(w["total"] for w in series) == len(outcomes)
+    rep = tr.report(n)["t"]
+    assert rep["good"] == sum(w["good"] for w in series)
+    assert rep["bad"] == sum(w["bad"] for w in series)
+    assert rep["submitted"] == len(outcomes) + extra
+    assert rep["budget"] == series[-1]["budget"]
+    assert rep["breaches"] <= sum(1 for w in series if w["total"])

@@ -1,0 +1,217 @@
+"""Continuous telemetry through the serve stack.
+
+Covers the integration surface the unit tests cannot: SLO digests on
+real reports, ``slo.*`` / ``telemetry.window`` events in flight-recorder
+dumps on a deadline-missing run, workload-JSON ``slo`` declarations,
+byte-identical telemetry across repeat runs (including the ``repro top``
+CLI), and timing-neutrality — enabling the sampler never moves a
+virtual clock.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.errors import InvalidValueError
+from repro.obs.telemetry import read_telemetry_jsonl
+from repro.serve import (
+    SLO,
+    DevicePool,
+    RegionScheduler,
+    ServeConfig,
+    build_request,
+    load_workload,
+)
+
+
+def _run(requests, *, config=None, devices=1):
+    pool = DevicePool("k40m", count=devices, virtual=True)
+    sched = RegionScheduler(pool, config)
+    sched.submit_all(requests)
+    report = sched.run()
+    pool.close()
+    return report
+
+
+def _requests():
+    return [
+        build_request("stencil", tenant="alice",
+                      config={"nz": 12, "ny": 24, "nx": 24}, virtual=True),
+        build_request("matmul", tenant="bob",
+                      config={"n": 48, "block": 8}, virtual=True),
+        build_request("qcd", tenant="alice", config={"n": 6}, virtual=True),
+    ]
+
+
+_SLOS = {"alice": SLO(target=0.9, latency_s=1.0), "bob": SLO(target=0.99)}
+
+
+class TestServeSLO:
+    def test_report_carries_slo_digest_and_frames(self):
+        report = _run(_requests(), config=ServeConfig(slos=_SLOS))
+        assert report.ok
+        assert set(report.slo) == {"alice", "bob"}
+        a = report.slo["alice"]
+        assert a["submitted"] == 2 and a["good"] == 2 and a["bad"] == 0
+        assert a["compliance"] == 1.0 and a["budget"] == 1.0
+        assert report.telemetry, "slos alone must enable the sampler"
+        assert any("slo" in f for f in report.telemetry)
+        assert "slo alice" in report.summary()
+        assert json.loads(json.dumps(report.to_dict()))["slo"]["bob"][
+            "target"] == 0.99
+
+    def test_config_normalises_dict_slos_and_rejects_bad(self):
+        cfg = ServeConfig(slos={"a": {"target": 0.9, "latency_s": 2.0}})
+        assert cfg.slos == {"a": SLO(target=0.9, latency_s=2.0)}
+        with pytest.raises(InvalidValueError):
+            ServeConfig(slos={"a": {"target": 7}})
+
+    def test_no_slo_no_telemetry_keeps_report_clean(self):
+        report = _run(_requests())
+        assert report.slo == {} and report.telemetry == []
+        assert "slo" not in report.to_dict()
+        assert "slo " not in report.summary()
+
+
+class TestFlightEvents:
+    def test_deadline_miss_dumps_slo_and_window_events(self):
+        # carol's deadline is provably unreachable -> cancelled -> bad
+        # against a tight objective; the run-end dump must show the
+        # whole story: windows closing, the breach, the exhausted budget
+        reqs = _requests() + [
+            build_request("qcd", tenant="carol", config={"n": 6},
+                          deadline=1e-6, virtual=True),
+        ]
+        slos = dict(_SLOS, carol=SLO(target=0.99))
+        report = _run(reqs, config=ServeConfig(slos=slos))
+        assert report.cancelled == 1
+        assert report.slo["carol"]["bad"] == 1
+        assert report.slo["carol"]["budget"] == 0.0
+        assert report.flight_dumps, "deadline cancel must dump"
+        kinds = {e["kind"] for e in report.flight_dumps[-1]["events"]}
+        assert "telemetry.window" in kinds
+        assert "slo.breach" in kinds
+        assert "slo.budget_exhausted" in kinds
+        breach = next(
+            e for e in report.flight_dumps[-1]["events"]
+            if e["kind"] == "slo.breach"
+        )
+        assert breach["tenant"] == "carol"
+        assert breach["compliance"] < breach["target"]
+
+    def test_healthy_run_fires_no_slo_events(self):
+        report = _run(_requests(), config=ServeConfig(slos=_SLOS))
+        assert report.flight_dumps == []
+
+
+class TestWorkloadSLOKey:
+    def test_slo_key_parses_into_spec(self, tmp_path):
+        p = tmp_path / "w.json"
+        p.write_text(json.dumps({"requests": [
+            {"app": "qcd", "tenant": "a", "config": {"n": 5},
+             "slo": {"target": 0.95, "latency_s": 0.5}},
+            {"app": "qcd", "tenant": "a", "config": {"n": 5},
+             "slo": {"target": 0.95, "latency_s": 0.5}},
+            {"app": "qcd", "tenant": "b", "config": {"n": 5}},
+        ]}))
+        spec = load_workload(str(p))
+        assert spec.slos == {"a": SLO(target=0.95, latency_s=0.5)}
+
+    def test_conflicting_tenant_slo_rejected(self, tmp_path):
+        p = tmp_path / "w.json"
+        p.write_text(json.dumps({"requests": [
+            {"app": "qcd", "tenant": "a", "config": {"n": 5},
+             "slo": {"target": 0.9}},
+            {"app": "qcd", "tenant": "a", "config": {"n": 5},
+             "slo": {"target": 0.99}},
+        ]}))
+        with pytest.raises(InvalidValueError, match="declares slo"):
+            load_workload(str(p))
+
+    def test_bad_slo_names_the_request(self, tmp_path):
+        p = tmp_path / "w.json"
+        p.write_text(json.dumps({"requests": [
+            {"app": "qcd", "config": {"n": 5}, "slo": {"target": 0}},
+        ]}))
+        with pytest.raises(InvalidValueError, match="request 0"):
+            load_workload(str(p))
+
+
+class TestDeterminism:
+    def _workload_json(self, tmp_path):
+        p = tmp_path / "w.json"
+        p.write_text(json.dumps({"requests": [
+            {"app": "stencil", "tenant": "alice",
+             "slo": {"target": 0.99, "latency_s": 1.0},
+             "config": {"nz": 12, "ny": 24, "nx": 24}},
+            {"app": "matmul", "tenant": "bob", "slo": {"target": 0.9},
+             "config": {"n": 48, "block": 8}},
+            {"app": "qcd", "tenant": "alice", "config": {"n": 6}},
+        ]}))
+        return str(p)
+
+    def test_telemetry_files_byte_identical_across_runs(self, tmp_path):
+        from repro.cli import main
+
+        w = self._workload_json(tmp_path)
+        outs = []
+        for r in range(2):
+            t = str(tmp_path / f"t{r}.jsonl")
+            assert main(["serve", w, "--telemetry", t]) == 0
+            with open(t, encoding="utf-8") as fh:
+                jsonl = fh.read()
+            with open(t + ".prom", encoding="utf-8") as fh:
+                prom = fh.read()
+            outs.append((jsonl, prom))
+        assert outs[0] == outs[1]
+        header, frames = read_telemetry_jsonl(str(tmp_path / "t0.jsonl"))
+        assert header["frames"] == len(frames) > 0
+
+    def test_top_json_byte_identical_across_runs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        w = self._workload_json(tmp_path)
+        runs = []
+        for _ in range(2):
+            assert main(["top", w, "--json"]) == 0
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+        assert main(["top", w]) == 0  # dashboard renders too
+        dash = capsys.readouterr().out
+        assert "slo tenant" in dash and "util" in dash
+
+    def test_top_reads_saved_stream_identically(self, tmp_path, capsys):
+        from repro.cli import main
+
+        w = self._workload_json(tmp_path)
+        t = str(tmp_path / "t.jsonl")
+        assert main(["serve", w, "--telemetry", t]) == 0
+        capsys.readouterr()
+        assert main(["top", w, "--json"]) == 0
+        live = capsys.readouterr().out
+        assert main(["top", t, "--json"]) == 0
+        saved = capsys.readouterr().out
+        assert live == saved
+
+    def test_multi_device_frames_deterministic(self):
+        cfg = ServeConfig(telemetry=True, slos=_SLOS)
+        a = _run(_requests(), config=cfg, devices=2)
+        b = _run(_requests(), config=cfg, devices=2)
+        assert [json.dumps(f, sort_keys=True) for f in a.telemetry] == \
+            [json.dumps(f, sort_keys=True) for f in b.telemetry]
+        assert any(
+            ch.startswith("dev1.") for f in a.telemetry
+            for ch in f.get("util", {})
+        ), "second device's busy intervals must be attributed"
+
+
+class TestTimingNeutrality:
+    def test_sampler_never_changes_measured_results(self):
+        off = _run(_requests())
+        on = _run(_requests(), config=ServeConfig(telemetry=True))
+        assert on.makespan == off.makespan
+        d_on, d_off = on.to_dict(), off.to_dict()
+        assert json.dumps(d_on, sort_keys=True) == \
+            json.dumps(d_off, sort_keys=True)
